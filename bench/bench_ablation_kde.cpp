@@ -1,0 +1,72 @@
+/// \file bench_ablation_kde.cpp
+/// Ablation E5: tail-modeling choices. Sweeps the adaptive-KDE locality
+/// parameter alpha, the bandwidth, and the kernel family, reporting the
+/// B2/B5 metrics (the two boundaries trained on KDE-enhanced populations).
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "io/table.hpp"
+
+int main() {
+    using namespace htd;
+
+    std::printf("Ablation: adaptive-KDE tail modeling (stages behind S2/B2 and S5/B5)\n\n");
+
+    io::Table table({"alpha", "bandwidth", "kernel", "B2 FP", "B2 FN", "B5 FP", "B5 FN"});
+    const double alphas[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+    for (const double alpha : alphas) {
+        core::ExperimentConfig cfg;
+        cfg.pipeline.synthetic_samples = 20000;
+        cfg.pipeline.kde_alpha = alpha;
+        const core::ExperimentResult r = core::run_experiment(cfg);
+        table.add_row({io::fmt(alpha, 2), io::fmt(cfg.pipeline.kde_bandwidth, 2),
+                       "epanechnikov",
+                       io::fmt_ratio(r.table1[1].false_positives, 80),
+                       io::fmt_ratio(r.table1[1].false_negatives, 40),
+                       io::fmt_ratio(r.table1[4].false_positives, 80),
+                       io::fmt_ratio(r.table1[4].false_negatives, 40)});
+    }
+    for (const double h : {0.15, 0.5, 1.0, 0.0 /* Silverman */}) {
+        core::ExperimentConfig cfg;
+        cfg.pipeline.synthetic_samples = 20000;
+        cfg.pipeline.kde_bandwidth = h;
+        const core::ExperimentResult r = core::run_experiment(cfg);
+        table.add_row({io::fmt(cfg.pipeline.kde_alpha, 2),
+                       h == 0.0 ? "silverman" : io::fmt(h, 2), "epanechnikov",
+                       io::fmt_ratio(r.table1[1].false_positives, 80),
+                       io::fmt_ratio(r.table1[1].false_negatives, 40),
+                       io::fmt_ratio(r.table1[4].false_positives, 80),
+                       io::fmt_ratio(r.table1[4].false_negatives, 40)});
+    }
+    {
+        core::ExperimentConfig cfg;
+        cfg.pipeline.synthetic_samples = 20000;
+        cfg.pipeline.kde_kernel = stats::KernelType::kGaussian;
+        const core::ExperimentResult r = core::run_experiment(cfg);
+        table.add_row({io::fmt(cfg.pipeline.kde_alpha, 2),
+                       io::fmt(cfg.pipeline.kde_bandwidth, 2), "gaussian",
+                       io::fmt_ratio(r.table1[1].false_positives, 80),
+                       io::fmt_ratio(r.table1[1].false_negatives, 40),
+                       io::fmt_ratio(r.table1[4].false_positives, 80),
+                       io::fmt_ratio(r.table1[4].false_negatives, 40)});
+    }
+    {
+        // EVT alternative: GPD peaks-over-threshold tail enhancement.
+        core::ExperimentConfig cfg;
+        cfg.pipeline.synthetic_samples = 20000;
+        cfg.pipeline.tail_model = core::TailModel::kEvtPot;
+        const core::ExperimentResult r = core::run_experiment(cfg);
+        table.add_row({"-", "-", "evt-pot",
+                       io::fmt_ratio(r.table1[1].false_positives, 80),
+                       io::fmt_ratio(r.table1[1].false_negatives, 40),
+                       io::fmt_ratio(r.table1[4].false_positives, 80),
+                       io::fmt_ratio(r.table1[4].false_negatives, 40)});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf(
+        "Note: a too-wide bandwidth lets the synthetic tails reach the Trojan\n"
+        "populations (B5 FP rises); a too-narrow one stops covering the real\n"
+        "process spread (B5 FN rises). The defaults sit between the regimes.\n");
+    return 0;
+}

@@ -1,0 +1,139 @@
+/// \file bench_ablation_regression.cpp
+/// Ablation: the regression family behind g : m_p -> m_j. The paper used
+/// MARS; this harness replays the silicon stage with a Gaussian-process bank
+/// (and a plain per-output linear fit as the floor) and compares the S3/S4
+/// boundaries each produces.
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "core/experiment.hpp"
+#include "io/table.hpp"
+#include "linalg/decompositions.hpp"
+#include "ml/gpr.hpp"
+#include "ml/kmm.hpp"
+
+namespace {
+
+using htd::linalg::Matrix;
+using htd::linalg::Vector;
+
+/// Per-output ordinary least squares with intercept, as the simplest family.
+class LinearBank {
+public:
+    void fit(const Matrix& x, const Matrix& y) {
+        const std::size_t n = x.rows();
+        Matrix design(n, x.cols() + 1, 1.0);
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < x.cols(); ++c) design(r, c + 1) = x(r, c);
+        }
+        const htd::linalg::Qr qr(design);
+        coef_ = Matrix(x.cols() + 1, y.cols());
+        for (std::size_t j = 0; j < y.cols(); ++j) {
+            coef_.set_col(j, qr.solve(y.col(j)));
+        }
+    }
+    [[nodiscard]] Matrix predict_batch(const Matrix& x) const {
+        Matrix out(x.rows(), coef_.cols());
+        for (std::size_t r = 0; r < x.rows(); ++r) {
+            for (std::size_t j = 0; j < coef_.cols(); ++j) {
+                double acc = coef_(0, j);
+                for (std::size_t c = 0; c < x.cols(); ++c) {
+                    acc += coef_(c + 1, j) * x(r, c);
+                }
+                out(r, j) = acc;
+            }
+        }
+        return out;
+    }
+
+private:
+    Matrix coef_;
+};
+
+htd::ml::DetectionMetrics evaluate_boundary(const Matrix& dataset,
+                                            const htd::ml::OneClassSvm::Options& opts,
+                                            const htd::silicon::DuttDataset& measured) {
+    htd::ml::OneClassSvm svm(opts);
+    svm.fit(dataset);
+    std::vector<bool> inside(measured.size());
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        inside[i] = svm.contains(measured.fingerprints.row(i));
+    }
+    return htd::ml::evaluate_detection(inside, measured.labels());
+}
+
+Matrix log_pcms(const Matrix& pcms) {
+    Matrix out = pcms;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        for (double& v : out.row_span(r)) v = std::log(v);
+    }
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    using namespace htd;
+
+    core::ExperimentConfig config;
+    rng::Rng master(config.seed);
+    rng::Rng fab_rng = master.split();
+    rng::Rng sim_rng = master.split();
+    rng::Rng resample_rng = master.split();
+
+    const silicon::DuttDataset measured = core::fabricate_and_measure(config, fab_rng);
+    const core::ProcessPair processes =
+        core::make_process_pair(config.process_shift_sigma);
+    const silicon::SpiceSimulator simulator(config.platform, processes.spice);
+    const auto golden =
+        simulator.simulate_golden(sim_rng, config.pipeline.monte_carlo_samples);
+    const Matrix mc_log = log_pcms(golden.pcms);
+    const Matrix silicon_log = log_pcms(measured.pcms);
+
+    // Shared calibration (regression-independent).
+    const ml::KernelMeanShiftCalibrator calibrator(config.pipeline.calibration);
+    const auto calib = calibrator.calibrate(mc_log, silicon_log);
+    const Matrix calibrated = ml::weighted_resample(
+        calib.calibrated, calib.weights, config.pipeline.monte_carlo_samples,
+        resample_rng);
+
+    std::printf("Ablation: regression family for g (PCM -> fingerprints)\n\n");
+    io::Table table({"family", "S3 FP", "S3 FN", "S4 FP", "S4 FN"});
+
+    auto report = [&](const std::string& name, const Matrix& s3, const Matrix& s4) {
+        const auto m3 = evaluate_boundary(s3, config.pipeline.svm, measured);
+        const auto m4 = evaluate_boundary(s4, config.pipeline.svm, measured);
+        table.add_row({name, io::fmt_ratio(m3.false_positives, 80),
+                       io::fmt_ratio(m3.false_negatives, 40),
+                       io::fmt_ratio(m4.false_positives, 80),
+                       io::fmt_ratio(m4.false_negatives, 40)});
+    };
+
+    {
+        ml::MarsBank bank(config.pipeline.mars);
+        bank.fit(mc_log, golden.fingerprints);
+        report("MARS (paper)", bank.predict_batch(silicon_log),
+               bank.predict_batch(calibrated));
+    }
+    {
+        ml::GprBank bank;
+        bank.fit(mc_log, golden.fingerprints);
+        report("Gaussian process", bank.predict_batch(silicon_log),
+               bank.predict_batch(calibrated));
+    }
+    {
+        LinearBank bank;
+        bank.fit(mc_log, golden.fingerprints);
+        report("linear OLS", bank.predict_batch(silicon_log),
+               bank.predict_batch(calibrated));
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf(
+        "Note: the GP's posterior mean reverts toward the training mean at the\n"
+        "silicon operating point (a 4.5-sigma extrapolation), which displaces\n"
+        "its predicted trusted region; MARS and the linear fit extrapolate the\n"
+        "edge trend, which this covariate-shift setting rewards.\n");
+    return 0;
+}

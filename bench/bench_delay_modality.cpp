@@ -1,0 +1,60 @@
+/// \file bench_delay_modality.cpp
+/// Side-channel modality study: the paper fingerprints transmit power; the
+/// same golden chip-free pipeline runs unchanged on path-delay fingerprints
+/// (the modality of reference [7]) and on the fused power+delay vector
+/// (multi-parameter analysis, references [10][13]). Prints the Table-1 row
+/// set per modality.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "io/table.hpp"
+
+namespace {
+
+const char* mode_name(htd::silicon::FingerprintMode mode) {
+    switch (mode) {
+        case htd::silicon::FingerprintMode::kTransmitPower: return "power (paper)";
+        case htd::silicon::FingerprintMode::kPathDelay: return "path delay [7]";
+        case htd::silicon::FingerprintMode::kCombined: return "power + delay";
+    }
+    return "?";
+}
+
+}  // namespace
+
+int main() {
+    using namespace htd;
+
+    std::printf("Side-channel modality study (cells are 'FP/80 FN/40')\n\n");
+    io::Table table({"modality", "nm", "S1", "S2", "S3", "S4", "S5"});
+
+    for (const silicon::FingerprintMode mode :
+         {silicon::FingerprintMode::kTransmitPower,
+          silicon::FingerprintMode::kPathDelay,
+          silicon::FingerprintMode::kCombined}) {
+        core::ExperimentConfig cfg;
+        cfg.platform.fingerprint_mode = mode;
+        cfg.pipeline.synthetic_samples = 20000;
+        const core::ExperimentResult r = core::run_experiment(cfg);
+        std::vector<std::string> cells{
+            mode_name(mode), std::to_string(cfg.platform.fingerprint_dim())};
+        for (const auto& m : r.table1) {
+            cells.push_back(io::fmt_ratio(m.false_positives, 80) + " " +
+                            io::fmt_ratio(m.false_negatives, 40));
+        }
+        table.add_row(cells);
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf(
+        "The delay modality behaves differently in two instructive ways: the\n"
+        "PCM (itself a delay) explains delay fingerprints almost perfectly, so\n"
+        "B3 already covers most Trojan-free devices; and the Trojans' tap\n"
+        "loads displace a *subset* of paths — a strongly transverse signature\n"
+        "the trusted tubes exclude. Naive fusion (concatenation) keeps FP = 0\n"
+        "but is more conservative: with 14 axes the fixed-bandwidth synthetic\n"
+        "enhancement covers relatively less volume per axis, so more\n"
+        "Trojan-free devices fall outside — the multi-parameter references\n"
+        "[10][13] weight modalities for exactly this reason.\n");
+    return 0;
+}

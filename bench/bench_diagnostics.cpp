@@ -1,0 +1,154 @@
+/// \file bench_diagnostics.cpp
+/// Model-calibration diagnostics: prints the population statistics that
+/// determine the Table-1 shape — simulated vs silicon fingerprint/PCM
+/// locations and spreads, the Trojan displacement split into its common
+/// (gain-direction) and differential (orthogonal) components, and the
+/// MARS regression quality.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "io/table.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using htd::linalg::Matrix;
+using htd::linalg::Vector;
+
+void print_population(const char* name, const Matrix& data) {
+    const Vector mean = htd::stats::column_means(data);
+    const Vector sd = data.rows() >= 2 ? htd::stats::column_stddevs(data)
+                                       : Vector(data.cols());
+    std::printf("%-22s n=%-6zu mean:", name, data.rows());
+    for (std::size_t c = 0; c < mean.size(); ++c) std::printf(" %8.3f", mean[c]);
+    std::printf("\n%-22s %-8s  std:", "", "");
+    for (std::size_t c = 0; c < sd.size(); ++c) std::printf(" %8.4f", sd[c]);
+    std::printf("\n");
+}
+
+Matrix rows_of_variant(const htd::silicon::DuttDataset& ds,
+                       htd::trojan::DesignVariant v) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < ds.variants.size(); ++i) {
+        if (ds.variants[i] == v) idx.push_back(i);
+    }
+    return ds.fingerprints_at(idx);
+}
+
+}  // namespace
+
+int main() {
+    using namespace htd;
+
+    core::ExperimentConfig config;
+    rng::Rng master(config.seed);
+    rng::Rng fab_rng = master.split();
+    rng::Rng sim_rng = master.split();
+
+    const silicon::DuttDataset measured = core::fabricate_and_measure(config, fab_rng);
+    const core::ProcessPair processes =
+        core::make_process_pair(config.process_shift_sigma);
+    const silicon::SpiceSimulator simulator(config.platform, processes.spice);
+    const auto golden =
+        simulator.simulate_golden(sim_rng, config.pipeline.monte_carlo_samples);
+
+    const Matrix tf = rows_of_variant(measured, trojan::DesignVariant::kTrojanFree);
+    const Matrix ta = rows_of_variant(measured, trojan::DesignVariant::kTrojanAmplitude);
+    const Matrix tfreq =
+        rows_of_variant(measured, trojan::DesignVariant::kTrojanFrequency);
+
+    std::printf("--- fingerprints (dBm per block) ---\n");
+    print_population("sim golden (S1)", golden.fingerprints);
+    print_population("silicon TF", tf);
+    print_population("silicon TI-amp", ta);
+    print_population("silicon TI-freq", tfreq);
+
+    // Trojan displacement relative to TF, split into the component along the
+    // all-ones (common gain) direction and the orthogonal remainder.
+    auto displacement = [&](const Matrix& ti, const char* name) {
+        const Vector d = stats::column_means(ti) - stats::column_means(tf);
+        double common = 0.0;
+        for (std::size_t c = 0; c < d.size(); ++c) common += d[c];
+        common /= static_cast<double>(d.size());
+        double orth2 = 0.0;
+        for (std::size_t c = 0; c < d.size(); ++c) {
+            orth2 += (d[c] - common) * (d[c] - common);
+        }
+        std::printf("%-10s displacement: common %+.4f dB, orthogonal rms %.4f dB\n",
+                    name, common, std::sqrt(orth2 / static_cast<double>(d.size())));
+    };
+    displacement(ta, "TI-amp");
+    displacement(tfreq, "TI-freq");
+    std::printf("meter noise sigma: %.4f dB\n", config.platform.meter.noise_sigma_db);
+
+    std::printf("\n--- PCM (path delay ns) ---\n");
+    print_population("sim golden PCM", golden.pcms);
+    print_population("silicon PCM", measured.pcms);
+
+    // Regression quality achievable from the PCM, in the pipeline's own
+    // (log-transformed) input space.
+    auto log_pcms = [&](const Matrix& pcms) {
+        Matrix out = pcms;
+        for (std::size_t r = 0; r < out.rows(); ++r) {
+            for (double& v : out.row_span(r)) v = std::log(v);
+        }
+        return out;
+    };
+    ml::MarsBank bank(config.pipeline.mars);  // same options as the pipeline
+    bank.fit(log_pcms(golden.pcms), golden.fingerprints);
+    std::printf("\n--- MARS (log PCM -> fingerprint) training R^2 per output ---\n");
+    for (std::size_t j = 0; j < bank.output_dim(); ++j) {
+        std::printf("  m%zu: %.4f (terms: %zu)\n", j + 1, bank.model(j).r_squared(),
+                    bank.model(j).terms().size());
+    }
+
+    // Residual structure of silicon TF devices around the regression
+    // prediction from their own PCMs. The per-block residual means expose
+    // transverse prediction bias (different extrapolation per fingerprint);
+    // the pooled std is the spread B5's KDE inflation must cover.
+    std::printf("\n--- silicon TF residuals around g(log pcm) ---\n");
+    const auto tf_idx = measured.trojan_free_indices();
+    const Matrix silicon_log_pcms = log_pcms(measured.pcms);
+    const std::size_t nm = measured.fingerprints.cols();
+    std::vector<stats::RunningStats> per_block(nm);
+    stats::RunningStats resid;
+    for (const std::size_t i : tf_idx) {
+        const Vector pred = bank.predict(silicon_log_pcms.row(i));
+        const Vector actual = measured.fingerprints.row(i);
+        for (std::size_t c = 0; c < pred.size(); ++c) {
+            resid.add(actual[c] - pred[c]);
+            per_block[c].add(actual[c] - pred[c]);
+        }
+    }
+    std::printf("pooled residual mean %+.4f dB, std %.4f dB\n", resid.mean(),
+                resid.stddev());
+    std::printf("per-block residual means:");
+    for (std::size_t c = 0; c < nm; ++c) std::printf(" %+.4f", per_block[c].mean());
+    std::printf("\n");
+
+    // Full pipeline state: dataset statistics and decision values.
+    std::printf("\n--- pipeline datasets ---\n");
+    core::GoldenFreePipeline pipeline(config.pipeline,
+                                      silicon::SpiceSimulator(config.platform,
+                                                              processes.spice));
+    rng::Rng pipe_rng = master.split();
+    rng::Rng sim2 = master.split();
+    pipeline.run_premanufacturing(sim2);
+    pipeline.run_silicon_stage(measured.pcms, pipe_rng);
+    for (const core::Boundary b : core::kAllBoundaries) {
+        print_population(core::dataset_name(b).c_str(), pipeline.dataset(b));
+    }
+    print_population("measured TF", tf);
+
+    std::printf("\n--- decision values (first 8 TF devices) ---\n");
+    for (const core::Boundary b : {core::Boundary::kB3, core::Boundary::kB4,
+                                   core::Boundary::kB5}) {
+        const Vector dv = pipeline.decision_values(b, tf);
+        std::printf("%s:", core::boundary_name(b).c_str());
+        for (std::size_t i = 0; i < 8; ++i) std::printf(" %+.4f", dv[i]);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,186 @@
+/// \file bench_micro.cpp
+/// Experiment E9: google-benchmark microbenchmarks of the statistical
+/// kernels the pipeline spends its time in — KDE construction and sampling,
+/// one-class SVM training, MARS fitting, KMM solving, AES encryption and
+/// the analytic circuit models.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.hpp"
+#include "circuit/delay.hpp"
+#include "circuit/spice.hpp"
+#include "ml/gpr.hpp"
+#include "stats/evt.hpp"
+#include "ml/kmm.hpp"
+#include "ml/mars.hpp"
+#include "ml/one_class_svm.hpp"
+#include "process/variation_model.hpp"
+#include "rng/rng.hpp"
+#include "stats/kde.hpp"
+
+namespace {
+
+using htd::linalg::Matrix;
+using htd::linalg::Vector;
+
+Matrix gaussian_cloud(std::size_t n, std::size_t d, std::uint64_t seed) {
+    htd::rng::Rng rng(seed);
+    Matrix data(n, d);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < d; ++c) data(r, c) = rng.normal();
+    return data;
+}
+
+void BM_AdaptiveKdeBuild(benchmark::State& state) {
+    const Matrix data = gaussian_cloud(static_cast<std::size_t>(state.range(0)), 6, 1);
+    for (auto _ : state) {
+        htd::stats::AdaptiveKde kde(data, 0.5);
+        benchmark::DoNotOptimize(kde.pilot_geometric_mean());
+    }
+}
+BENCHMARK(BM_AdaptiveKdeBuild)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_AdaptiveKdeSample(benchmark::State& state) {
+    const Matrix data = gaussian_cloud(100, 6, 2);
+    const htd::stats::AdaptiveKde kde(data, 0.5);
+    htd::rng::Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kde.sample(rng));
+    }
+}
+BENCHMARK(BM_AdaptiveKdeSample);
+
+void BM_OneClassSvmFit(benchmark::State& state) {
+    const Matrix data = gaussian_cloud(static_cast<std::size_t>(state.range(0)), 6, 4);
+    for (auto _ : state) {
+        htd::ml::OneClassSvm svm;
+        svm.fit(data);
+        benchmark::DoNotOptimize(svm.rho());
+    }
+}
+BENCHMARK(BM_OneClassSvmFit)->Arg(100)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_OneClassSvmDecision(benchmark::State& state) {
+    const Matrix data = gaussian_cloud(1000, 6, 5);
+    htd::ml::OneClassSvm svm;
+    svm.fit(data);
+    const Vector probe(6, 0.5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(svm.decision_value(probe));
+    }
+}
+BENCHMARK(BM_OneClassSvmDecision);
+
+void BM_MarsFit(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    htd::rng::Rng rng(6);
+    Matrix x(n, 1);
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(-2.0, 2.0);
+        y[i] = std::max(0.0, x(i, 0)) + 0.1 * rng.normal();
+    }
+    for (auto _ : state) {
+        htd::ml::Mars mars({.max_terms = 7, .max_knots_per_variable = 7});
+        mars.fit(x, y);
+        benchmark::DoNotOptimize(mars.gcv());
+    }
+}
+BENCHMARK(BM_MarsFit)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_KmmSolve(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const Matrix train = gaussian_cloud(n, 1, 7);
+    Matrix test = gaussian_cloud(n, 1, 8);
+    for (std::size_t r = 0; r < test.rows(); ++r) test(r, 0) += 1.0;
+    const htd::ml::KernelMeanMatching kmm;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kmm.solve(train, test));
+    }
+}
+BENCHMARK(BM_KmmSolve)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_AesEncrypt(benchmark::State& state) {
+    htd::crypto::Block key{};
+    for (std::size_t i = 0; i < 16; ++i) key[i] = static_cast<std::uint8_t>(i);
+    const htd::crypto::Aes aes(key);
+    htd::crypto::Block block{};
+    for (auto _ : state) {
+        block = aes.encrypt(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesEncrypt);
+
+void BM_PcmPathDelay(benchmark::State& state) {
+    const htd::circuit::PcmPath path;
+    const auto pp = htd::process::nominal_350nm();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(path.delay_ns(pp));
+    }
+}
+BENCHMARK(BM_PcmPathDelay);
+
+void BM_ProcessSample(benchmark::State& state) {
+    const auto model = htd::process::ProcessVariationModel::default_350nm();
+    htd::rng::Rng rng(9);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.sample_monte_carlo(rng));
+    }
+}
+BENCHMARK(BM_ProcessSample);
+
+void BM_SpiceDcInverter(benchmark::State& state) {
+    htd::circuit::Netlist net;
+    net.add_vsource("vdd", "vdd", "0", htd::circuit::Pwl(3.3));
+    net.add_vsource("vin", "in", "0", htd::circuit::Pwl(1.65));
+    net.add_inverter("x1", "in", "out", "vdd", 4.0);
+    const htd::circuit::SpiceEngine engine(net);
+    const auto pp = htd::process::nominal_350nm();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.dc(pp));
+    }
+}
+BENCHMARK(BM_SpiceDcInverter);
+
+void BM_SpicePcmTransient(benchmark::State& state) {
+    htd::circuit::PcmPath::Options opts;
+    opts.stages = 2;
+    const auto pp = htd::process::nominal_350nm();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(htd::circuit::spice_pcm_delay_ns(pp, opts, 0.1));
+    }
+}
+BENCHMARK(BM_SpicePcmTransient)->Unit(benchmark::kMillisecond);
+
+void BM_EvtEnhancerSample(benchmark::State& state) {
+    const Matrix data = gaussian_cloud(100, 6, 10);
+    const htd::stats::EvtTailEnhancer evt(data, 0.15);
+    htd::rng::Rng rng(11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(evt.sample(rng));
+    }
+}
+BENCHMARK(BM_EvtEnhancerSample);
+
+void BM_GprFit(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    htd::rng::Rng rng(12);
+    Matrix x(n, 1);
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.normal();
+        y[i] = x(i, 0) + 0.1 * rng.normal();
+    }
+    for (auto _ : state) {
+        htd::ml::GaussianProcessRegressor gpr;
+        gpr.fit(x, y);
+        benchmark::DoNotOptimize(gpr.r_squared());
+    }
+}
+BENCHMARK(BM_GprFit)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+/// \file bench_sweep_tuning.cpp
+/// Hyperparameter sweep used to place the pipeline at the paper's operating
+/// point: varies SVM (nu, gamma_scale), KDE bandwidth and the amplitude-
+/// Trojan strength, and prints the Table-1 row set for each combination.
+/// Kept in the harness as a reproducibility aid for the calibration choice
+/// documented in EXPERIMENTS.md.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+int main() {
+    using namespace htd;
+
+    const double nus[] = {0.08};
+    const double gscales[] = {1.0};
+    const std::size_t terms[] = {7};
+    const double kde_h[] = {0.15, 0.2, 0.3};
+    const double lambdas[] = {1.2, 1.5, 2.0};
+    const double shifts[] = {4.5};
+
+    std::printf(
+        "nu    gsc  terms  kde_h  shift  | S1 FP/FN  S2 FP/FN  S3 FP/FN  S4 FP/FN  S5 FP/FN\n");
+    for (const double nu : nus) {
+        for (const double gs : gscales) {
+            for (const double h : kde_h) {
+                for (const double e : shifts) {
+                  for (const std::size_t mt : terms) {
+                   for (const double lam : lambdas) {
+                    core::ExperimentConfig cfg;
+                    cfg.pipeline.kde_max_lambda = lam;
+                    cfg.pipeline.svm.nu = nu;
+                    cfg.pipeline.svm.gamma_scale = gs;
+                    cfg.pipeline.kde_bandwidth = h;
+                    cfg.pipeline.mars.max_terms = mt;
+                    cfg.process_shift_sigma = e;
+                    const core::ExperimentResult r = core::run_experiment(cfg);
+                    std::printf("%.2f  %.1f  %2zu  %.1f  %.1f  %.2f   |", nu, gs, mt, lam, h, e);
+                    for (const auto& m : r.table1) {
+                        std::printf("  %2zu/%-2zu   ", m.false_positives,
+                                    m.false_negatives);
+                    }
+                    std::printf("\n");
+                    std::fflush(stdout);
+                   }
+                  }
+                }
+            }
+        }
+    }
+    return 0;
+}

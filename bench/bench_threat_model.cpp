@@ -1,0 +1,90 @@
+/// \file bench_threat_model.cpp
+/// Experiment E8: validates the threat model the whole paper rests on.
+/// The key-leak Trojans of [12] must (1) leak the full AES key to an
+/// attacker listening on the public channel, (2) evade traditional
+/// functional testing (ciphertext and demodulated data remain correct), and
+/// (3) be invisible in any single transmission's nominal behaviour.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "crypto/aes.hpp"
+#include "io/table.hpp"
+#include "silicon/bench_measure.hpp"
+#include "trojan/attacker.hpp"
+
+int main() {
+    using namespace htd;
+
+    core::ExperimentConfig config;
+    rng::Rng master(config.seed);
+    rng::Rng fab_rng = master.split();
+    rng::Rng attack_rng = master.split();
+
+    const core::ProcessPair processes =
+        core::make_process_pair(config.process_shift_sigma);
+    const silicon::Fab fab(processes.silicon);
+    const silicon::FabricatedLot lot = fab.fabricate_lot(fab_rng, 4);
+    const silicon::MeasurementBench bench(config.platform);
+    const auto key_bits = config.platform.key_bits();
+
+    std::printf("Threat-model validation (the Trojans of [12])\n\n");
+
+    // (1) Functional testing cannot see the Trojans: the AES core is
+    // untouched, so ciphertext equality holds by construction; the OOK data
+    // on the channel also demodulates identically.
+    {
+        const crypto::Aes aes(config.platform.aes_key);
+        const crypto::Block ct = aes.encrypt(config.platform.plaintext_blocks[0]);
+        const crypto::Block pt = aes.decrypt(ct);
+        std::printf("functional test: AES encrypt/decrypt round-trip %s\n",
+                    pt == config.platform.plaintext_blocks[0] ? "PASS" : "FAIL");
+
+        const auto obs_free = bench.capture_transmission(lot.devices[0], 0);
+        const auto obs_amp = bench.capture_transmission(lot.devices[1], 0);
+        bool same_data = true;
+        for (std::size_t i = 0; i < 128; ++i) {
+            same_data &= obs_free[i].transmitted == obs_amp[i].transmitted;
+        }
+        std::printf("functional test: demodulated OOK data identical      %s\n\n",
+                    same_data ? "PASS" : "FAIL");
+    }
+
+    // (2) The attacker recovers the key from each Trojan-infested device.
+    io::Table table({"device", "channel", "blocks", "separation", "bit errors"});
+    const trojan::KeyRecoveryAttacker attacker;
+    struct Case {
+        std::size_t device_index;
+        trojan::LeakChannel channel;
+        const char* name;
+    };
+    const Case cases[] = {
+        {1, trojan::LeakChannel::kAmplitude, "TI-amp"},
+        {2, trojan::LeakChannel::kFrequency, "TI-freq"},
+        {0, trojan::LeakChannel::kAmplitude, "TF (control)"},
+    };
+    for (const Case& c : cases) {
+        // Capture several block transmissions; the platform only has 6
+        // stored plaintexts, so cycle through them a few times (the attacker
+        // sees the repeated public ciphertexts).
+        std::vector<std::vector<trojan::PulseObservation>> blocks;
+        for (int rep = 0; rep < 4; ++rep) {
+            for (std::size_t b = 0; b < 6; ++b) {
+                blocks.push_back(
+                    bench.capture_transmission(lot.devices[c.device_index], b));
+            }
+        }
+        const auto result = attacker.recover_key(blocks, c.channel, attack_rng);
+        table.add_row({c.name,
+                       c.channel == trojan::LeakChannel::kAmplitude ? "amplitude"
+                                                                    : "frequency",
+                       std::to_string(blocks.size()), io::fmt(result.separation, 1),
+                       std::to_string(result.bit_errors(key_bits))});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf(
+        "Expected: both Trojan devices leak the key with ~0 bit errors; the\n"
+        "Trojan-free control shows no two-level structure (the attacker's\n"
+        "receiver reports low separation and recovers nothing).\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/// \file custom_pcm_study.cpp
+/// Extending the platform beyond the paper: the DAC'14 experiment used a
+/// single path-delay PCM (np = 1). Real wafers carry several e-test
+/// structures; this example adds the kerf ring-oscillator PCM (np = 2) and
+/// compares detection quality, illustrating how to reconfigure the platform
+/// and re-run the pipeline with a custom PCM set.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "io/table.hpp"
+
+namespace {
+
+std::array<htd::ml::DetectionMetrics, 5> run_with(bool ring_oscillator,
+                                                  std::uint64_t seed) {
+    htd::core::ExperimentConfig config;
+    config.seed = seed;
+    config.platform.include_ring_oscillator = ring_oscillator;
+    config.pipeline.synthetic_samples = 20000;
+    return htd::core::run_experiment(config).table1;
+}
+
+}  // namespace
+
+int main() {
+    using namespace htd;
+
+    std::printf("PCM study: path-delay only (np=1, the paper) vs path delay +\n");
+    std::printf("ring oscillator (np=2)\n\n");
+
+    const auto with_one = run_with(false, 0xda145eedULL);
+    const auto with_two = run_with(true, 0xda145eedULL);
+
+    io::Table table({"boundary", "np=1 FP", "np=1 FN", "np=2 FP", "np=2 FN"});
+    for (std::size_t b = 0; b < 5; ++b) {
+        table.add_row({core::boundary_name(core::kAllBoundaries[b]),
+                       io::fmt_ratio(with_one[b].false_positives, 80),
+                       io::fmt_ratio(with_one[b].false_negatives, 40),
+                       io::fmt_ratio(with_two[b].false_positives, 80),
+                       io::fmt_ratio(with_two[b].false_negatives, 40)});
+    }
+    std::printf("%s\n", table.str().c_str());
+
+    std::printf(
+        "A second PCM gives the regression bank a second silicon anchor: the\n"
+        "predicted trusted region tracks two process directions instead of\n"
+        "one, which typically lowers the false-alarm (FN) counts of B3-B5.\n");
+    return 0;
+}

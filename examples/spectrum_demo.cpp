@@ -1,0 +1,74 @@
+/// \file spectrum_demo.cpp
+/// The spectrum view of the frequency-leak Trojan: synthesizes the sampled
+/// antenna waveform of one block transmission for the Trojan-free and the
+/// Trojan-infested design, sweeps both with the DFT spectrum analyzer, and
+/// writes the spectra to CSV. The Trojan's second carrier at +0.6 GHz is
+/// plainly visible to anyone who knows what to look for — and so is the
+/// power it moves into the bench's measurement band.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "io/csv.hpp"
+#include "rf/waveform.hpp"
+#include "silicon/bench_measure.hpp"
+
+int main() {
+    using namespace htd;
+
+    core::ExperimentConfig config;
+    rng::Rng master(config.seed);
+    rng::Rng fab_rng = master.split();
+
+    const core::ProcessPair processes =
+        core::make_process_pair(config.process_shift_sigma);
+    const silicon::Fab fab(processes.silicon);
+    const silicon::FabricatedLot lot = fab.fabricate_lot(fab_rng, 1);
+    const silicon::MeasurementBench bench(config.platform);
+
+    const double rate_ghz = 20.0;
+    const double bit_ns = config.platform.meter.bit_period_ns;
+    const rf::SpectrumAnalyzer analyzer(0.05);
+
+    struct Case {
+        const char* name;
+        std::size_t device;
+    };
+    const Case cases[] = {{"trojan-free", 0}, {"trojan-frequency", 2}};
+
+    linalg::Matrix spectra;
+    std::vector<std::string> header{"freq_ghz"};
+    for (const Case& c : cases) {
+        const auto obs = bench.capture_transmission(lot.devices[c.device], 0);
+        const auto wave = rf::synthesize_block(obs, bit_ns, rate_ghz);
+        const auto sweep = analyzer.sweep(wave, 3.0, 5.5);
+        if (spectra.rows() == 0) {
+            spectra = linalg::Matrix(sweep.size(), 3);
+            for (std::size_t k = 0; k < sweep.size(); ++k) {
+                spectra(k, 0) = sweep[k].first;
+            }
+        }
+        const std::size_t col = header.size() - 1 + 1;
+        for (std::size_t k = 0; k < sweep.size(); ++k) {
+            spectra(k, col - 1 + 1) = 0.0;  // placeholder; filled below
+        }
+        for (std::size_t k = 0; k < sweep.size(); ++k) {
+            spectra(k, header.size()) = sweep[k].second * 1e3;  // mW
+        }
+        header.emplace_back(std::string(c.name) + "_mw");
+
+        // Print the two carrier regions.
+        const double p_base = analyzer.band_power_w(wave, 3.8, 4.2) * 1e3;
+        const double p_leak = analyzer.band_power_w(wave, 4.4, 4.8) * 1e3;
+        std::printf("%-18s  3.8-4.2 GHz: %8.4f mW   4.4-4.8 GHz: %8.4f mW\n",
+                    c.name, p_base, p_leak);
+    }
+
+    io::write_csv("spectrum_demo.csv", spectra, header);
+    std::printf("\nwrote spectrum_demo.csv (3.0-5.5 GHz sweep, both devices)\n");
+    std::printf(
+        "The infested device splits its energy between the nominal carrier and\n"
+        "the +0.6 GHz leak carrier; the bench's 4.5 GHz measurement band picks\n"
+        "up the difference, which is what the fingerprinting detector sees.\n");
+    return 0;
+}

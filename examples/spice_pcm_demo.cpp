@@ -1,0 +1,66 @@
+/// \file spice_pcm_demo.cpp
+/// Device-level view of the trusted simulation model: builds the on-die
+/// path-delay PCM as a transistor-level netlist, runs the mini-SPICE
+/// transient at several process corners, prints the waveform-derived delays
+/// next to the analytic model the Monte Carlo pipeline uses, and dumps one
+/// waveform to CSV.
+
+#include <cstdio>
+
+#include "circuit/spice.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "process/variation_model.hpp"
+
+int main() {
+    using namespace htd;
+
+    circuit::PcmPath::Options opts;
+    opts.stages = 4;  // short chain keeps the demo fast
+
+    const auto model = process::ProcessVariationModel::default_350nm();
+    struct Corner {
+        const char* name;
+        process::ProcessPoint point;
+    };
+    const Corner corners[] = {
+        {"nominal", process::nominal_350nm()},
+        {"slow (-2 sigma)",
+         model.shifted(process::ProcessShift::slow_corner(2.0)).nominal()},
+        {"fast (+2 sigma)",
+         model.shifted(process::ProcessShift::fast_corner(2.0)).nominal()},
+    };
+
+    std::printf("PCM path (%zu inverters + wire RC) — transistor-level transient vs\n",
+                opts.stages);
+    std::printf("the analytic Elmore model used by the Monte Carlo pipeline\n\n");
+
+    io::Table table({"corner", "spice delay [ps]", "analytic delay [ps]", "ratio"});
+    for (const Corner& corner : corners) {
+        const double spice = circuit::spice_pcm_delay_ns(corner.point, opts) * 1e3;
+        const double analytic = circuit::PcmPath(opts).delay_ns(corner.point) * 1e3;
+        table.add_row({corner.name, io::fmt(spice, 2), io::fmt(analytic, 2),
+                       io::fmt(spice / analytic, 3)});
+    }
+    std::printf("%s\n", table.str().c_str());
+
+    // Dump the nominal-corner waveforms of the input and final output.
+    circuit::Netlist net = circuit::build_pcm_path_netlist(opts);
+    circuit::SpiceEngine engine(net);
+    const auto tr = engine.transient(process::nominal_350nm(), 0.4e-9, 0.5e-12);
+    const std::size_t in_node = net.node("in");
+    const std::size_t out_node = net.node("n" + std::to_string(opts.stages));
+    linalg::Matrix wave(tr.time.size(), 3);
+    for (std::size_t k = 0; k < tr.time.size(); ++k) {
+        wave(k, 0) = tr.time[k] * 1e12;  // ps
+        wave(k, 1) = tr.voltages(k, in_node);
+        wave(k, 2) = tr.voltages(k, out_node);
+    }
+    io::write_csv("pcm_waveform.csv", wave, {"t_ps", "v_in", "v_out"});
+    std::printf("wrote pcm_waveform.csv (%zu time points)\n", tr.time.size());
+    std::printf(
+        "\nThe analytic model overestimates absolute delay (it averages rise and\n"
+        "fall and lumps the wire) but tracks process variation monotonically —\n"
+        "which is all the statistical fingerprinting pipeline relies on.\n");
+    return 0;
+}

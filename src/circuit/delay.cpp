@@ -1,0 +1,93 @@
+#include "circuit/delay.hpp"
+
+#include <stdexcept>
+
+namespace htd::circuit {
+
+Inverter::Inverter(double nmos_width_um, double length_um)
+    : nmos(MosType::kNmos, MosfetGeometry{nmos_width_um, length_um}),
+      pmos(MosType::kPmos, MosfetGeometry{2.0 * nmos_width_um, length_um}) {}
+
+double Inverter::input_capacitance_ff(const process::ProcessPoint& pp) const {
+    return nmos.gate_capacitance_ff(pp) + pmos.gate_capacitance_ff(pp);
+}
+
+double Inverter::propagation_delay_ps(const process::ProcessPoint& pp, double load_ff,
+                                      double vdd) const {
+    if (load_ff < 0.0) throw std::invalid_argument("Inverter: negative load");
+    const double r_fall = nmos.on_resistance_kohm(pp, vdd);   // kOhm
+    const double r_rise = pmos.on_resistance_kohm(pp, vdd);
+    // kOhm * fF = ps.
+    const double t_fall = 0.69 * r_fall * load_ff;
+    const double t_rise = 0.69 * r_rise * load_ff;
+    return 0.5 * (t_rise + t_fall);
+}
+
+double WireSegment::resistance_kohm(const process::ProcessPoint& pp) const {
+    const double scale = pp.rsheet() / 75.0;  // nominal sheet resistance
+    return res_per_um * length_um * scale * 1e-3;  // ohm -> kOhm
+}
+
+double WireSegment::capacitance_ff(const process::ProcessPoint& pp) const {
+    return cap_per_um_ff * length_um * pp.cj_scale();
+}
+
+double WireSegment::elmore_delay_ps(const process::ProcessPoint& pp) const {
+    return 0.5 * resistance_kohm(pp) * capacitance_ff(pp);
+}
+
+double elmore_ladder_delay_ps(const std::vector<double>& resistances_kohm,
+                              const std::vector<double>& caps_ff) {
+    if (resistances_kohm.size() != caps_ff.size()) {
+        throw std::invalid_argument("elmore_ladder_delay_ps: length mismatch");
+    }
+    // Elmore: sum over nodes of (upstream resistance) * (node capacitance).
+    double delay = 0.0;
+    double upstream_r = 0.0;
+    for (std::size_t i = 0; i < caps_ff.size(); ++i) {
+        upstream_r += resistances_kohm[i];
+        delay += upstream_r * caps_ff[i];
+    }
+    return delay;
+}
+
+// --- PcmPath ------------------------------------------------------------------
+
+PcmPath::PcmPath(Options opts)
+    : opts_(opts),
+      stage_(opts.nmos_width_um),
+      wire_{opts.wire_length_um, 0.08, 0.08} {
+    if (opts.stages == 0) throw std::invalid_argument("PcmPath: zero stages");
+    if (opts.vdd <= 0.0) throw std::invalid_argument("PcmPath: non-positive vdd");
+}
+
+double PcmPath::delay_ns(const process::ProcessPoint& pp) const {
+    // Per stage: the inverter drives its wire plus the next stage's gate.
+    const double gate_load = stage_.input_capacitance_ff(pp);
+    const double wire_cap = wire_.capacitance_ff(pp);
+    const double stage_delay =
+        stage_.propagation_delay_ps(pp, gate_load + wire_cap, opts_.vdd) +
+        wire_.elmore_delay_ps(pp) +
+        // The wire resistance also charges the downstream gate.
+        0.69 * wire_.resistance_kohm(pp) * gate_load;
+    return static_cast<double>(opts_.stages) * stage_delay * 1e-3;  // ps -> ns
+}
+
+// --- RingOscillatorPcm ---------------------------------------------------------
+
+RingOscillatorPcm::RingOscillatorPcm(Options opts)
+    : opts_(opts), stage_(opts.nmos_width_um) {
+    if (opts.stages == 0 || opts.stages % 2 == 0) {
+        throw std::invalid_argument("RingOscillatorPcm: stages must be odd");
+    }
+    if (opts.vdd <= 0.0) throw std::invalid_argument("RingOscillatorPcm: non-positive vdd");
+}
+
+double RingOscillatorPcm::frequency_mhz(const process::ProcessPoint& pp) const {
+    const double load = stage_.input_capacitance_ff(pp);
+    const double t_stage_ps = stage_.propagation_delay_ps(pp, load, opts_.vdd);
+    // f = 1 / (2 N t_stage); ps -> MHz conversion: 1/(ps) = 1e6 MHz.
+    return 1e6 / (2.0 * static_cast<double>(opts_.stages) * t_stage_ps);
+}
+
+}  // namespace htd::circuit

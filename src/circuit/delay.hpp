@@ -1,0 +1,108 @@
+#pragma once
+/// \file delay.hpp
+/// CMOS gate-delay and interconnect models, composed into the two Process
+/// Control Monitor structures the library offers:
+///  - `PcmPath`: a chain of inverters with RC interconnect between stages —
+///    the "simple digital path included on chip for silicon characterization"
+///    the paper uses as its np = 1 PCM, and
+///  - `RingOscillatorPcm`: the classic kerf ring oscillator, reported as a
+///    frequency.
+/// Both are deterministic functions of a ProcessPoint; the measurement
+/// bench adds instrument noise on top.
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/mosfet.hpp"
+#include "process/process_point.hpp"
+
+namespace htd::circuit {
+
+/// A CMOS inverter with the usual 2:1 P:N sizing.
+struct Inverter {
+    Mosfet nmos;
+    Mosfet pmos;
+
+    /// Build with the given NMOS width (PMOS gets twice the width).
+    explicit Inverter(double nmos_width_um = 4.0, double length_um = 0.35);
+
+    /// Input capacitance [fF].
+    [[nodiscard]] double input_capacitance_ff(const process::ProcessPoint& pp) const;
+
+    /// Propagation delay [ps] driving `load_ff` femtofarads from supply
+    /// `vdd`: average of rise and fall delays, each 0.69 R C.
+    [[nodiscard]] double propagation_delay_ps(const process::ProcessPoint& pp,
+                                              double load_ff, double vdd) const;
+};
+
+/// A uniform RC wire segment evaluated with the Elmore approximation.
+struct WireSegment {
+    double length_um = 50.0;           ///< wire length
+    double res_per_um = 0.08;          ///< nominal resistance [ohm/um] at Rsheet = 75
+    double cap_per_um_ff = 0.08;       ///< nominal capacitance [fF/um]
+
+    /// Total wire resistance [kOhm], scaled by the process sheet resistance.
+    [[nodiscard]] double resistance_kohm(const process::ProcessPoint& pp) const;
+
+    /// Total wire capacitance [fF], scaled by the process cap scale.
+    [[nodiscard]] double capacitance_ff(const process::ProcessPoint& pp) const;
+
+    /// Elmore delay [ps] of the distributed wire itself: 0.5 R C.
+    [[nodiscard]] double elmore_delay_ps(const process::ProcessPoint& pp) const;
+};
+
+/// Elmore delay [ps] of an RC ladder: resistances [kOhm] and node
+/// capacitances [fF] along the path; throws std::invalid_argument when the
+/// two lists differ in length.
+[[nodiscard]] double elmore_ladder_delay_ps(const std::vector<double>& resistances_kohm,
+                                            const std::vector<double>& caps_ff);
+
+/// The on-die path-delay PCM: `stages` identical inverters connected by
+/// identical wire segments, terminated by a load inverter.
+class PcmPath {
+public:
+    struct Options {
+        std::size_t stages = 16;
+        double vdd = 3.3;
+        double nmos_width_um = 4.0;
+        double wire_length_um = 60.0;
+    };
+
+    PcmPath() : PcmPath(Options{}) {}
+    explicit PcmPath(Options opts);
+
+    /// Noise-free path delay [ns] at a process point.
+    [[nodiscard]] double delay_ns(const process::ProcessPoint& pp) const;
+
+    [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+private:
+    Options opts_;
+    Inverter stage_;
+    WireSegment wire_;
+};
+
+/// A kerf ring-oscillator PCM reported as an oscillation frequency [MHz].
+class RingOscillatorPcm {
+public:
+    struct Options {
+        std::size_t stages = 31;       ///< odd number of inverters
+        double vdd = 3.3;
+        double nmos_width_um = 2.0;
+    };
+
+    /// Throws std::invalid_argument when `stages` is even or zero.
+    RingOscillatorPcm() : RingOscillatorPcm(Options{}) {}
+    explicit RingOscillatorPcm(Options opts);
+
+    /// Noise-free oscillation frequency [MHz] at a process point.
+    [[nodiscard]] double frequency_mhz(const process::ProcessPoint& pp) const;
+
+    [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+private:
+    Options opts_;
+    Inverter stage_;
+};
+
+}  // namespace htd::circuit

@@ -1,0 +1,45 @@
+#include "circuit/monitored_paths.hpp"
+
+#include <stdexcept>
+
+namespace htd::circuit {
+
+MonitoredPathSet::MonitoredPathSet(std::size_t count) {
+    if (count == 0) throw std::invalid_argument("MonitoredPathSet: count == 0");
+    geometries_.reserve(count);
+    paths_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        PcmPath::Options opts;
+        opts.stages = 6 + 2 * i;                          // 6, 8, 10, ...
+        opts.nmos_width_um = (i % 2 == 0) ? 3.0 : 5.0;    // alternating drive
+        opts.wire_length_um = 40.0 + 15.0 * static_cast<double>(i % 4);
+        geometries_.push_back(opts);
+        paths_.emplace_back(opts);
+    }
+}
+
+linalg::Vector MonitoredPathSet::delays_ns(const process::ProcessPoint& pp) const {
+    return delays_ns(pp, linalg::Vector());
+}
+
+linalg::Vector MonitoredPathSet::delays_ns(const process::ProcessPoint& pp,
+                                           const linalg::Vector& extra_load_ff) const {
+    if (!extra_load_ff.empty() && extra_load_ff.size() != paths_.size()) {
+        throw std::invalid_argument("MonitoredPathSet: extra load size mismatch");
+    }
+    linalg::Vector delays(paths_.size());
+    for (std::size_t i = 0; i < paths_.size(); ++i) {
+        delays[i] = paths_[i].delay_ns(pp);
+        if (!extra_load_ff.empty() && extra_load_ff[i] > 0.0) {
+            // The Trojan's tap loads one internal stage: one extra RC charge
+            // through that stage's driver.
+            const Inverter stage(geometries_[i].nmos_width_um);
+            const double r_kohm =
+                stage.nmos.on_resistance_kohm(pp, geometries_[i].vdd);
+            delays[i] += 0.69 * r_kohm * extra_load_ff[i] * 1e-3;  // ps -> ns
+        }
+    }
+    return delays;
+}
+
+}  // namespace htd::circuit

@@ -1,0 +1,48 @@
+#pragma once
+/// \file monitored_paths.hpp
+/// A set of monitored timing paths for path-delay fingerprinting (Jin &
+/// Makris, HOST'08 — reference [7] of the paper). Each path is an inverter
+/// chain with its own stage count, drive strength and wire load, so the set
+/// responds to process variation with diverse sensitivities; a hardware
+/// Trojan tapping internal nets adds capacitive load to the paths that run
+/// near it, leaving a pattern across the path-delay vector.
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/delay.hpp"
+#include "linalg/matrix.hpp"
+#include "process/process_point.hpp"
+
+namespace htd::circuit {
+
+/// A diversified set of monitored paths.
+class MonitoredPathSet {
+public:
+    /// Build `count` paths with deterministic, diversified geometries
+    /// (stage counts 6..24, alternating drive strengths and wire lengths).
+    /// Throws std::invalid_argument when count == 0.
+    explicit MonitoredPathSet(std::size_t count = 8);
+
+    /// Number of monitored paths.
+    [[nodiscard]] std::size_t size() const noexcept { return paths_.size(); }
+
+    /// Noise-free delay vector [ns] at a process point.
+    [[nodiscard]] linalg::Vector delays_ns(const process::ProcessPoint& pp) const;
+
+    /// Delay vector with extra per-path capacitive load [fF] (a Trojan's
+    /// taps); `extra_load_ff` must have size() entries or be empty.
+    [[nodiscard]] linalg::Vector delays_ns(const process::ProcessPoint& pp,
+                                           const linalg::Vector& extra_load_ff) const;
+
+    /// The path geometries (exposed for tests and reports).
+    [[nodiscard]] const std::vector<PcmPath::Options>& geometries() const noexcept {
+        return geometries_;
+    }
+
+private:
+    std::vector<PcmPath::Options> geometries_;
+    std::vector<PcmPath> paths_;
+};
+
+}  // namespace htd::circuit

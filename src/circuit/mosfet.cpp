@@ -1,0 +1,61 @@
+#include "circuit/mosfet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace htd::circuit {
+
+Mosfet::Mosfet(MosType type, MosfetGeometry geometry, double alpha)
+    : type_(type), geom_(geometry), alpha_(alpha) {
+    if (geometry.width_um <= 0.0 || geometry.length_um <= 0.0) {
+        throw std::invalid_argument("Mosfet: non-positive geometry");
+    }
+    if (alpha <= 0.0) throw std::invalid_argument("Mosfet: non-positive alpha");
+}
+
+double Mosfet::threshold_v(const process::ProcessPoint& pp) const noexcept {
+    return type_ == MosType::kNmos ? pp.vth_n() : pp.vth_p();
+}
+
+double Mosfet::saturation_current_ma(const process::ProcessPoint& pp, double vgs) const {
+    const double vth = threshold_v(pp);
+    const double overdrive = vgs - vth;
+    if (overdrive <= 0.0) return 0.0;
+
+    const double mu = type_ == MosType::kNmos ? pp.mu_n() : pp.mu_p();  // cm^2/Vs
+    const double cox = process::cox_ff_per_um2(pp.tox_nm());            // fF/um^2
+    // Effective length scales with the process Leff relative to the drawn
+    // nominal of this node (0.35 um).
+    const double leff_um = geom_.length_um * pp.leff_um() / 0.35;
+    const double w_over_l = geom_.width_um / leff_um;
+
+    // Unit bookkeeping: mu [cm^2/Vs] * Cox [fF/um^2] = 1e8 um^2/Vs * 1e-15 F/um^2
+    // = 1e-7 F/(V s) => current = 0.5 k (W/L) Vov^alpha in units of 1e-7 A V^(1-alpha);
+    // express as mA with the 1e-4 factor below.
+    const double k = mu * cox * 1e-4;  // mA/V^2 per square
+    return 0.5 * k * w_over_l * std::pow(overdrive, alpha_);
+}
+
+double Mosfet::transconductance_ma_per_v(const process::ProcessPoint& pp,
+                                         double vgs) const {
+    const double eps = 1e-4;
+    const double hi = saturation_current_ma(pp, vgs + eps);
+    const double lo = saturation_current_ma(pp, vgs - eps);
+    return (hi - lo) / (2.0 * eps);
+}
+
+double Mosfet::on_resistance_kohm(const process::ProcessPoint& pp, double vdd) const {
+    const double id = saturation_current_ma(pp, vdd);
+    if (id <= 0.0) {
+        throw std::domain_error("Mosfet::on_resistance_kohm: device is off at vdd");
+    }
+    return vdd / (2.0 * id);  // V / mA = kOhm
+}
+
+double Mosfet::gate_capacitance_ff(const process::ProcessPoint& pp) const {
+    const double cox = process::cox_ff_per_um2(pp.tox_nm());
+    const double leff_um = geom_.length_um * pp.leff_um() / 0.35;
+    return cox * geom_.width_um * leff_um * pp.cj_scale();
+}
+
+}  // namespace htd::circuit

@@ -1,0 +1,62 @@
+#pragma once
+/// \file mosfet.hpp
+/// Alpha-power-law MOSFET model (Sakurai-Newton). Behavioural-level device
+/// model good enough to translate process-parameter variation into drive
+/// current, gate delay and amplifier gain — the quantities the PCM path and
+/// the UWB power amplifier expose as measurements.
+
+#include "process/process_point.hpp"
+
+namespace htd::circuit {
+
+/// Channel polarity.
+enum class MosType {
+    kNmos,
+    kPmos,
+};
+
+/// Geometry and supply context for a transistor instance.
+struct MosfetGeometry {
+    double width_um = 10.0;    ///< drawn width [um]
+    double length_um = 0.35;   ///< drawn length [um]; effective length comes
+                               ///< from the process point's Leff ratio
+};
+
+/// Alpha-power-law MOSFET evaluated against a ProcessPoint.
+class Mosfet {
+public:
+    /// Throws std::invalid_argument on non-positive geometry or alpha.
+    Mosfet(MosType type, MosfetGeometry geometry, double alpha = 1.3);
+
+    /// Saturation drain current [mA] at gate drive `vgs` (magnitude) and the
+    /// given process point. Returns 0 below threshold.
+    [[nodiscard]] double saturation_current_ma(const process::ProcessPoint& pp,
+                                               double vgs) const;
+
+    /// Transconductance gm [mA/V] at the bias point (numerical derivative of
+    /// the saturation current).
+    [[nodiscard]] double transconductance_ma_per_v(const process::ProcessPoint& pp,
+                                                   double vgs) const;
+
+    /// Effective switching resistance [kOhm] when driving from `vdd`:
+    /// R = vdd / (2 Idsat(vdd)).
+    [[nodiscard]] double on_resistance_kohm(const process::ProcessPoint& pp,
+                                            double vdd) const;
+
+    /// Gate capacitance [fF]: Cox(tox) * Weff * Leff.
+    [[nodiscard]] double gate_capacitance_ff(const process::ProcessPoint& pp) const;
+
+    /// Threshold voltage magnitude [V] for this polarity at the process point.
+    [[nodiscard]] double threshold_v(const process::ProcessPoint& pp) const noexcept;
+
+    [[nodiscard]] MosType type() const noexcept { return type_; }
+    [[nodiscard]] const MosfetGeometry& geometry() const noexcept { return geom_; }
+    [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+private:
+    MosType type_;
+    MosfetGeometry geom_;
+    double alpha_;
+};
+
+}  // namespace htd::circuit

@@ -1,0 +1,102 @@
+#include "circuit/netlist.hpp"
+
+#include <stdexcept>
+
+namespace htd::circuit {
+
+// --- Pwl ---------------------------------------------------------------------
+
+Pwl::Pwl(double constant) : points_{{0.0, constant}} {}
+
+Pwl::Pwl(std::vector<std::pair<double, double>> points) : points_(std::move(points)) {
+    if (points_.empty()) throw std::invalid_argument("Pwl: empty breakpoint list");
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (points_[i].first <= points_[i - 1].first) {
+            throw std::invalid_argument("Pwl: times must be strictly increasing");
+        }
+    }
+}
+
+Pwl Pwl::step(double low, double high, double t_step, double rise_time) {
+    if (rise_time <= 0.0) throw std::invalid_argument("Pwl::step: rise_time <= 0");
+    if (t_step <= 0.0) {
+        return Pwl(std::vector<std::pair<double, double>>{{0.0, high}});
+    }
+    return Pwl(std::vector<std::pair<double, double>>{
+        {0.0, low}, {t_step, low}, {t_step + rise_time, high}});
+}
+
+double Pwl::at(double t) const noexcept {
+    if (t <= points_.front().first) return points_.front().second;
+    if (t >= points_.back().first) return points_.back().second;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (t <= points_[i].first) {
+            const auto& [t0, v0] = points_[i - 1];
+            const auto& [t1, v1] = points_[i];
+            return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+        }
+    }
+    return points_.back().second;
+}
+
+// --- Netlist -------------------------------------------------------------------
+
+Netlist::Netlist() { names_.push_back("0"); }
+
+std::size_t Netlist::node(const std::string& name) {
+    if (name == "0" || name == "gnd") return 0;
+    for (std::size_t i = 1; i < names_.size(); ++i) {
+        if (names_[i] == name) return i;
+    }
+    names_.push_back(name);
+    return names_.size() - 1;
+}
+
+const std::string& Netlist::node_name(std::size_t index) const {
+    if (index >= names_.size()) throw std::out_of_range("Netlist::node_name");
+    return names_[index];
+}
+
+void Netlist::add_resistor(const std::string& name, const std::string& n1,
+                           const std::string& n2, double ohms,
+                           bool scale_with_rsheet) {
+    if (ohms <= 0.0) throw std::invalid_argument("Netlist: non-positive resistance");
+    resistors_.push_back({name, node(n1), node(n2), ohms, scale_with_rsheet});
+}
+
+void Netlist::add_capacitor(const std::string& name, const std::string& n1,
+                            const std::string& n2, double farads,
+                            bool scale_with_cj) {
+    if (farads <= 0.0) throw std::invalid_argument("Netlist: non-positive capacitance");
+    capacitors_.push_back({name, node(n1), node(n2), farads, scale_with_cj});
+}
+
+void Netlist::add_vsource(const std::string& name, const std::string& np,
+                          const std::string& nn, Pwl waveform) {
+    vsources_.push_back({name, node(np), node(nn), std::move(waveform)});
+}
+
+void Netlist::add_isource(const std::string& name, const std::string& np,
+                          const std::string& nn, Pwl waveform) {
+    isources_.push_back({name, node(np), node(nn), std::move(waveform)});
+}
+
+void Netlist::add_mosfet(const std::string& name, const std::string& drain,
+                         const std::string& gate, const std::string& source,
+                         MosType type, MosfetGeometry geometry) {
+    if (geometry.width_um <= 0.0 || geometry.length_um <= 0.0) {
+        throw std::invalid_argument("Netlist: non-positive MOSFET geometry");
+    }
+    mosfets_.push_back({name, node(drain), node(gate), node(source), type, geometry});
+}
+
+void Netlist::add_inverter(const std::string& name, const std::string& input,
+                           const std::string& output, const std::string& vdd_node,
+                           double nmos_width_um, double length_um) {
+    add_mosfet(name + ".mp", output, input, vdd_node, MosType::kPmos,
+               {2.0 * nmos_width_um, length_um});
+    add_mosfet(name + ".mn", output, input, "0", MosType::kNmos,
+               {nmos_width_um, length_um});
+}
+
+}  // namespace htd::circuit

@@ -1,0 +1,136 @@
+#pragma once
+/// \file netlist.hpp
+/// Structural circuit netlist for the mini-SPICE engine (see spice.hpp).
+/// The netlist is device-level: resistors, capacitors, independent sources
+/// and MOSFETs referencing the library's alpha-power device model. Node 0
+/// ("0" or "gnd") is ground. Process dependence enters at simulation time:
+/// every solver call takes a ProcessPoint, so one netlist serves the whole
+/// Monte Carlo population.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/mosfet.hpp"
+
+namespace htd::circuit {
+
+/// Piecewise-linear waveform for independent sources: value(t) interpolates
+/// linearly between (time, value) breakpoints and holds the end values.
+class Pwl {
+public:
+    /// Constant value.
+    explicit Pwl(double constant = 0.0);
+
+    /// Breakpoint list; times must be strictly increasing (throws
+    /// std::invalid_argument otherwise).
+    explicit Pwl(std::vector<std::pair<double, double>> points);
+
+    /// A step from `low` to `high` at `t_step` with the given rise time.
+    [[nodiscard]] static Pwl step(double low, double high, double t_step,
+                                  double rise_time);
+
+    /// Value at time t.
+    [[nodiscard]] double at(double t) const noexcept;
+
+private:
+    std::vector<std::pair<double, double>> points_;
+};
+
+/// One device instance in the netlist.
+struct Resistor {
+    std::string name;
+    std::size_t n1 = 0, n2 = 0;
+    double ohms = 0.0;
+    bool scale_with_rsheet = false;  ///< track the process sheet resistance
+};
+
+struct Capacitor {
+    std::string name;
+    std::size_t n1 = 0, n2 = 0;
+    double farads = 0.0;
+    bool scale_with_cj = false;  ///< track the process parasitic scale
+};
+
+struct VoltageSource {
+    std::string name;
+    std::size_t np = 0, nn = 0;
+    Pwl waveform{0.0};
+};
+
+struct CurrentSource {
+    std::string name;
+    std::size_t np = 0, nn = 0;  ///< current flows np -> nn through the source
+    Pwl waveform{0.0};
+};
+
+struct MosfetInstance {
+    std::string name;
+    std::size_t drain = 0, gate = 0, source = 0;
+    MosType type = MosType::kNmos;
+    MosfetGeometry geometry{};
+};
+
+/// A flat device-level netlist.
+class Netlist {
+public:
+    Netlist();
+
+    /// Node index for `name`, creating it if needed. "0" and "gnd" map to
+    /// ground (index 0).
+    std::size_t node(const std::string& name);
+
+    /// Number of nodes including ground.
+    [[nodiscard]] std::size_t node_count() const noexcept { return names_.size(); }
+
+    /// Name of a node index; throws std::out_of_range.
+    [[nodiscard]] const std::string& node_name(std::size_t index) const;
+
+    // --- device factories (names must be unique per type) -----------------
+
+    void add_resistor(const std::string& name, const std::string& n1,
+                      const std::string& n2, double ohms,
+                      bool scale_with_rsheet = false);
+    void add_capacitor(const std::string& name, const std::string& n1,
+                       const std::string& n2, double farads,
+                       bool scale_with_cj = false);
+    void add_vsource(const std::string& name, const std::string& np,
+                     const std::string& nn, Pwl waveform);
+    void add_isource(const std::string& name, const std::string& np,
+                     const std::string& nn, Pwl waveform);
+    void add_mosfet(const std::string& name, const std::string& drain,
+                    const std::string& gate, const std::string& source,
+                    MosType type, MosfetGeometry geometry);
+
+    /// Convenience: a CMOS inverter (PMOS to `vdd_node`, NMOS to ground)
+    /// with the usual 2:1 sizing.
+    void add_inverter(const std::string& name, const std::string& input,
+                      const std::string& output, const std::string& vdd_node,
+                      double nmos_width_um, double length_um = 0.35);
+
+    [[nodiscard]] const std::vector<Resistor>& resistors() const noexcept {
+        return resistors_;
+    }
+    [[nodiscard]] const std::vector<Capacitor>& capacitors() const noexcept {
+        return capacitors_;
+    }
+    [[nodiscard]] const std::vector<VoltageSource>& vsources() const noexcept {
+        return vsources_;
+    }
+    [[nodiscard]] const std::vector<CurrentSource>& isources() const noexcept {
+        return isources_;
+    }
+    [[nodiscard]] const std::vector<MosfetInstance>& mosfets() const noexcept {
+        return mosfets_;
+    }
+
+private:
+    std::vector<std::string> names_;  // index -> node name
+    std::vector<Resistor> resistors_;
+    std::vector<Capacitor> capacitors_;
+    std::vector<VoltageSource> vsources_;
+    std::vector<CurrentSource> isources_;
+    std::vector<MosfetInstance> mosfets_;
+};
+
+}  // namespace htd::circuit

@@ -1,0 +1,321 @@
+#include "circuit/spice.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/decompositions.hpp"
+
+namespace htd::circuit {
+
+namespace {
+
+/// NMOS-referenced all-region current. vgs/vds already polarity-normalized.
+double nmos_like_current(double isat_full, double vth, double alpha, double vgs,
+                         double vds) {
+    // Symmetric device: if vds < 0 the roles of drain and source swap.
+    if (vds < 0.0) {
+        return -nmos_like_current(isat_full, vth, alpha, vgs - vds, -vds);
+    }
+    const double vov = vgs - vth;
+    if (vov <= 0.0) return 0.0;
+    // isat_full is the saturation current at overdrive (vgs_ref - vth); the
+    // caller passes the current for THIS vgs, so scale is already folded in.
+    const double isat = isat_full;
+    const double vdsat = 0.5 * vov;
+    constexpr double kLambda = 0.05;  // channel-length modulation [1/V]
+    if (vds >= vdsat) {
+        return isat * (1.0 + kLambda * (vds - vdsat));
+    }
+    const double r = vds / vdsat;
+    return isat * (2.0 - r) * r;
+    (void)alpha;
+}
+
+}  // namespace
+
+double mosfet_current_a(const MosfetInstance& device, const process::ProcessPoint& pp,
+                        double vgs, double vds) {
+    // Normalize polarity: PMOS conducts for negative vgs/vds; mirror into the
+    // NMOS frame.
+    const double sign = device.type == MosType::kNmos ? 1.0 : -1.0;
+    const double vgs_n = sign * vgs;
+    const double vds_n = sign * vds;
+
+    const Mosfet model(device.type, device.geometry);
+    const double vth = model.threshold_v(pp);
+
+    // Current handed to the region equation: saturation current at this
+    // specific gate drive (alpha-power law), in amperes. For a swapped-drain
+    // evaluation the recursive call in nmos_like_current adjusts vgs itself,
+    // so compute isat lazily via a small lambda.
+    auto isat_at = [&](double vgs_eff) {
+        return model.saturation_current_ma(pp, vgs_eff) * 1e-3;
+    };
+    double i;
+    if (vds_n >= 0.0) {
+        i = nmos_like_current(isat_at(vgs_n), vth, model.alpha(), vgs_n, vds_n);
+    } else {
+        // swap drain/source: effective gate drive is vgd = vgs - vds
+        i = -nmos_like_current(isat_at(vgs_n - vds_n), vth, model.alpha(),
+                               vgs_n - vds_n, -vds_n);
+    }
+    return sign * i;
+}
+
+// --- TransientSolution ---------------------------------------------------------
+
+double TransientSolution::crossing_time(std::size_t node, double level,
+                                        bool rising) const {
+    for (std::size_t k = 1; k < time.size(); ++k) {
+        const double v0 = voltages(k - 1, node);
+        const double v1 = voltages(k, node);
+        const bool crossed = rising ? (v0 < level && v1 >= level)
+                                    : (v0 > level && v1 <= level);
+        if (crossed) {
+            const double frac = (level - v0) / (v1 - v0);
+            return time[k - 1] + frac * (time[k] - time[k - 1]);
+        }
+    }
+    return -1.0;
+}
+
+// --- SpiceEngine ----------------------------------------------------------------
+
+SpiceEngine::SpiceEngine(const Netlist& netlist, SpiceOptions options)
+    : netlist_(netlist),
+      options_(options),
+      n_nodes_(netlist.node_count()),
+      n_vsrc_(netlist.vsources().size()),
+      dim_(n_nodes_ - 1 + n_vsrc_) {
+    if (n_nodes_ < 2) {
+        throw std::invalid_argument("SpiceEngine: netlist has no nodes besides ground");
+    }
+    if (options_.gmin <= 0.0 || options_.max_newton == 0) {
+        throw std::invalid_argument("SpiceEngine: invalid solver options");
+    }
+}
+
+linalg::Vector SpiceEngine::solve_newton(const process::ProcessPoint& pp, double t,
+                                         double dt, const linalg::Vector& v_prev,
+                                         bool transient_mode,
+                                         std::size_t* iterations_out) const {
+    // Unknowns: node voltages 1..n-1 (row = node - 1), then vsource currents.
+    linalg::Vector v = v_prev;  // full node-indexed voltages (size n_nodes_)
+    const auto row_of = [](std::size_t node_index) { return node_index - 1; };
+
+    std::size_t iteration = 0;
+    for (; iteration < options_.max_newton; ++iteration) {
+        linalg::Matrix g(dim_, dim_);
+        linalg::Vector b(dim_);
+
+        auto stamp_g = [&](std::size_t a, std::size_t c, double value) {
+            if (a > 0) g(row_of(a), row_of(a)) += value;
+            if (c > 0) g(row_of(c), row_of(c)) += value;
+            if (a > 0 && c > 0) {
+                g(row_of(a), row_of(c)) -= value;
+                g(row_of(c), row_of(a)) -= value;
+            }
+        };
+        auto inject = [&](std::size_t node, double current) {
+            if (node > 0) b[row_of(node)] += current;
+        };
+
+        // gmin to ground keeps floating regions determinate.
+        for (std::size_t node = 1; node < n_nodes_; ++node) {
+            g(row_of(node), row_of(node)) += options_.gmin;
+        }
+
+        for (const Resistor& r : netlist_.resistors()) {
+            double ohms = r.ohms;
+            if (r.scale_with_rsheet) ohms *= pp.rsheet() / 75.0;
+            stamp_g(r.n1, r.n2, 1.0 / ohms);
+        }
+
+        if (transient_mode) {
+            for (const Capacitor& c : netlist_.capacitors()) {
+                double farads = c.farads;
+                if (c.scale_with_cj) farads *= pp.cj_scale();
+                const double geq = farads / dt;
+                stamp_g(c.n1, c.n2, geq);
+                const double v_hist =
+                    (c.n1 > 0 ? v_prev[c.n1] : 0.0) - (c.n2 > 0 ? v_prev[c.n2] : 0.0);
+                inject(c.n1, geq * v_hist);
+                inject(c.n2, -geq * v_hist);
+            }
+        }
+
+        for (const CurrentSource& src : netlist_.isources()) {
+            const double amps = src.waveform.at(t);
+            inject(src.np, -amps);
+            inject(src.nn, amps);
+        }
+
+        for (std::size_t j = 0; j < n_vsrc_; ++j) {
+            const VoltageSource& src = netlist_.vsources()[j];
+            const std::size_t krow = n_nodes_ - 1 + j;
+            if (src.np > 0) {
+                g(row_of(src.np), krow) += 1.0;
+                g(krow, row_of(src.np)) += 1.0;
+            }
+            if (src.nn > 0) {
+                g(row_of(src.nn), krow) -= 1.0;
+                g(krow, row_of(src.nn)) -= 1.0;
+            }
+            b[krow] = src.waveform.at(t);
+        }
+
+        for (const MosfetInstance& m : netlist_.mosfets()) {
+            const double vd = m.drain > 0 ? v[m.drain] : 0.0;
+            const double vg = m.gate > 0 ? v[m.gate] : 0.0;
+            const double vs = m.source > 0 ? v[m.source] : 0.0;
+            const double vgs = vg - vs;
+            const double vds = vd - vs;
+
+            const double i0 = mosfet_current_a(m, pp, vgs, vds);
+            constexpr double kEps = 1e-6;
+            const double gm =
+                (mosfet_current_a(m, pp, vgs + kEps, vds) - i0) / kEps;
+            const double gds =
+                (mosfet_current_a(m, pp, vgs, vds + kEps) - i0) / kEps;
+
+            // Linearized drain current i = ieq + gm vgs + gds vds.
+            const double ieq = i0 - gm * vgs - gds * vds;
+            // Drain node equation (+i leaves the drain node):
+            if (m.drain > 0) {
+                const std::size_t dr = row_of(m.drain);
+                if (m.gate > 0) g(dr, row_of(m.gate)) += gm;
+                if (m.drain > 0) g(dr, row_of(m.drain)) += gds;
+                if (m.source > 0) g(dr, row_of(m.source)) -= gm + gds;
+                b[dr] -= ieq;
+            }
+            if (m.source > 0) {
+                const std::size_t sr = row_of(m.source);
+                if (m.gate > 0) g(sr, row_of(m.gate)) -= gm;
+                if (m.drain > 0) g(sr, row_of(m.drain)) -= gds;
+                if (m.source > 0) g(sr, row_of(m.source)) += gm + gds;
+                b[sr] += ieq;
+            }
+        }
+
+        const linalg::Vector x = linalg::Lu(g).solve(b);
+
+        // Damped update of the node voltages; converged when the largest
+        // voltage move is below tolerance.
+        double max_delta = 0.0;
+        for (std::size_t node = 1; node < n_nodes_; ++node) {
+            double delta = x[row_of(node)] - v[node];
+            delta = std::clamp(delta, -options_.max_step_v, options_.max_step_v);
+            max_delta = std::max(max_delta, std::abs(delta));
+            v[node] += delta;
+        }
+        if (max_delta < options_.reltol) {
+            ++iteration;
+            break;
+        }
+    }
+    if (iterations_out != nullptr) *iterations_out = iteration;
+    return v;
+}
+
+DcSolution SpiceEngine::dc(const process::ProcessPoint& pp) const {
+    DcSolution out;
+    out.node_voltages = linalg::Vector(n_nodes_);
+    std::size_t iterations = 0;
+    out.node_voltages =
+        solve_newton(pp, 0.0, 0.0, linalg::Vector(n_nodes_), false, &iterations);
+    out.newton_iterations = iterations;
+    out.converged = iterations < options_.max_newton;
+    return out;
+}
+
+TransientSolution SpiceEngine::transient(const process::ProcessPoint& pp,
+                                         double t_stop, double dt) const {
+    if (t_stop <= 0.0 || dt <= 0.0 || dt > t_stop) {
+        throw std::invalid_argument("SpiceEngine::transient: bad time parameters");
+    }
+    const auto steps = static_cast<std::size_t>(std::ceil(t_stop / dt));
+
+    TransientSolution out;
+    out.time.reserve(steps + 1);
+    out.voltages = linalg::Matrix(steps + 1, n_nodes_);
+
+    linalg::Vector v = dc(pp).node_voltages;
+    out.time.push_back(0.0);
+    out.voltages.set_row(0, v);
+
+    for (std::size_t k = 1; k <= steps; ++k) {
+        const double t = static_cast<double>(k) * dt;
+        std::size_t iterations = 0;
+        v = solve_newton(pp, t, dt, v, true, &iterations);
+        if (iterations >= options_.max_newton) {
+            throw std::runtime_error("SpiceEngine::transient: Newton did not converge");
+        }
+        out.time.push_back(t);
+        out.voltages.set_row(k, v);
+    }
+    return out;
+}
+
+// --- PCM path as a netlist ---------------------------------------------------------
+
+Netlist build_pcm_path_netlist(const PcmPath::Options& opts) {
+    if (opts.stages == 0) {
+        throw std::invalid_argument("build_pcm_path_netlist: zero stages");
+    }
+    Netlist net;
+    net.add_vsource("vdd", "vdd", "0", Pwl(opts.vdd));
+    // Rising input step after 100 ps, 20 ps edge.
+    net.add_vsource("vin", "in", "0", Pwl::step(0.0, opts.vdd, 100e-12, 20e-12));
+
+    const WireSegment wire{opts.wire_length_um, 0.08, 0.08};
+    std::string prev = "in";
+    for (std::size_t s = 1; s <= opts.stages; ++s) {
+        const std::string mid = "m" + std::to_string(s);
+        const std::string out = "n" + std::to_string(s);
+        net.add_inverter("x" + std::to_string(s), prev, mid, "vdd",
+                         opts.nmos_width_um);
+        // Wire between stages: lumped pi model (R with half the capacitance
+        // on each side), tracking the process sheet resistance / parasitics.
+        const double r_ohm = wire.res_per_um * wire.length_um;
+        const double c_f = wire.cap_per_um_ff * wire.length_um * 1e-15;
+        net.add_resistor("rw" + std::to_string(s), mid, out, r_ohm,
+                         /*scale_with_rsheet=*/true);
+        net.add_capacitor("cw1_" + std::to_string(s), mid, "0", 0.5 * c_f,
+                          /*scale_with_cj=*/true);
+        net.add_capacitor("cw2_" + std::to_string(s), out, "0", 0.5 * c_f,
+                          /*scale_with_cj=*/true);
+        prev = out;
+    }
+    // Terminating load: another inverter input's worth of capacitance.
+    net.add_inverter("xload", prev, "nload", "vdd", opts.nmos_width_um);
+    return net;
+}
+
+double spice_pcm_delay_ns(const process::ProcessPoint& pp,
+                          const PcmPath::Options& opts, double dt_ps) {
+    const Netlist net = build_pcm_path_netlist(opts);
+    SpiceEngine engine(net);
+
+    // Simulation window: comfortably beyond the analytic estimate.
+    const double analytic_ns = PcmPath(opts).delay_ns(pp);
+    const double t_stop = 0.1e-9 + 20e-12 + std::max(4.0 * analytic_ns, 1.0) * 1e-9;
+    const auto result = engine.transient(pp, t_stop, dt_ps * 1e-12);
+
+    Netlist mutable_net = net;  // node() is non-const; indices are stable
+    const std::size_t in_node = mutable_net.node("in");
+    const std::size_t out_node = mutable_net.node("n" + std::to_string(opts.stages));
+    const double half = 0.5 * opts.vdd;
+
+    const double t_in = result.crossing_time(in_node, half, /*rising=*/true);
+    // Inverter chain: the final output rises with the input for an even
+    // number of stages and falls for an odd one.
+    const bool out_rising = opts.stages % 2 == 0;
+    const double t_out = result.crossing_time(out_node, half, out_rising);
+    if (t_in < 0.0 || t_out < 0.0) {
+        throw std::runtime_error("spice_pcm_delay_ns: output never crossed 50%");
+    }
+    return (t_out - t_in) * 1e9;
+}
+
+}  // namespace htd::circuit

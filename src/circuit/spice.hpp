@@ -1,0 +1,105 @@
+#pragma once
+/// \file spice.hpp
+/// A miniature SPICE: modified nodal analysis with Newton-Raphson for the
+/// nonlinear MOSFETs (Sakurai-Newton alpha-power model in all regions) and
+/// backward-Euler transient integration. This is the "Spice-level
+/// simulation" engine behind the trusted design model — the analytic
+/// delay/gain expressions used by the fast paths of the library are
+/// validated against it (see tests/test_spice.cpp and the spice_pcm_demo
+/// example).
+///
+/// Scope: DC operating point and fixed-step transient of circuits made of
+/// resistors, capacitors, independent V/I sources and MOSFETs. All
+/// quantities are SI (volts, amperes, ohms, farads, seconds).
+
+#include <string>
+#include <vector>
+
+#include "circuit/delay.hpp"
+#include "circuit/netlist.hpp"
+#include "linalg/matrix.hpp"
+#include "process/process_point.hpp"
+
+namespace htd::circuit {
+
+/// Solver controls.
+struct SpiceOptions {
+    double gmin = 1e-9;          ///< leak conductance per node [S]
+    double reltol = 1e-6;        ///< Newton voltage tolerance [V]
+    std::size_t max_newton = 200;
+    double max_step_v = 0.5;     ///< Newton update damping [V]
+};
+
+/// DC operating point.
+struct DcSolution {
+    linalg::Vector node_voltages;  ///< indexed by netlist node index
+    std::size_t newton_iterations = 0;
+    bool converged = false;
+};
+
+/// Transient result: node voltages over time.
+struct TransientSolution {
+    std::vector<double> time;  ///< time points [s]
+    linalg::Matrix voltages;   ///< rows = time points, cols = node indices
+
+    /// First time the given node crosses `level` in the given direction
+    /// (linearly interpolated); returns a negative value when it never does.
+    [[nodiscard]] double crossing_time(std::size_t node, double level,
+                                       bool rising) const;
+};
+
+/// The simulator. Construct once per netlist; each solve takes the process
+/// point, so one engine serves a Monte Carlo population.
+class SpiceEngine {
+public:
+    /// Throws std::invalid_argument when the netlist has no nodes beyond
+    /// ground.
+    explicit SpiceEngine(const Netlist& netlist, SpiceOptions options = {});
+
+    /// DC operating point with sources evaluated at t = 0.
+    [[nodiscard]] DcSolution dc(const process::ProcessPoint& pp) const;
+
+    /// Fixed-step backward-Euler transient from the DC operating point.
+    /// Throws std::invalid_argument for non-positive t_stop/dt and
+    /// std::runtime_error when Newton fails to converge at some step.
+    [[nodiscard]] TransientSolution transient(const process::ProcessPoint& pp,
+                                              double t_stop, double dt) const;
+
+    [[nodiscard]] const Netlist& netlist() const noexcept { return netlist_; }
+    [[nodiscard]] const SpiceOptions& options() const noexcept { return options_; }
+
+private:
+    /// One Newton solve of the (possibly companion-augmented) system.
+    [[nodiscard]] linalg::Vector solve_newton(const process::ProcessPoint& pp,
+                                              double t, double dt,
+                                              const linalg::Vector& v_prev,
+                                              bool transient_mode,
+                                              std::size_t* iterations_out) const;
+
+    Netlist netlist_;
+    SpiceOptions options_;
+    std::size_t n_nodes_;     // including ground
+    std::size_t n_vsrc_;
+    std::size_t dim_;         // (n_nodes - 1) + n_vsrc
+};
+
+/// Sakurai-Newton all-region drain current [A] of an NMOS-referenced device
+/// at terminal voltages (vgs, vds) for the given process point; PMOS uses
+/// mirrored voltages internally. Exposed for device-level tests.
+[[nodiscard]] double mosfet_current_a(const MosfetInstance& device,
+                                      const process::ProcessPoint& pp, double vgs,
+                                      double vds);
+
+/// Build the PCM path (chain of inverters + wire RC, as PcmPath) as a
+/// netlist driven by a rising step on node "in"; the measured output node is
+/// "n<stages>".
+[[nodiscard]] Netlist build_pcm_path_netlist(const PcmPath::Options& opts);
+
+/// Path delay [ns] of the PCM structure measured by transient simulation:
+/// 50% input crossing to 50% crossing of the final stage output. A
+/// simulation-based counterpart of PcmPath::delay_ns for validation.
+[[nodiscard]] double spice_pcm_delay_ns(const process::ProcessPoint& pp,
+                                        const PcmPath::Options& opts = {},
+                                        double dt_ps = 0.02);
+
+}  // namespace htd::circuit

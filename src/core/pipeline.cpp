@@ -1,0 +1,231 @@
+#include "core/pipeline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace htd::core {
+
+namespace {
+
+std::size_t index_of(Boundary b) { return static_cast<std::size_t>(b); }
+
+}  // namespace
+
+std::string boundary_name(Boundary b) {
+    switch (b) {
+        case Boundary::kB1: return "B1";
+        case Boundary::kB2: return "B2";
+        case Boundary::kB3: return "B3";
+        case Boundary::kB4: return "B4";
+        case Boundary::kB5: return "B5";
+    }
+    throw std::invalid_argument("boundary_name: unknown boundary");
+}
+
+std::string dataset_name(Boundary b) {
+    std::string n = boundary_name(b);
+    n[0] = 'S';
+    return n;
+}
+
+GoldenFreePipeline::GoldenFreePipeline(PipelineConfig config,
+                                       silicon::SpiceSimulator simulator)
+    : config_(config), simulator_(std::move(simulator)), regressions_(config.mars) {
+    if (config_.monte_carlo_samples < 2) {
+        throw std::invalid_argument("GoldenFreePipeline: need >= 2 Monte Carlo samples");
+    }
+    if (config_.synthetic_samples == 0) {
+        throw std::invalid_argument("GoldenFreePipeline: zero synthetic samples");
+    }
+}
+
+linalg::Matrix GoldenFreePipeline::transform_pcms(const linalg::Matrix& pcms) const {
+    if (!config_.log_transform_pcm) return pcms;
+    linalg::Matrix out = pcms;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        auto row = out.row_span(r);
+        for (double& v : row) {
+            if (v <= 0.0) {
+                throw std::invalid_argument(
+                    "GoldenFreePipeline: log transform requires positive PCM values");
+            }
+            v = std::log(v);
+        }
+    }
+    return out;
+}
+
+ml::OneClassSvm GoldenFreePipeline::train_boundary(const linalg::Matrix& dataset) const {
+    ml::OneClassSvm svm(config_.svm);
+    svm.fit(dataset);
+    return svm;
+}
+
+linalg::Matrix GoldenFreePipeline::kde_enhance(const linalg::Matrix& source,
+                                               rng::Rng& rng) const {
+    switch (config_.tail_model) {
+        case TailModel::kAdaptiveKde: {
+            const stats::AdaptiveKde kde(source, config_.kde_alpha,
+                                         config_.kde_bandwidth, config_.kde_kernel,
+                                         config_.kde_max_lambda);
+            return kde.sample_n(rng, config_.synthetic_samples);
+        }
+        case TailModel::kEvtPot: {
+            const stats::EvtTailEnhancer evt(source, config_.evt_tail_fraction);
+            return evt.sample_n(rng, config_.synthetic_samples);
+        }
+    }
+    throw std::invalid_argument("GoldenFreePipeline: unknown tail model");
+}
+
+void GoldenFreePipeline::run_premanufacturing(rng::Rng& rng) {
+    const silicon::SpiceSimulator::GoldenData golden =
+        simulator_.simulate_golden(rng, config_.monte_carlo_samples);
+    mc_pcms_ = transform_pcms(golden.pcms);
+
+    // Regression bank g_j : m_p -> m_j on the simulated devices.
+    regressions_ = ml::MarsBank(config_.mars);
+    regressions_.fit(mc_pcms_, golden.fingerprints);
+
+    // S1 / B1: raw simulated fingerprints.
+    datasets_[index_of(Boundary::kB1)] = golden.fingerprints;
+    boundaries_[index_of(Boundary::kB1)] = train_boundary(golden.fingerprints);
+
+    // S2 / B2: tail-enhanced synthetic population.
+    datasets_[index_of(Boundary::kB2)] = kde_enhance(golden.fingerprints, rng);
+    boundaries_[index_of(Boundary::kB2)] =
+        train_boundary(datasets_[index_of(Boundary::kB2)]);
+
+    premanufacturing_done_ = true;
+}
+
+void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
+                                           rng::Rng& rng) {
+    if (!premanufacturing_done_) {
+        throw std::logic_error("run_silicon_stage: pre-manufacturing stage has not run");
+    }
+    if (dutt_pcms.cols() != mc_pcms_.cols()) {
+        throw std::invalid_argument("run_silicon_stage: PCM dimension mismatch");
+    }
+    if (dutt_pcms.rows() == 0) {
+        throw std::invalid_argument("run_silicon_stage: no DUTT PCM measurements");
+    }
+    const linalg::Matrix silicon_pcms = transform_pcms(dutt_pcms);
+
+    // S3 / B3: golden fingerprints predicted from the measured silicon PCMs.
+    datasets_[index_of(Boundary::kB3)] = regressions_.predict_batch(silicon_pcms);
+    boundaries_[index_of(Boundary::kB3)] =
+        train_boundary(datasets_[index_of(Boundary::kB3)]);
+
+    // S4 / B4: simulated PCMs calibrated to the silicon operating point by
+    // kernel mean shift; the KMM importance weights then resample the
+    // calibrated cloud onto the silicon distribution (m''_p), and the
+    // regression bank maps it to fingerprints.
+    const ml::KernelMeanShiftCalibrator calibrator(config_.calibration);
+    calibration_ = calibrator.calibrate(mc_pcms_, silicon_pcms);
+    const linalg::Matrix calibrated_pcms = ml::weighted_resample(
+        calibration_->calibrated, calibration_->weights,
+        config_.monte_carlo_samples, rng);
+    datasets_[index_of(Boundary::kB4)] = regressions_.predict_batch(calibrated_pcms);
+    boundaries_[index_of(Boundary::kB4)] =
+        train_boundary(datasets_[index_of(Boundary::kB4)]);
+
+    // S5 / B5: tail-enhanced version of S4.
+    datasets_[index_of(Boundary::kB5)] =
+        kde_enhance(datasets_[index_of(Boundary::kB4)], rng);
+    boundaries_[index_of(Boundary::kB5)] =
+        train_boundary(datasets_[index_of(Boundary::kB5)]);
+
+    silicon_done_ = true;
+}
+
+bool GoldenFreePipeline::boundary_ready(Boundary b) const noexcept {
+    switch (b) {
+        case Boundary::kB1:
+        case Boundary::kB2:
+            return premanufacturing_done_;
+        case Boundary::kB3:
+        case Boundary::kB4:
+        case Boundary::kB5:
+            return silicon_done_;
+    }
+    return false;
+}
+
+const ml::OneClassSvm& GoldenFreePipeline::svm_for(Boundary b) const {
+    if (!boundary_ready(b)) {
+        throw std::logic_error("GoldenFreePipeline: boundary " + boundary_name(b) +
+                               " has not been trained yet");
+    }
+    return boundaries_[index_of(b)];
+}
+
+std::vector<bool> GoldenFreePipeline::classify(Boundary b,
+                                               const linalg::Matrix& fingerprints) const {
+    const ml::OneClassSvm& svm = svm_for(b);
+    std::vector<bool> inside(fingerprints.rows());
+    for (std::size_t r = 0; r < fingerprints.rows(); ++r) {
+        inside[r] = svm.contains(fingerprints.row(r));
+    }
+    return inside;
+}
+
+linalg::Vector GoldenFreePipeline::decision_values(
+    Boundary b, const linalg::Matrix& fingerprints) const {
+    return svm_for(b).decision_values(fingerprints);
+}
+
+ml::DetectionMetrics GoldenFreePipeline::evaluate(
+    Boundary b, const silicon::DuttDataset& dutts) const {
+    const std::vector<bool> inside = classify(b, dutts.fingerprints);
+    const std::vector<ml::DeviceLabel> labels = dutts.labels();
+    return ml::evaluate_detection(inside, labels);
+}
+
+const linalg::Matrix& GoldenFreePipeline::dataset(Boundary b) const {
+    if (!boundary_ready(b)) {
+        throw std::logic_error("GoldenFreePipeline: dataset " + dataset_name(b) +
+                               " has not been built yet");
+    }
+    return datasets_[index_of(b)];
+}
+
+const ml::MarsBank& GoldenFreePipeline::regressions() const {
+    if (!premanufacturing_done_) {
+        throw std::logic_error("GoldenFreePipeline: regressions not trained yet");
+    }
+    return regressions_;
+}
+
+const linalg::Matrix& GoldenFreePipeline::simulated_pcms() const {
+    if (!premanufacturing_done_) {
+        throw std::logic_error("GoldenFreePipeline: pre-manufacturing stage has not run");
+    }
+    return mc_pcms_;
+}
+
+// --- GoldenChipBaseline -----------------------------------------------------------
+
+GoldenChipBaseline::GoldenChipBaseline(ml::OneClassSvm::Options svm_opts)
+    : svm_(svm_opts) {}
+
+void GoldenChipBaseline::fit(const linalg::Matrix& golden_fingerprints) {
+    svm_.fit(golden_fingerprints);
+}
+
+std::vector<bool> GoldenChipBaseline::classify(const linalg::Matrix& fingerprints) const {
+    std::vector<bool> inside(fingerprints.rows());
+    for (std::size_t r = 0; r < fingerprints.rows(); ++r) {
+        inside[r] = svm_.contains(fingerprints.row(r));
+    }
+    return inside;
+}
+
+ml::DetectionMetrics GoldenChipBaseline::evaluate(
+    const silicon::DuttDataset& dutts) const {
+    const std::vector<bool> inside = classify(dutts.fingerprints);
+    const std::vector<ml::DeviceLabel> labels = dutts.labels();
+    return ml::evaluate_detection(inside, labels);
+}
+
+}  // namespace htd::core

@@ -1,0 +1,196 @@
+#pragma once
+/// \file pipeline.hpp
+/// The paper's contribution: learning a trusted side-channel region without
+/// golden chips. The pipeline has three stages (Section 2):
+///
+/// 1. *Pre-manufacturing* — Monte Carlo "Spice" simulation of n golden
+///    devices gives PCM vectors and fingerprints. A bank of MARS regressions
+///    g_j : m_p -> m_j is trained, the raw simulated fingerprints form S1
+///    (boundary B1), and adaptive-KDE tail enhancement of S1 forms S2
+///    (boundary B2).
+/// 2. *Silicon measurement* — PCMs measured on the DUTTs are pushed through
+///    g to predict golden fingerprints S3 (boundary B3); kernel-mean-shift
+///    calibration of the simulated PCMs onto the measured ones, followed by
+///    g, yields S4 (boundary B4); KDE enhancement of S4 yields S5 (B5).
+/// 3. *Trojan test* — each boundary is a 1-class SVM; a DUTT whose measured
+///    fingerprint falls inside is declared Trojan-free.
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "ml/kmm.hpp"
+#include "ml/mars.hpp"
+#include "ml/metrics.hpp"
+#include "ml/one_class_svm.hpp"
+#include "rng/rng.hpp"
+#include "silicon/bench_measure.hpp"
+#include "stats/evt.hpp"
+#include "stats/kde.hpp"
+
+namespace htd::core {
+
+/// The five trusted-region constructions of the paper.
+enum class Boundary {
+    kB1,  ///< raw Monte Carlo fingerprints (S1)
+    kB2,  ///< KDE tail-enhanced Monte Carlo fingerprints (S2)
+    kB3,  ///< fingerprints predicted from measured DUTT PCMs (S3)
+    kB4,  ///< fingerprints predicted from KMM-calibrated simulated PCMs (S4)
+    kB5,  ///< KDE tail-enhanced version of S4 (S5)
+};
+
+/// All boundaries in pipeline order.
+inline constexpr std::array<Boundary, 5> kAllBoundaries = {
+    Boundary::kB1, Boundary::kB2, Boundary::kB3, Boundary::kB4, Boundary::kB5};
+
+/// "B1".."B5".
+[[nodiscard]] std::string boundary_name(Boundary b);
+
+/// "S1".."S5" — the dataset each boundary is trained on.
+[[nodiscard]] std::string dataset_name(Boundary b);
+
+/// Which tail-modeling technique builds the synthetic populations S2/S5.
+enum class TailModel {
+    kAdaptiveKde,  ///< the paper's adaptive Epanechnikov KDE (Section 2.5)
+    kEvtPot,       ///< EVT alternative: per-axis GPD peaks-over-threshold
+};
+
+/// Tuning knobs of the detection pipeline.
+struct PipelineConfig {
+    /// Monte Carlo golden devices n (the paper uses 100).
+    std::size_t monte_carlo_samples = 100;
+
+    /// Tail-enhanced synthetic population size M' (the paper uses 1e5).
+    std::size_t synthetic_samples = 100000;
+
+    /// Adaptive-KDE locality parameter alpha, bandwidth (0 = Silverman),
+    /// and clamp on the local bandwidth factors of Eq. (8).
+    double kde_alpha = 0.5;
+    double kde_bandwidth = 0.5;
+    double kde_max_lambda = 2.5;
+    stats::KernelType kde_kernel = stats::KernelType::kEpanechnikov;
+
+    /// Tail-modeling technique for S2/S5 (KDE is the paper's choice; the
+    /// EVT alternative is compared in bench_ablation_kde).
+    TailModel tail_model = TailModel::kAdaptiveKde;
+
+    /// Tail fraction per side for the EVT enhancer.
+    double evt_tail_fraction = 0.15;
+
+    /// Regress fingerprints against log(PCM) instead of raw PCM values.
+    /// Transmit power in dB is log-linear in the drive parameters, and so is
+    /// log(delay), so the log transform makes the PCM->fingerprint relation
+    /// near-linear and keeps the MARS extrapolation to the (shifted) silicon
+    /// operating point well behaved. Requires strictly positive PCMs.
+    bool log_transform_pcm = true;
+
+    /// MARS regression options for the PCM -> fingerprint bank. The term
+    /// budget is kept small so the six per-fingerprint models extrapolate
+    /// consistently to the (shifted) silicon operating point.
+    ml::Mars::Options mars{.max_terms = 7, .max_knots_per_variable = 7};
+
+    /// 1-class SVM options shared by every boundary.
+    ml::OneClassSvm::Options svm{.nu = 0.08, .gamma_scale = 1.0};
+
+    /// KMM / kernel-mean-shift calibration options. The weight bound is kept
+    /// small so the importance-resampled PCM population m''_p keeps a healthy
+    /// effective sample size instead of collapsing onto a handful of
+    /// training points.
+    ml::KernelMeanShiftCalibrator::Options calibration{
+        .kmm = {.weight_bound = 5.0, .gamma = 8.0}};
+};
+
+/// The golden chip-free detection pipeline.
+class GoldenFreePipeline {
+public:
+    /// `simulator` wraps the trusted (but possibly stale) process model and
+    /// the platform's circuit models.
+    GoldenFreePipeline(PipelineConfig config, silicon::SpiceSimulator simulator);
+
+    /// Stage 1. Runs the Monte Carlo, fits the MARS bank, and trains B1/B2.
+    /// Must be called before any other stage.
+    void run_premanufacturing(rng::Rng& rng);
+
+    /// Stage 2. Consumes the PCM measurements of the DUTTs (rows = devices)
+    /// and trains B3/B4/B5. Throws std::logic_error when stage 1 has not
+    /// run, std::invalid_argument on a PCM dimension mismatch.
+    void run_silicon_stage(const linalg::Matrix& dutt_pcms, rng::Rng& rng);
+
+    /// Stage 3. Classify measured fingerprints against one boundary:
+    /// true = inside the trusted region (Trojan-free verdict). Throws
+    /// std::logic_error when the requested boundary is not trained yet.
+    [[nodiscard]] std::vector<bool> classify(Boundary b,
+                                             const linalg::Matrix& fingerprints) const;
+
+    /// Decision values (positive = inside) for diagnostics.
+    [[nodiscard]] linalg::Vector decision_values(
+        Boundary b, const linalg::Matrix& fingerprints) const;
+
+    /// Convenience: classify + score a measured DUTT population.
+    [[nodiscard]] ml::DetectionMetrics evaluate(Boundary b,
+                                                const silicon::DuttDataset& dutts) const;
+
+    /// The training dataset Sk behind a boundary (throws if not built yet).
+    [[nodiscard]] const linalg::Matrix& dataset(Boundary b) const;
+
+    /// The fitted regression bank g (throws if stage 1 has not run).
+    [[nodiscard]] const ml::MarsBank& regressions() const;
+
+    /// The simulated golden PCM matrix from stage 1.
+    [[nodiscard]] const linalg::Matrix& simulated_pcms() const;
+
+    /// Calibration diagnostics from stage 2 (empty before it runs).
+    [[nodiscard]] const std::optional<ml::KernelMeanShiftCalibrator::Result>&
+    calibration_result() const noexcept {
+        return calibration_;
+    }
+
+    [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
+
+    /// True once the given boundary has been trained.
+    [[nodiscard]] bool boundary_ready(Boundary b) const noexcept;
+
+private:
+    [[nodiscard]] const ml::OneClassSvm& svm_for(Boundary b) const;
+    [[nodiscard]] linalg::Matrix transform_pcms(const linalg::Matrix& pcms) const;
+    [[nodiscard]] ml::OneClassSvm train_boundary(const linalg::Matrix& dataset) const;
+    [[nodiscard]] linalg::Matrix kde_enhance(const linalg::Matrix& source,
+                                             rng::Rng& rng) const;
+
+    PipelineConfig config_;
+    silicon::SpiceSimulator simulator_;
+
+    bool premanufacturing_done_ = false;
+    bool silicon_done_ = false;
+
+    linalg::Matrix mc_pcms_;
+    std::array<linalg::Matrix, 5> datasets_;
+    std::array<ml::OneClassSvm, 5> boundaries_;
+    ml::MarsBank regressions_;
+    std::optional<ml::KernelMeanShiftCalibrator::Result> calibration_;
+};
+
+/// The conventional golden-chip detector of Fig. 1 / [12]: a 1-class SVM
+/// trained directly on measured fingerprints of trusted devices. Used as
+/// the reference the golden-free pipeline is compared against.
+class GoldenChipBaseline {
+public:
+    explicit GoldenChipBaseline(ml::OneClassSvm::Options svm_opts = {});
+
+    /// Train on measured fingerprints of known Trojan-free devices.
+    void fit(const linalg::Matrix& golden_fingerprints);
+
+    /// True = inside the trusted region.
+    [[nodiscard]] std::vector<bool> classify(const linalg::Matrix& fingerprints) const;
+
+    /// Classify + score a measured population.
+    [[nodiscard]] ml::DetectionMetrics evaluate(const silicon::DuttDataset& dutts) const;
+
+    [[nodiscard]] const ml::OneClassSvm& svm() const noexcept { return svm_; }
+
+private:
+    ml::OneClassSvm svm_;
+};
+
+}  // namespace htd::core

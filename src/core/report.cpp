@@ -1,0 +1,79 @@
+#include "core/report.hpp"
+
+#include "trojan/trojan.hpp"
+
+namespace htd::core {
+
+io::Json experiment_report(const ExperimentConfig& config,
+                           const ExperimentResult& result,
+                           bool include_measurements) {
+    io::Json doc = io::Json::object();
+    doc.set("paper",
+            "Hardware Trojan Detection through Golden Chip-Free Statistical "
+            "Side-Channel Fingerprinting (DAC 2014)");
+
+    io::Json cfg = io::Json::object();
+    cfg.set("seed", static_cast<double>(config.seed));
+    cfg.set("n_chips", config.n_chips);
+    cfg.set("process_shift_sigma", config.process_shift_sigma);
+    cfg.set("monte_carlo_samples", config.pipeline.monte_carlo_samples);
+    cfg.set("synthetic_samples", config.pipeline.synthetic_samples);
+    cfg.set("kde_alpha", config.pipeline.kde_alpha);
+    cfg.set("kde_bandwidth", config.pipeline.kde_bandwidth);
+    cfg.set("svm_nu", config.pipeline.svm.nu);
+    cfg.set("fingerprint_dim", config.platform.fingerprint_dim());
+    cfg.set("pcm_dim", config.platform.pcm_dim());
+    cfg.set("trojan_amplitude_epsilon", config.platform.trojan_amplitude_epsilon);
+    cfg.set("trojan_frequency_delta_ghz", config.platform.trojan_frequency_delta_ghz);
+    doc.set("config", std::move(cfg));
+
+    io::Json table = io::Json::array();
+    for (std::size_t i = 0; i < kAllBoundaries.size(); ++i) {
+        const auto& m = result.table1[i];
+        io::Json row = io::Json::object();
+        row.set("dataset", dataset_name(kAllBoundaries[i]));
+        row.set("boundary", boundary_name(kAllBoundaries[i]));
+        row.set("false_positives", m.false_positives);
+        row.set("false_negatives", m.false_negatives);
+        row.set("trojan_infested_total", m.trojan_infested_total);
+        row.set("trojan_free_total", m.trojan_free_total);
+        row.set("fp_rate", m.false_positive_rate());
+        row.set("fn_rate", m.false_negative_rate());
+        row.set("accuracy", m.accuracy());
+        table.push_back(std::move(row));
+    }
+    doc.set("table1", std::move(table));
+
+    io::Json baseline = io::Json::object();
+    baseline.set("false_positives", result.golden_baseline.false_positives);
+    baseline.set("false_negatives", result.golden_baseline.false_negatives);
+    baseline.set("accuracy", result.golden_baseline.accuracy());
+    doc.set("golden_chip_baseline", std::move(baseline));
+
+    io::Json diag = io::Json::object();
+    diag.set("mars_mean_r2", result.mars_mean_r2);
+    diag.set("calibration_iterations", result.calibration_iterations);
+    doc.set("diagnostics", std::move(diag));
+
+    if (include_measurements) {
+        io::Json devices = io::Json::array();
+        for (std::size_t i = 0; i < result.measured.size(); ++i) {
+            io::Json dev = io::Json::object();
+            dev.set("variant", trojan::variant_name(result.measured.variants[i]));
+            dev.set("pcm", io::Json::from(result.measured.pcms.row(i)));
+            dev.set("fingerprint",
+                    io::Json::from(result.measured.fingerprints.row(i)));
+            devices.push_back(std::move(dev));
+        }
+        doc.set("devices", std::move(devices));
+    }
+    return doc;
+}
+
+void write_experiment_report(const std::string& path, const ExperimentConfig& config,
+                             const ExperimentResult& result,
+                             bool include_measurements) {
+    experiment_report(config, result, include_measurements).dump_to_file(path);
+}
+
+}  // namespace htd::core

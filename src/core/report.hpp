@@ -1,0 +1,27 @@
+#pragma once
+/// \file report.hpp
+/// Machine-readable experiment report: serializes an ExperimentResult (and
+/// the configuration that produced it) to JSON for archiving, regression
+/// tracking or external plotting. Used by the audit example.
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "io/json.hpp"
+
+namespace htd::core {
+
+/// Build the JSON document for one experiment run. Includes the per-boundary
+/// Table-1 metrics, the golden-chip baseline, diagnostics, the key
+/// configuration knobs, and (optionally) the measured per-device data.
+[[nodiscard]] io::Json experiment_report(const ExperimentConfig& config,
+                                         const ExperimentResult& result,
+                                         bool include_measurements = false);
+
+/// Convenience: build and write the report; throws std::runtime_error on IO
+/// failure.
+void write_experiment_report(const std::string& path, const ExperimentConfig& config,
+                             const ExperimentResult& result,
+                             bool include_measurements = false);
+
+}  // namespace htd::core

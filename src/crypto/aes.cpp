@@ -1,0 +1,225 @@
+#include "crypto/aes.hpp"
+
+#include <stdexcept>
+
+namespace htd::crypto {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 256> kSbox = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+constexpr std::array<std::uint8_t, 256> make_inverse_sbox() {
+    std::array<std::uint8_t, 256> inv{};
+    for (std::size_t i = 0; i < 256; ++i) inv[kSbox[i]] = static_cast<std::uint8_t>(i);
+    return inv;
+}
+
+constexpr std::array<std::uint8_t, 256> kInvSbox = make_inverse_sbox();
+
+constexpr std::uint8_t xtime(std::uint8_t x) noexcept {
+    return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+}
+
+constexpr std::uint8_t gmul(std::uint8_t a, std::uint8_t b) noexcept {
+    std::uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1) p ^= a;
+        a = xtime(a);
+        b >>= 1;
+    }
+    return p;
+}
+
+constexpr std::uint32_t sub_word(std::uint32_t w) noexcept {
+    return (static_cast<std::uint32_t>(kSbox[(w >> 24) & 0xff]) << 24) |
+           (static_cast<std::uint32_t>(kSbox[(w >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(kSbox[(w >> 8) & 0xff]) << 8) |
+           static_cast<std::uint32_t>(kSbox[w & 0xff]);
+}
+
+constexpr std::uint32_t rot_word(std::uint32_t w) noexcept {
+    return (w << 8) | (w >> 24);
+}
+
+using State = std::array<std::uint8_t, 16>;  // column-major as in FIPS-197
+
+void add_round_key(State& s, const std::uint32_t* rk) noexcept {
+    for (int c = 0; c < 4; ++c) {
+        const std::uint32_t w = rk[c];
+        s[4 * c + 0] ^= static_cast<std::uint8_t>(w >> 24);
+        s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+        s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+        s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+    }
+}
+
+void sub_bytes(State& s) noexcept {
+    for (auto& b : s) b = kSbox[b];
+}
+
+void inv_sub_bytes(State& s) noexcept {
+    for (auto& b : s) b = kInvSbox[b];
+}
+
+void shift_rows(State& s) noexcept {
+    // Row r (elements s[4c + r]) rotates left by r.
+    State t = s;
+    for (int r = 1; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) s[4 * c + r] = t[4 * ((c + r) % 4) + r];
+    }
+}
+
+void inv_shift_rows(State& s) noexcept {
+    State t = s;
+    for (int r = 1; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) s[4 * ((c + r) % 4) + r] = t[4 * c + r];
+    }
+}
+
+void mix_columns(State& s) noexcept {
+    for (int c = 0; c < 4; ++c) {
+        std::uint8_t* col = &s[4 * c];
+        const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = static_cast<std::uint8_t>(gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3);
+        col[1] = static_cast<std::uint8_t>(a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3);
+        col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3));
+        col[3] = static_cast<std::uint8_t>(gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2));
+    }
+}
+
+void inv_mix_columns(State& s) noexcept {
+    for (int c = 0; c < 4; ++c) {
+        std::uint8_t* col = &s[4 * c];
+        const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = static_cast<std::uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^
+                                           gmul(a3, 9));
+        col[1] = static_cast<std::uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^
+                                           gmul(a3, 13));
+        col[2] = static_cast<std::uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^
+                                           gmul(a3, 11));
+        col[3] = static_cast<std::uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^
+                                           gmul(a3, 14));
+    }
+}
+
+}  // namespace
+
+Aes::Aes(std::span<const std::uint8_t> key, AesKeySize size) {
+    const std::size_t nk = key_bytes(size) / 4;  // key words
+    if (key.size() != key_bytes(size)) {
+        throw std::invalid_argument("Aes: key length does not match key size");
+    }
+    rounds_ = nk + 6;
+    const std::size_t total_words = 4 * (rounds_ + 1);
+    round_keys_.resize(total_words);
+
+    for (std::size_t i = 0; i < nk; ++i) {
+        round_keys_[i] = (static_cast<std::uint32_t>(key[4 * i]) << 24) |
+                         (static_cast<std::uint32_t>(key[4 * i + 1]) << 16) |
+                         (static_cast<std::uint32_t>(key[4 * i + 2]) << 8) |
+                         static_cast<std::uint32_t>(key[4 * i + 3]);
+    }
+    std::uint32_t rcon = 0x01000000;
+    for (std::size_t i = nk; i < total_words; ++i) {
+        std::uint32_t temp = round_keys_[i - 1];
+        if (i % nk == 0) {
+            temp = sub_word(rot_word(temp)) ^ rcon;
+            rcon = static_cast<std::uint32_t>(gmul(static_cast<std::uint8_t>(rcon >> 24), 2))
+                   << 24;
+        } else if (nk > 6 && i % nk == 4) {
+            temp = sub_word(temp);
+        }
+        round_keys_[i] = round_keys_[i - nk] ^ temp;
+    }
+}
+
+Block Aes::encrypt(const Block& plaintext) const noexcept {
+    State s = plaintext;
+    add_round_key(s, &round_keys_[0]);
+    for (std::size_t round = 1; round < rounds_; ++round) {
+        sub_bytes(s);
+        shift_rows(s);
+        mix_columns(s);
+        add_round_key(s, &round_keys_[4 * round]);
+    }
+    sub_bytes(s);
+    shift_rows(s);
+    add_round_key(s, &round_keys_[4 * rounds_]);
+    return s;
+}
+
+Block Aes::decrypt(const Block& ciphertext) const noexcept {
+    State s = ciphertext;
+    add_round_key(s, &round_keys_[4 * rounds_]);
+    for (std::size_t round = rounds_ - 1; round > 0; --round) {
+        inv_shift_rows(s);
+        inv_sub_bytes(s);
+        add_round_key(s, &round_keys_[4 * round]);
+        inv_mix_columns(s);
+    }
+    inv_shift_rows(s);
+    inv_sub_bytes(s);
+    add_round_key(s, &round_keys_[0]);
+    return s;
+}
+
+std::vector<std::uint8_t> Aes::encrypt_ecb(std::span<const std::uint8_t> data) const {
+    if (data.size() % 16 != 0) {
+        throw std::invalid_argument("Aes::encrypt_ecb: data not a multiple of 16 bytes");
+    }
+    std::vector<std::uint8_t> out(data.size());
+    for (std::size_t off = 0; off < data.size(); off += 16) {
+        Block b;
+        std::copy(data.begin() + static_cast<std::ptrdiff_t>(off),
+                  data.begin() + static_cast<std::ptrdiff_t>(off + 16), b.begin());
+        const Block c = encrypt(b);
+        std::copy(c.begin(), c.end(), out.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+    return out;
+}
+
+std::array<bool, 128> block_to_bits(const Block& block) noexcept {
+    std::array<bool, 128> bits{};
+    for (std::size_t byte = 0; byte < 16; ++byte) {
+        for (std::size_t bit = 0; bit < 8; ++bit) {
+            bits[byte * 8 + bit] = (block[byte] >> (7 - bit)) & 1;
+        }
+    }
+    return bits;
+}
+
+Block bits_to_block(const std::array<bool, 128>& bits) noexcept {
+    Block block{};
+    for (std::size_t byte = 0; byte < 16; ++byte) {
+        std::uint8_t v = 0;
+        for (std::size_t bit = 0; bit < 8; ++bit) {
+            v = static_cast<std::uint8_t>((v << 1) | (bits[byte * 8 + bit] ? 1 : 0));
+        }
+        block[byte] = v;
+    }
+    return block;
+}
+
+}  // namespace htd::crypto

@@ -1,0 +1,79 @@
+#pragma once
+/// \file aes.hpp
+/// FIPS-197 AES block cipher. This is the digital half of the paper's
+/// experimentation platform: a wireless cryptographic IC whose AES core
+/// encrypts plaintext with an on-chip key before the ciphertext is
+/// serialized and transmitted over UWB. The side-channel fingerprints are
+/// the transmit power of six randomly chosen 128-bit ciphertext blocks, so
+/// the detection pipeline needs real ciphertext bits to modulate.
+///
+/// All three FIPS key sizes are supported; the platform uses AES-128.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace htd::crypto {
+
+/// One 16-byte AES block.
+using Block = std::array<std::uint8_t, 16>;
+
+/// AES key length selector.
+enum class AesKeySize {
+    k128,
+    k192,
+    k256,
+};
+
+/// Number of key bytes for a key-size selector.
+[[nodiscard]] constexpr std::size_t key_bytes(AesKeySize size) noexcept {
+    switch (size) {
+        case AesKeySize::k128: return 16;
+        case AesKeySize::k192: return 24;
+        case AesKeySize::k256: return 32;
+    }
+    return 16;
+}
+
+/// AES cipher with a fixed expanded key.
+///
+/// The class is immutable after construction; encrypt/decrypt are const and
+/// thread-compatible.
+class Aes {
+public:
+    /// Expand `key`; its length must match `size` (16/24/32 bytes) or
+    /// std::invalid_argument is thrown.
+    Aes(std::span<const std::uint8_t> key, AesKeySize size);
+
+    /// Convenience AES-128 constructor from a 16-byte array.
+    explicit Aes(const Block& key128) : Aes(key128, AesKeySize::k128) {}
+
+    /// Encrypt a single block.
+    [[nodiscard]] Block encrypt(const Block& plaintext) const noexcept;
+
+    /// Decrypt a single block.
+    [[nodiscard]] Block decrypt(const Block& ciphertext) const noexcept;
+
+    /// Encrypt a sequence of whole blocks in ECB fashion (the platform
+    /// streams independent 128-bit blocks). Throws std::invalid_argument if
+    /// `data.size()` is not a multiple of 16.
+    [[nodiscard]] std::vector<std::uint8_t> encrypt_ecb(
+        std::span<const std::uint8_t> data) const;
+
+    /// Number of rounds (10/12/14).
+    [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
+
+private:
+    std::size_t rounds_;
+    std::vector<std::uint32_t> round_keys_;      // (rounds+1) * 4 words
+};
+
+/// Serialize a ciphertext block into the bit order the platform's
+/// serialization buffer feeds the UWB transmitter (MSB first per byte).
+[[nodiscard]] std::array<bool, 128> block_to_bits(const Block& block) noexcept;
+
+/// Inverse of block_to_bits.
+[[nodiscard]] Block bits_to_block(const std::array<bool, 128>& bits) noexcept;
+
+}  // namespace htd::crypto

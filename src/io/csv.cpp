@@ -1,0 +1,80 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace htd::io {
+
+std::string csv_line(const std::vector<std::string>& fields) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) os << ',';
+        const std::string& f = fields[i];
+        if (f.find(',') != std::string::npos || f.find('"') != std::string::npos) {
+            os << '"';
+            for (char c : f) {
+                if (c == '"') os << '"';
+                os << c;
+            }
+            os << '"';
+        } else {
+            os << f;
+        }
+    }
+    return os.str();
+}
+
+void write_csv(const std::string& path, const linalg::Matrix& data,
+               const std::vector<std::string>& header) {
+    if (!header.empty() && header.size() != data.cols()) {
+        throw std::invalid_argument("write_csv: header width mismatch");
+    }
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+    out.precision(12);
+    if (!header.empty()) out << csv_line(header) << '\n';
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        for (std::size_t c = 0; c < data.cols(); ++c) {
+            if (c > 0) out << ',';
+            out << data(r, c);
+        }
+        out << '\n';
+    }
+    if (!out) throw std::runtime_error("write_csv: write failure on " + path);
+}
+
+linalg::Matrix read_csv(const std::string& path, bool has_header) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+    linalg::Matrix out;
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (first && has_header) {
+            first = false;
+            continue;
+        }
+        first = false;
+        if (line.empty()) continue;
+        linalg::Vector row;
+        std::stringstream ss(line);
+        std::string cell;
+        while (std::getline(ss, cell, ',')) {
+            try {
+                row.push_back(std::stod(cell));
+            } catch (const std::exception&) {
+                throw std::runtime_error("read_csv: unparsable cell '" + cell + "' in " +
+                                         path);
+            }
+        }
+        try {
+            out.append_row(row);
+        } catch (const std::invalid_argument&) {
+            throw std::runtime_error("read_csv: ragged rows in " + path);
+        }
+    }
+    return out;
+}
+
+}  // namespace htd::io

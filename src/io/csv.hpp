@@ -1,0 +1,26 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV reading/writing for datasets and experiment outputs (the
+/// Fig. 4 series are exported as CSV so they can be plotted externally).
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace htd::io {
+
+/// Write a matrix (with optional column header) to `path`. Throws
+/// std::runtime_error when the file cannot be opened and
+/// std::invalid_argument when the header width mismatches the data.
+void write_csv(const std::string& path, const linalg::Matrix& data,
+               const std::vector<std::string>& header = {});
+
+/// Read a CSV of doubles. `has_header` skips the first line. Throws
+/// std::runtime_error on open failure or unparsable/ragged content.
+[[nodiscard]] linalg::Matrix read_csv(const std::string& path, bool has_header = false);
+
+/// Render one CSV line from string fields (quotes fields containing commas).
+[[nodiscard]] std::string csv_line(const std::vector<std::string>& fields);
+
+}  // namespace htd::io

@@ -1,0 +1,143 @@
+#include "io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace htd::io {
+
+std::string json_escape(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+Json Json::array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+}
+
+Json Json::object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+}
+
+Json Json::from(const linalg::Vector& v) {
+    Json j = array();
+    for (std::size_t i = 0; i < v.size(); ++i) j.push_back(v[i]);
+    return j;
+}
+
+Json Json::from(const linalg::Matrix& m) {
+    Json j = array();
+    for (std::size_t r = 0; r < m.rows(); ++r) j.push_back(from(m.row(r)));
+    return j;
+}
+
+Json& Json::push_back(Json value) {
+    if (kind_ != Kind::kArray) throw std::logic_error("Json::push_back: not an array");
+    array_.push_back(std::move(value));
+    return *this;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+    if (kind_ != Kind::kObject) throw std::logic_error("Json::set: not an object");
+    object_[key] = std::move(value);
+    return *this;
+}
+
+std::size_t Json::size() const {
+    if (kind_ == Kind::kArray) return array_.size();
+    if (kind_ == Kind::kObject) return object_.size();
+    throw std::logic_error("Json::size: not a container");
+}
+
+void Json::dump_impl(std::string& out, int indent, int depth) const {
+    const auto newline = [&](int d) {
+        if (indent > 0) {
+            out += '\n';
+            out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d),
+                       ' ');
+        }
+    };
+    switch (kind_) {
+        case Kind::kNull: out += "null"; break;
+        case Kind::kBool: out += bool_ ? "true" : "false"; break;
+        case Kind::kNumber: {
+            if (!std::isfinite(number_)) {
+                out += "null";  // JSON has no NaN/inf
+                break;
+            }
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.17g", number_);
+            out += buf;
+            break;
+        }
+        case Kind::kString: out += json_escape(string_); break;
+        case Kind::kArray: {
+            out += '[';
+            bool first = true;
+            for (const Json& v : array_) {
+                if (!first) out += ',';
+                first = false;
+                newline(depth + 1);
+                v.dump_impl(out, indent, depth + 1);
+            }
+            if (!array_.empty()) newline(depth);
+            out += ']';
+            break;
+        }
+        case Kind::kObject: {
+            out += '{';
+            bool first = true;
+            for (const auto& [key, value] : object_) {
+                if (!first) out += ',';
+                first = false;
+                newline(depth + 1);
+                out += json_escape(key);
+                out += indent > 0 ? ": " : ":";
+                value.dump_impl(out, indent, depth + 1);
+            }
+            if (!object_.empty()) newline(depth);
+            out += '}';
+            break;
+        }
+    }
+}
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    dump_impl(out, indent, 0);
+    return out;
+}
+
+void Json::dump_to_file(const std::string& path, int indent) const {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("Json::dump_to_file: cannot open " + path);
+    out << dump(indent) << '\n';
+    if (!out) throw std::runtime_error("Json::dump_to_file: write failure " + path);
+}
+
+}  // namespace htd::io

@@ -1,0 +1,78 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON value model and serializer for experiment reports. Write
+/// only (the library never consumes JSON); strings are escaped per RFC 8259
+/// and doubles are emitted with round-trip precision.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace htd::io {
+
+/// A JSON value: null, bool, number, string, array or object.
+class Json {
+public:
+    /// null
+    Json() = default;
+
+    // NOLINTBEGIN(google-explicit-constructor): implicit conversions are the
+    // ergonomic point of a JSON value type.
+    Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+    Json(double v) : kind_(Kind::kNumber), number_(v) {}
+    Json(int v) : kind_(Kind::kNumber), number_(v) {}
+    Json(std::size_t v) : kind_(Kind::kNumber), number_(static_cast<double>(v)) {}
+    Json(const char* s) : kind_(Kind::kString), string_(s) {}
+    Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+    // NOLINTEND(google-explicit-constructor)
+
+    /// An empty array / object.
+    [[nodiscard]] static Json array();
+    [[nodiscard]] static Json object();
+
+    /// Array of numbers from a vector; object-free convenience.
+    [[nodiscard]] static Json from(const linalg::Vector& v);
+
+    /// Nested arrays from a matrix (row-major).
+    [[nodiscard]] static Json from(const linalg::Matrix& m);
+
+    /// Append to an array; throws std::logic_error when not an array.
+    Json& push_back(Json value);
+
+    /// Set an object member; throws std::logic_error when not an object.
+    Json& set(const std::string& key, Json value);
+
+    /// Number of elements (array) or members (object); throws otherwise.
+    [[nodiscard]] std::size_t size() const;
+
+    [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+    [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+    [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+    /// Serialize; `indent` > 0 pretty-prints with that many spaces per level.
+    [[nodiscard]] std::string dump(int indent = 0) const;
+
+    /// Serialize to a file; throws std::runtime_error on IO failure.
+    void dump_to_file(const std::string& path, int indent = 2) const;
+
+private:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    void dump_impl(std::string& out, int indent, int depth) const;
+
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Json> array_;
+    std::map<std::string, Json> object_;  // sorted keys: deterministic output
+};
+
+/// Escape a string per RFC 8259 (quotes included).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace htd::io

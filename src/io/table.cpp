@@ -1,0 +1,60 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace htd::io {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+    if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+    if (row.size() != header_.size()) {
+        throw std::invalid_argument("Table::add_row: width mismatch");
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string Table::str() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0) os << "  ";
+            os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+        }
+        os << '\n';
+    };
+    emit_row(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        if (c > 0) os << "  ";
+        os << std::string(width[c], '-');
+    }
+    os << '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return os.str();
+}
+
+std::string fmt(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string fmt_ratio(std::size_t k, std::size_t n) {
+    std::ostringstream os;
+    os << k << '/' << n;
+    return os.str();
+}
+
+}  // namespace htd::io

@@ -1,0 +1,38 @@
+#pragma once
+/// \file table.hpp
+/// Fixed-width text tables for the experiment harness output (Table 1 and
+/// the ablation tables are printed in this format).
+
+#include <string>
+#include <vector>
+
+namespace htd::io {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class Table {
+public:
+    /// Construct with column headers; throws std::invalid_argument when
+    /// empty.
+    explicit Table(std::vector<std::string> header);
+
+    /// Append a row; throws std::invalid_argument on width mismatch.
+    void add_row(std::vector<std::string> row);
+
+    /// Number of data rows.
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+    /// Render with a header separator and 2-space column gaps.
+    [[nodiscard]] std::string str() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given precision (std::fixed).
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+/// Format "k/n" counts.
+[[nodiscard]] std::string fmt_ratio(std::size_t k, std::size_t n);
+
+}  // namespace htd::io

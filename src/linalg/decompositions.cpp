@@ -1,0 +1,380 @@
+#include "linalg/decompositions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace htd::linalg {
+
+// --- Cholesky ----------------------------------------------------------------
+
+Cholesky::Cholesky(const Matrix& a) {
+    if (a.rows() != a.cols()) {
+        throw std::invalid_argument("Cholesky: matrix must be square");
+    }
+    if (!a.is_symmetric(1e-9 * (1.0 + a.max_abs()))) {
+        throw std::invalid_argument("Cholesky: matrix must be symmetric");
+    }
+    const std::size_t n = a.rows();
+    l_ = Matrix(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+        if (diag <= 0.0 || !std::isfinite(diag)) {
+            throw std::domain_error("Cholesky: matrix is not positive definite");
+        }
+        l_(j, j) = std::sqrt(diag);
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double v = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) v -= l_(i, k) * l_(j, k);
+            l_(i, j) = v / l_(j, j);
+        }
+    }
+}
+
+Vector Cholesky::solve_lower(const Vector& b) const {
+    const std::size_t n = l_.rows();
+    if (b.size() != n) throw std::invalid_argument("Cholesky::solve_lower: size mismatch");
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = b[i];
+        for (std::size_t k = 0; k < i; ++k) v -= l_(i, k) * y[k];
+        y[i] = v / l_(i, i);
+    }
+    return y;
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+    const std::size_t n = l_.rows();
+    Vector y = solve_lower(b);
+    // back substitution with L^T
+    Vector x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double v = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) v -= l_(k, ii) * x[k];
+        x[ii] = v / l_(ii, ii);
+    }
+    return x;
+}
+
+double Cholesky::log_determinant() const noexcept {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i));
+    return 2.0 * acc;
+}
+
+// --- LU ------------------------------------------------------------------------
+
+Lu::Lu(const Matrix& a) : lu_(a), piv_(a.rows()) {
+    if (a.rows() != a.cols()) throw std::invalid_argument("Lu: matrix must be square");
+    const std::size_t n = a.rows();
+    std::iota(piv_.begin(), piv_.end(), std::size_t{0});
+    for (std::size_t k = 0; k < n; ++k) {
+        // partial pivot
+        std::size_t p = k;
+        double best = std::abs(lu_(k, k));
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double v = std::abs(lu_(i, k));
+            if (v > best) {
+                best = v;
+                p = i;
+            }
+        }
+        if (best < 1e-300) throw std::domain_error("Lu: matrix is singular");
+        if (p != k) {
+            for (std::size_t c = 0; c < n; ++c) std::swap(lu_(p, c), lu_(k, c));
+            std::swap(piv_[p], piv_[k]);
+            pivot_sign_ = -pivot_sign_;
+        }
+        for (std::size_t i = k + 1; i < n; ++i) {
+            lu_(i, k) /= lu_(k, k);
+            const double m = lu_(i, k);
+            for (std::size_t c = k + 1; c < n; ++c) lu_(i, c) -= m * lu_(k, c);
+        }
+    }
+}
+
+Vector Lu::solve(const Vector& b) const {
+    const std::size_t n = lu_.rows();
+    if (b.size() != n) throw std::invalid_argument("Lu::solve: size mismatch");
+    Vector x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = b[piv_[i]];
+    // forward: L y = P b (unit diagonal)
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t k = 0; k < i; ++k) x[i] -= lu_(i, k) * x[k];
+    // backward: U x = y
+    for (std::size_t ii = n; ii-- > 0;) {
+        for (std::size_t k = ii + 1; k < n; ++k) x[ii] -= lu_(ii, k) * x[k];
+        x[ii] /= lu_(ii, ii);
+    }
+    return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+    if (b.rows() != lu_.rows()) throw std::invalid_argument("Lu::solve: shape mismatch");
+    Matrix x(b.rows(), b.cols());
+    for (std::size_t c = 0; c < b.cols(); ++c) x.set_col(c, solve(b.col(c)));
+    return x;
+}
+
+double Lu::determinant() const noexcept {
+    double det = static_cast<double>(pivot_sign_);
+    for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+    return det;
+}
+
+Matrix Lu::inverse() const { return solve(Matrix::identity(lu_.rows())); }
+
+// --- QR --------------------------------------------------------------------------
+
+Qr::Qr(const Matrix& a) : qr_(a), rdiag_(a.cols()) {
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    if (m < n) throw std::invalid_argument("Qr: requires rows >= cols");
+    for (std::size_t k = 0; k < n; ++k) {
+        double nrm = 0.0;
+        for (std::size_t i = k; i < m; ++i) nrm = std::hypot(nrm, qr_(i, k));
+        if (nrm != 0.0) {
+            if (qr_(k, k) < 0.0) nrm = -nrm;
+            for (std::size_t i = k; i < m; ++i) qr_(i, k) /= nrm;
+            qr_(k, k) += 1.0;
+            for (std::size_t j = k + 1; j < n; ++j) {
+                double s = 0.0;
+                for (std::size_t i = k; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+                s = -s / qr_(k, k);
+                for (std::size_t i = k; i < m; ++i) qr_(i, j) += s * qr_(i, k);
+            }
+        }
+        rdiag_[k] = -nrm;
+    }
+}
+
+bool Qr::full_rank(double tol) const noexcept {
+    for (std::size_t k = 0; k < rdiag_.size(); ++k)
+        if (std::abs(rdiag_[k]) <= tol) return false;
+    return true;
+}
+
+Vector Qr::solve(const Vector& b) const {
+    const std::size_t m = qr_.rows();
+    const std::size_t n = qr_.cols();
+    if (b.size() != m) throw std::invalid_argument("Qr::solve: size mismatch");
+    if (!full_rank()) throw std::domain_error("Qr::solve: rank-deficient matrix");
+    Vector y = b;
+    // apply Householder reflections: y := Q^T b
+    for (std::size_t k = 0; k < n; ++k) {
+        double s = 0.0;
+        for (std::size_t i = k; i < m; ++i) s += qr_(i, k) * y[i];
+        s = -s / qr_(k, k);
+        for (std::size_t i = k; i < m; ++i) y[i] += s * qr_(i, k);
+    }
+    // back-substitute R x = y
+    Vector x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double v = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) v -= qr_(ii, k) * x[k];
+        x[ii] = v / rdiag_[ii];
+    }
+    return x;
+}
+
+Matrix Qr::r() const {
+    const std::size_t n = qr_.cols();
+    Matrix r(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        r(i, i) = rdiag_[i];
+        for (std::size_t j = i + 1; j < n; ++j) r(i, j) = qr_(i, j);
+    }
+    return r;
+}
+
+// --- Jacobi eigen -----------------------------------------------------------------
+
+EigenResult symmetric_eigen(const Matrix& a, std::size_t max_sweeps, double tol) {
+    if (a.rows() != a.cols()) {
+        throw std::invalid_argument("symmetric_eigen: matrix must be square");
+    }
+    if (!a.is_symmetric(1e-9 * (1.0 + a.max_abs()))) {
+        throw std::invalid_argument("symmetric_eigen: matrix must be symmetric");
+    }
+    const std::size_t n = a.rows();
+    Matrix d = a;
+    Matrix v = Matrix::identity(n);
+
+    for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (std::size_t p = 0; p < n; ++p)
+            for (std::size_t q = p + 1; q < n; ++q) off += d(p, q) * d(p, q);
+        if (std::sqrt(off) <= tol * (1.0 + d.max_abs())) break;
+
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = d(p, q);
+                if (std::abs(apq) <= 1e-300) continue;
+                const double app = d(p, p);
+                const double aqq = d(q, q);
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                                 (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double dkp = d(k, p);
+                    const double dkq = d(k, q);
+                    d(k, p) = c * dkp - s * dkq;
+                    d(k, q) = s * dkp + c * dkq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double dpk = d(p, k);
+                    const double dqk = d(q, k);
+                    d(p, k) = c * dpk - s * dqk;
+                    d(q, k) = s * dpk + c * dqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p);
+                    const double vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // sort by descending eigenvalue
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t i, std::size_t j) { return d(i, i) > d(j, j); });
+
+    EigenResult out;
+    out.values = Vector(n);
+    out.vectors = Matrix(n, n);
+    for (std::size_t k = 0; k < n; ++k) {
+        out.values[k] = d(order[k], order[k]);
+        for (std::size_t r = 0; r < n; ++r) out.vectors(r, k) = v(r, order[k]);
+    }
+    return out;
+}
+
+SvdResult singular_values(const Matrix& a, std::size_t max_sweeps, double tol) {
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    if (m < n) throw std::invalid_argument("singular_values: requires rows >= cols");
+
+    Matrix u = a;                       // becomes U * diag(s)
+    Matrix v = Matrix::identity(n);
+
+    // One-sided Jacobi: orthogonalize column pairs of U by right rotations.
+    for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                double alpha = 0.0, beta = 0.0, gamma = 0.0;
+                for (std::size_t i = 0; i < m; ++i) {
+                    alpha += u(i, p) * u(i, p);
+                    beta += u(i, q) * u(i, q);
+                    gamma += u(i, p) * u(i, q);
+                }
+                off = std::max(off, std::abs(gamma) / std::sqrt(alpha * beta + 1e-300));
+                if (std::abs(gamma) <= tol * std::sqrt(alpha * beta)) continue;
+
+                const double zeta = (beta - alpha) / (2.0 * gamma);
+                const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                                 (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = c * t;
+                for (std::size_t i = 0; i < m; ++i) {
+                    const double up = u(i, p);
+                    const double uq = u(i, q);
+                    u(i, p) = c * up - s * uq;
+                    u(i, q) = s * up + c * uq;
+                }
+                for (std::size_t i = 0; i < n; ++i) {
+                    const double vp = v(i, p);
+                    const double vq = v(i, q);
+                    v(i, p) = c * vp - s * vq;
+                    v(i, q) = s * vp + c * vq;
+                }
+            }
+        }
+        if (off <= tol) break;
+    }
+
+    // Extract singular values as column norms of U, then normalize.
+    Vector s(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double nrm = 0.0;
+        for (std::size_t i = 0; i < m; ++i) nrm += u(i, j) * u(i, j);
+        s[j] = std::sqrt(nrm);
+    }
+
+    // Sort descending and permute U's and V's columns to match.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t i, std::size_t j) { return s[i] > s[j]; });
+
+    SvdResult out;
+    out.values = Vector(n);
+    out.u = Matrix(m, n);
+    out.v = Matrix(n, n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t j = order[k];
+        out.values[k] = s[j];
+        const double inv = s[j] > 1e-300 ? 1.0 / s[j] : 0.0;
+        for (std::size_t i = 0; i < m; ++i) out.u(i, k) = u(i, j) * inv;
+        for (std::size_t i = 0; i < n; ++i) out.v(i, k) = v(i, j);
+    }
+    return out;
+}
+
+Matrix nearest_correlation_matrix(const Matrix& corr, double min_eigenvalue) {
+    if (min_eigenvalue <= 0.0) {
+        throw std::invalid_argument("nearest_correlation_matrix: non-positive floor");
+    }
+    const EigenResult eig = symmetric_eigen(corr);  // validates square/symmetric
+    const std::size_t n = corr.rows();
+
+    Matrix repaired(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < n; ++k) {
+                acc += eig.vectors(i, k) * std::max(eig.values[k], min_eigenvalue) *
+                       eig.vectors(j, k);
+            }
+            repaired(i, j) = acc;
+            repaired(j, i) = acc;
+        }
+    }
+    // Renormalize so the diagonal is exactly 1 again.
+    Vector d(n);
+    for (std::size_t i = 0; i < n; ++i) d[i] = 1.0 / std::sqrt(repaired(i, i));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            repaired(i, j) *= d[i] * d[j];
+        }
+    }
+    return repaired;
+}
+
+Vector solve_spd_ridge(const Matrix& a, const Vector& b, double ridge) {
+    // Try a plain Cholesky solve first; escalate the ridge geometrically.
+    double lambda = 0.0;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+        Matrix m = a;
+        if (lambda > 0.0) {
+            for (std::size_t i = 0; i < m.rows(); ++i) m(i, i) += lambda;
+        }
+        try {
+            return Cholesky(m).solve(b);
+        } catch (const std::domain_error&) {
+            lambda = (lambda == 0.0) ? ridge * (1.0 + a.max_abs()) : lambda * 10.0;
+        }
+    }
+    throw std::domain_error("solve_spd_ridge: matrix could not be regularized");
+}
+
+}  // namespace htd::linalg

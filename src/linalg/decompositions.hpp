@@ -1,0 +1,133 @@
+#pragma once
+/// \file decompositions.hpp
+/// Matrix factorizations needed by the statistical pipeline:
+///  - Cholesky (multivariate-normal sampling, SPD solves, Mahalanobis),
+///  - LU with partial pivoting (general square solves, determinants),
+///  - Householder QR (least-squares fits inside MARS),
+///  - cyclic Jacobi symmetric eigendecomposition (PCA).
+
+#include "linalg/matrix.hpp"
+
+namespace htd::linalg {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+///
+/// `L` satisfies `A = L L^T`. Construction throws std::invalid_argument when
+/// the input is not square/symmetric and std::domain_error when it is not
+/// positive definite (to within a small pivot tolerance).
+class Cholesky {
+public:
+    /// Factor `a`; see class comment for error behaviour.
+    explicit Cholesky(const Matrix& a);
+
+    /// The lower-triangular factor L.
+    [[nodiscard]] const Matrix& l() const noexcept { return l_; }
+
+    /// Solve A x = b via forward/back substitution.
+    [[nodiscard]] Vector solve(const Vector& b) const;
+
+    /// Solve L y = b (forward substitution only).
+    [[nodiscard]] Vector solve_lower(const Vector& b) const;
+
+    /// log(det(A)) = 2 sum log(L_ii); cheap because the factor is triangular.
+    [[nodiscard]] double log_determinant() const noexcept;
+
+private:
+    Matrix l_;
+};
+
+/// LU factorization with partial pivoting: P A = L U.
+class Lu {
+public:
+    /// Factor the square matrix `a`; throws std::invalid_argument when not
+    /// square and std::domain_error when (numerically) singular.
+    explicit Lu(const Matrix& a);
+
+    /// Solve A x = b.
+    [[nodiscard]] Vector solve(const Vector& b) const;
+
+    /// Solve A X = B column-by-column.
+    [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+    /// Determinant of A (product of U's diagonal times pivot sign).
+    [[nodiscard]] double determinant() const noexcept;
+
+    /// Inverse of A; prefer solve() when only products are needed.
+    [[nodiscard]] Matrix inverse() const;
+
+private:
+    Matrix lu_;                    // packed L (unit diagonal) and U
+    std::vector<std::size_t> piv_; // row permutation
+    int pivot_sign_ = 1;
+};
+
+/// Householder QR factorization A = Q R for m >= n (tall) matrices.
+class Qr {
+public:
+    /// Factor `a`; throws std::invalid_argument when rows < cols.
+    explicit Qr(const Matrix& a);
+
+    /// Least-squares solution of min ||A x - b||_2. Throws std::domain_error
+    /// when A is rank deficient (zero diagonal in R).
+    [[nodiscard]] Vector solve(const Vector& b) const;
+
+    /// The upper-triangular factor R (n x n).
+    [[nodiscard]] Matrix r() const;
+
+    /// True if all diagonal entries of R exceed `tol` in magnitude.
+    [[nodiscard]] bool full_rank(double tol = 1e-12) const noexcept;
+
+private:
+    Matrix qr_;            // Householder vectors below diagonal, R on/above
+    Vector rdiag_;         // diagonal of R
+};
+
+/// Result of a symmetric eigendecomposition: A = V diag(lambda) V^T.
+/// Eigenvalues are sorted in descending order; `vectors.col(k)` is the
+/// eigenvector for `values[k]`.
+struct EigenResult {
+    Vector values;   ///< eigenvalues, descending
+    Matrix vectors;  ///< orthonormal eigenvectors as columns
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Robust and accurate for the small (<= a few dozen dims) covariance
+/// matrices this library works with. Throws std::invalid_argument when the
+/// input is not symmetric.
+[[nodiscard]] EigenResult symmetric_eigen(const Matrix& a,
+                                          std::size_t max_sweeps = 64,
+                                          double tol = 1e-13);
+
+/// Solve the SPD system A x = b via Cholesky, adding `ridge` * I when the
+/// plain factorization fails (used by kernel methods whose Gram matrices are
+/// only semi-definite in exact arithmetic).
+[[nodiscard]] Vector solve_spd_ridge(const Matrix& a, const Vector& b,
+                                     double ridge = 1e-10);
+
+/// Thin singular value decomposition A = U diag(s) V^T for m >= n matrices,
+/// computed by one-sided Jacobi rotations (accurate for the small, possibly
+/// ill-conditioned design and covariance matrices this library builds).
+/// Singular values are sorted descending; U is m x n with orthonormal
+/// columns, V is n x n orthogonal.
+struct SvdResult {
+    Matrix u;        ///< m x n, orthonormal columns
+    Vector values;   ///< n singular values, descending, >= 0
+    Matrix v;        ///< n x n, orthogonal
+};
+
+/// One-sided Jacobi SVD; throws std::invalid_argument when rows < cols.
+[[nodiscard]] SvdResult singular_values(const Matrix& a,
+                                        std::size_t max_sweeps = 64,
+                                        double tol = 1e-13);
+
+/// Nearest (eigenvalue-clipped) correlation matrix: eigenvalues below
+/// `min_eigenvalue` are raised to it, the matrix is reassembled and its
+/// diagonal renormalized to exactly 1. Hand-authored correlation matrices
+/// are frequently slightly indefinite; this is the standard repair (Higham,
+/// 2002, simplified). Throws std::invalid_argument for non-square/
+/// non-symmetric input or a non-positive floor.
+[[nodiscard]] Matrix nearest_correlation_matrix(const Matrix& corr,
+                                                double min_eigenvalue = 1e-4);
+
+}  // namespace htd::linalg

@@ -1,0 +1,168 @@
+#include "ml/gpr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/decompositions.hpp"
+#include "ml/kernel_functions.hpp"
+#include "stats/descriptive.hpp"
+
+namespace htd::ml {
+
+GaussianProcessRegressor::GaussianProcessRegressor(Options opts) : opts_(opts) {
+    if (opts.noise_fraction < 0.0) {
+        throw std::invalid_argument("GaussianProcessRegressor: negative noise");
+    }
+}
+
+double GaussianProcessRegressor::kernel(std::span<const double> a,
+                                        std::span<const double> b) const {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        d2 += d * d;
+    }
+    return std::exp(-0.5 * d2 / (length_ * length_));
+}
+
+linalg::Vector GaussianProcessRegressor::standardize(const linalg::Vector& x) const {
+    linalg::Vector z(x.size());
+    for (std::size_t c = 0; c < x.size(); ++c) {
+        z[c] = (x[c] - x_mean_[c]) / x_scale_[c];
+    }
+    return z;
+}
+
+void GaussianProcessRegressor::fit(const linalg::Matrix& x, const linalg::Vector& y) {
+    const std::size_t n = x.rows();
+    if (n < 2) throw std::invalid_argument("GaussianProcessRegressor::fit: need >= 2");
+    if (y.size() != n) {
+        throw std::invalid_argument("GaussianProcessRegressor::fit: x/y mismatch");
+    }
+
+    x_mean_ = stats::column_means(x);
+    x_scale_ = stats::column_stddevs(x);
+    for (std::size_t c = 0; c < x_scale_.size(); ++c) {
+        if (x_scale_[c] < 1e-12) x_scale_[c] = 1.0;
+    }
+    const std::vector<double> ys(y.begin(), y.end());
+    y_mean_ = stats::mean(ys);
+    y_scale_ = stats::stddev(ys);
+    if (y_scale_ < 1e-12) y_scale_ = 1.0;
+
+    train_ = linalg::Matrix(n, x.cols());
+    for (std::size_t r = 0; r < n; ++r) train_.set_row(r, standardize(x.row(r)));
+
+    if (opts_.length_scale > 0.0) {
+        length_ = opts_.length_scale;
+    } else {
+        const double gamma = median_heuristic_gamma(train_);
+        length_ = 1.0 / std::sqrt(2.0 * gamma);
+    }
+
+    // K + noise I in the standardized response space (unit signal variance).
+    linalg::Matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            const double v = kernel(train_.row_span(i), train_.row_span(j));
+            k(i, j) = v;
+            k(j, i) = v;
+        }
+        k(i, i) += std::max(opts_.noise_fraction, 1e-10);
+    }
+    const linalg::Cholesky chol(k);
+    chol_lower_ = chol.l();
+
+    linalg::Vector y_std(n);
+    for (std::size_t i = 0; i < n; ++i) y_std[i] = (y[i] - y_mean_) / y_scale_;
+    alpha_ = chol.solve(y_std);
+
+    // Training R^2 from the in-sample posterior mean.
+    double rss = 0.0, tss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double mean_std = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            mean_std += kernel(train_.row_span(i), train_.row_span(j)) * alpha_[j];
+        }
+        const double pred = mean_std * y_scale_ + y_mean_;
+        rss += (y[i] - pred) * (y[i] - pred);
+        tss += (y[i] - y_mean_) * (y[i] - y_mean_);
+    }
+    r2_ = tss > 0.0 ? 1.0 - rss / tss : 1.0;
+    fitted_ = true;
+}
+
+double GaussianProcessRegressor::predict(const linalg::Vector& x) const {
+    return predict_with_variance(x).mean;
+}
+
+GaussianProcessRegressor::Prediction GaussianProcessRegressor::predict_with_variance(
+    const linalg::Vector& x) const {
+    if (!fitted_) throw std::logic_error("GaussianProcessRegressor: not fitted");
+    if (x.size() != x_mean_.size()) {
+        throw std::invalid_argument("GaussianProcessRegressor: dimension mismatch");
+    }
+    const linalg::Vector z = standardize(x);
+    const std::size_t n = train_.rows();
+
+    linalg::Vector k_star(n);
+    double mean_std = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        k_star[j] = kernel(z.span(), train_.row_span(j));
+        mean_std += k_star[j] * alpha_[j];
+    }
+
+    // var = k(x,x) - k*^T K^-1 k* computed via the stored Cholesky factor.
+    linalg::Vector v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = k_star[i];
+        for (std::size_t j = 0; j < i; ++j) acc -= chol_lower_(i, j) * v[j];
+        v[i] = acc / chol_lower_(i, i);
+    }
+    double quad = 0.0;
+    for (std::size_t i = 0; i < n; ++i) quad += v[i] * v[i];
+    const double var_std = std::max(0.0, 1.0 - quad);
+
+    Prediction out;
+    out.mean = mean_std * y_scale_ + y_mean_;
+    out.variance = var_std * y_scale_ * y_scale_;
+    return out;
+}
+
+linalg::Vector GaussianProcessRegressor::predict_batch(const linalg::Matrix& x) const {
+    linalg::Vector out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+    return out;
+}
+
+// --- GprBank -----------------------------------------------------------------------
+
+void GprBank::fit(const linalg::Matrix& x, const linalg::Matrix& y) {
+    if (y.rows() != x.rows()) throw std::invalid_argument("GprBank::fit: row mismatch");
+    if (y.cols() == 0) throw std::invalid_argument("GprBank::fit: no outputs");
+    models_.clear();
+    models_.reserve(y.cols());
+    for (std::size_t j = 0; j < y.cols(); ++j) {
+        GaussianProcessRegressor model(opts_);
+        model.fit(x, y.col(j));
+        models_.push_back(std::move(model));
+    }
+}
+
+linalg::Vector GprBank::predict(const linalg::Vector& x) const {
+    if (models_.empty()) throw std::logic_error("GprBank: not fitted");
+    linalg::Vector out(models_.size());
+    for (std::size_t j = 0; j < models_.size(); ++j) out[j] = models_[j].predict(x);
+    return out;
+}
+
+linalg::Matrix GprBank::predict_batch(const linalg::Matrix& x) const {
+    if (models_.empty()) throw std::logic_error("GprBank: not fitted");
+    linalg::Matrix out(x.rows(), models_.size());
+    for (std::size_t j = 0; j < models_.size(); ++j) {
+        out.set_col(j, models_[j].predict_batch(x));
+    }
+    return out;
+}
+
+}  // namespace htd::ml

@@ -1,0 +1,102 @@
+#pragma once
+/// \file gpr.hpp
+/// Gaussian-process regression with an RBF kernel — an alternative
+/// "non-linear regression function" family for the PCM -> fingerprint map
+/// (the paper used MARS "in this work"; bench_ablation_regression compares
+/// the two). Exact inference: the training sets are the paper's n = 100
+/// Monte Carlo devices, so the O(n^3) Cholesky is trivial.
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace htd::ml {
+
+/// GP regressor for a single scalar response, with internally standardized
+/// inputs and outputs.
+class GaussianProcessRegressor {
+public:
+    struct Options {
+        /// RBF length scale in standardized input units; <= 0 selects the
+        /// median pairwise distance.
+        double length_scale = 0.0;
+
+        /// Observation noise variance as a fraction of the response
+        /// variance (jitter floor applied regardless).
+        double noise_fraction = 1e-4;
+    };
+
+    GaussianProcessRegressor() = default;
+    explicit GaussianProcessRegressor(Options opts);
+
+    /// Fit on inputs `x` (rows = samples) and responses `y`. Throws
+    /// std::invalid_argument on shape mismatch or fewer than 2 samples.
+    void fit(const linalg::Matrix& x, const linalg::Vector& y);
+
+    [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+    /// Posterior mean at one input.
+    [[nodiscard]] double predict(const linalg::Vector& x) const;
+
+    /// Posterior mean and variance (in response units squared).
+    struct Prediction {
+        double mean = 0.0;
+        double variance = 0.0;
+    };
+    [[nodiscard]] Prediction predict_with_variance(const linalg::Vector& x) const;
+
+    /// Posterior means for every row of `x`.
+    [[nodiscard]] linalg::Vector predict_batch(const linalg::Matrix& x) const;
+
+    /// Training R^2 (fit quality diagnostic, like Mars::r_squared).
+    [[nodiscard]] double r_squared() const noexcept { return r2_; }
+
+    /// Resolved RBF length scale.
+    [[nodiscard]] double effective_length_scale() const noexcept { return length_; }
+
+    [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+private:
+    [[nodiscard]] double kernel(std::span<const double> a,
+                                std::span<const double> b) const;
+    [[nodiscard]] linalg::Vector standardize(const linalg::Vector& x) const;
+
+    Options opts_{};
+    bool fitted_ = false;
+    linalg::Vector x_mean_, x_scale_;
+    double y_mean_ = 0.0, y_scale_ = 1.0;
+    linalg::Matrix train_;        // standardized inputs
+    linalg::Vector alpha_;        // K^-1 y (standardized response)
+    linalg::Matrix chol_lower_;   // Cholesky factor of K + noise I
+    double length_ = 1.0;
+    double r2_ = 0.0;
+};
+
+/// One GP per output column — the GPR counterpart of ml::MarsBank.
+class GprBank {
+public:
+    GprBank() = default;
+    explicit GprBank(GaussianProcessRegressor::Options opts) : opts_(opts) {}
+
+    /// Fit one model per column of `y`; throws on shape mismatch.
+    void fit(const linalg::Matrix& x, const linalg::Matrix& y);
+
+    [[nodiscard]] bool fitted() const noexcept { return !models_.empty(); }
+
+    /// Posterior means for one input across all outputs.
+    [[nodiscard]] linalg::Vector predict(const linalg::Vector& x) const;
+
+    /// Posterior means for every input row (rows(x) x output_dim).
+    [[nodiscard]] linalg::Matrix predict_batch(const linalg::Matrix& x) const;
+
+    [[nodiscard]] std::size_t output_dim() const noexcept { return models_.size(); }
+    [[nodiscard]] const GaussianProcessRegressor& model(std::size_t j) const {
+        return models_.at(j);
+    }
+
+private:
+    GaussianProcessRegressor::Options opts_{};
+    std::vector<GaussianProcessRegressor> models_;
+};
+
+}  // namespace htd::ml

@@ -1,0 +1,124 @@
+#pragma once
+/// \file kmm.hpp
+/// Kernel Mean Matching (Gretton et al., 2009) — the paper's covariate-shift
+/// correction (Section 2.4). Given training samples (simulated PCMs) and
+/// test samples (silicon PCMs from the DUTTs), KMM finds importance weights
+/// beta minimizing the RKHS distance between the weighted-training and test
+/// means,
+///
+///     min_beta  1/2 beta^T K beta - kappa^T beta
+///     s.t.      0 <= beta_i <= B,   | (1/n_tr) sum_i beta_i - 1 | <= eps,
+///
+/// where K_ij = k(x^tr_i, x^tr_j) and kappa_i = (n_tr/n_te) sum_j k(x^tr_i,
+/// x^te_j). The QP is solved by projected gradient descent with an exact
+/// Euclidean projection onto the box-plus-sum-band feasible set.
+///
+/// On top of the weights, `KernelMeanShiftCalibrator` implements the paper's
+/// "kernel mean shift": it iteratively translates the simulated PCM cloud by
+/// the gap between the test mean and the KMM-weighted training mean until
+/// the two kernel means agree. The output is the calibrated sample set
+/// m''_p — simulated samples relocated to the foundry operating point while
+/// *keeping the wide Monte Carlo spread* (which is exactly why boundary B4
+/// outperforms B3 in the paper).
+
+#include "linalg/matrix.hpp"
+#include "ml/kernel_functions.hpp"
+#include "rng/rng.hpp"
+
+namespace htd::ml {
+
+/// Draw `n` rows of `data` with replacement, with probability proportional
+/// to `weights`. This is how the calibrated PCM population m''_p is formed
+/// from the KMM importance weights: the resampled set follows the silicon
+/// operating point's distribution while inheriting the Monte Carlo
+/// population's tail samples (the paper's point that n_MC >> n_DUTT gives
+/// better coverage). Throws std::invalid_argument on size mismatch or
+/// degenerate weights.
+[[nodiscard]] linalg::Matrix weighted_resample(const linalg::Matrix& data,
+                                               const linalg::Vector& weights,
+                                               std::size_t n, rng::Rng& rng);
+
+/// Kernel mean matching QP solver.
+class KernelMeanMatching {
+public:
+    struct Options {
+        /// Upper bound B on each weight.
+        double weight_bound = 1000.0;
+
+        /// Half-width eps of the mean-of-weights band around 1. <= 0 selects
+        /// the common rule eps = (sqrt(n_tr) - 1)/sqrt(n_tr).
+        double epsilon = 0.0;
+
+        /// RBF width; <= 0 selects the median heuristic on the pooled data.
+        double gamma = 0.0;
+
+        /// Projected-gradient iterations.
+        std::size_t max_iterations = 2000;
+
+        /// Stop when the weight update's infinity norm falls below this.
+        double tolerance = 1e-8;
+    };
+
+    KernelMeanMatching() = default;
+    explicit KernelMeanMatching(Options opts);
+
+    /// Solve for the importance weights of `train` against `test`. Rows are
+    /// samples. Throws std::invalid_argument on empty inputs or a column
+    /// mismatch.
+    [[nodiscard]] linalg::Vector solve(const linalg::Matrix& train,
+                                       const linalg::Matrix& test) const;
+
+    /// The QP objective 1/2 b^T K b - kappa^T b for a given weight vector —
+    /// exposed for tests and diagnostics.
+    [[nodiscard]] static double objective(const linalg::Matrix& k,
+                                          const linalg::Vector& kappa,
+                                          const linalg::Vector& beta);
+
+    [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+private:
+    Options opts_{};
+};
+
+/// Euclidean projection of `v` onto { 0 <= x <= hi, lo_sum <= sum(x) <= hi_sum }.
+/// Exposed for unit testing; throws when the set is empty.
+[[nodiscard]] linalg::Vector project_box_sum(const linalg::Vector& v, double hi,
+                                             double lo_sum, double hi_sum);
+
+/// Iterative kernel-mean-shift calibration of a simulated sample cloud onto
+/// a measured one (see file comment).
+class KernelMeanShiftCalibrator {
+public:
+    struct Options {
+        KernelMeanMatching::Options kmm{};
+
+        /// Maximum number of shift-and-rematch iterations.
+        std::size_t max_shift_iterations = 30;
+
+        /// Converged when the shift step's Euclidean norm falls below
+        /// `shift_tolerance` times the test population's RMS column spread.
+        double shift_tolerance = 1e-2;
+    };
+
+    KernelMeanShiftCalibrator() = default;
+    explicit KernelMeanShiftCalibrator(Options opts) : opts_(opts) {}
+
+    struct Result {
+        linalg::Matrix calibrated;   ///< shifted training samples m''_p
+        linalg::Vector total_shift;  ///< accumulated translation applied
+        linalg::Vector weights;      ///< final KMM weights on the shifted set
+        std::size_t iterations = 0;  ///< shift iterations performed
+    };
+
+    /// Calibrate `train` onto `test`; throws std::invalid_argument on empty
+    /// inputs or dimension mismatch.
+    [[nodiscard]] Result calibrate(const linalg::Matrix& train,
+                                   const linalg::Matrix& test) const;
+
+    [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+private:
+    Options opts_{};
+};
+
+}  // namespace htd::ml

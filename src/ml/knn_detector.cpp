@@ -1,0 +1,97 @@
+#include "ml/knn_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace htd::ml {
+
+namespace {
+
+/// Distance to the k-th nearest row of `train` (self-exclusion by caller).
+double kth_distance(const linalg::Matrix& train, std::span<const double> z,
+                    std::size_t k, std::ptrdiff_t skip_row) {
+    std::vector<double> dists;
+    dists.reserve(train.rows());
+    for (std::size_t r = 0; r < train.rows(); ++r) {
+        if (static_cast<std::ptrdiff_t>(r) == skip_row) continue;
+        const auto row = train.row_span(r);
+        double d2 = 0.0;
+        for (std::size_t c = 0; c < z.size(); ++c) {
+            const double d = z[c] - row[c];
+            d2 += d * d;
+        }
+        dists.push_back(d2);
+    }
+    std::nth_element(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     dists.end());
+    return std::sqrt(dists[k - 1]);
+}
+
+}  // namespace
+
+KnnDetector::KnnDetector(Options opts) : opts_(opts) {
+    if (opts.k == 0) throw std::invalid_argument("KnnDetector: k == 0");
+    if (!(opts.nu > 0.0 && opts.nu < 1.0)) {
+        throw std::invalid_argument("KnnDetector: nu outside (0, 1)");
+    }
+    if (opts.max_training_samples == 0) {
+        throw std::invalid_argument("KnnDetector: max_training_samples == 0");
+    }
+}
+
+void KnnDetector::fit(const linalg::Matrix& data) {
+    linalg::Matrix raw;
+    if (data.rows() > opts_.max_training_samples) {
+        rng::Rng rng(opts_.subsample_seed);
+        const auto perm = rng.permutation(data.rows());
+        raw = linalg::Matrix(opts_.max_training_samples, data.cols());
+        for (std::size_t i = 0; i < opts_.max_training_samples; ++i) {
+            raw.set_row(i, data.row(perm[i]));
+        }
+    } else {
+        raw = data;
+    }
+    if (raw.rows() <= opts_.k) {
+        throw std::invalid_argument("KnnDetector::fit: need more than k samples");
+    }
+
+    mean_ = stats::column_means(raw);
+    scale_ = raw.rows() >= 2 ? stats::column_stddevs(raw)
+                             : linalg::Vector(raw.cols(), 1.0);
+    for (std::size_t c = 0; c < scale_.size(); ++c) {
+        if (scale_[c] < 1e-12) scale_[c] = 1.0;
+    }
+    train_ = raw;
+    for (std::size_t r = 0; r < train_.rows(); ++r) {
+        auto row = train_.row_span(r);
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            row[c] = (row[c] - mean_[c]) / scale_[c];
+        }
+    }
+
+    // Leave-one-out self-scores calibrate the threshold at the (1 - nu)
+    // quantile: the configured fraction of the training set scores outside.
+    std::vector<double> self_scores(train_.rows());
+    for (std::size_t r = 0; r < train_.rows(); ++r) {
+        self_scores[r] = kth_distance(train_, train_.row_span(r), opts_.k,
+                                      static_cast<std::ptrdiff_t>(r));
+    }
+    threshold_ = stats::quantile(self_scores, 1.0 - opts_.nu);
+    fitted_ = true;
+}
+
+double KnnDetector::score(const linalg::Vector& x) const {
+    if (!fitted_) throw std::logic_error("KnnDetector: not fitted");
+    if (x.size() != mean_.size()) {
+        throw std::invalid_argument("KnnDetector::score: dimension mismatch");
+    }
+    std::vector<double> z(x.size());
+    for (std::size_t c = 0; c < x.size(); ++c) z[c] = (x[c] - mean_[c]) / scale_[c];
+    return kth_distance(train_, z, opts_.k, -1);
+}
+
+}  // namespace htd::ml

@@ -1,0 +1,67 @@
+#pragma once
+/// \file knn_detector.hpp
+/// Distance-based one-class baseline: a device is inside the trusted region
+/// when its distance to the k-th nearest training sample is below a
+/// threshold calibrated on the training set itself (leave-one-out). Used as
+/// an alternative trusted-region learner in the detector ablation — a
+/// sanity check that the Table-1 shape is a property of the *pipeline*, not
+/// of the specific SVM.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace htd::ml {
+
+/// k-nearest-neighbor one-class detector on internally standardized inputs.
+class KnnDetector {
+public:
+    struct Options {
+        std::size_t k = 5;          ///< neighbor rank used as the score
+        double nu = 0.08;           ///< training fraction allowed outside
+        std::size_t max_training_samples = 2000;  ///< uniform subsample cap
+        std::uint64_t subsample_seed = 0x5eed'0c5fULL;
+    };
+
+    KnnDetector() = default;
+
+    /// Throws std::invalid_argument for k == 0, nu outside (0, 1), or a zero
+    /// sample cap.
+    explicit KnnDetector(Options opts);
+
+    /// Fit on the rows of `data`; throws std::invalid_argument when the
+    /// (subsampled) training set has fewer than k + 1 rows.
+    void fit(const linalg::Matrix& data);
+
+    [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+    /// Anomaly score: distance to the k-th nearest training sample in the
+    /// standardized space (smaller = more trusted).
+    [[nodiscard]] double score(const linalg::Vector& x) const;
+
+    /// Decision value with the SVM's sign convention: positive = inside.
+    [[nodiscard]] double decision_value(const linalg::Vector& x) const {
+        return threshold_ - score(x);
+    }
+
+    /// True when x is inside the trusted region.
+    [[nodiscard]] bool contains(const linalg::Vector& x) const {
+        return decision_value(x) >= 0.0;
+    }
+
+    /// Calibrated score threshold.
+    [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+    [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+private:
+    Options opts_{};
+    bool fitted_ = false;
+    linalg::Vector mean_;
+    linalg::Vector scale_;
+    linalg::Matrix train_;  // standardized
+    double threshold_ = 0.0;
+};
+
+}  // namespace htd::ml

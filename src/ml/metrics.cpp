@@ -1,0 +1,118 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace htd::ml {
+
+double DetectionMetrics::false_positive_rate() const noexcept {
+    if (trojan_infested_total == 0) return 0.0;
+    return static_cast<double>(false_positives) /
+           static_cast<double>(trojan_infested_total);
+}
+
+double DetectionMetrics::false_negative_rate() const noexcept {
+    if (trojan_free_total == 0) return 0.0;
+    return static_cast<double>(false_negatives) / static_cast<double>(trojan_free_total);
+}
+
+double DetectionMetrics::accuracy() const noexcept {
+    const std::size_t n = total();
+    if (n == 0) return 0.0;
+    return static_cast<double>(true_positives + true_negatives) / static_cast<double>(n);
+}
+
+std::string DetectionMetrics::str() const {
+    std::ostringstream os;
+    os << "FP " << false_positives << '/' << trojan_infested_total << "  FN "
+       << false_negatives << '/' << trojan_free_total;
+    return os.str();
+}
+
+DetectionMetrics evaluate_detection(const std::vector<bool>& predicted_free,
+                                    std::span<const DeviceLabel> labels) {
+    if (predicted_free.size() != labels.size()) {
+        throw std::invalid_argument("evaluate_detection: size mismatch");
+    }
+    DetectionMetrics m;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (labels[i] == DeviceLabel::kTrojanFree) {
+            ++m.trojan_free_total;
+            if (predicted_free[i]) {
+                ++m.true_positives;
+            } else {
+                ++m.false_negatives;
+            }
+        } else {
+            ++m.trojan_infested_total;
+            if (predicted_free[i]) {
+                ++m.false_positives;
+            } else {
+                ++m.true_negatives;
+            }
+        }
+    }
+    return m;
+}
+
+std::vector<RocPoint> roc_curve(std::span<const double> decision_values,
+                                std::span<const DeviceLabel> labels) {
+    if (decision_values.size() != labels.size()) {
+        throw std::invalid_argument("roc_curve: size mismatch");
+    }
+    if (decision_values.empty()) throw std::invalid_argument("roc_curve: empty input");
+
+    std::size_t n_free = 0, n_infested = 0;
+    for (const DeviceLabel label : labels) {
+        (label == DeviceLabel::kTrojanFree ? n_free : n_infested) += 1;
+    }
+    if (n_free == 0 || n_infested == 0) {
+        throw std::invalid_argument("roc_curve: need both classes");
+    }
+
+    // Sort devices by decision value descending; sweeping the threshold down
+    // moves devices from "rejected" to "accepted" one by one.
+    std::vector<std::size_t> order(labels.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return decision_values[a] > decision_values[b];
+    });
+
+    std::vector<RocPoint> curve;
+    curve.reserve(labels.size() + 2);
+    // Threshold above everything: nothing accepted -> FP 0, FN 1.
+    curve.push_back({decision_values[order.front()] + 1.0, 0.0, 1.0});
+    std::size_t accepted_free = 0, accepted_infested = 0;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        const std::size_t i = order[k];
+        (labels[i] == DeviceLabel::kTrojanFree ? accepted_free : accepted_infested) += 1;
+        // Emit a point only when the next value differs (ties share a point).
+        const bool last = k + 1 == order.size();
+        if (last ||
+            decision_values[order[k + 1]] != decision_values[i]) {
+            curve.push_back(
+                {decision_values[i],
+                 static_cast<double>(accepted_infested) / static_cast<double>(n_infested),
+                 1.0 - static_cast<double>(accepted_free) / static_cast<double>(n_free)});
+        }
+    }
+    return curve;
+}
+
+double roc_auc(std::span<const RocPoint> curve) {
+    if (curve.size() < 2) throw std::invalid_argument("roc_auc: need >= 2 points");
+    double auc = 0.0;
+    for (std::size_t k = 1; k < curve.size(); ++k) {
+        const double x0 = curve[k - 1].fp_rate;
+        const double x1 = curve[k].fp_rate;
+        const double y0 = 1.0 - curve[k - 1].fn_rate;
+        const double y1 = 1.0 - curve[k].fn_rate;
+        auc += 0.5 * (x1 - x0) * (y0 + y1);
+    }
+    return auc;
+}
+
+}  // namespace htd::ml

@@ -1,0 +1,71 @@
+#pragma once
+/// \file metrics.hpp
+/// Trojan-detection metrics following the paper's conventions (Eqs. 1-2):
+/// FP counts Trojan-infested devices predicted Trojan-free (missed Trojans);
+/// FN counts Trojan-free devices predicted Trojan-infested (false alarms).
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace htd::ml {
+
+/// Ground-truth label of a device under Trojan test.
+enum class DeviceLabel {
+    kTrojanFree,
+    kTrojanInfested,
+};
+
+/// Confusion counts for a batch of Trojan-test verdicts.
+struct DetectionMetrics {
+    std::size_t false_positives = 0;   ///< infested predicted free (Eq. 1)
+    std::size_t false_negatives = 0;   ///< free predicted infested (Eq. 2)
+    std::size_t true_positives = 0;    ///< free predicted free
+    std::size_t true_negatives = 0;    ///< infested predicted infested
+    std::size_t trojan_free_total = 0;
+    std::size_t trojan_infested_total = 0;
+
+    /// Total number of devices scored.
+    [[nodiscard]] std::size_t total() const noexcept {
+        return trojan_free_total + trojan_infested_total;
+    }
+
+    /// FP rate over infested devices; 0 when there are none.
+    [[nodiscard]] double false_positive_rate() const noexcept;
+
+    /// FN rate over Trojan-free devices; 0 when there are none.
+    [[nodiscard]] double false_negative_rate() const noexcept;
+
+    /// Overall fraction of correct verdicts.
+    [[nodiscard]] double accuracy() const noexcept;
+
+    /// Table-1 style rendering: "FP a/b  FN c/d".
+    [[nodiscard]] std::string str() const;
+};
+
+/// Score a batch: `predicted_free[i]` is the classifier verdict ("inside the
+/// trusted region") and `labels[i]` the ground truth. Throws
+/// std::invalid_argument on size mismatch.
+[[nodiscard]] DetectionMetrics evaluate_detection(const std::vector<bool>& predicted_free,
+                                                  std::span<const DeviceLabel> labels);
+
+/// One operating point of a detector whose decision value is thresholded:
+/// devices scoring >= threshold are declared Trojan-free.
+struct RocPoint {
+    double threshold = 0.0;
+    double fp_rate = 0.0;  ///< infested accepted / infested total (Eq. 1 rate)
+    double fn_rate = 0.0;  ///< free rejected / free total (Eq. 2 rate)
+};
+
+/// Full ROC sweep over every distinct decision value (plus sentinels at
+/// the two trivial operating points). `decision_values[i]` scores device i;
+/// higher means "more trusted". Throws std::invalid_argument on size
+/// mismatch, empty input, or labels containing only one class.
+[[nodiscard]] std::vector<RocPoint> roc_curve(std::span<const double> decision_values,
+                                              std::span<const DeviceLabel> labels);
+
+/// Area under the ROC curve (trapezoidal over (fp_rate, 1 - fn_rate)).
+/// 1.0 = perfect separation, 0.5 = chance.
+[[nodiscard]] double roc_auc(std::span<const RocPoint> curve);
+
+}  // namespace htd::ml

@@ -1,0 +1,210 @@
+#include "ml/one_class_svm.hpp"
+
+#include "linalg/decompositions.hpp"
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace htd::ml {
+
+OneClassSvm::OneClassSvm(Options opts) : opts_(opts) {
+    if (!(opts.nu > 0.0 && opts.nu < 1.0)) {
+        throw std::invalid_argument("OneClassSvm: nu must lie in (0, 1)");
+    }
+    if (opts.max_training_samples == 0) {
+        throw std::invalid_argument("OneClassSvm: max_training_samples == 0");
+    }
+    if (opts.tolerance <= 0.0) {
+        throw std::invalid_argument("OneClassSvm: tolerance must be positive");
+    }
+    if (opts.gamma_scale <= 0.0) {
+        throw std::invalid_argument("OneClassSvm: gamma_scale must be positive");
+    }
+}
+
+void OneClassSvm::fit(const linalg::Matrix& data) {
+    if (data.rows() == 0 || data.cols() == 0) {
+        throw std::invalid_argument("OneClassSvm::fit: empty dataset");
+    }
+
+    // 1. Uniform subsample when the training set exceeds the cap.
+    linalg::Matrix train;
+    if (data.rows() > opts_.max_training_samples) {
+        rng::Rng rng(opts_.subsample_seed);
+        const auto perm = rng.permutation(data.rows());
+        train = linalg::Matrix(opts_.max_training_samples, data.cols());
+        for (std::size_t i = 0; i < opts_.max_training_samples; ++i) {
+            train.set_row(i, data.row(perm[i]));
+        }
+    } else {
+        train = data;
+    }
+
+    const std::size_t l = train.rows();
+    const double c = 1.0 / (opts_.nu * static_cast<double>(l));
+    if (c * static_cast<double>(l) < 1.0 - 1e-12) {
+        throw std::invalid_argument("OneClassSvm::fit: nu * n < 1, dual infeasible");
+    }
+
+    // 2. Preprocess (standardize or whiten), resolve gamma.
+    const std::size_t d = train.cols();
+    input_mean_ = train.rows() >= 1 ? stats::column_means(train) : linalg::Vector(d);
+    input_transform_ = linalg::Matrix(d, d);
+    if (opts_.whiten && train.rows() >= 2) {
+        const linalg::Matrix cov = stats::covariance_matrix(train);
+        const linalg::EigenResult eig = linalg::symmetric_eigen(cov);
+        const double floor_val =
+            std::max(eig.values[0], 0.0) * opts_.whiten_floor + 1e-300;
+        // W = diag(1/sqrt(max(lambda, floor))) V^T
+        for (std::size_t k = 0; k < d; ++k) {
+            const double scale = 1.0 / std::sqrt(std::max(eig.values[k], floor_val));
+            for (std::size_t c = 0; c < d; ++c) {
+                input_transform_(k, c) = scale * eig.vectors(c, k);
+            }
+        }
+    } else {
+        linalg::Vector scale(d, 1.0);
+        if (train.rows() >= 2) scale = stats::column_stddevs(train);
+        for (std::size_t k = 0; k < d; ++k) {
+            input_transform_(k, k) = 1.0 / std::max(scale[k], 1e-12);
+        }
+    }
+    linalg::Matrix x(train.rows(), d);
+    for (std::size_t r = 0; r < train.rows(); ++r) {
+        x.set_row(r, preprocess(train.row(r)));
+    }
+    gamma_ = opts_.gamma > 0.0 ? opts_.gamma
+                               : median_heuristic_gamma(x) * opts_.gamma_scale;
+    const KernelFn kernel = rbf_kernel(gamma_);
+
+    // 3. Dense Gram matrix (bounded by the subsample cap).
+    const linalg::Matrix q = gram_matrix(kernel, x);
+
+    // 4. Initialize alpha as in libsvm: the first floor(nu*l) points get the
+    //    box maximum, the next point absorbs the remainder so sum == 1.
+    std::vector<double> alpha(l, 0.0);
+    const auto n_full = static_cast<std::size_t>(opts_.nu * static_cast<double>(l));
+    for (std::size_t i = 0; i < std::min(n_full, l); ++i) alpha[i] = c;
+    if (n_full < l) {
+        alpha[n_full] = 1.0 - static_cast<double>(n_full) * c;
+    }
+
+    // Gradient g_i = (Q alpha)_i.
+    std::vector<double> grad(l, 0.0);
+    for (std::size_t i = 0; i < l; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < l; ++j) {
+            if (alpha[j] != 0.0) acc += q(i, j) * alpha[j];
+        }
+        grad[i] = acc;
+    }
+
+    // 5. SMO with maximal-violating-pair selection.
+    iterations_ = 0;
+    for (; iterations_ < opts_.max_iterations; ++iterations_) {
+        // i: can increase (alpha_i < C) with the smallest gradient;
+        // j: can decrease (alpha_j > 0) with the largest gradient.
+        std::size_t bi = l, bj = l;
+        double gi = std::numeric_limits<double>::infinity();
+        double gj = -std::numeric_limits<double>::infinity();
+        for (std::size_t t = 0; t < l; ++t) {
+            if (alpha[t] < c - 1e-15 && grad[t] < gi) {
+                gi = grad[t];
+                bi = t;
+            }
+            if (alpha[t] > 1e-15 && grad[t] > gj) {
+                gj = grad[t];
+                bj = t;
+            }
+        }
+        if (bi == l || bj == l || gj - gi < opts_.tolerance) break;
+
+        // Analytic step along e_i - e_j, clipped to the box.
+        double eta = q(bi, bi) + q(bj, bj) - 2.0 * q(bi, bj);
+        if (eta <= 1e-15) eta = 1e-15;
+        double step = (gj - gi) / eta;
+        step = std::min(step, c - alpha[bi]);
+        step = std::min(step, alpha[bj]);
+        if (step <= 0.0) break;  // numerically stuck; KKT is within tolerance
+
+        alpha[bi] += step;
+        alpha[bj] -= step;
+        for (std::size_t t = 0; t < l; ++t) {
+            grad[t] += step * (q(t, bi) - q(t, bj));
+        }
+    }
+
+    // 6. rho: average gradient over free support vectors, with a bound-based
+    //    fallback when none are free.
+    double free_sum = 0.0;
+    std::size_t free_count = 0;
+    double lower = -std::numeric_limits<double>::infinity();
+    double upper = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < l; ++t) {
+        if (alpha[t] > 1e-12 && alpha[t] < c - 1e-12) {
+            free_sum += grad[t];
+            ++free_count;
+        } else if (alpha[t] <= 1e-12) {
+            upper = std::min(upper, grad[t]);
+        } else {
+            lower = std::max(lower, grad[t]);
+        }
+    }
+    if (free_count > 0) {
+        rho_ = free_sum / static_cast<double>(free_count);
+    } else {
+        if (!std::isfinite(lower)) lower = upper;
+        if (!std::isfinite(upper)) upper = lower;
+        rho_ = 0.5 * (lower + upper);
+    }
+
+    // 7. Keep only the support vectors.
+    support_vectors_ = linalg::Matrix();
+    alpha_.clear();
+    for (std::size_t t = 0; t < l; ++t) {
+        if (alpha[t] > 1e-12) {
+            support_vectors_.append_row(x.row(t));
+            alpha_.push_back(alpha[t]);
+        }
+    }
+    fitted_ = true;
+}
+
+linalg::Vector OneClassSvm::preprocess(const linalg::Vector& x) const {
+    if (x.size() != input_mean_.size()) {
+        throw std::invalid_argument("OneClassSvm: input dimension mismatch");
+    }
+    return input_transform_.matvec(x - input_mean_);
+}
+
+double OneClassSvm::decision_value(const linalg::Vector& x) const {
+    if (!fitted_) throw std::logic_error("OneClassSvm: not fitted");
+    const linalg::Vector z = preprocess(x);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < support_vectors_.rows(); ++i) {
+        const auto sv = support_vectors_.row_span(i);
+        double d2 = 0.0;
+        for (std::size_t c = 0; c < z.size(); ++c) {
+            const double d = z[c] - sv[c];
+            d2 += d * d;
+        }
+        acc += alpha_[i] * std::exp(-gamma_ * d2);
+    }
+    return acc - rho_;
+}
+
+bool OneClassSvm::contains(const linalg::Vector& x) const {
+    return decision_value(x) >= 0.0;
+}
+
+linalg::Vector OneClassSvm::decision_values(const linalg::Matrix& data) const {
+    linalg::Vector out(data.rows());
+    for (std::size_t r = 0; r < data.rows(); ++r) out[r] = decision_value(data.row(r));
+    return out;
+}
+
+}  // namespace htd::ml

@@ -1,0 +1,75 @@
+#include "ml/pca.hpp"
+
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace htd::ml {
+
+void Pca::fit(const linalg::Matrix& data, std::size_t n_components) {
+    if (data.rows() < 2) throw std::invalid_argument("Pca::fit: need >= 2 rows");
+    const std::size_t d = data.cols();
+    if (n_components == 0) n_components = d;
+    if (n_components > d) {
+        throw std::invalid_argument("Pca::fit: n_components exceeds input dimension");
+    }
+
+    mean_ = stats::column_means(data);
+    const linalg::Matrix cov = stats::covariance_matrix(data);
+    const linalg::EigenResult eig = linalg::symmetric_eigen(cov);
+
+    total_variance_ = 0.0;
+    for (std::size_t i = 0; i < d; ++i) total_variance_ += eig.values[i];
+
+    eigenvalues_ = linalg::Vector(n_components);
+    components_ = linalg::Matrix(d, n_components);
+    for (std::size_t k = 0; k < n_components; ++k) {
+        eigenvalues_[k] = eig.values[k];
+        for (std::size_t r = 0; r < d; ++r) components_(r, k) = eig.vectors(r, k);
+    }
+    fitted_ = true;
+}
+
+linalg::Vector Pca::transform(const linalg::Vector& x) const {
+    if (!fitted_) throw std::logic_error("Pca: not fitted");
+    if (x.size() != mean_.size()) throw std::invalid_argument("Pca::transform: dim mismatch");
+    const linalg::Vector centered = x - mean_;
+    linalg::Vector scores(components_.cols());
+    for (std::size_t k = 0; k < components_.cols(); ++k) {
+        double acc = 0.0;
+        for (std::size_t r = 0; r < centered.size(); ++r) {
+            acc += components_(r, k) * centered[r];
+        }
+        scores[k] = acc;
+    }
+    return scores;
+}
+
+linalg::Matrix Pca::transform(const linalg::Matrix& data) const {
+    linalg::Matrix out(data.rows(), components_.cols());
+    for (std::size_t r = 0; r < data.rows(); ++r) out.set_row(r, transform(data.row(r)));
+    return out;
+}
+
+linalg::Vector Pca::inverse_transform(const linalg::Vector& scores) const {
+    if (!fitted_) throw std::logic_error("Pca: not fitted");
+    if (scores.size() != components_.cols()) {
+        throw std::invalid_argument("Pca::inverse_transform: dim mismatch");
+    }
+    linalg::Vector x = mean_;
+    for (std::size_t r = 0; r < mean_.size(); ++r) {
+        for (std::size_t k = 0; k < components_.cols(); ++k) {
+            x[r] += components_(r, k) * scores[k];
+        }
+    }
+    return x;
+}
+
+linalg::Vector Pca::explained_variance_ratio() const {
+    if (!fitted_) throw std::logic_error("Pca: not fitted");
+    linalg::Vector ratio = eigenvalues_;
+    if (total_variance_ > 0.0) ratio /= total_variance_;
+    return ratio;
+}
+
+}  // namespace htd::ml

@@ -1,0 +1,56 @@
+#pragma once
+/// \file pca.hpp
+/// Principal Component Analysis — used to produce the Fig. 4 visualizations:
+/// the 6-D fingerprint populations are projected onto the top three
+/// principal components of the measured device set.
+
+#include "linalg/decompositions.hpp"
+#include "linalg/matrix.hpp"
+
+namespace htd::ml {
+
+/// PCA fit on dataset rows: centers the data, eigendecomposes the sample
+/// covariance, and projects onto the leading components.
+class Pca {
+public:
+    Pca() = default;
+
+    /// Fit on the rows of `data`, keeping `n_components` (0 = all). Throws
+    /// std::invalid_argument with fewer than 2 rows or when n_components
+    /// exceeds the input dimension.
+    void fit(const linalg::Matrix& data, std::size_t n_components = 0);
+
+    [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+    /// Project one sample onto the kept components.
+    [[nodiscard]] linalg::Vector transform(const linalg::Vector& x) const;
+
+    /// Project every row of `data`.
+    [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& data) const;
+
+    /// Reconstruct an original-space point from component scores.
+    [[nodiscard]] linalg::Vector inverse_transform(const linalg::Vector& scores) const;
+
+    /// Eigenvalues of the kept components, descending.
+    [[nodiscard]] const linalg::Vector& explained_variance() const noexcept {
+        return eigenvalues_;
+    }
+
+    /// Fraction of total variance captured by each kept component.
+    [[nodiscard]] linalg::Vector explained_variance_ratio() const;
+
+    /// Component loadings as columns (input_dim x n_components).
+    [[nodiscard]] const linalg::Matrix& components() const noexcept { return components_; }
+
+    [[nodiscard]] std::size_t n_components() const noexcept { return components_.cols(); }
+    [[nodiscard]] std::size_t input_dim() const noexcept { return mean_.size(); }
+
+private:
+    bool fitted_ = false;
+    linalg::Vector mean_;
+    linalg::Vector eigenvalues_;
+    double total_variance_ = 0.0;
+    linalg::Matrix components_;  // columns are principal directions
+};
+
+}  // namespace htd::ml

@@ -1,0 +1,75 @@
+#include "ml/scaler.hpp"
+
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace htd::ml {
+
+void StandardScaler::fit(const linalg::Matrix& data) {
+    if (data.rows() == 0 || data.cols() == 0) {
+        throw std::invalid_argument("StandardScaler::fit: empty dataset");
+    }
+    mean_ = stats::column_means(data);
+    if (data.rows() >= 2) {
+        scale_ = stats::column_stddevs(data);
+    } else {
+        scale_ = linalg::Vector(data.cols(), 1.0);
+    }
+    for (std::size_t c = 0; c < scale_.size(); ++c) {
+        if (scale_[c] < 1e-12) scale_[c] = 1.0;  // constant column passthrough
+    }
+    fitted_ = true;
+}
+
+void StandardScaler::require_fitted() const {
+    if (!fitted_) throw std::logic_error("StandardScaler: not fitted");
+}
+
+linalg::Vector StandardScaler::transform(const linalg::Vector& x) const {
+    require_fitted();
+    if (x.size() != mean_.size()) {
+        throw std::invalid_argument("StandardScaler::transform: dimension mismatch");
+    }
+    linalg::Vector z(x.size());
+    for (std::size_t c = 0; c < x.size(); ++c) z[c] = (x[c] - mean_[c]) / scale_[c];
+    return z;
+}
+
+linalg::Matrix StandardScaler::transform(const linalg::Matrix& data) const {
+    require_fitted();
+    if (data.cols() != mean_.size()) {
+        throw std::invalid_argument("StandardScaler::transform: dimension mismatch");
+    }
+    linalg::Matrix out = data;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        auto row = out.row_span(r);
+        for (std::size_t c = 0; c < out.cols(); ++c) row[c] = (row[c] - mean_[c]) / scale_[c];
+    }
+    return out;
+}
+
+linalg::Vector StandardScaler::inverse_transform(const linalg::Vector& z) const {
+    require_fitted();
+    if (z.size() != mean_.size()) {
+        throw std::invalid_argument("StandardScaler::inverse_transform: dimension mismatch");
+    }
+    linalg::Vector x(z.size());
+    for (std::size_t c = 0; c < z.size(); ++c) x[c] = z[c] * scale_[c] + mean_[c];
+    return x;
+}
+
+linalg::Matrix StandardScaler::inverse_transform(const linalg::Matrix& data) const {
+    require_fitted();
+    if (data.cols() != mean_.size()) {
+        throw std::invalid_argument("StandardScaler::inverse_transform: dimension mismatch");
+    }
+    linalg::Matrix out = data;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        auto row = out.row_span(r);
+        for (std::size_t c = 0; c < out.cols(); ++c) row[c] = row[c] * scale_[c] + mean_[c];
+    }
+    return out;
+}
+
+}  // namespace htd::ml

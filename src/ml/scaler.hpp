@@ -1,0 +1,49 @@
+#pragma once
+/// \file scaler.hpp
+/// Column-wise standardization (zero mean / unit variance). Used in front of
+/// every kernel method so that a single kernel width is meaningful across
+/// fingerprints with different physical units (dB, seconds, ...).
+
+#include "linalg/matrix.hpp"
+
+namespace htd::ml {
+
+/// Fits per-column mean/std on a training set and applies the affine map
+/// z = (x - mean) / std (and its inverse). Constant columns get unit scale
+/// so they pass through unchanged.
+class StandardScaler {
+public:
+    StandardScaler() = default;
+
+    /// Learn means and scales from the rows of `data`; throws
+    /// std::invalid_argument on an empty dataset.
+    void fit(const linalg::Matrix& data);
+
+    /// True once fit() has been called.
+    [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+    /// Standardize one sample; throws std::logic_error if not fitted and
+    /// std::invalid_argument on dimension mismatch.
+    [[nodiscard]] linalg::Vector transform(const linalg::Vector& x) const;
+
+    /// Standardize a dataset row-by-row.
+    [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& data) const;
+
+    /// Map a standardized sample back to the original units.
+    [[nodiscard]] linalg::Vector inverse_transform(const linalg::Vector& z) const;
+
+    /// Map a standardized dataset back to the original units.
+    [[nodiscard]] linalg::Matrix inverse_transform(const linalg::Matrix& data) const;
+
+    [[nodiscard]] const linalg::Vector& means() const noexcept { return mean_; }
+    [[nodiscard]] const linalg::Vector& scales() const noexcept { return scale_; }
+
+private:
+    void require_fitted() const;
+
+    bool fitted_ = false;
+    linalg::Vector mean_;
+    linalg::Vector scale_;
+};
+
+}  // namespace htd::ml

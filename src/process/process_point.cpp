@@ -1,0 +1,59 @@
+#include "process/process_point.hpp"
+
+#include <stdexcept>
+
+namespace htd::process {
+
+std::string param_name(Param p) {
+    switch (p) {
+        case Param::kVthN: return "vth_n";
+        case Param::kVthP: return "vth_p";
+        case Param::kTox: return "tox";
+        case Param::kMuN: return "mu_n";
+        case Param::kMuP: return "mu_p";
+        case Param::kLeff: return "leff";
+        case Param::kRsheet: return "rsheet";
+        case Param::kCjScale: return "cj_scale";
+    }
+    throw std::invalid_argument("param_name: invalid parameter index");
+}
+
+linalg::Vector ProcessPoint::to_vector() const {
+    linalg::Vector v(kParamCount);
+    for (std::size_t i = 0; i < kParamCount; ++i) v[i] = values[i];
+    return v;
+}
+
+ProcessPoint ProcessPoint::from_vector(const linalg::Vector& v) {
+    if (v.size() != kParamCount) {
+        throw std::invalid_argument("ProcessPoint::from_vector: dimension mismatch");
+    }
+    ProcessPoint p;
+    for (std::size_t i = 0; i < kParamCount; ++i) p.values[i] = v[i];
+    return p;
+}
+
+ProcessPoint nominal_350nm() {
+    ProcessPoint p;
+    p.set(Param::kVthN, 0.55);     // V
+    p.set(Param::kVthP, 0.65);     // V (magnitude)
+    p.set(Param::kTox, 7.6);       // nm
+    p.set(Param::kMuN, 420.0);     // cm^2/Vs
+    p.set(Param::kMuP, 140.0);     // cm^2/Vs
+    p.set(Param::kLeff, 0.35);     // um
+    p.set(Param::kRsheet, 75.0);   // ohm/sq
+    p.set(Param::kCjScale, 1.0);   // dimensionless
+    return p;
+}
+
+double cox_ff_per_um2(double tox_nm) {
+    if (tox_nm <= 0.0) throw std::invalid_argument("cox_ff_per_um2: tox <= 0");
+    // eps_ox = 3.9 * 8.854e-12 F/m = 34.53e-12 F/m; converting to fF/um^2:
+    // Cox [F/m^2] = eps_ox / (tox_nm * 1e-9); 1 F/m^2 = 1e3 fF / 1e12 um^2
+    // = 1e3 fF/um^2 per (F/m^2) ... i.e. multiply by 1e3. For tox = 7.6 nm
+    // this gives the textbook ~4.5 fF/um^2.
+    constexpr double kEpsOx = 3.9 * 8.854e-12;
+    return kEpsOx / (tox_nm * 1e-9) * 1e3;
+}
+
+}  // namespace htd::process

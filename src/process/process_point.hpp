@@ -1,0 +1,71 @@
+#pragma once
+/// \file process_point.hpp
+/// The physical process-parameter vector of one fabricated die. These are
+/// the fundamental quantities a CMOS process's Process Control Monitors
+/// (PCMs / e-tests) are designed to track; every circuit-level model in this
+/// library (PCM path delay, ring oscillator, UWB power amplifier) is an
+/// analytic function of a ProcessPoint, so PCM measurements and side-channel
+/// fingerprints share the statistical dependency the paper's regression
+/// stage exploits.
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace htd::process {
+
+/// Index of a physical process parameter inside a ProcessPoint.
+enum class Param : std::size_t {
+    kVthN = 0,   ///< NMOS threshold voltage [V]
+    kVthP,       ///< PMOS threshold voltage magnitude [V]
+    kTox,        ///< gate oxide thickness [nm]
+    kMuN,        ///< electron mobility [cm^2/Vs]
+    kMuP,        ///< hole mobility [cm^2/Vs]
+    kLeff,       ///< effective channel length [um]
+    kRsheet,     ///< interconnect sheet resistance [ohm/sq]
+    kCjScale,    ///< junction/parasitic capacitance scale [1]
+};
+
+/// Number of tracked process parameters.
+inline constexpr std::size_t kParamCount = 8;
+
+/// Short name of a parameter ("vth_n", ...); throws on an invalid index.
+[[nodiscard]] std::string param_name(Param p);
+
+/// One die's process-parameter vector with named accessors.
+struct ProcessPoint {
+    std::array<double, kParamCount> values{};
+
+    [[nodiscard]] double get(Param p) const noexcept {
+        return values[static_cast<std::size_t>(p)];
+    }
+    void set(Param p, double v) noexcept { values[static_cast<std::size_t>(p)] = v; }
+
+    [[nodiscard]] double vth_n() const noexcept { return get(Param::kVthN); }
+    [[nodiscard]] double vth_p() const noexcept { return get(Param::kVthP); }
+    [[nodiscard]] double tox_nm() const noexcept { return get(Param::kTox); }
+    [[nodiscard]] double mu_n() const noexcept { return get(Param::kMuN); }
+    [[nodiscard]] double mu_p() const noexcept { return get(Param::kMuP); }
+    [[nodiscard]] double leff_um() const noexcept { return get(Param::kLeff); }
+    [[nodiscard]] double rsheet() const noexcept { return get(Param::kRsheet); }
+    [[nodiscard]] double cj_scale() const noexcept { return get(Param::kCjScale); }
+
+    /// Conversion to/from a linalg::Vector for statistical modeling.
+    [[nodiscard]] linalg::Vector to_vector() const;
+    [[nodiscard]] static ProcessPoint from_vector(const linalg::Vector& v);
+
+    friend bool operator==(const ProcessPoint&, const ProcessPoint&) = default;
+};
+
+/// Representative nominal point for the 350 nm-class technology the paper's
+/// chips were fabricated in (TSMC 0.35 um): |Vth| around 0.55-0.65 V, 7.6 nm
+/// oxide, standard bulk mobilities.
+[[nodiscard]] ProcessPoint nominal_350nm();
+
+/// Gate oxide capacitance per area [fF/um^2] for an oxide thickness in nm:
+/// Cox = eps_ox / tox. Throws std::invalid_argument when tox <= 0.
+[[nodiscard]] double cox_ff_per_um2(double tox_nm);
+
+}  // namespace htd::process

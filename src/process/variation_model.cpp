@@ -1,0 +1,202 @@
+#include "process/variation_model.hpp"
+
+#include "linalg/decompositions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace htd::process {
+
+namespace {
+
+/// Covariance matrix from per-parameter sigmas and a correlation matrix,
+/// scaled by a variance fraction.
+linalg::Matrix make_covariance(const linalg::Vector& sigma_abs,
+                               const linalg::Matrix& corr, double fraction) {
+    const std::size_t d = sigma_abs.size();
+    linalg::Matrix cov(d, d);
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < d; ++j) {
+            cov(i, j) = fraction * corr(i, j) * sigma_abs[i] * sigma_abs[j];
+        }
+    }
+    return cov;
+}
+
+}  // namespace
+
+ProcessShift ProcessShift::slow_corner(double magnitude) {
+    ProcessShift s;
+    s.set(Param::kVthN, +1.0 * magnitude);
+    s.set(Param::kVthP, +0.9 * magnitude);
+    s.set(Param::kTox, +0.8 * magnitude);
+    s.set(Param::kMuN, -1.2 * magnitude);
+    s.set(Param::kMuP, -1.2 * magnitude);
+    s.set(Param::kLeff, +0.5 * magnitude);
+    s.set(Param::kRsheet, +0.3 * magnitude);
+    s.set(Param::kCjScale, +0.2 * magnitude);
+    return s;
+}
+
+ProcessShift ProcessShift::fast_corner(double magnitude) {
+    ProcessShift s = slow_corner(magnitude);
+    for (double& v : s.sigmas) v = -v;
+    return s;
+}
+
+ProcessVariationModel::ProcessVariationModel(ProcessPoint nominal,
+                                             linalg::Vector sigma_fraction,
+                                             linalg::Matrix correlation,
+                                             VarianceSplit split)
+    : nominal_(nominal),
+      sigma_fraction_(std::move(sigma_fraction)),
+      corr_(std::move(correlation)),
+      split_(split) {
+    if (sigma_fraction_.size() != kParamCount) {
+        throw std::invalid_argument("ProcessVariationModel: sigma dimension mismatch");
+    }
+    if (corr_.rows() != kParamCount || corr_.cols() != kParamCount) {
+        throw std::invalid_argument("ProcessVariationModel: correlation shape mismatch");
+    }
+    if (!corr_.is_symmetric(1e-9)) {
+        throw std::invalid_argument("ProcessVariationModel: correlation not symmetric");
+    }
+    if (std::abs(split_.sum() - 1.0) > 1e-9 || split_.lot < 0.0 || split_.wafer < 0.0 ||
+        split_.die < 0.0) {
+        throw std::invalid_argument(
+            "ProcessVariationModel: variance split must be non-negative and sum to 1");
+    }
+    for (std::size_t i = 0; i < kParamCount; ++i) {
+        if (sigma_fraction_[i] < 0.0) {
+            throw std::invalid_argument("ProcessVariationModel: negative sigma");
+        }
+    }
+    sigma_abs_ = linalg::Vector(kParamCount);
+    for (std::size_t i = 0; i < kParamCount; ++i) {
+        sigma_abs_[i] = sigma_fraction_[i] * std::abs(nominal_.values[i]);
+    }
+    // Validate positive-definiteness early via a throwaway factorization.
+    (void)rng::MultivariateNormal(linalg::Vector(kParamCount),
+                                  make_covariance(sigma_abs_, corr_, 1.0));
+}
+
+ProcessVariationModel::ProcessVariationModel(ProcessPoint nominal,
+                                             linalg::Vector sigma_fraction,
+                                             linalg::Matrix correlation,
+                                             VarianceSplit split,
+                                             linalg::Vector sigma_abs)
+    : nominal_(nominal),
+      sigma_fraction_(std::move(sigma_fraction)),
+      sigma_abs_(std::move(sigma_abs)),
+      corr_(std::move(correlation)),
+      split_(split) {}
+
+ProcessVariationModel ProcessVariationModel::default_350nm() {
+    linalg::Vector sigma(kParamCount);
+    sigma[static_cast<std::size_t>(Param::kVthN)] = 0.020;    // 2% of 0.55 V
+    sigma[static_cast<std::size_t>(Param::kVthP)] = 0.020;
+    sigma[static_cast<std::size_t>(Param::kTox)] = 0.005;
+    sigma[static_cast<std::size_t>(Param::kMuN)] = 0.070;
+    sigma[static_cast<std::size_t>(Param::kMuP)] = 0.070;
+    sigma[static_cast<std::size_t>(Param::kLeff)] = 0.008;
+    sigma[static_cast<std::size_t>(Param::kRsheet)] = 0.010;
+    sigma[static_cast<std::size_t>(Param::kCjScale)] = 0.010;
+
+    // Physically motivated correlation structure: both thresholds ride on
+    // oxide thickness; the mobilities move together with the thermal budget
+    // and dominate both drive current and amplifier gain; channel length
+    // couples weakly through lithography.
+    linalg::Matrix corr = linalg::Matrix::identity(kParamCount);
+    auto set = [&corr](Param a, Param b, double rho) {
+        corr(static_cast<std::size_t>(a), static_cast<std::size_t>(b)) = rho;
+        corr(static_cast<std::size_t>(b), static_cast<std::size_t>(a)) = rho;
+    };
+    set(Param::kVthN, Param::kVthP, 0.75);
+    set(Param::kVthN, Param::kTox, 0.40);
+    set(Param::kVthP, Param::kTox, 0.40);
+    set(Param::kMuN, Param::kMuP, 0.98);
+    set(Param::kMuN, Param::kTox, -0.15);
+    set(Param::kMuP, Param::kTox, -0.15);
+    set(Param::kMuN, Param::kVthN, -0.15);
+    set(Param::kMuP, Param::kVthP, -0.15);
+    set(Param::kLeff, Param::kVthN, 0.15);
+    set(Param::kLeff, Param::kVthP, 0.15);
+    set(Param::kRsheet, Param::kCjScale, 0.15);
+
+    // Hand-set entries can be slightly indefinite as a whole; repair to the
+    // nearest valid correlation matrix before constructing the model.
+    corr = linalg::nearest_correlation_matrix(corr);
+
+    return {nominal_350nm(), sigma, corr, VarianceSplit{}};
+}
+
+ProcessVariationModel ProcessVariationModel::shifted(const ProcessShift& shift) const {
+    ProcessPoint moved = nominal_;
+    for (std::size_t i = 0; i < kParamCount; ++i) {
+        moved.values[i] += shift.sigmas[i] * sigma_abs_[i];
+    }
+    // Keep the original absolute sigmas: process spread is a property of the
+    // technology, not of where the operating point currently sits.
+    return {moved, sigma_fraction_, corr_, split_, sigma_abs_};
+}
+
+rng::MultivariateNormal ProcessVariationModel::scaled_mvn(double variance_fraction) const {
+    return {linalg::Vector(kParamCount),
+            make_covariance(sigma_abs_, corr_, variance_fraction)};
+}
+
+ProcessPoint ProcessVariationModel::sample_monte_carlo(rng::Rng& rng) const {
+    const linalg::Vector offset = scaled_mvn(1.0).sample(rng);
+    ProcessPoint p = nominal_;
+    for (std::size_t i = 0; i < kParamCount; ++i) p.values[i] += offset[i];
+    return p;
+}
+
+linalg::Matrix ProcessVariationModel::sample_monte_carlo_n(rng::Rng& rng,
+                                                           std::size_t n) const {
+    linalg::Matrix out(n, kParamCount);
+    for (std::size_t r = 0; r < n; ++r) {
+        out.set_row(r, sample_monte_carlo(rng).to_vector());
+    }
+    return out;
+}
+
+linalg::Vector ProcessVariationModel::sample_lot_offset(rng::Rng& rng) const {
+    if (split_.lot == 0.0) return linalg::Vector(kParamCount);
+    return scaled_mvn(split_.lot).sample(rng);
+}
+
+linalg::Vector ProcessVariationModel::sample_wafer_offset(rng::Rng& rng) const {
+    if (split_.wafer == 0.0) return linalg::Vector(kParamCount);
+    return scaled_mvn(split_.wafer).sample(rng);
+}
+
+ProcessPoint ProcessVariationModel::sample_die(rng::Rng& rng,
+                                               const linalg::Vector& lot_offset,
+                                               const linalg::Vector& wafer_offset) const {
+    if (lot_offset.size() != kParamCount || wafer_offset.size() != kParamCount) {
+        throw std::invalid_argument("sample_die: offset dimension mismatch");
+    }
+    linalg::Vector die_offset = split_.die > 0.0
+                                    ? scaled_mvn(split_.die).sample(rng)
+                                    : linalg::Vector(kParamCount);
+    ProcessPoint p = nominal_;
+    for (std::size_t i = 0; i < kParamCount; ++i) {
+        p.values[i] += lot_offset[i] + wafer_offset[i] + die_offset[i];
+    }
+    return p;
+}
+
+ProcessPoint ProcessVariationModel::perturb_within_die(rng::Rng& rng,
+                                                       const ProcessPoint& die,
+                                                       double fraction) const {
+    if (fraction < 0.0) throw std::invalid_argument("perturb_within_die: fraction < 0");
+    ProcessPoint p = die;
+    if (fraction == 0.0) return p;
+    const linalg::Vector offset =
+        scaled_mvn(split_.die * fraction * fraction).sample(rng);
+    for (std::size_t i = 0; i < kParamCount; ++i) p.values[i] += offset[i];
+    return p;
+}
+
+}  // namespace htd::process

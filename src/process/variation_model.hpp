@@ -1,0 +1,119 @@
+#pragma once
+/// \file variation_model.hpp
+/// Hierarchical process-variation model and the simulation-vs-silicon
+/// discrepancy at the heart of the paper.
+///
+/// A fabrication process is described by a nominal ProcessPoint, per-
+/// parameter standard deviations, an inter-parameter correlation matrix
+/// (threshold voltages track oxide thickness, mobilities anti-correlate
+/// with it, ...), and a variance split across the lot / wafer / die levels.
+/// Devices from the same lot share the lot-level offset — which is exactly
+/// why the DUTT PCM sample in the paper covers only a narrow slice of the
+/// full process distribution, and why the KMM-calibrated Monte Carlo PCMs
+/// (boundary B4) beat the raw DUTT PCMs (boundary B3).
+///
+/// A *Spice model* of the process is the same generative structure evaluated
+/// at a stale operating point: `ProcessShift` expresses how far the actual
+/// foundry has drifted (in units of each parameter's sigma) since the model
+/// was extracted. Learning the trusted region from un-anchored Monte Carlo
+/// data fails precisely because of this drift (boundaries B1/B2).
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+#include "process/process_point.hpp"
+#include "rng/rng.hpp"
+
+namespace htd::process {
+
+/// How total parameter variance splits across hierarchy levels. Fractions
+/// must be non-negative and sum to 1 (checked by ProcessVariationModel).
+struct VarianceSplit {
+    double lot = 0.45;
+    double wafer = 0.25;
+    double die = 0.30;
+
+    [[nodiscard]] double sum() const noexcept { return lot + wafer + die; }
+};
+
+/// Per-parameter drift of the true foundry operating point away from the
+/// Spice model, expressed in sigmas of that parameter.
+struct ProcessShift {
+    std::array<double, kParamCount> sigmas{};
+
+    [[nodiscard]] double get(Param p) const noexcept {
+        return sigmas[static_cast<std::size_t>(p)];
+    }
+    void set(Param p, double v) noexcept { sigmas[static_cast<std::size_t>(p)] = v; }
+
+    /// A correlated "slow corner" drift: thicker oxide, higher thresholds,
+    /// lower mobilities, scaled by `magnitude` (in sigmas).
+    [[nodiscard]] static ProcessShift slow_corner(double magnitude);
+
+    /// A correlated "fast corner" drift (opposite signs).
+    [[nodiscard]] static ProcessShift fast_corner(double magnitude);
+};
+
+/// Generative model of one fabrication process / operating point.
+class ProcessVariationModel {
+public:
+    /// `sigma_fraction[i]` is the standard deviation of parameter i as a
+    /// fraction of its nominal magnitude. Throws std::invalid_argument on
+    /// inconsistent shapes, a non-unit variance split, or a correlation
+    /// matrix that is not symmetric positive definite.
+    ProcessVariationModel(ProcessPoint nominal, linalg::Vector sigma_fraction,
+                          linalg::Matrix correlation, VarianceSplit split);
+
+    /// Default model of the 350 nm-class process: nominal_350nm(), a few
+    /// percent sigma per parameter, physically motivated correlations, and
+    /// the default lot/wafer/die split.
+    [[nodiscard]] static ProcessVariationModel default_350nm();
+
+    /// The same process observed through a stale Spice model: nominal point
+    /// translated by `-shift` relative to this model (equivalently, this
+    /// model is the foundry that has drifted by `+shift` since extraction).
+    [[nodiscard]] ProcessVariationModel shifted(const ProcessShift& shift) const;
+
+    /// One die sampled with the *full* process variance — what a Spice-level
+    /// Monte Carlo across all corners produces.
+    [[nodiscard]] ProcessPoint sample_monte_carlo(rng::Rng& rng) const;
+
+    /// `n` Monte Carlo dice stacked as rows (kParamCount columns).
+    [[nodiscard]] linalg::Matrix sample_monte_carlo_n(rng::Rng& rng, std::size_t n) const;
+
+    /// A lot-level offset (shared by every wafer in a lot).
+    [[nodiscard]] linalg::Vector sample_lot_offset(rng::Rng& rng) const;
+
+    /// A wafer-level offset (shared by every die on a wafer).
+    [[nodiscard]] linalg::Vector sample_wafer_offset(rng::Rng& rng) const;
+
+    /// One die within the given lot and wafer context.
+    [[nodiscard]] ProcessPoint sample_die(rng::Rng& rng, const linalg::Vector& lot_offset,
+                                          const linalg::Vector& wafer_offset) const;
+
+    /// Small within-die (mismatch) perturbation of an existing die point —
+    /// used for the several design instances sharing one die. `fraction`
+    /// scales the die-level sigma.
+    [[nodiscard]] ProcessPoint perturb_within_die(rng::Rng& rng, const ProcessPoint& die,
+                                                  double fraction = 0.15) const;
+
+    [[nodiscard]] const ProcessPoint& nominal() const noexcept { return nominal_; }
+    [[nodiscard]] const linalg::Vector& sigma() const noexcept { return sigma_abs_; }
+    [[nodiscard]] const VarianceSplit& split() const noexcept { return split_; }
+    [[nodiscard]] const linalg::Matrix& correlation() const noexcept { return corr_; }
+
+private:
+    ProcessVariationModel(ProcessPoint nominal, linalg::Vector sigma_fraction,
+                          linalg::Matrix correlation, VarianceSplit split,
+                          linalg::Vector sigma_abs);
+
+    [[nodiscard]] rng::MultivariateNormal scaled_mvn(double variance_fraction) const;
+
+    ProcessPoint nominal_;
+    linalg::Vector sigma_fraction_;
+    linalg::Vector sigma_abs_;
+    linalg::Matrix corr_;
+    VarianceSplit split_;
+};
+
+}  // namespace htd::process

@@ -1,0 +1,125 @@
+#pragma once
+/// \file uwb.hpp
+/// Behavioural model of the platform's analog half: an Ultra-Wide-Band
+/// (UWB) transmitter that sends each 128-bit ciphertext block as on-off-
+/// keyed Gaussian pulses, plus the bench power meter whose band-limited
+/// average-power reading is the paper's side-channel fingerprint.
+///
+/// The power amplifier's pulse amplitude, center frequency and pulse width
+/// are analytic functions of the die's ProcessPoint (through the alpha-power
+/// MOSFET model), so the fingerprints inherit the process-variation
+/// statistics that the PCM regression stage must capture.
+
+#include <array>
+#include <vector>
+
+#include "circuit/mosfet.hpp"
+#include "process/process_point.hpp"
+#include "rng/rng.hpp"
+#include "trojan/trojan.hpp"
+
+namespace htd::rf {
+
+/// Parameters of one UWB pulse.
+struct UwbPulseParams {
+    double amplitude_v = 1.0;      ///< peak amplitude
+    double center_freq_ghz = 4.0;  ///< carrier frequency
+    double tau_ns = 0.5;           ///< Gaussian envelope width
+};
+
+/// The UWB power amplifier: maps a process point to nominal pulse
+/// parameters.
+class PowerAmplifier {
+public:
+    struct Options {
+        double vdd = 3.3;
+        double bias_v = 1.6;              ///< gate bias of the driver stage
+        double load_ohm = 50.0;           ///< antenna load
+        double driver_width_um = 60.0;    ///< PA driver device width
+        double nominal_freq_ghz = 4.0;    ///< tank frequency at nominal process
+
+        /// Sensitivity exponent of the tank frequency to the capacitance
+        /// ratio: 0.5 for a free-running LC tank, smaller when the tank is
+        /// digitally trimmed at production test (standard practice for
+        /// UWB transmitters; the platform trims most but not all of the
+        /// capacitance spread away).
+        double freq_tuning_exponent = 0.15;
+        double nominal_tau_ns = 0.5;      ///< envelope width at nominal process
+    };
+
+    PowerAmplifier() : PowerAmplifier(Options{}) {}
+    explicit PowerAmplifier(Options opts);
+
+    /// Pulse parameters at a process point (no Trojan, no noise).
+    [[nodiscard]] UwbPulseParams pulse_params(const process::ProcessPoint& pp) const;
+
+    [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+private:
+    Options opts_;
+    circuit::Mosfet driver_;
+    double nominal_gm_;     ///< driver gm at the nominal 350 nm point
+    double nominal_cload_;  ///< tank capacitance scale at the nominal point
+};
+
+/// The UWB transmitter: OOK transmission of a 128-bit block, with an
+/// optional hardware Trojan modulating each pulse.
+class UwbTransmitter {
+public:
+    /// `trojan` may be null (Trojan-free design); the pointer is non-owning
+    /// and must outlive the transmitter.
+    explicit UwbTransmitter(PowerAmplifier pa, const trojan::TrojanEffect* trojan = nullptr);
+
+    /// Transmit one block: returns the per-bit-slot observations an antenna
+    /// on the public channel would capture. Bits equal to '1' produce a
+    /// pulse; '0' slots stay silent (OOK).
+    [[nodiscard]] std::vector<trojan::PulseObservation> transmit_block(
+        const process::ProcessPoint& pp, const std::array<bool, 128>& ciphertext_bits,
+        const std::array<bool, 128>& key_bits) const;
+
+    [[nodiscard]] bool has_trojan() const noexcept { return trojan_ != nullptr; }
+
+private:
+    PowerAmplifier pa_;
+    const trojan::TrojanEffect* trojan_;
+};
+
+/// Band-limited average-power meter: integrates pulse energy weighted by a
+/// Gaussian band response centered on the nominal UWB band, averaged over
+/// the block duration, reported in dBm with multiplicative instrument noise.
+class PowerMeter {
+public:
+    struct Options {
+        double center_freq_ghz = 4.0;   ///< band center of the measurement
+        double bandwidth_ghz = 1.2;     ///< Gaussian band response sigma
+        double bit_period_ns = 10.0;    ///< OOK slot duration
+        double noise_sigma_db = 0.0;    ///< instrument noise (dB, additive in log domain)
+    };
+
+    PowerMeter() : PowerMeter(Options{}) {}
+    explicit PowerMeter(Options opts);
+
+    /// Noise-free average block power [mW].
+    [[nodiscard]] double average_power_mw(
+        std::span<const trojan::PulseObservation> block) const;
+
+    /// Average block power in dBm, with instrument noise drawn from `rng`.
+    [[nodiscard]] double average_power_dbm(
+        std::span<const trojan::PulseObservation> block, rng::Rng& rng) const;
+
+    /// Band response H(f) in [0, 1] at frequency f.
+    [[nodiscard]] double band_response(double freq_ghz) const noexcept;
+
+    [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+private:
+    Options opts_;
+};
+
+/// Convert linear milliwatts to dBm; throws std::domain_error for mw <= 0.
+[[nodiscard]] double mw_to_dbm(double mw);
+
+/// Convert dBm to linear milliwatts.
+[[nodiscard]] double dbm_to_mw(double dbm) noexcept;
+
+}  // namespace htd::rf

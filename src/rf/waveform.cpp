@@ -1,0 +1,120 @@
+#include "rf/waveform.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace htd::rf {
+
+SampledWaveform synthesize_block(std::span<const trojan::PulseObservation> block,
+                                 double bit_period_ns, double sample_rate_ghz) {
+    if (bit_period_ns <= 0.0 || sample_rate_ghz <= 0.0) {
+        throw std::invalid_argument("synthesize_block: non-positive timing");
+    }
+    double f_max = 0.0;
+    for (const trojan::PulseObservation& obs : block) {
+        if (obs.transmitted) f_max = std::max(f_max, obs.frequency_ghz);
+    }
+    if (sample_rate_ghz < 2.0 * f_max) {
+        throw std::invalid_argument("synthesize_block: sample rate below Nyquist");
+    }
+
+    SampledWaveform wave;
+    wave.sample_rate_ghz = sample_rate_ghz;
+    const double total_ns = static_cast<double>(block.size()) * bit_period_ns;
+    wave.samples.assign(
+        static_cast<std::size_t>(std::ceil(total_ns * sample_rate_ghz)), 0.0);
+
+    const double dt = 1.0 / sample_rate_ghz;
+    for (std::size_t slot = 0; slot < block.size(); ++slot) {
+        const trojan::PulseObservation& obs = block[slot];
+        if (!obs.transmitted || obs.tau_ns <= 0.0) continue;
+        const double t_center = (static_cast<double>(slot) + 0.5) * bit_period_ns;
+        // The pulse is negligible beyond ~5 tau; only touch those samples.
+        const double reach = 5.0 * obs.tau_ns;
+        const auto s_lo = static_cast<std::size_t>(
+            std::max(0.0, (t_center - reach) * sample_rate_ghz));
+        const auto s_hi = std::min(
+            wave.samples.size(),
+            static_cast<std::size_t>((t_center + reach) * sample_rate_ghz) + 1);
+        for (std::size_t s = s_lo; s < s_hi; ++s) {
+            const double t = static_cast<double>(s) * dt - t_center;
+            wave.samples[s] +=
+                obs.amplitude_v *
+                std::exp(-0.5 * t * t / (obs.tau_ns * obs.tau_ns)) *
+                std::cos(2.0 * std::numbers::pi * obs.frequency_ghz * t);
+        }
+    }
+    return wave;
+}
+
+double average_power_w(const SampledWaveform& wave, double load_ohm) {
+    if (wave.samples.empty()) {
+        throw std::invalid_argument("average_power_w: empty waveform");
+    }
+    if (load_ohm <= 0.0) throw std::invalid_argument("average_power_w: bad load");
+    double acc = 0.0;
+    for (const double v : wave.samples) acc += v * v;
+    return acc / static_cast<double>(wave.samples.size()) / load_ohm;
+}
+
+// --- SpectrumAnalyzer ------------------------------------------------------------
+
+SpectrumAnalyzer::SpectrumAnalyzer(double resolution_ghz) : resolution_(resolution_ghz) {
+    if (resolution_ghz <= 0.0) {
+        throw std::invalid_argument("SpectrumAnalyzer: non-positive resolution");
+    }
+}
+
+double SpectrumAnalyzer::tone_power_w(const SampledWaveform& wave, double freq_ghz,
+                                      double load_ohm) const {
+    if (wave.samples.empty() || wave.sample_rate_ghz <= 0.0) {
+        throw std::invalid_argument("SpectrumAnalyzer: empty waveform");
+    }
+    const std::size_t n = wave.samples.size();
+    const double omega = 2.0 * std::numbers::pi * freq_ghz / wave.sample_rate_ghz;
+
+    // Hann-windowed single-bin DFT (direct form; Goertzel would save a few
+    // multiplies but the windows dominate anyway).
+    double re = 0.0, im = 0.0, win_sum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double w =
+            0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * static_cast<double>(k) /
+                                  static_cast<double>(n - 1)));
+        const double x = wave.samples[k] * w;
+        re += x * std::cos(omega * static_cast<double>(k));
+        im -= x * std::sin(omega * static_cast<double>(k));
+        win_sum += w;
+    }
+    // Normalize so a full-scale tone of amplitude A yields A/2 per side bin;
+    // the factor 2 folds the negative-frequency half back in.
+    const double mag = 2.0 * std::hypot(re, im) / win_sum;
+    return mag * mag / 2.0 / load_ohm;
+}
+
+double SpectrumAnalyzer::band_power_w(const SampledWaveform& wave, double f_lo_ghz,
+                                      double f_hi_ghz, double load_ohm) const {
+    if (f_hi_ghz <= f_lo_ghz) {
+        throw std::invalid_argument("SpectrumAnalyzer::band_power_w: empty band");
+    }
+    double acc = 0.0;
+    for (double f = f_lo_ghz; f <= f_hi_ghz + 1e-12; f += resolution_) {
+        acc += tone_power_w(wave, f, load_ohm);
+    }
+    return acc;
+}
+
+std::vector<std::pair<double, double>> SpectrumAnalyzer::sweep(
+    const SampledWaveform& wave, double f_lo_ghz, double f_hi_ghz,
+    double load_ohm) const {
+    if (f_hi_ghz <= f_lo_ghz) {
+        throw std::invalid_argument("SpectrumAnalyzer::sweep: empty band");
+    }
+    std::vector<std::pair<double, double>> out;
+    for (double f = f_lo_ghz; f <= f_hi_ghz + 1e-12; f += resolution_) {
+        out.emplace_back(f, tone_power_w(wave, f, load_ohm));
+    }
+    return out;
+}
+
+}  // namespace htd::rf

@@ -1,0 +1,72 @@
+#pragma once
+/// \file waveform.hpp
+/// Time-domain view of the UWB channel: synthesis of the sampled waveform a
+/// block transmission puts on the antenna, and a windowed-DFT spectrum
+/// analyzer. This is the signal-level counterpart of the behavioural
+/// `rf::PowerMeter` — the analytic band-power expression the pipeline uses
+/// is validated against an actual sampled-waveform measurement
+/// (tests/test_waveform.cpp), and the spectrum path lets examples show what
+/// the Trojan modulation looks like on a spectrum display.
+
+#include <span>
+#include <vector>
+
+#include "trojan/trojan.hpp"
+
+namespace htd::rf {
+
+/// A uniformly sampled real waveform.
+struct SampledWaveform {
+    double sample_rate_ghz = 0.0;  ///< samples per nanosecond
+    std::vector<double> samples;   ///< volts
+
+    [[nodiscard]] double duration_ns() const noexcept {
+        return sample_rate_ghz > 0.0
+                   ? static_cast<double>(samples.size()) / sample_rate_ghz
+                   : 0.0;
+    }
+};
+
+/// Synthesize the antenna waveform of one OOK block transmission: each
+/// transmitted slot contributes a Gaussian-envelope pulse
+/// A exp(-(t - t_c)^2 / (2 tau^2)) cos(2 pi f (t - t_c)) centered in its bit
+/// period. Throws std::invalid_argument for non-positive rates/periods or a
+/// sample rate below twice the highest pulse frequency (Nyquist).
+[[nodiscard]] SampledWaveform synthesize_block(
+    std::span<const trojan::PulseObservation> block, double bit_period_ns,
+    double sample_rate_ghz);
+
+/// Power of a waveform in watts into `load_ohm`, averaged over its duration.
+[[nodiscard]] double average_power_w(const SampledWaveform& wave,
+                                     double load_ohm = 50.0);
+
+/// Windowed-DFT spectrum analyzer.
+class SpectrumAnalyzer {
+public:
+    /// `resolution_ghz` is the frequency grid spacing of band sweeps.
+    /// Throws std::invalid_argument when non-positive.
+    explicit SpectrumAnalyzer(double resolution_ghz = 0.05);
+
+    /// Power spectral content at one frequency [W into load]: magnitude^2 of
+    /// the Hann-windowed Goertzel bin, normalized so a pure tone of
+    /// amplitude A reports ~A^2/2/load.
+    [[nodiscard]] double tone_power_w(const SampledWaveform& wave, double freq_ghz,
+                                      double load_ohm = 50.0) const;
+
+    /// Band power [W]: sum of tone powers across the band on the analyzer's
+    /// frequency grid. Throws std::invalid_argument for an empty band.
+    [[nodiscard]] double band_power_w(const SampledWaveform& wave, double f_lo_ghz,
+                                      double f_hi_ghz, double load_ohm = 50.0) const;
+
+    /// Full sweep: (frequency, power) pairs across [f_lo, f_hi].
+    [[nodiscard]] std::vector<std::pair<double, double>> sweep(
+        const SampledWaveform& wave, double f_lo_ghz, double f_hi_ghz,
+        double load_ohm = 50.0) const;
+
+    [[nodiscard]] double resolution_ghz() const noexcept { return resolution_; }
+
+private:
+    double resolution_;
+};
+
+}  // namespace htd::rf

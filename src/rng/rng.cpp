@@ -1,0 +1,201 @@
+#include "rng/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/decompositions.hpp"
+
+namespace htd::rng {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+// --- SplitMix64 -------------------------------------------------------------
+
+std::uint64_t SplitMix64::next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : s_) word = sm.next();
+    // Guard against the all-zero state, which is a fixed point of xoshiro.
+    if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Rng::uniform() noexcept {
+    // 53 high bits -> double in [0, 1)
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    if (hi < lo) throw std::invalid_argument("Rng::uniform: hi < lo");
+    return lo + (hi - lo) * uniform();
+}
+
+std::size_t Rng::uniform_index(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::uniform_index: n == 0");
+    // Rejection sampling for an unbiased bounded draw.
+    const std::uint64_t bound = n;
+    const std::uint64_t threshold = (~bound + 1) % bound;  // = 2^64 mod n
+    for (;;) {
+        const std::uint64_t r = next_u64();
+        if (r >= threshold) return static_cast<std::size_t>(r % bound);
+    }
+}
+
+double Rng::normal() noexcept {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Polar (Marsaglia) method.
+    double u, v, s;
+    do {
+        u = 2.0 * uniform() - 1.0;
+        v = 2.0 * uniform() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = v * factor;
+    has_cached_normal_ = true;
+    return u * factor;
+}
+
+double Rng::normal(double mean, double sigma) {
+    if (sigma < 0.0) throw std::invalid_argument("Rng::normal: sigma < 0");
+    return mean + sigma * normal();
+}
+
+double Rng::exponential(double rate) {
+    if (rate <= 0.0) throw std::invalid_argument("Rng::exponential: rate <= 0");
+    return -std::log(1.0 - uniform()) / rate;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+    return uniform() < std::clamp(p, 0.0, 1.0);
+}
+
+void Rng::jump() noexcept {
+    static constexpr std::uint64_t kJump[] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> t{};
+    for (std::uint64_t word : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (word & (std::uint64_t{1} << b)) {
+                t[0] ^= s_[0];
+                t[1] ^= s_[1];
+                t[2] ^= s_[2];
+                t[3] ^= s_[3];
+            }
+            next_u64();
+        }
+    }
+    s_ = t;
+}
+
+Rng Rng::split() noexcept {
+    Rng child = *this;
+    child.jump();
+    child.has_cached_normal_ = false;
+    jump();  // also advance this stream past the child's block
+    jump();
+    return child;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+    std::vector<std::size_t> p(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = i;
+    for (std::size_t i = n; i-- > 1;) {
+        const std::size_t j = uniform_index(i + 1);
+        std::swap(p[i], p[j]);
+    }
+    return p;
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+    if (weights.empty()) throw std::invalid_argument("Rng::weighted_index: empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0 || !std::isfinite(w)) {
+            throw std::invalid_argument("Rng::weighted_index: negative or non-finite weight");
+        }
+        total += w;
+    }
+    if (total <= 0.0) throw std::invalid_argument("Rng::weighted_index: all-zero weights");
+    double u = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        u -= weights[i];
+        if (u < 0.0) return i;
+    }
+    return weights.size() - 1;  // numerical spill-over lands on the last bin
+}
+
+// --- MultivariateNormal ------------------------------------------------------
+
+MultivariateNormal::MultivariateNormal(linalg::Vector mean, const linalg::Matrix& cov)
+    : mean_(std::move(mean)) {
+    if (cov.rows() != mean_.size() || cov.cols() != mean_.size()) {
+        throw std::invalid_argument("MultivariateNormal: mean/cov shape mismatch");
+    }
+    // Factor with an escalating ridge so borderline semi-definite covariance
+    // matrices (common after shrinkage or tiny sample sizes) remain usable.
+    double lambda = 0.0;
+    for (int attempt = 0;; ++attempt) {
+        linalg::Matrix m = cov;
+        if (lambda > 0.0)
+            for (std::size_t i = 0; i < m.rows(); ++i) m(i, i) += lambda;
+        try {
+            chol_lower_ = linalg::Cholesky(m).l();
+            break;
+        } catch (const std::domain_error&) {
+            if (attempt >= 12) throw;
+            lambda = (lambda == 0.0) ? 1e-12 * (1.0 + cov.max_abs()) : lambda * 10.0;
+        }
+    }
+}
+
+linalg::Vector MultivariateNormal::sample(Rng& rng) const {
+    const std::size_t d = dim();
+    linalg::Vector z(d);
+    for (std::size_t i = 0; i < d; ++i) z[i] = rng.normal();
+    linalg::Vector x = mean_;
+    for (std::size_t i = 0; i < d; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j <= i; ++j) acc += chol_lower_(i, j) * z[j];
+        x[i] += acc;
+    }
+    return x;
+}
+
+linalg::Matrix MultivariateNormal::sample_n(Rng& rng, std::size_t n) const {
+    linalg::Matrix out(n, dim());
+    for (std::size_t i = 0; i < n; ++i) out.set_row(i, sample(rng));
+    return out;
+}
+
+}  // namespace htd::rng

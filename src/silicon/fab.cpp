@@ -1,0 +1,78 @@
+#include "silicon/fab.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace htd::silicon {
+
+double Device::site_radius() const noexcept {
+    return std::sqrt(site_x * site_x + site_y * site_y);
+}
+
+Fab::Fab(process::ProcessVariationModel silicon_process, Options opts)
+    : process_(std::move(silicon_process)), opts_(opts) {
+    if (opts_.wafers == 0) throw std::invalid_argument("Fab: zero wafers");
+    if (opts_.within_die_fraction < 0.0) {
+        throw std::invalid_argument("Fab: negative within-die fraction");
+    }
+    if (opts_.radial_gradient_sigma < 0.0) {
+        throw std::invalid_argument("Fab: negative radial gradient");
+    }
+}
+
+FabricatedLot Fab::fabricate_lot(rng::Rng& rng, std::size_t n_chips) const {
+    if (n_chips == 0) throw std::invalid_argument("Fab::fabricate_lot: zero chips");
+
+    FabricatedLot lot;
+    lot.lot_offset = process_.sample_lot_offset(rng);
+    lot.wafer_offsets.reserve(opts_.wafers);
+    for (std::size_t w = 0; w < opts_.wafers; ++w) {
+        lot.wafer_offsets.push_back(process_.sample_wafer_offset(rng));
+    }
+    lot.chips_per_wafer = (n_chips + opts_.wafers - 1) / opts_.wafers;
+
+    static constexpr trojan::DesignVariant kVersions[] = {
+        trojan::DesignVariant::kTrojanFree,
+        trojan::DesignVariant::kTrojanAmplitude,
+        trojan::DesignVariant::kTrojanFrequency,
+    };
+
+    // Radial systematic direction: edge chips lean toward the slow corner.
+    const process::ProcessShift radial_dir = process::ProcessShift::slow_corner(1.0);
+
+    lot.devices.reserve(n_chips * 3);
+    for (std::size_t chip = 0; chip < n_chips; ++chip) {
+        const std::size_t wafer = chip / lot.chips_per_wafer;
+        // Sunflower (golden-angle) layout fills the wafer disk uniformly.
+        const std::size_t site = chip % lot.chips_per_wafer;
+        const double r = std::sqrt((static_cast<double>(site) + 0.5) /
+                                   static_cast<double>(lot.chips_per_wafer));
+        const double theta = 2.39996322972865332 * static_cast<double>(site);
+
+        process::ProcessPoint die =
+            process_.sample_die(rng, lot.lot_offset, lot.wafer_offsets[wafer]);
+        if (opts_.radial_gradient_sigma > 0.0) {
+            // Zero-mean across the wafer: r^2 averages to 1/2 on the disk.
+            const double weight = opts_.radial_gradient_sigma * (r * r - 0.5);
+            for (std::size_t i = 0; i < process::kParamCount; ++i) {
+                die.values[i] += weight * radial_dir.sigmas[i] * process_.sigma()[i];
+            }
+        }
+
+        for (const trojan::DesignVariant v : kVersions) {
+            Device dev;
+            dev.chip_id = chip;
+            dev.wafer_id = wafer;
+            dev.site_x = r * std::cos(theta);
+            dev.site_y = r * std::sin(theta);
+            dev.variant = v;
+            // Each version occupies its own area of the die: same die-level
+            // point plus a small local-mismatch perturbation.
+            dev.point = process_.perturb_within_die(rng, die, opts_.within_die_fraction);
+            lot.devices.push_back(dev);
+        }
+    }
+    return lot;
+}
+
+}  // namespace htd::silicon

@@ -1,0 +1,112 @@
+#pragma once
+/// \file descriptive.hpp
+/// Descriptive statistics over samples stored one-per-row in a Matrix, plus
+/// scalar helpers. These are the building blocks for standardization, PCA,
+/// bandwidth selection and the experiment reports.
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace htd::stats {
+
+/// Arithmetic mean of a scalar sample; throws std::invalid_argument if empty.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased (n-1) sample variance; throws if fewer than 2 samples.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Square root of variance().
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Median (average of the middle pair for even n); throws if empty.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Linear-interpolation quantile for q in [0, 1]; throws on empty input or
+/// q outside [0, 1].
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Pearson correlation of two equally sized samples; throws on mismatch,
+/// fewer than 2 samples, or zero variance.
+[[nodiscard]] double pearson_correlation(std::span<const double> xs,
+                                         std::span<const double> ys);
+
+/// Column means of a dataset (rows are samples).
+[[nodiscard]] linalg::Vector column_means(const linalg::Matrix& data);
+
+/// Column standard deviations (unbiased); requires >= 2 rows.
+[[nodiscard]] linalg::Vector column_stddevs(const linalg::Matrix& data);
+
+/// Unbiased sample covariance matrix of a dataset; requires >= 2 rows.
+[[nodiscard]] linalg::Matrix covariance_matrix(const linalg::Matrix& data);
+
+/// Center the dataset by subtracting column means; returns centered copy.
+[[nodiscard]] linalg::Matrix centered(const linalg::Matrix& data);
+
+/// Mahalanobis distance of `x` from `mean` under covariance `cov` (solved
+/// via Cholesky with ridge fallback).
+[[nodiscard]] double mahalanobis(const linalg::Vector& x,
+                                 const linalg::Vector& mean,
+                                 const linalg::Matrix& cov);
+
+/// A fixed-width histogram over [lo, hi] with `bins` equal bins.
+/// Values outside the range are counted in `underflow` / `overflow`.
+class Histogram {
+public:
+    /// Throws std::invalid_argument when bins == 0 or hi <= lo.
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /// Add one observation.
+    void add(double x) noexcept;
+
+    /// Add every element of a sample.
+    void add_all(std::span<const double> xs) noexcept;
+
+    [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+    [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+    [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+    [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+    [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+    /// Center of the given bin.
+    [[nodiscard]] double bin_center(std::size_t bin) const;
+
+    /// Empirical density (count / (total * bin_width)) of the given bin.
+    [[nodiscard]] double density(std::size_t bin) const;
+
+private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable and
+/// usable where a full sample buffer is unnecessary.
+class RunningStats {
+public:
+    /// Add one observation.
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+
+    /// Unbiased variance; throws std::logic_error with < 2 observations.
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double stddev() const;
+
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+}  // namespace htd::stats

@@ -1,0 +1,225 @@
+#include "stats/evt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace htd::stats {
+
+// --- GeneralizedPareto --------------------------------------------------------
+
+GeneralizedPareto::GeneralizedPareto(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+    if (scale <= 0.0) throw std::invalid_argument("GeneralizedPareto: scale <= 0");
+    if (std::abs(shape) >= 1.0) {
+        throw std::invalid_argument("GeneralizedPareto: |shape| >= 1 unsupported");
+    }
+}
+
+double GeneralizedPareto::pdf(double y) const noexcept {
+    if (y < 0.0) return 0.0;
+    if (std::abs(shape_) < 1e-12) {
+        return std::exp(-y / scale_) / scale_;
+    }
+    const double t = 1.0 + shape_ * y / scale_;
+    if (t <= 0.0) return 0.0;  // beyond the finite endpoint for xi < 0
+    return std::pow(t, -1.0 / shape_ - 1.0) / scale_;
+}
+
+double GeneralizedPareto::cdf(double y) const noexcept {
+    if (y <= 0.0) return 0.0;
+    if (std::abs(shape_) < 1e-12) {
+        return 1.0 - std::exp(-y / scale_);
+    }
+    const double t = 1.0 + shape_ * y / scale_;
+    if (t <= 0.0) return 1.0;
+    return 1.0 - std::pow(t, -1.0 / shape_);
+}
+
+double GeneralizedPareto::quantile(double p) const {
+    if (p < 0.0 || p >= 1.0) {
+        throw std::invalid_argument("GeneralizedPareto::quantile: p outside [0, 1)");
+    }
+    if (std::abs(shape_) < 1e-12) {
+        return -scale_ * std::log1p(-p);
+    }
+    return scale_ / shape_ * (std::pow(1.0 - p, -shape_) - 1.0);
+}
+
+double GeneralizedPareto::sample(rng::Rng& rng) const {
+    return quantile(rng.uniform());
+}
+
+GeneralizedPareto GeneralizedPareto::fit_pwm(std::span<const double> excesses) {
+    const std::size_t n = excesses.size();
+    if (n < 3) throw std::invalid_argument("GeneralizedPareto::fit_pwm: need >= 3 excesses");
+    std::vector<double> y(excesses.begin(), excesses.end());
+    std::sort(y.begin(), y.end());
+    if (y.front() < 0.0) {
+        throw std::invalid_argument("GeneralizedPareto::fit_pwm: negative excess");
+    }
+
+    // a0 = mean, a1 = E[Y (1 - F(Y))] estimated with plotting positions
+    // (n - i) / (n - 1) for the ascending order statistic y_(i), i = 1..n.
+    double a0 = 0.0;
+    double a1 = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) {
+        const double yi = y[i - 1];
+        a0 += yi;
+        a1 += yi * static_cast<double>(n - i) / static_cast<double>(n - 1);
+    }
+    a0 /= static_cast<double>(n);
+    a1 /= static_cast<double>(n);
+
+    const double denom = a0 - 2.0 * a1;
+    if (denom <= 0.0 || a0 <= 0.0) {
+        throw std::invalid_argument("GeneralizedPareto::fit_pwm: degenerate sample");
+    }
+    double shape = 2.0 - a0 / denom;
+    double scale = 2.0 * a0 * a1 / denom;
+    shape = std::clamp(shape, -0.45, 0.45);
+    scale = std::max(scale, 1e-12);
+    return {shape, scale};
+}
+
+// --- PotTailModel ----------------------------------------------------------------
+
+PotTailModel::PotTailModel(std::span<const double> sample, double tail_fraction,
+                           bool upper)
+    : sorted_(sample.begin(), sample.end()),
+      tail_fraction_(tail_fraction),
+      upper_(upper) {
+    if (tail_fraction <= 0.0 || tail_fraction > 0.5) {
+        throw std::invalid_argument("PotTailModel: tail_fraction outside (0, 0.5]");
+    }
+    std::sort(sorted_.begin(), sorted_.end());
+    const auto n_tail =
+        static_cast<std::size_t>(tail_fraction * static_cast<double>(sorted_.size()));
+    if (n_tail < 3) {
+        throw std::invalid_argument("PotTailModel: tail would have < 3 points");
+    }
+
+    std::vector<double> excesses(n_tail);
+    if (upper) {
+        threshold_ = sorted_[sorted_.size() - n_tail];
+        for (std::size_t i = 0; i < n_tail; ++i) {
+            excesses[i] = sorted_[sorted_.size() - n_tail + i] - threshold_;
+        }
+    } else {
+        threshold_ = sorted_[n_tail - 1];
+        for (std::size_t i = 0; i < n_tail; ++i) {
+            excesses[i] = threshold_ - sorted_[i];
+        }
+    }
+    gpd_ = GeneralizedPareto::fit_pwm(excesses);
+}
+
+double PotTailModel::sample_tail(rng::Rng& rng) const {
+    const double excess = gpd_.sample(rng);
+    return upper_ ? threshold_ + excess : threshold_ - excess;
+}
+
+double PotTailModel::quantile(double p) const {
+    if (p <= 0.0 || p >= 1.0) {
+        throw std::invalid_argument("PotTailModel::quantile: p outside (0, 1)");
+    }
+    const double n = static_cast<double>(sorted_.size());
+    const bool in_tail = upper_ ? p > 1.0 - tail_fraction_ : p < tail_fraction_;
+    if (!in_tail) {
+        // Empirical body with linear interpolation.
+        const double pos = p * (n - 1.0);
+        const auto lo = static_cast<std::size_t>(pos);
+        const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+    }
+    if (upper_) {
+        const double p_excess = (p - (1.0 - tail_fraction_)) / tail_fraction_;
+        return threshold_ + gpd_.quantile(p_excess);
+    }
+    const double p_excess = (tail_fraction_ - p) / tail_fraction_;
+    return threshold_ - gpd_.quantile(p_excess);
+}
+
+// --- EvtTailEnhancer -----------------------------------------------------------------
+
+EvtTailEnhancer::EvtTailEnhancer(const linalg::Matrix& data, double tail_fraction)
+    : tail_fraction_(tail_fraction) {
+    if (data.rows() < 10) {
+        throw std::invalid_argument("EvtTailEnhancer: need >= 10 rows");
+    }
+    mean_ = column_means(data);
+    const linalg::EigenResult eig = linalg::symmetric_eigen(covariance_matrix(data));
+    basis_ = eig.vectors;  // columns = principal directions, descending
+
+    // Data expressed in the eigenbasis.
+    const std::size_t d = data.cols();
+    linalg::Matrix scores(data.rows(), d);
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        const auto row = data.row_span(r);
+        for (std::size_t axis = 0; axis < d; ++axis) {
+            double acc = 0.0;
+            for (std::size_t c = 0; c < d; ++c) {
+                acc += basis_(c, axis) * (row[c] - mean_[c]);
+            }
+            scores(r, axis) = acc;
+        }
+    }
+
+    upper_.reserve(d);
+    lower_.reserve(d);
+    for (std::size_t axis = 0; axis < d; ++axis) {
+        const linalg::Vector column = scores.col(axis);
+        const std::span<const double> span(column.data(), column.size());
+        upper_.emplace_back(span, tail_fraction_, /*upper=*/true);
+        lower_.emplace_back(span, tail_fraction_, /*upper=*/false);
+    }
+}
+
+const PotTailModel& EvtTailEnhancer::upper_tail(std::size_t axis) const {
+    if (axis >= upper_.size()) throw std::out_of_range("EvtTailEnhancer::upper_tail");
+    return upper_[axis];
+}
+
+const PotTailModel& EvtTailEnhancer::lower_tail(std::size_t axis) const {
+    if (axis >= lower_.size()) throw std::out_of_range("EvtTailEnhancer::lower_tail");
+    return lower_[axis];
+}
+
+linalg::Vector EvtTailEnhancer::sample(rng::Rng& rng) const {
+    const std::size_t d = dim();
+    linalg::Vector scores(d);
+    for (std::size_t axis = 0; axis < d; ++axis) {
+        // Uniform probability through the semiparametric marginal: empirical
+        // body, GPD tails — drawn independently in the decorrelated basis.
+        const double p = std::clamp(rng.uniform(), 1e-9, 1.0 - 1e-9);
+        const bool in_upper = p > 1.0 - tail_fraction_;
+        const bool in_lower = p < tail_fraction_;
+        if (in_upper) {
+            scores[axis] = upper_[axis].quantile(p);
+        } else if (in_lower) {
+            scores[axis] = lower_[axis].quantile(p);
+        } else {
+            scores[axis] = upper_[axis].quantile(p);  // body: same empirical part
+        }
+    }
+    // Rotate back: x = mean + basis * scores.
+    linalg::Vector x = mean_;
+    for (std::size_t c = 0; c < d; ++c) {
+        for (std::size_t axis = 0; axis < d; ++axis) {
+            x[c] += basis_(c, axis) * scores[axis];
+        }
+    }
+    return x;
+}
+
+linalg::Matrix EvtTailEnhancer::sample_n(rng::Rng& rng, std::size_t n) const {
+    if (n == 0) throw std::invalid_argument("EvtTailEnhancer::sample_n: n == 0");
+    linalg::Matrix out(n, mean_.size());
+    for (std::size_t i = 0; i < n; ++i) out.set_row(i, sample(rng));
+    return out;
+}
+
+}  // namespace htd::stats

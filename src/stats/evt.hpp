@@ -1,0 +1,122 @@
+#pragma once
+/// \file evt.hpp
+/// Extreme-value-theory tail modeling: the generalized Pareto distribution
+/// (GPD), peaks-over-threshold (POT) tail models, and a semiparametric
+/// tail-enhanced population generator.
+///
+/// The paper's Section 2.5 uses adaptive KDE as its "advanced statistical
+/// tail modeling technique"; EVT is the classical alternative for the same
+/// job (modeling where Monte Carlo produces few samples). The library
+/// offers both: `core::PipelineConfig::tail_model` selects which one builds
+/// the synthetic populations S2/S5, and bench_ablation_kde compares them.
+
+#include <span>
+
+#include "linalg/decompositions.hpp"
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace htd::stats {
+
+/// Generalized Pareto distribution GPD(shape xi, scale sigma) over excesses
+/// y >= 0:  F(y) = 1 - (1 + xi y / sigma)^(-1/xi)   (xi -> 0: 1 - e^(-y/sigma)).
+class GeneralizedPareto {
+public:
+    /// Throws std::invalid_argument for non-positive scale or |shape| >= 1.
+    GeneralizedPareto(double shape, double scale);
+
+    /// Density at excess y (0 for y < 0 or beyond the finite endpoint).
+    [[nodiscard]] double pdf(double y) const noexcept;
+
+    /// Distribution function at excess y.
+    [[nodiscard]] double cdf(double y) const noexcept;
+
+    /// Quantile (inverse CDF) for p in [0, 1); throws std::invalid_argument
+    /// outside that range.
+    [[nodiscard]] double quantile(double p) const;
+
+    /// One excess draw.
+    [[nodiscard]] double sample(rng::Rng& rng) const;
+
+    [[nodiscard]] double shape() const noexcept { return shape_; }
+    [[nodiscard]] double scale() const noexcept { return scale_; }
+
+    /// Probability-weighted-moments fit (Hosking & Wallis, 1987) to a sample
+    /// of excesses; robust for the small tail samples POT produces. The
+    /// fitted shape is clamped into (-0.45, 0.45) for stability. Throws
+    /// std::invalid_argument with fewer than 3 excesses or non-positive data
+    /// spread.
+    [[nodiscard]] static GeneralizedPareto fit_pwm(std::span<const double> excesses);
+
+private:
+    double shape_;
+    double scale_;
+};
+
+/// Peaks-over-threshold model of one tail of a scalar sample: the empirical
+/// distribution below the threshold, a fitted GPD above it.
+class PotTailModel {
+public:
+    /// Model the upper (or lower) `tail_fraction` of `sample`. Throws
+    /// std::invalid_argument when the tail would have fewer than 3 points or
+    /// tail_fraction is outside (0, 0.5].
+    PotTailModel(std::span<const double> sample, double tail_fraction, bool upper);
+
+    /// Threshold u marking the start of the modeled tail.
+    [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+    /// Fraction of probability mass in the modeled tail.
+    [[nodiscard]] double tail_fraction() const noexcept { return tail_fraction_; }
+
+    [[nodiscard]] const GeneralizedPareto& gpd() const noexcept { return gpd_; }
+
+    /// A draw from the modeled tail (beyond the threshold, in the tail's
+    /// direction).
+    [[nodiscard]] double sample_tail(rng::Rng& rng) const;
+
+    /// Overall quantile of the semiparametric distribution for p in (0, 1):
+    /// empirical interpolation in the body, GPD in the modeled tail.
+    [[nodiscard]] double quantile(double p) const;
+
+private:
+    std::vector<double> sorted_;
+    double tail_fraction_;
+    bool upper_;
+    double threshold_ = 0.0;
+    GeneralizedPareto gpd_{0.0, 1.0};
+};
+
+/// Semiparametric tail-enhanced population generator for multivariate data:
+/// the data is rotated into its covariance eigenbasis (principal axes), each
+/// axis gets an empirical body plus GPD tails (both sides), synthetic
+/// samples draw the axes independently in that decorrelated basis and
+/// rotate back.
+///
+/// This is the EVT counterpart of stats::AdaptiveKde for building S2/S5.
+class EvtTailEnhancer {
+public:
+    /// Throws std::invalid_argument for fewer than 10 rows or a tail
+    /// fraction outside (0, 0.5].
+    explicit EvtTailEnhancer(const linalg::Matrix& data, double tail_fraction = 0.1);
+
+    /// One synthetic sample in the original space.
+    [[nodiscard]] linalg::Vector sample(rng::Rng& rng) const;
+
+    /// `n` synthetic samples stacked as rows.
+    [[nodiscard]] linalg::Matrix sample_n(rng::Rng& rng, std::size_t n) const;
+
+    /// Fitted tail models per principal axis (index 0 = dominant axis).
+    [[nodiscard]] const PotTailModel& upper_tail(std::size_t axis) const;
+    [[nodiscard]] const PotTailModel& lower_tail(std::size_t axis) const;
+
+    [[nodiscard]] std::size_t dim() const noexcept { return upper_.size(); }
+
+private:
+    double tail_fraction_;
+    linalg::Vector mean_;
+    linalg::Matrix basis_;   // principal directions as columns
+    std::vector<PotTailModel> upper_;
+    std::vector<PotTailModel> lower_;
+};
+
+}  // namespace htd::stats

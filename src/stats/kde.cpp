@@ -1,0 +1,203 @@
+#include "stats/kde.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace htd::stats {
+
+namespace {
+
+std::unique_ptr<SmoothingKernel> make_kernel(KernelType type, std::size_t dim) {
+    switch (type) {
+        case KernelType::kEpanechnikov:
+            return std::make_unique<EpanechnikovKernel>(dim);
+        case KernelType::kGaussian:
+            return std::make_unique<GaussianKernel>(dim);
+    }
+    throw std::invalid_argument("make_kernel: unknown kernel type");
+}
+
+}  // namespace
+
+double silverman_bandwidth(std::size_t n_samples, std::size_t dim, KernelType kernel) {
+    if (n_samples == 0) throw std::invalid_argument("silverman_bandwidth: n_samples == 0");
+    if (dim == 0) throw std::invalid_argument("silverman_bandwidth: dim == 0");
+    const double d = static_cast<double>(dim);
+    const double n = static_cast<double>(n_samples);
+    double a = 1.0;
+    switch (kernel) {
+        case KernelType::kEpanechnikov: {
+            // Silverman (1986), Eq. 4.15 adapted: A(K) for the multivariate
+            // Epanechnikov kernel.
+            const double cd = unit_ball_volume(dim);
+            a = std::pow(8.0 / cd * (d + 4.0) *
+                             std::pow(2.0 * std::sqrt(std::numbers::pi), d),
+                         1.0 / (d + 4.0));
+            break;
+        }
+        case KernelType::kGaussian:
+            a = std::pow(4.0 / (d + 2.0), 1.0 / (d + 4.0));
+            break;
+    }
+    return a * std::pow(n, -1.0 / (d + 4.0));
+}
+
+// --- Kde -------------------------------------------------------------------
+
+Kde::Kde(const linalg::Matrix& data, double bandwidth, KernelType kernel) {
+    if (data.rows() == 0 || data.cols() == 0) {
+        throw std::invalid_argument("Kde: empty dataset");
+    }
+    const std::size_t d = data.cols();
+    col_mean_ = column_means(data);
+    if (data.rows() >= 2) {
+        col_scale_ = column_stddevs(data);
+    } else {
+        col_scale_ = linalg::Vector(d, 1.0);
+    }
+    jacobian_ = 1.0;
+    for (std::size_t c = 0; c < d; ++c) {
+        // Floor the scale so constant columns do not produce divide-by-zero;
+        // they simply stay (almost) constant in the synthetic population.
+        if (col_scale_[c] < 1e-12) col_scale_[c] = 1e-12;
+        jacobian_ *= col_scale_[c];
+    }
+
+    std_data_ = data;
+    for (std::size_t r = 0; r < std_data_.rows(); ++r) {
+        auto row = std_data_.row_span(r);
+        for (std::size_t c = 0; c < d; ++c) row[c] = (row[c] - col_mean_[c]) / col_scale_[c];
+    }
+
+    h_ = bandwidth > 0.0 ? bandwidth : silverman_bandwidth(data.rows(), d, kernel);
+    kernel_ = make_kernel(kernel, d);
+}
+
+double Kde::standardized_density(std::span<const double> z) const {
+    const std::size_t m = std_data_.rows();
+    const std::size_t d = std_data_.cols();
+    const double inv_h = 1.0 / h_;
+    std::vector<double> t(d);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+        const auto row = std_data_.row_span(i);
+        for (std::size_t c = 0; c < d; ++c) t[c] = (z[c] - row[c]) * inv_h;
+        acc += kernel_->density(t);
+    }
+    return acc / (static_cast<double>(m) * std::pow(h_, static_cast<double>(d)));
+}
+
+double Kde::density(const linalg::Vector& x) const {
+    if (x.size() != dim()) throw std::invalid_argument("Kde::density: dimension mismatch");
+    std::vector<double> z(dim());
+    for (std::size_t c = 0; c < dim(); ++c) z[c] = (x[c] - col_mean_[c]) / col_scale_[c];
+    return standardized_density(z) / jacobian_;
+}
+
+linalg::Vector Kde::sample(rng::Rng& rng) const {
+    const std::size_t d = dim();
+    const std::size_t i = rng.uniform_index(observation_count());
+    std::vector<double> disp(d);
+    kernel_->sample(rng, disp);
+    const auto row = std_data_.row_span(i);
+    linalg::Vector out(d);
+    for (std::size_t c = 0; c < d; ++c) {
+        out[c] = (row[c] + h_ * disp[c]) * col_scale_[c] + col_mean_[c];
+    }
+    return out;
+}
+
+linalg::Matrix Kde::sample_n(rng::Rng& rng, std::size_t n) const {
+    linalg::Matrix out(n, dim());
+    for (std::size_t i = 0; i < n; ++i) out.set_row(i, sample(rng));
+    return out;
+}
+
+// --- AdaptiveKde -------------------------------------------------------------
+
+AdaptiveKde::AdaptiveKde(const linalg::Matrix& data, double alpha, double bandwidth,
+                         KernelType kernel, double max_lambda)
+    : pilot_(data, bandwidth, kernel), alpha_(alpha) {
+    if (alpha < 0.0 || alpha > 1.0) {
+        throw std::invalid_argument("AdaptiveKde: alpha outside [0, 1]");
+    }
+    if (max_lambda < 1.0) {
+        throw std::invalid_argument("AdaptiveKde: max_lambda < 1");
+    }
+    const std::size_t m = pilot_.observation_count();
+    const std::size_t d = pilot_.dim();
+
+    // Pilot density at each observation (standardized space; the Jacobian is
+    // a constant and cancels inside lambda_i).
+    std::vector<double> pilot_density(m);
+    double log_sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+        const auto row = pilot_.std_data_.row_span(i);
+        std::vector<double> z(row.begin(), row.end());
+        double f = pilot_.standardized_density(z);
+        // The kernel always covers its own center, so f > 0; clamp anyway to
+        // keep the log finite under extreme bandwidths.
+        f = std::max(f, 1e-300);
+        pilot_density[i] = f;
+        log_sum += std::log(f);
+    }
+    g_ = std::exp(log_sum / static_cast<double>(m));  // Eq. (9)
+
+    lambda_.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        lambda_[i] = std::min(std::pow(pilot_density[i] / g_, -alpha_),
+                              max_lambda);  // Eq. (8), clamped
+    }
+    (void)d;
+}
+
+double AdaptiveKde::local_bandwidth_factor(std::size_t i) const {
+    if (i >= lambda_.size()) throw std::out_of_range("AdaptiveKde::local_bandwidth_factor");
+    return lambda_[i];
+}
+
+double AdaptiveKde::density(const linalg::Vector& x) const {
+    const std::size_t d = dim();
+    if (x.size() != d) throw std::invalid_argument("AdaptiveKde::density: dimension mismatch");
+    std::vector<double> z(d);
+    for (std::size_t c = 0; c < d; ++c) {
+        z[c] = (x[c] - pilot_.col_mean_[c]) / pilot_.col_scale_[c];
+    }
+
+    const std::size_t m = observation_count();
+    const double h = pilot_.bandwidth();
+    std::vector<double> t(d);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+        const auto row = pilot_.std_data_.row_span(i);
+        const double hi = h * lambda_[i];
+        for (std::size_t c = 0; c < d; ++c) t[c] = (z[c] - row[c]) / hi;
+        acc += pilot_.kernel_->density(t) / std::pow(hi, static_cast<double>(d));
+    }
+    return acc / static_cast<double>(m) / pilot_.jacobian_;  // Eq. (7)
+}
+
+linalg::Vector AdaptiveKde::sample(rng::Rng& rng) const {
+    const std::size_t d = dim();
+    const std::size_t i = rng.uniform_index(observation_count());
+    std::vector<double> disp(d);
+    pilot_.kernel_->sample(rng, disp);
+    const double hi = pilot_.bandwidth() * lambda_[i];
+    const auto row = pilot_.std_data_.row_span(i);
+    linalg::Vector out(d);
+    for (std::size_t c = 0; c < d; ++c) {
+        out[c] = (row[c] + hi * disp[c]) * pilot_.col_scale_[c] + pilot_.col_mean_[c];
+    }
+    return out;
+}
+
+linalg::Matrix AdaptiveKde::sample_n(rng::Rng& rng, std::size_t n) const {
+    linalg::Matrix out(n, dim());
+    for (std::size_t i = 0; i < n; ++i) out.set_row(i, sample(rng));
+    return out;
+}
+
+}  // namespace htd::stats

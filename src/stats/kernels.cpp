@@ -1,0 +1,71 @@
+#include "stats/kernels.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace htd::stats {
+
+double unit_ball_volume(std::size_t dim) {
+    if (dim == 0) throw std::invalid_argument("unit_ball_volume: dim == 0");
+    const double d = static_cast<double>(dim);
+    return 2.0 * std::pow(std::numbers::pi, d / 2.0) / (d * std::tgamma(d / 2.0));
+}
+
+// --- Epanechnikov ----------------------------------------------------------
+
+EpanechnikovKernel::EpanechnikovKernel(std::size_t dim) : dim_(dim) {
+    if (dim == 0) throw std::invalid_argument("EpanechnikovKernel: dim == 0");
+    norm_ = 0.5 * (static_cast<double>(dim) + 2.0) / unit_ball_volume(dim);
+}
+
+double EpanechnikovKernel::density(std::span<const double> t) const {
+    if (t.size() != dim_) throw std::invalid_argument("EpanechnikovKernel::density: dim mismatch");
+    double tt = 0.0;
+    for (double v : t) tt += v * v;
+    if (tt >= 1.0) return 0.0;
+    return norm_ * (1.0 - tt);
+}
+
+void EpanechnikovKernel::sample(rng::Rng& rng, std::span<double> out) const {
+    if (out.size() != dim_) throw std::invalid_argument("EpanechnikovKernel::sample: dim mismatch");
+    for (;;) {
+        // Uniform direction on the sphere from normalized Gaussians.
+        double nrm2 = 0.0;
+        for (double& v : out) {
+            v = rng.normal();
+            nrm2 += v * v;
+        }
+        if (nrm2 == 0.0) continue;
+        const double nrm = std::sqrt(nrm2);
+
+        // Radius of a uniform-ball draw, thinned to the Epanechnikov radial
+        // law r^{d-1}(1-r^2) by accepting with probability (1 - r^2).
+        const double r = std::pow(rng.uniform(), 1.0 / static_cast<double>(dim_));
+        if (rng.uniform() < 1.0 - r * r) {
+            for (double& v : out) v *= r / nrm;
+            return;
+        }
+    }
+}
+
+// --- Gaussian ----------------------------------------------------------------
+
+GaussianKernel::GaussianKernel(std::size_t dim) : dim_(dim) {
+    if (dim == 0) throw std::invalid_argument("GaussianKernel: dim == 0");
+    log_norm_ = -0.5 * static_cast<double>(dim) * std::log(2.0 * std::numbers::pi);
+}
+
+double GaussianKernel::density(std::span<const double> t) const {
+    if (t.size() != dim_) throw std::invalid_argument("GaussianKernel::density: dim mismatch");
+    double tt = 0.0;
+    for (double v : t) tt += v * v;
+    return std::exp(log_norm_ - 0.5 * tt);
+}
+
+void GaussianKernel::sample(rng::Rng& rng, std::span<double> out) const {
+    if (out.size() != dim_) throw std::invalid_argument("GaussianKernel::sample: dim mismatch");
+    for (double& v : out) v = rng.normal();
+}
+
+}  // namespace htd::stats

@@ -1,0 +1,117 @@
+#include "trojan/attacker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace htd::trojan {
+
+std::size_t KeyRecoveryResult::bit_errors(
+    const std::array<bool, 128>& truth) const noexcept {
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < 128; ++i) {
+        if (key_bits[i] != truth[i]) ++errors;
+    }
+    return errors;
+}
+
+KeyRecoveryAttacker::KeyRecoveryAttacker(Options opts) : opts_(opts) {
+    if (opts.amplitude_noise_rel < 0.0 || opts.frequency_noise_ghz < 0.0) {
+        throw std::invalid_argument("KeyRecoveryAttacker: negative noise");
+    }
+    if (opts.min_separation <= 0.0) {
+        throw std::invalid_argument("KeyRecoveryAttacker: non-positive min_separation");
+    }
+}
+
+KeyRecoveryResult KeyRecoveryAttacker::recover_key(
+    const std::vector<std::vector<PulseObservation>>& blocks, LeakChannel channel,
+    rng::Rng& rng) const {
+    if (blocks.empty()) {
+        throw std::invalid_argument("KeyRecoveryAttacker: no blocks");
+    }
+    for (const auto& b : blocks) {
+        if (b.size() != 128) {
+            throw std::invalid_argument("KeyRecoveryAttacker: block must have 128 slots");
+        }
+    }
+
+    // Per-position average of the demodulated property over every pulse the
+    // receiver captured at that position.
+    std::array<double, 128> sums{};
+    std::array<std::size_t, 128> counts{};
+    for (const auto& block : blocks) {
+        for (std::size_t i = 0; i < 128; ++i) {
+            const PulseObservation& obs = block[i];
+            if (!obs.transmitted) continue;
+            double value;
+            if (channel == LeakChannel::kAmplitude) {
+                value = obs.amplitude_v *
+                        (1.0 + rng.normal(0.0, opts_.amplitude_noise_rel));
+            } else {
+                value = obs.frequency_ghz + rng.normal(0.0, opts_.frequency_noise_ghz);
+            }
+            sums[i] += value;
+            ++counts[i];
+        }
+    }
+
+    KeyRecoveryResult result;
+    result.key_bits.fill(true);  // unmodulated default = leaked '1'
+
+    std::vector<double> means;
+    std::vector<std::size_t> positions;
+    for (std::size_t i = 0; i < 128; ++i) {
+        if (counts[i] == 0) continue;
+        means.push_back(sums[i] / static_cast<double>(counts[i]));
+        positions.push_back(i);
+    }
+    result.observed_positions = positions.size();
+    if (means.size() < 2) return result;
+
+    // 1-D two-means clustering: try every split of the sorted means and pick
+    // the one minimizing within-cluster variance.
+    std::vector<double> sorted = means;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    std::vector<double> prefix(n + 1, 0.0), prefix_sq(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        prefix[i + 1] = prefix[i] + sorted[i];
+        prefix_sq[i + 1] = prefix_sq[i] + sorted[i] * sorted[i];
+    }
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_split = 1;
+    for (std::size_t split = 1; split < n; ++split) {
+        const double n1 = static_cast<double>(split);
+        const double n2 = static_cast<double>(n - split);
+        const double s1 = prefix[split], s2 = prefix[n] - prefix[split];
+        const double q1 = prefix_sq[split], q2 = prefix_sq[n] - prefix_sq[split];
+        const double cost = (q1 - s1 * s1 / n1) + (q2 - s2 * s2 / n2);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best_split = split;
+        }
+    }
+
+    const double n1 = static_cast<double>(best_split);
+    const double n2 = static_cast<double>(n - best_split);
+    const double mu_lo = prefix[best_split] / n1;
+    const double mu_hi = (prefix[n] - prefix[best_split]) / n2;
+    const double pooled_var = best_cost / static_cast<double>(n);
+    const double pooled_sigma = std::sqrt(std::max(pooled_var, 1e-30));
+    result.separation = (mu_hi - mu_lo) / pooled_sigma;
+
+    if (result.separation < opts_.min_separation) {
+        return result;  // no credible two-level structure: keep all-ones
+    }
+
+    const double threshold = 0.5 * (mu_lo + mu_hi);
+    for (std::size_t k = 0; k < positions.size(); ++k) {
+        // Upper cluster = modulated = leaked key bit '0'.
+        result.key_bits[positions[k]] = means[k] < threshold;
+    }
+    return result;
+}
+
+}  // namespace htd::trojan

@@ -1,0 +1,68 @@
+#pragma once
+/// \file attacker.hpp
+/// The adversary's side of the threat model: a receiver that knows what to
+/// listen for on the public channel and recovers the AES key from the
+/// Trojan's amplitude/frequency modulation. Used by the threat-model bench
+/// (E8) to demonstrate that the implemented Trojans really leak the key —
+/// while remaining invisible to functional testing.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "trojan/trojan.hpp"
+
+namespace htd::trojan {
+
+/// Which pulse property the attacker demodulates.
+enum class LeakChannel {
+    kAmplitude,
+    kFrequency,
+};
+
+/// Result of a key-recovery attempt.
+struct KeyRecoveryResult {
+    std::array<bool, 128> key_bits{};  ///< recovered key (best effort)
+    double separation = 0.0;           ///< cluster separation in noise sigmas
+    std::size_t observed_positions = 0; ///< bit positions with >= 1 pulse
+
+    /// Number of bit errors against a reference key.
+    [[nodiscard]] std::size_t bit_errors(const std::array<bool, 128>& truth) const noexcept;
+};
+
+/// Passive receiver for the key-leak Trojans.
+class KeyRecoveryAttacker {
+public:
+    struct Options {
+        /// Receiver noise added to each observed pulse: relative (fractional)
+        /// for amplitude, absolute GHz for frequency.
+        double amplitude_noise_rel = 0.005;
+        double frequency_noise_ghz = 0.01;
+
+        /// Minimum cluster separation (in pooled sigmas) to call the capture
+        /// a real two-level modulation rather than noise.
+        double min_separation = 3.0;
+    };
+
+    KeyRecoveryAttacker() : KeyRecoveryAttacker(Options{}) {}
+    explicit KeyRecoveryAttacker(Options opts);
+
+    /// Recover the key from the observations of several transmitted blocks.
+    /// Each inner vector must have exactly 128 slots. A leaked '0' raises
+    /// the modulated property, so positions falling in the upper cluster are
+    /// decoded as key bit 0. When the two clusters are not separable (e.g. a
+    /// Trojan-free device), every bit defaults to '1' and `separation`
+    /// reports the (small) gap found. Throws std::invalid_argument on empty
+    /// input or malformed blocks.
+    [[nodiscard]] KeyRecoveryResult recover_key(
+        const std::vector<std::vector<PulseObservation>>& blocks, LeakChannel channel,
+        rng::Rng& rng) const;
+
+    [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+private:
+    Options opts_;
+};
+
+}  // namespace htd::trojan

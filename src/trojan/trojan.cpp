@@ -1,0 +1,54 @@
+#include "trojan/trojan.hpp"
+
+#include <stdexcept>
+
+namespace htd::trojan {
+
+AmplitudeLeakTrojan::AmplitudeLeakTrojan(double epsilon) : epsilon_(epsilon) {
+    if (epsilon <= 0.0 || epsilon > 0.5) {
+        throw std::invalid_argument("AmplitudeLeakTrojan: epsilon outside (0, 0.5]");
+    }
+}
+
+BitModulation AmplitudeLeakTrojan::modulate(std::size_t bit_index,
+                                            const std::array<bool, 128>& key_bits) const {
+    BitModulation mod;
+    if (!key_bits[bit_index % 128]) mod.amplitude_scale = 1.0 + epsilon_;
+    return mod;
+}
+
+FrequencyLeakTrojan::FrequencyLeakTrojan(double delta_ghz) : delta_ghz_(delta_ghz) {
+    if (delta_ghz <= 0.0 || delta_ghz > 1.0) {
+        throw std::invalid_argument("FrequencyLeakTrojan: delta outside (0, 1] GHz");
+    }
+}
+
+BitModulation FrequencyLeakTrojan::modulate(std::size_t bit_index,
+                                            const std::array<bool, 128>& key_bits) const {
+    BitModulation mod;
+    if (!key_bits[bit_index % 128]) mod.frequency_offset_ghz = delta_ghz_;
+    return mod;
+}
+
+std::string variant_name(DesignVariant v) {
+    switch (v) {
+        case DesignVariant::kTrojanFree: return "trojan-free";
+        case DesignVariant::kTrojanAmplitude: return "trojan-amplitude";
+        case DesignVariant::kTrojanFrequency: return "trojan-frequency";
+    }
+    throw std::invalid_argument("variant_name: unknown variant");
+}
+
+std::unique_ptr<TrojanEffect> make_trojan(DesignVariant v, double amplitude_epsilon,
+                                          double frequency_delta_ghz) {
+    switch (v) {
+        case DesignVariant::kTrojanFree: return nullptr;
+        case DesignVariant::kTrojanAmplitude:
+            return std::make_unique<AmplitudeLeakTrojan>(amplitude_epsilon);
+        case DesignVariant::kTrojanFrequency:
+            return std::make_unique<FrequencyLeakTrojan>(frequency_delta_ghz);
+    }
+    throw std::invalid_argument("make_trojan: unknown variant");
+}
+
+}  // namespace htd::trojan

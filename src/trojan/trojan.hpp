@@ -1,0 +1,103 @@
+#pragma once
+/// \file trojan.hpp
+/// Hardware Trojan models for the wireless cryptographic IC platform.
+///
+/// The silicon Trojans of the paper (and of Liu/Jin/Makris, ICCAD'13) leak
+/// the on-chip AES key through the wireless channel: along with every
+/// 128-bit ciphertext block, the 128 key bits are exfiltrated by modulating
+/// the amplitude (Trojan I) or the carrier frequency (Trojan II) of each
+/// ciphertext-bit transmission. When the leaked key bit is '1' the pulse is
+/// left unaltered; when it is '0' the amplitude/frequency is slightly
+/// increased — by less than the margin allowed for process variation, so
+/// the device still meets every functional specification and passes every
+/// traditional manufacturing test.
+
+#include <array>
+#include <memory>
+#include <string>
+
+namespace htd::trojan {
+
+/// Per-bit modulation applied by a Trojan to one pulse transmission.
+struct BitModulation {
+    double amplitude_scale = 1.0;      ///< multiplies the pulse amplitude
+    double frequency_offset_ghz = 0.0; ///< added to the pulse center frequency
+};
+
+/// Interface for a Trojan's effect on the transmission of one ciphertext bit.
+class TrojanEffect {
+public:
+    virtual ~TrojanEffect() = default;
+
+    /// Modulation for transmitting ciphertext bit `bit_index` of a block,
+    /// given the secret key bits the Trojan is leaking.
+    [[nodiscard]] virtual BitModulation modulate(
+        std::size_t bit_index, const std::array<bool, 128>& key_bits) const = 0;
+
+    /// Human-readable Trojan name.
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Trojan I: leaks key bits in the pulse-amplitude margin. A leaked '0'
+/// scales the amplitude by (1 + epsilon).
+class AmplitudeLeakTrojan final : public TrojanEffect {
+public:
+    /// Throws std::invalid_argument for epsilon outside (0, 0.5].
+    explicit AmplitudeLeakTrojan(double epsilon);
+
+    [[nodiscard]] BitModulation modulate(
+        std::size_t bit_index, const std::array<bool, 128>& key_bits) const override;
+    [[nodiscard]] std::string name() const override { return "amplitude-leak"; }
+
+    [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+
+private:
+    double epsilon_;
+};
+
+/// Trojan II: leaks key bits in the carrier-frequency margin. A leaked '0'
+/// shifts the center frequency up by `delta_ghz`.
+class FrequencyLeakTrojan final : public TrojanEffect {
+public:
+    /// Throws std::invalid_argument for delta outside (0, 1] GHz.
+    explicit FrequencyLeakTrojan(double delta_ghz);
+
+    [[nodiscard]] BitModulation modulate(
+        std::size_t bit_index, const std::array<bool, 128>& key_bits) const override;
+    [[nodiscard]] std::string name() const override { return "frequency-leak"; }
+
+    [[nodiscard]] double delta_ghz() const noexcept { return delta_ghz_; }
+
+private:
+    double delta_ghz_;
+};
+
+/// What an observer on the public channel sees for one bit slot of a block:
+/// whether a pulse was transmitted (OOK) and, if so, its amplitude and
+/// center frequency after any Trojan modulation. Produced by the UWB
+/// transmitter model and consumed by both the measurement bench and the
+/// attacker's key-recovery receiver.
+struct PulseObservation {
+    bool transmitted = false;
+    double amplitude_v = 0.0;
+    double frequency_ghz = 0.0;
+    double tau_ns = 0.0;  ///< Gaussian envelope width of the pulse
+};
+
+/// Which design version a device instantiates.
+enum class DesignVariant {
+    kTrojanFree,
+    kTrojanAmplitude,
+    kTrojanFrequency,
+};
+
+/// Short label ("trojan-free", "trojan-amplitude", "trojan-frequency").
+[[nodiscard]] std::string variant_name(DesignVariant v);
+
+/// Factory: the TrojanEffect for a variant, or nullptr for the Trojan-free
+/// design. Throws std::invalid_argument on an unknown variant.
+[[nodiscard]] std::unique_ptr<TrojanEffect> make_trojan(DesignVariant v,
+                                                        double amplitude_epsilon,
+                                                        double frequency_delta_ghz);
+
+}  // namespace htd::trojan

@@ -1,0 +1,170 @@
+/// Tests for the AES core against the FIPS-197 reference vectors.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/aes.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using htd::crypto::Aes;
+using htd::crypto::AesKeySize;
+using htd::crypto::Block;
+
+Block from_hex(const std::string& hex) {
+    Block b{};
+    for (std::size_t i = 0; i < 16; ++i) {
+        b[i] = static_cast<std::uint8_t>(std::stoul(hex.substr(2 * i, 2), nullptr, 16));
+    }
+    return b;
+}
+
+std::vector<std::uint8_t> key_from_hex(const std::string& hex) {
+    std::vector<std::uint8_t> k(hex.size() / 2);
+    for (std::size_t i = 0; i < k.size(); ++i) {
+        k[i] = static_cast<std::uint8_t>(std::stoul(hex.substr(2 * i, 2), nullptr, 16));
+    }
+    return k;
+}
+
+TEST(Aes128, Fips197AppendixC1) {
+    const Block pt = from_hex("00112233445566778899aabbccddeeff");
+    const auto key = key_from_hex("000102030405060708090a0b0c0d0e0f");
+    const Aes aes(key, AesKeySize::k128);
+    EXPECT_EQ(aes.encrypt(pt), from_hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+}
+
+TEST(Aes192, Fips197AppendixC2) {
+    const Block pt = from_hex("00112233445566778899aabbccddeeff");
+    const auto key =
+        key_from_hex("000102030405060708090a0b0c0d0e0f1011121314151617");
+    const Aes aes(key, AesKeySize::k192);
+    EXPECT_EQ(aes.encrypt(pt), from_hex("dda97ca4864cdfe06eaf70a0ec0d7191"));
+}
+
+TEST(Aes256, Fips197AppendixC3) {
+    const Block pt = from_hex("00112233445566778899aabbccddeeff");
+    const auto key = key_from_hex(
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+    const Aes aes(key, AesKeySize::k256);
+    EXPECT_EQ(aes.encrypt(pt), from_hex("8ea2b7ca516745bfeafc49904b496089"));
+}
+
+TEST(Aes128, Fips197AppendixB) {
+    const Block pt = from_hex("3243f6a8885a308d313198a2e0370734");
+    const auto key = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+    const Aes aes(key, AesKeySize::k128);
+    EXPECT_EQ(aes.encrypt(pt), from_hex("3925841d02dc09fbdc118597196a0b32"));
+}
+
+TEST(Aes, DecryptInvertsKnownVector) {
+    const Block ct = from_hex("69c4e0d86a7b0430d8cdb78070b4c55a");
+    const auto key = key_from_hex("000102030405060708090a0b0c0d0e0f");
+    const Aes aes(key, AesKeySize::k128);
+    EXPECT_EQ(aes.decrypt(ct), from_hex("00112233445566778899aabbccddeeff"));
+}
+
+TEST(Aes, RoundCounts) {
+    const auto k128 = key_from_hex("000102030405060708090a0b0c0d0e0f");
+    EXPECT_EQ(Aes(k128, AesKeySize::k128).rounds(), 10u);
+    const auto k192 =
+        key_from_hex("000102030405060708090a0b0c0d0e0f1011121314151617");
+    EXPECT_EQ(Aes(k192, AesKeySize::k192).rounds(), 12u);
+    const auto k256 = key_from_hex(
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+    EXPECT_EQ(Aes(k256, AesKeySize::k256).rounds(), 14u);
+}
+
+TEST(Aes, WrongKeyLengthThrows) {
+    const auto key = key_from_hex("00010203");
+    EXPECT_THROW(Aes(key, AesKeySize::k128), std::invalid_argument);
+    const auto k128 = key_from_hex("000102030405060708090a0b0c0d0e0f");
+    EXPECT_THROW(Aes(k128, AesKeySize::k256), std::invalid_argument);
+}
+
+/// Property: decrypt(encrypt(x)) == x for random blocks and keys, every size.
+class AesRoundTrip : public ::testing::TestWithParam<AesKeySize> {};
+
+TEST_P(AesRoundTrip, RandomBlocksRoundTrip) {
+    htd::rng::Rng rng(17);
+    std::vector<std::uint8_t> key(htd::crypto::key_bytes(GetParam()));
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64() & 0xff);
+    const Aes aes(key, GetParam());
+    for (int trial = 0; trial < 50; ++trial) {
+        Block pt{};
+        for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next_u64() & 0xff);
+        EXPECT_EQ(aes.decrypt(aes.encrypt(pt)), pt);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, AesRoundTrip,
+                         ::testing::Values(AesKeySize::k128, AesKeySize::k192,
+                                           AesKeySize::k256));
+
+TEST(Aes, EcbEncryptsBlockwise) {
+    const auto key = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+    const Aes aes(key, AesKeySize::k128);
+    const Block pt = from_hex("3243f6a8885a308d313198a2e0370734");
+    std::vector<std::uint8_t> two_blocks(pt.begin(), pt.end());
+    two_blocks.insert(two_blocks.end(), pt.begin(), pt.end());
+    const auto ct = aes.encrypt_ecb(two_blocks);
+    ASSERT_EQ(ct.size(), 32u);
+    const Block expected = from_hex("3925841d02dc09fbdc118597196a0b32");
+    for (std::size_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(ct[i], expected[i]);
+        EXPECT_EQ(ct[16 + i], expected[i]);  // ECB: identical blocks match
+    }
+}
+
+TEST(Aes, EcbRejectsPartialBlock) {
+    const auto key = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+    const Aes aes(key, AesKeySize::k128);
+    EXPECT_THROW((void)aes.encrypt_ecb(std::vector<std::uint8_t>(15)),
+                 std::invalid_argument);
+}
+
+TEST(BlockBits, RoundTripAndBitOrder) {
+    Block b{};
+    b[0] = 0x80;  // MSB of byte 0 -> bit 0
+    b[15] = 0x01; // LSB of byte 15 -> bit 127
+    const auto bits = htd::crypto::block_to_bits(b);
+    EXPECT_TRUE(bits[0]);
+    EXPECT_FALSE(bits[1]);
+    EXPECT_TRUE(bits[127]);
+    EXPECT_EQ(htd::crypto::bits_to_block(bits), b);
+}
+
+TEST(BlockBits, RandomRoundTrip) {
+    htd::rng::Rng rng(18);
+    for (int trial = 0; trial < 20; ++trial) {
+        Block b{};
+        for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.next_u64() & 0xff);
+        EXPECT_EQ(htd::crypto::bits_to_block(htd::crypto::block_to_bits(b)), b);
+    }
+}
+
+TEST(Aes, AvalancheEffect) {
+    // Flipping one plaintext bit flips roughly half the ciphertext bits.
+    const auto key = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+    const Aes aes(key, AesKeySize::k128);
+    Block pt = from_hex("3243f6a8885a308d313198a2e0370734");
+    const Block ct1 = aes.encrypt(pt);
+    pt[0] ^= 0x01;
+    const Block ct2 = aes.encrypt(pt);
+    int flipped = 0;
+    for (std::size_t i = 0; i < 16; ++i) {
+        std::uint8_t diff = ct1[i] ^ ct2[i];
+        while (diff) {
+            flipped += diff & 1;
+            diff >>= 1;
+        }
+    }
+    EXPECT_GT(flipped, 40);
+    EXPECT_LT(flipped, 90);
+}
+
+}  // namespace

@@ -1,0 +1,239 @@
+/// Tests for the EVT tail-modeling module: GPD distribution functions,
+/// probability-weighted-moments fitting, peaks-over-threshold models and
+/// the multivariate tail enhancer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/evt.hpp"
+
+namespace {
+
+using htd::linalg::Matrix;
+using htd::linalg::Vector;
+using htd::rng::Rng;
+using htd::stats::EvtTailEnhancer;
+using htd::stats::GeneralizedPareto;
+using htd::stats::PotTailModel;
+
+// --- GPD -----------------------------------------------------------------------
+
+TEST(Gpd, RejectsBadParameters) {
+    EXPECT_THROW(GeneralizedPareto(0.1, 0.0), std::invalid_argument);
+    EXPECT_THROW(GeneralizedPareto(1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(GeneralizedPareto(-1.2, 1.0), std::invalid_argument);
+}
+
+TEST(Gpd, ExponentialSpecialCase) {
+    // xi = 0 degenerates to Exp(1/scale).
+    const GeneralizedPareto gpd(0.0, 2.0);
+    EXPECT_NEAR(gpd.cdf(2.0), 1.0 - std::exp(-1.0), 1e-12);
+    EXPECT_NEAR(gpd.pdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(gpd.quantile(1.0 - std::exp(-1.0)), 2.0, 1e-9);
+}
+
+TEST(Gpd, QuantileInvertsCdf) {
+    const GeneralizedPareto gpd(0.2, 1.5);
+    for (const double p : {0.1, 0.5, 0.9, 0.99}) {
+        EXPECT_NEAR(gpd.cdf(gpd.quantile(p)), p, 1e-9);
+    }
+    EXPECT_THROW((void)gpd.quantile(1.0), std::invalid_argument);
+}
+
+TEST(Gpd, NegativeShapeHasFiniteEndpoint) {
+    // xi < 0: support is [0, -scale/shape].
+    const GeneralizedPareto gpd(-0.4, 1.0);
+    const double endpoint = -1.0 / -0.4;
+    EXPECT_NEAR(gpd.cdf(endpoint + 1.0), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(gpd.pdf(endpoint + 1.0), 0.0);
+    EXPECT_LE(gpd.quantile(0.999999), endpoint + 1e-6);
+}
+
+TEST(Gpd, PositiveShapeHasHeavyTail) {
+    const GeneralizedPareto heavy(0.4, 1.0);
+    const GeneralizedPareto light(0.0, 1.0);
+    EXPECT_GT(heavy.quantile(0.999), light.quantile(0.999));
+}
+
+TEST(Gpd, SampleMomentsMatchTheory) {
+    // Mean of GPD = scale / (1 - shape) for shape < 1.
+    const GeneralizedPareto gpd(0.2, 1.0);
+    Rng rng(1);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += gpd.sample(rng);
+    EXPECT_NEAR(sum / n, 1.0 / 0.8, 0.02);
+}
+
+TEST(Gpd, PwmFitRecoversExponential) {
+    Rng rng(2);
+    std::vector<double> excesses(5000);
+    for (double& y : excesses) y = rng.exponential(1.0 / 2.0);  // mean 2
+    const GeneralizedPareto fit = GeneralizedPareto::fit_pwm(excesses);
+    EXPECT_NEAR(fit.shape(), 0.0, 0.05);
+    EXPECT_NEAR(fit.scale(), 2.0, 0.1);
+}
+
+TEST(Gpd, PwmFitRecoversHeavyTail) {
+    const GeneralizedPareto truth(0.3, 1.0);
+    Rng rng(3);
+    std::vector<double> excesses(20000);
+    for (double& y : excesses) y = truth.sample(rng);
+    const GeneralizedPareto fit = GeneralizedPareto::fit_pwm(excesses);
+    EXPECT_NEAR(fit.shape(), 0.3, 0.05);
+    EXPECT_NEAR(fit.scale(), 1.0, 0.07);
+}
+
+TEST(Gpd, PwmFitRejectsDegenerate) {
+    EXPECT_THROW((void)GeneralizedPareto::fit_pwm(std::vector<double>{1.0, 2.0}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)GeneralizedPareto::fit_pwm(std::vector<double>{-1.0, 1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+// --- POT -----------------------------------------------------------------------------
+
+std::vector<double> normal_sample(Rng& rng, std::size_t n) {
+    std::vector<double> xs(n);
+    for (double& x : xs) x = rng.normal();
+    return xs;
+}
+
+TEST(Pot, RejectsBadConfig) {
+    Rng rng(4);
+    const auto xs = normal_sample(rng, 100);
+    EXPECT_THROW(PotTailModel(xs, 0.0, true), std::invalid_argument);
+    EXPECT_THROW(PotTailModel(xs, 0.6, true), std::invalid_argument);
+    EXPECT_THROW(PotTailModel(xs, 0.01, true), std::invalid_argument);  // < 3 points
+}
+
+TEST(Pot, ThresholdSitsAtConfiguredQuantile) {
+    Rng rng(5);
+    const auto xs = normal_sample(rng, 2000);
+    const PotTailModel upper(xs, 0.1, true);
+    EXPECT_NEAR(upper.threshold(), htd::stats::quantile(xs, 0.9), 0.05);
+    const PotTailModel lower(xs, 0.1, false);
+    EXPECT_NEAR(lower.threshold(), htd::stats::quantile(xs, 0.1), 0.05);
+}
+
+TEST(Pot, QuantileMatchesEmpiricalInBody) {
+    Rng rng(6);
+    const auto xs = normal_sample(rng, 2000);
+    const PotTailModel model(xs, 0.1, true);
+    EXPECT_NEAR(model.quantile(0.5), htd::stats::quantile(xs, 0.5), 1e-9);
+    EXPECT_THROW((void)model.quantile(0.0), std::invalid_argument);
+}
+
+TEST(Pot, TailQuantilesExtendBeyondSample) {
+    // A GPD tail extrapolates beyond the largest observation for quantiles
+    // deeper than 1/n — the whole point of EVT enhancement.
+    Rng rng(7);
+    const auto xs = normal_sample(rng, 500);
+    const PotTailModel model(xs, 0.1, true);
+    const double max_obs = htd::stats::quantile(xs, 1.0);
+    EXPECT_GT(model.quantile(0.9999), max_obs * 0.9);
+}
+
+TEST(Pot, TailSamplesRespectDirection) {
+    Rng rng(8);
+    const auto xs = normal_sample(rng, 1000);
+    const PotTailModel upper(xs, 0.1, true);
+    const PotTailModel lower(xs, 0.1, false);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_GE(upper.sample_tail(rng), upper.threshold());
+        EXPECT_LE(lower.sample_tail(rng), lower.threshold());
+    }
+}
+
+TEST(Pot, NormalTailShapeNearZero) {
+    // The normal distribution is in the Gumbel domain: fitted xi ~ <= 0.
+    Rng rng(9);
+    const auto xs = normal_sample(rng, 20000);
+    const PotTailModel model(xs, 0.05, true);
+    EXPECT_LT(model.gpd().shape(), 0.2);
+}
+
+// --- EvtTailEnhancer ---------------------------------------------------------------
+
+Matrix correlated_cloud(Rng& rng, std::size_t n) {
+    Matrix data(n, 3);
+    for (std::size_t r = 0; r < n; ++r) {
+        const double t = rng.normal();
+        data(r, 0) = t + 0.1 * rng.normal();
+        data(r, 1) = -t + 0.1 * rng.normal();
+        data(r, 2) = 0.5 * rng.normal();
+    }
+    return data;
+}
+
+TEST(EvtEnhancer, RejectsDegenerate) {
+    Rng rng(10);
+    EXPECT_THROW(EvtTailEnhancer(Matrix(5, 2, 1.0)), std::invalid_argument);
+    const Matrix data = correlated_cloud(rng, 100);
+    EXPECT_THROW(EvtTailEnhancer(data, 0.0), std::invalid_argument);
+}
+
+TEST(EvtEnhancer, PreservesMeanAndCovarianceStructure) {
+    Rng rng(11);
+    const Matrix data = correlated_cloud(rng, 1000);
+    const EvtTailEnhancer evt(data, 0.1);
+    const Matrix synth = evt.sample_n(rng, 20000);
+
+    const Vector m_data = htd::stats::column_means(data);
+    const Vector m_synth = htd::stats::column_means(synth);
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_NEAR(m_synth[c], m_data[c], 0.08);
+
+    // The anti-correlation between the first two axes survives.
+    const Vector a = synth.col(0);
+    const Vector b = synth.col(1);
+    std::vector<double> va(a.begin(), a.end());
+    std::vector<double> vb(b.begin(), b.end());
+    EXPECT_LT(htd::stats::pearson_correlation(va, vb), -0.9);
+}
+
+TEST(EvtEnhancer, ExtendsTailsBeyondData) {
+    Rng rng(12);
+    const Matrix data = correlated_cloud(rng, 300);
+    const EvtTailEnhancer evt(data, 0.15);
+    const Matrix synth = evt.sample_n(rng, 50000);
+    double data_max = data(0, 0), synth_max = synth(0, 0);
+    for (std::size_t r = 0; r < data.rows(); ++r) data_max = std::max(data_max, data(r, 0));
+    for (std::size_t r = 0; r < synth.rows(); ++r) synth_max = std::max(synth_max, synth(r, 0));
+    EXPECT_GT(synth_max, data_max * 0.95);
+}
+
+TEST(EvtEnhancer, AccessorsValidateAxis) {
+    Rng rng(13);
+    const Matrix data = correlated_cloud(rng, 200);
+    const EvtTailEnhancer evt(data, 0.15);
+    EXPECT_EQ(evt.dim(), 3u);
+    EXPECT_NO_THROW((void)evt.upper_tail(2));
+    EXPECT_THROW((void)evt.upper_tail(3), std::out_of_range);
+    EXPECT_THROW((void)evt.lower_tail(3), std::out_of_range);
+}
+
+/// Property sweep: the enhancer keeps per-axis spread within a reasonable
+/// band of the source for several tail fractions.
+class EvtTailFraction : public ::testing::TestWithParam<double> {};
+
+TEST_P(EvtTailFraction, SpreadPreserved) {
+    Rng rng(14);
+    const Matrix data = correlated_cloud(rng, 500);
+    const EvtTailEnhancer evt(data, GetParam());
+    const Matrix synth = evt.sample_n(rng, 10000);
+    const Vector s_data = htd::stats::column_stddevs(data);
+    const Vector s_synth = htd::stats::column_stddevs(synth);
+    for (std::size_t c = 0; c < 3; ++c) {
+        EXPECT_NEAR(s_synth[c], s_data[c], 0.25 * s_data[c]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, EvtTailFraction,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3));
+
+}  // namespace

@@ -1,0 +1,147 @@
+/// Tests for the Gaussian-process regressor and bank.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/gpr.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using htd::linalg::Matrix;
+using htd::linalg::Vector;
+using htd::ml::GaussianProcessRegressor;
+using htd::ml::GprBank;
+using htd::rng::Rng;
+
+TEST(Gpr, RejectsBadOptions) {
+    GaussianProcessRegressor::Options opts;
+    opts.noise_fraction = -1.0;
+    EXPECT_THROW(GaussianProcessRegressor{opts}, std::invalid_argument);
+}
+
+TEST(Gpr, RejectsDegenerateFit) {
+    GaussianProcessRegressor gpr;
+    EXPECT_THROW(gpr.fit(Matrix(1, 1, 0.0), Vector(1)), std::invalid_argument);
+    EXPECT_THROW(gpr.fit(Matrix(4, 1), Vector(3)), std::invalid_argument);
+    EXPECT_THROW((void)gpr.predict(Vector{0.0}), std::logic_error);
+}
+
+TEST(Gpr, InterpolatesTrainingPointsWithSmallNoise) {
+    Rng rng(1);
+    Matrix x(30, 1);
+    Vector y(30);
+    for (std::size_t i = 0; i < 30; ++i) {
+        x(i, 0) = rng.uniform(-2.0, 2.0);
+        y[i] = std::sin(2.0 * x(i, 0));
+    }
+    GaussianProcessRegressor gpr;
+    gpr.fit(x, y);
+    EXPECT_GT(gpr.r_squared(), 0.999);
+    for (std::size_t i = 0; i < 30; ++i) {
+        EXPECT_NEAR(gpr.predict(x.row(i)), y[i], 0.01);
+    }
+}
+
+TEST(Gpr, SmoothInterpolationBetweenPoints) {
+    Matrix x(5, 1);
+    Vector y(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+        x(i, 0) = static_cast<double>(i);
+        y[i] = static_cast<double>(i) * 2.0;  // linear
+    }
+    GaussianProcessRegressor gpr;
+    gpr.fit(x, y);
+    EXPECT_NEAR(gpr.predict(Vector{1.5}), 3.0, 0.3);
+}
+
+TEST(Gpr, VarianceGrowsAwayFromData) {
+    Rng rng(2);
+    Matrix x(40, 1);
+    Vector y(40);
+    for (std::size_t i = 0; i < 40; ++i) {
+        x(i, 0) = rng.uniform(-1.0, 1.0);
+        y[i] = x(i, 0);
+    }
+    GaussianProcessRegressor gpr;
+    gpr.fit(x, y);
+    const auto near = gpr.predict_with_variance(Vector{0.0});
+    const auto far = gpr.predict_with_variance(Vector{8.0});
+    EXPECT_LT(near.variance, far.variance);
+    EXPECT_GE(near.variance, 0.0);
+}
+
+TEST(Gpr, RevertsToMeanFarFromData) {
+    Rng rng(3);
+    Matrix x(40, 1);
+    Vector y(40);
+    double mean = 0.0;
+    for (std::size_t i = 0; i < 40; ++i) {
+        x(i, 0) = rng.uniform(-1.0, 1.0);
+        y[i] = 5.0 + x(i, 0);
+        mean += y[i];
+    }
+    mean /= 40.0;
+    GaussianProcessRegressor gpr;
+    gpr.fit(x, y);
+    EXPECT_NEAR(gpr.predict(Vector{50.0}), mean, 0.2);
+}
+
+TEST(Gpr, NoisyDataSmoothedWithLargerNoiseFraction) {
+    Rng rng(4);
+    Matrix x(80, 1);
+    Vector y(80);
+    for (std::size_t i = 0; i < 80; ++i) {
+        x(i, 0) = rng.uniform(-2.0, 2.0);
+        y[i] = x(i, 0) + rng.normal(0.0, 0.3);
+    }
+    GaussianProcessRegressor::Options smooth;
+    smooth.noise_fraction = 0.1;
+    GaussianProcessRegressor gpr(smooth);
+    gpr.fit(x, y);
+    // The smoothed fit tracks the underlying line, not the noise.
+    EXPECT_NEAR(gpr.predict(Vector{1.0}), 1.0, 0.25);
+    EXPECT_LT(gpr.r_squared(), 0.999);  // does not chase the noise exactly
+}
+
+TEST(Gpr, ExplicitLengthScaleRespected) {
+    GaussianProcessRegressor::Options opts;
+    opts.length_scale = 2.5;
+    GaussianProcessRegressor gpr(opts);
+    Rng rng(5);
+    Matrix x(20, 2);
+    Vector y(20);
+    for (std::size_t i = 0; i < 20; ++i) {
+        x(i, 0) = rng.normal();
+        x(i, 1) = rng.normal();
+        y[i] = x(i, 0);
+    }
+    gpr.fit(x, y);
+    EXPECT_DOUBLE_EQ(gpr.effective_length_scale(), 2.5);
+}
+
+TEST(GprBankTest, MultiOutputAndValidation) {
+    Rng rng(6);
+    Matrix x(50, 1);
+    Matrix y(50, 2);
+    for (std::size_t i = 0; i < 50; ++i) {
+        x(i, 0) = rng.uniform(-2.0, 2.0);
+        y(i, 0) = 3.0 * x(i, 0);
+        y(i, 1) = -x(i, 0) + 1.0;
+    }
+    GprBank bank;
+    EXPECT_THROW(bank.fit(Matrix(3, 1), Matrix(4, 2)), std::invalid_argument);
+    EXPECT_THROW((void)bank.predict(Vector{0.0}), std::logic_error);
+    bank.fit(x, y);
+    ASSERT_EQ(bank.output_dim(), 2u);
+    const Vector pred = bank.predict(Vector{1.0});
+    EXPECT_NEAR(pred[0], 3.0, 0.1);
+    EXPECT_NEAR(pred[1], 0.0, 0.1);
+    const Matrix batch = bank.predict_batch(x);
+    EXPECT_EQ(batch.rows(), 50u);
+    EXPECT_EQ(batch.cols(), 2u);
+}
+
+}  // namespace

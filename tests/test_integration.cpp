@@ -1,0 +1,169 @@
+/// End-to-end integration tests: a reduced-size replica of the paper's
+/// experiment must reproduce the *qualitative* Table-1 shape, and the full
+/// default experiment must reproduce the quantitative one. These are the
+/// repository's acceptance tests.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+using htd::core::ExperimentConfig;
+using htd::core::ExperimentResult;
+using htd::core::run_experiment;
+
+/// Reduced-size experiment so the whole file stays fast.
+ExperimentConfig fast_config(std::uint64_t seed = 0xfeedULL) {
+    ExperimentConfig cfg;
+    cfg.seed = seed;
+    cfg.pipeline.synthetic_samples = 20000;
+    return cfg;
+}
+
+TEST(Integration, DefaultExperimentReproducesTable1Shape) {
+    const ExperimentResult r = run_experiment(ExperimentConfig{});
+
+    // FP = 0/80 for every boundary (no Trojan-infested device inside any
+    // trusted region) — the paper's headline security property.
+    for (const auto& m : r.table1) {
+        EXPECT_EQ(m.false_positives, 0u) << "boundary leaked Trojan devices";
+        EXPECT_EQ(m.trojan_infested_total, 80u);
+        EXPECT_EQ(m.trojan_free_total, 40u);
+    }
+
+    // B1/B2 are useless (process shift): every Trojan-free device rejected.
+    EXPECT_EQ(r.table1[0].false_negatives, 40u);
+    EXPECT_EQ(r.table1[1].false_negatives, 40u);
+
+    // B3 partial, B4 at least as good, B5 close to the golden baseline —
+    // the paper's monotone improvement.
+    EXPECT_LT(r.table1[2].false_negatives, 40u);
+    EXPECT_LE(r.table1[3].false_negatives, r.table1[2].false_negatives);
+    EXPECT_LE(r.table1[4].false_negatives, r.table1[3].false_negatives);
+    EXPECT_LE(r.table1[4].false_negatives, 10u);
+
+    // Paper values: S3 24/40, S4 18/40, S5 3/40. Allow a band around them.
+    EXPECT_NEAR(static_cast<double>(r.table1[2].false_negatives), 24.0, 8.0);
+    EXPECT_NEAR(static_cast<double>(r.table1[3].false_negatives), 18.0, 8.0);
+
+    // Golden-chip baseline is near-perfect, as in [12].
+    EXPECT_EQ(r.golden_baseline.false_positives, 0u);
+    EXPECT_LE(r.golden_baseline.false_negatives, 10u);
+
+    // Diagnostics sane.
+    EXPECT_GT(r.mars_mean_r2, 0.7);
+    EXPECT_GT(r.calibration_iterations, 0u);
+}
+
+TEST(Integration, MeasuredPopulationShape) {
+    const ExperimentResult r = run_experiment(fast_config());
+    EXPECT_EQ(r.measured.size(), 120u);
+    EXPECT_EQ(r.measured.fingerprints.cols(), 6u);
+    EXPECT_EQ(r.measured.pcms.cols(), 1u);
+    EXPECT_EQ(r.measured.trojan_free_indices().size(), 40u);
+}
+
+TEST(Integration, DeterministicForSeed) {
+    const ExperimentResult a = run_experiment(fast_config(123));
+    const ExperimentResult b = run_experiment(fast_config(123));
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(a.table1[i].false_positives, b.table1[i].false_positives);
+        EXPECT_EQ(a.table1[i].false_negatives, b.table1[i].false_negatives);
+    }
+    EXPECT_EQ(a.measured.fingerprints, b.measured.fingerprints);
+}
+
+TEST(Integration, SeedChangesPopulationNotShape) {
+    const ExperimentResult r = run_experiment(fast_config(777));
+    // Different lot, same qualitative result.
+    EXPECT_EQ(r.table1[0].false_negatives, 40u);
+    for (const auto& m : r.table1) EXPECT_LE(m.false_positives, 4u);
+    EXPECT_LE(r.table1[4].false_negatives, 14u);
+}
+
+TEST(Integration, DatasetsExportedForFig4) {
+    const ExperimentResult r = run_experiment(fast_config());
+    EXPECT_EQ(r.datasets[0].cols(), 6u);   // S1
+    EXPECT_EQ(r.datasets[4].cols(), 6u);   // S5
+    EXPECT_GT(r.datasets[1].rows(), r.datasets[0].rows());  // S2 enhanced
+    EXPECT_EQ(r.datasets[2].rows(), 120u);                  // S3 from DUTTs
+}
+
+TEST(Integration, SmallerChipCountStillRuns) {
+    ExperimentConfig cfg = fast_config();
+    cfg.n_chips = 12;
+    const ExperimentResult r = run_experiment(cfg);
+    EXPECT_EQ(r.measured.size(), 36u);
+    EXPECT_EQ(r.table1[0].trojan_free_total, 12u);
+}
+
+TEST(Integration, WithoutKdeTailEnhancementB5DegradesToB4) {
+    // Ablation hook: shrinking the KDE bandwidth to near-zero makes S5
+    // essentially a resampled S4, so B5 can no longer cover the residual
+    // spread much better than B4.
+    ExperimentConfig cfg = fast_config();
+    cfg.pipeline.kde_bandwidth = 1e-3;
+    const ExperimentResult r = run_experiment(cfg);
+    EXPECT_GE(r.table1[4].false_negatives + 6u, r.table1[3].false_negatives);
+}
+
+TEST(Integration, ShiftMagnitudeSweepKeepsSecurityProperty) {
+    // Whatever the foundry drift magnitude, no boundary may admit more than
+    // a handful of Trojan-infested devices (the FP side is the security
+    // property; the FN side legitimately varies with the drift).
+    for (const double shift : {2.0, 4.5, 6.0}) {
+        ExperimentConfig cfg = fast_config();
+        cfg.process_shift_sigma = shift;
+        const ExperimentResult r = run_experiment(cfg);
+        for (const auto& m : r.table1) {
+            EXPECT_LE(m.false_positives, 6u) << "shift " << shift;
+        }
+        // The KMM/KDE stages keep helping: B5 never does worse than B3 by
+        // more than a small margin.
+        EXPECT_LE(r.table1[4].false_negatives, r.table1[2].false_negatives + 4u)
+            << "shift " << shift;
+    }
+}
+
+}  // namespace
+
+// --- tail-model and modality variants (appended) ----------------------------------
+
+namespace {
+
+TEST(Integration, EvtTailModelKeepsSecurityProperty) {
+    ExperimentConfig cfg = fast_config();
+    cfg.pipeline.tail_model = htd::core::TailModel::kEvtPot;
+    const ExperimentResult r = run_experiment(cfg);
+    for (const auto& m : r.table1) {
+        EXPECT_LE(m.false_positives, 6u);
+    }
+    // The EVT enhancer still improves on B4 or at least does not collapse.
+    EXPECT_LE(r.table1[4].false_negatives, 40u);
+    EXPECT_EQ(r.table1[0].false_negatives, 40u);
+}
+
+TEST(Integration, PathDelayModalityShape) {
+    ExperimentConfig cfg = fast_config();
+    cfg.platform.fingerprint_mode = htd::silicon::FingerprintMode::kPathDelay;
+    const ExperimentResult r = run_experiment(cfg);
+    for (const auto& m : r.table1) {
+        EXPECT_EQ(m.false_positives, 0u);
+    }
+    EXPECT_EQ(r.table1[0].false_negatives, 40u);   // B1 still useless
+    EXPECT_LE(r.table1[4].false_negatives, 16u);   // B5 best of the set
+}
+
+TEST(Integration, ReportSerializesEndToEnd) {
+    ExperimentConfig cfg = fast_config();
+    cfg.n_chips = 8;
+    const ExperimentResult r = run_experiment(cfg);
+    const auto doc = htd::core::experiment_report(cfg, r, true);
+    const std::string text = doc.dump(2);
+    EXPECT_NE(text.find("\"devices\""), std::string::npos);
+    EXPECT_NE(text.find("\"fn_rate\""), std::string::npos);
+}
+
+}  // namespace

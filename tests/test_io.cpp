@@ -1,0 +1,103 @@
+/// Tests for CSV IO and the text-table renderer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+namespace {
+
+using htd::io::csv_line;
+using htd::io::read_csv;
+using htd::io::Table;
+using htd::io::write_csv;
+using htd::linalg::Matrix;
+
+class CsvTest : public ::testing::Test {
+protected:
+    std::string path_ = (std::filesystem::temp_directory_path() /
+                         ("htd_csv_test_" + std::to_string(::getpid()) + ".csv"))
+                            .string();
+    void TearDown() override { std::filesystem::remove(path_); }
+};
+
+TEST_F(CsvTest, RoundTripWithoutHeader) {
+    const Matrix data{{1.5, -2.0}, {3.25, 4.0}};
+    write_csv(path_, data);
+    const Matrix back = read_csv(path_);
+    EXPECT_EQ(back, data);
+}
+
+TEST_F(CsvTest, RoundTripWithHeader) {
+    const Matrix data{{1.0, 2.0}};
+    write_csv(path_, data, {"a", "b"});
+    const Matrix back = read_csv(path_, /*has_header=*/true);
+    EXPECT_EQ(back, data);
+}
+
+TEST_F(CsvTest, HeaderWidthMismatchThrows) {
+    EXPECT_THROW(write_csv(path_, Matrix(1, 2), {"only_one"}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, PrecisionPreserved) {
+    const Matrix data{{0.123456789012}};
+    write_csv(path_, data);
+    const Matrix back = read_csv(path_);
+    EXPECT_NEAR(back(0, 0), 0.123456789012, 1e-12);
+}
+
+TEST_F(CsvTest, UnparsableCellThrows) {
+    std::ofstream(path_) << "1.0,abc\n";
+    EXPECT_THROW((void)read_csv(path_), std::runtime_error);
+}
+
+TEST_F(CsvTest, RaggedRowsThrow) {
+    std::ofstream(path_) << "1.0,2.0\n3.0\n";
+    EXPECT_THROW((void)read_csv(path_), std::runtime_error);
+}
+
+TEST(CsvLine, QuotesSpecialFields) {
+    EXPECT_EQ(csv_line({"a", "b"}), "a,b");
+    EXPECT_EQ(csv_line({"a,b", "c"}), "\"a,b\",c");
+    EXPECT_EQ(csv_line({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvRead, MissingFileThrows) {
+    EXPECT_THROW((void)read_csv("/nonexistent/path/file.csv"), std::runtime_error);
+}
+
+// --- Table -----------------------------------------------------------------------
+
+TEST(TableTest, RejectsEmptyHeaderAndBadRows) {
+    EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only_one"}), std::invalid_argument);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+    Table t({"name", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer_name", "2"});
+    const std::string out = t.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer_name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+    // Each line ends where the widest row dictates: the header line and the
+    // data lines have consistent column starts.
+    const auto first_line_end = out.find('\n');
+    ASSERT_NE(first_line_end, std::string::npos);
+}
+
+TEST(Fmt, FixedPrecision) {
+    EXPECT_EQ(htd::io::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(htd::io::fmt(2.0, 0), "2");
+    EXPECT_EQ(htd::io::fmt_ratio(3, 40), "3/40");
+}
+
+}  // namespace

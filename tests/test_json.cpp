@@ -1,0 +1,116 @@
+/// Tests for the JSON writer and the experiment report serializer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/report.hpp"
+#include "io/json.hpp"
+
+namespace {
+
+using htd::io::Json;
+using htd::io::json_escape;
+using htd::linalg::Matrix;
+using htd::linalg::Vector;
+
+TEST(JsonValue, ScalarsSerialize) {
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(3).dump(), "3");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+    EXPECT_EQ(Json(std::size_t{42}).dump(), "42");
+}
+
+TEST(JsonValue, DoubleRoundTripPrecision) {
+    // %.17g guarantees the emitted literal parses back to the same double.
+    const double value = 0.1234567890123456;
+    const std::string s = Json(value).dump();
+    EXPECT_EQ(std::stod(s), value);
+}
+
+TEST(JsonValue, NonFiniteBecomesNull) {
+    EXPECT_EQ(Json(std::nan("")).dump(), "null");
+    EXPECT_EQ(Json(1.0 / 0.0).dump(), "null");
+}
+
+TEST(JsonValue, EscapingPerRfc) {
+    EXPECT_EQ(json_escape("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(json_escape("back\\slash"), "\"back\\\\slash\"");
+    EXPECT_EQ(json_escape("line\nbreak"), "\"line\\nbreak\"");
+    EXPECT_EQ(json_escape(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonValue, ArraysAndObjects) {
+    Json arr = Json::array();
+    arr.push_back(1).push_back("two").push_back(Json());
+    EXPECT_EQ(arr.dump(), "[1,\"two\",null]");
+    EXPECT_EQ(arr.size(), 3u);
+
+    Json obj = Json::object();
+    obj.set("b", 2).set("a", 1);
+    // Keys are sorted for deterministic output.
+    EXPECT_EQ(obj.dump(), "{\"a\":1,\"b\":2}");
+    EXPECT_TRUE(obj.is_object());
+    EXPECT_TRUE(arr.is_array());
+}
+
+TEST(JsonValue, TypeErrorsThrow) {
+    Json scalar(1.0);
+    EXPECT_THROW(scalar.push_back(1), std::logic_error);
+    EXPECT_THROW(scalar.set("k", 1), std::logic_error);
+    EXPECT_THROW((void)scalar.size(), std::logic_error);
+    Json arr = Json::array();
+    EXPECT_THROW(arr.set("k", 1), std::logic_error);
+}
+
+TEST(JsonValue, PrettyPrintIndents) {
+    Json obj = Json::object();
+    obj.set("x", 1);
+    const std::string pretty = obj.dump(2);
+    EXPECT_NE(pretty.find("{\n  \"x\": 1\n}"), std::string::npos);
+}
+
+TEST(JsonValue, FromVectorAndMatrix) {
+    EXPECT_EQ(Json::from(Vector{1.0, 2.0}).dump(), "[1,2]");
+    EXPECT_EQ(Json::from(Matrix{{1.0, 2.0}, {3.0, 4.0}}).dump(), "[[1,2],[3,4]]");
+}
+
+TEST(JsonValue, DumpToFileRoundTrips) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "htd_json_test.json").string();
+    Json obj = Json::object();
+    obj.set("answer", 42);
+    obj.dump_to_file(path);
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("\"answer\": 42"), std::string::npos);
+    std::filesystem::remove(path);
+    EXPECT_THROW(obj.dump_to_file("/nonexistent/dir/file.json"), std::runtime_error);
+}
+
+TEST(Report, ContainsTable1AndDiagnostics) {
+    htd::core::ExperimentConfig config;
+    config.n_chips = 8;
+    config.pipeline.synthetic_samples = 5000;
+    const htd::core::ExperimentResult result = htd::core::run_experiment(config);
+    const Json doc = htd::core::experiment_report(config, result);
+    const std::string text = doc.dump();
+    EXPECT_NE(text.find("\"table1\""), std::string::npos);
+    EXPECT_NE(text.find("\"B5\""), std::string::npos);
+    EXPECT_NE(text.find("\"golden_chip_baseline\""), std::string::npos);
+    EXPECT_NE(text.find("\"mars_mean_r2\""), std::string::npos);
+    // Without measurements the per-device dump is absent.
+    EXPECT_EQ(text.find("\"devices\""), std::string::npos);
+
+    const Json with_devices =
+        htd::core::experiment_report(config, result, /*include_measurements=*/true);
+    EXPECT_NE(with_devices.dump().find("\"devices\""), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,318 @@
+/// Tests for the MARS regression engine (the paper's g_j : m_p -> m_j).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/mars.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using htd::linalg::Matrix;
+using htd::linalg::Vector;
+using htd::ml::BasisTerm;
+using htd::ml::HingeFactor;
+using htd::ml::Mars;
+using htd::ml::MarsBank;
+using htd::rng::Rng;
+
+TEST(Hinge, EvaluatesBothSigns) {
+    const HingeFactor pos{0, 2.0, true};
+    const HingeFactor neg{0, 2.0, false};
+    const double x_hi[] = {5.0};
+    const double x_lo[] = {1.0};
+    EXPECT_DOUBLE_EQ(pos.evaluate(x_hi), 3.0);
+    EXPECT_DOUBLE_EQ(pos.evaluate(x_lo), 0.0);
+    EXPECT_DOUBLE_EQ(neg.evaluate(x_hi), 0.0);
+    EXPECT_DOUBLE_EQ(neg.evaluate(x_lo), 1.0);
+}
+
+TEST(Basis, InterceptIsOne) {
+    const BasisTerm intercept;
+    const double x[] = {42.0};
+    EXPECT_DOUBLE_EQ(intercept.evaluate(x), 1.0);
+    EXPECT_EQ(intercept.degree(), 0u);
+    EXPECT_EQ(intercept.str(), "1");
+}
+
+TEST(Basis, ProductOfFactors) {
+    BasisTerm term;
+    term.factors.push_back({0, 1.0, true});
+    term.factors.push_back({1, 0.0, false});
+    const double x[] = {3.0, -2.0};
+    EXPECT_DOUBLE_EQ(term.evaluate(x), 2.0 * 2.0);
+    EXPECT_TRUE(term.uses_variable(0));
+    EXPECT_TRUE(term.uses_variable(1));
+    EXPECT_FALSE(term.uses_variable(2));
+}
+
+TEST(MarsFit, RejectsBadOptions) {
+    Mars::Options opts;
+    opts.max_terms = 0;
+    EXPECT_THROW(Mars{opts}, std::invalid_argument);
+    opts.max_terms = 5;
+    opts.max_degree = 0;
+    EXPECT_THROW(Mars{opts}, std::invalid_argument);
+    opts.max_degree = 1;
+    opts.penalty = -1.0;
+    EXPECT_THROW(Mars{opts}, std::invalid_argument);
+}
+
+TEST(MarsFit, RejectsEmptyAndMismatched) {
+    Mars m;
+    EXPECT_THROW(m.fit(Matrix(), Vector()), std::invalid_argument);
+    EXPECT_THROW(m.fit(Matrix(3, 1), Vector(2)), std::invalid_argument);
+}
+
+TEST(MarsFit, ThrowsBeforeFit) {
+    const Mars m;
+    EXPECT_THROW((void)m.predict(Vector{1.0}), std::logic_error);
+}
+
+TEST(MarsFit, FitsConstantFunction) {
+    Matrix x(20, 1);
+    Vector y(20, 7.0);
+    for (std::size_t i = 0; i < 20; ++i) x(i, 0) = static_cast<double>(i);
+    Mars m;
+    m.fit(x, y);
+    EXPECT_NEAR(m.predict(Vector{10.5}), 7.0, 1e-9);
+    EXPECT_NEAR(m.r_squared(), 1.0, 1e-9);
+}
+
+TEST(MarsFit, FitsLinearFunctionExactly) {
+    Rng rng(1);
+    Matrix x(60, 1);
+    Vector y(60);
+    for (std::size_t i = 0; i < 60; ++i) {
+        x(i, 0) = rng.uniform(-3.0, 3.0);
+        y[i] = 2.0 * x(i, 0) - 1.0;
+    }
+    Mars m;
+    m.fit(x, y);
+    EXPECT_NEAR(m.predict(Vector{0.5}), 0.0, 1e-6);
+    EXPECT_NEAR(m.predict(Vector{2.0}), 3.0, 1e-6);
+    EXPECT_GT(m.r_squared(), 0.999999);
+}
+
+TEST(MarsFit, RecoversSingleHinge) {
+    // y = max(0, x - 1): MARS should place a knot near 1 and fit exactly.
+    Matrix x(101, 1);
+    Vector y(101);
+    for (std::size_t i = 0; i <= 100; ++i) {
+        const double xv = -2.0 + 0.05 * static_cast<double>(i);
+        x(i, 0) = xv;
+        y[i] = std::max(0.0, xv - 1.0);
+    }
+    Mars m;
+    m.fit(x, y);
+    EXPECT_NEAR(m.predict(Vector{-1.0}), 0.0, 1e-6);
+    EXPECT_NEAR(m.predict(Vector{2.0}), 1.0, 1e-6);
+    EXPECT_NEAR(m.predict(Vector{1.5}), 0.5, 1e-6);
+}
+
+TEST(MarsFit, FitsPiecewiseLinearVee) {
+    // y = |x|: needs the mirrored hinge pair at 0.
+    Matrix x(81, 1);
+    Vector y(81);
+    for (std::size_t i = 0; i <= 80; ++i) {
+        const double xv = -2.0 + 0.05 * static_cast<double>(i);
+        x(i, 0) = xv;
+        y[i] = std::abs(xv);
+    }
+    Mars m;
+    m.fit(x, y);
+    EXPECT_NEAR(m.predict(Vector{-1.5}), 1.5, 1e-5);
+    EXPECT_NEAR(m.predict(Vector{1.5}), 1.5, 1e-5);
+    EXPECT_NEAR(m.predict(Vector{0.0}), 0.0, 0.05);
+}
+
+TEST(MarsFit, AdditiveTwoVariableFunction) {
+    Rng rng(2);
+    Matrix x(150, 2);
+    Vector y(150);
+    for (std::size_t i = 0; i < 150; ++i) {
+        x(i, 0) = rng.uniform(-2.0, 2.0);
+        x(i, 1) = rng.uniform(-2.0, 2.0);
+        y[i] = 3.0 * x(i, 0) + std::max(0.0, x(i, 1)) + 0.5;
+    }
+    Mars::Options opts;
+    opts.max_degree = 1;
+    Mars m(opts);
+    m.fit(x, y);
+    EXPECT_GT(m.r_squared(), 0.999);
+    EXPECT_NEAR(m.predict(Vector{1.0, -1.0}), 3.5, 0.05);
+    EXPECT_NEAR(m.predict(Vector{1.0, 1.0}), 4.5, 0.05);
+}
+
+TEST(MarsFit, InteractionTermWhenAllowed) {
+    Rng rng(3);
+    Matrix x(200, 2);
+    Vector y(200);
+    for (std::size_t i = 0; i < 200; ++i) {
+        x(i, 0) = rng.uniform(0.0, 2.0);
+        x(i, 1) = rng.uniform(0.0, 2.0);
+        y[i] = x(i, 0) * x(i, 1);
+    }
+    Mars::Options additive;
+    additive.max_degree = 1;
+    Mars m1(additive);
+    m1.fit(x, y);
+
+    Mars::Options inter;
+    inter.max_degree = 2;
+    Mars m2(inter);
+    m2.fit(x, y);
+    // The interaction-capable model fits the product better.
+    EXPECT_GT(m2.r_squared(), m1.r_squared() - 1e-12);
+    EXPECT_GT(m2.r_squared(), 0.97);
+}
+
+TEST(MarsFit, PruningReducesTermsOnNoisyData) {
+    Rng rng(4);
+    Matrix x(80, 1);
+    Vector y(80);
+    for (std::size_t i = 0; i < 80; ++i) {
+        x(i, 0) = rng.uniform(-2.0, 2.0);
+        y[i] = x(i, 0) + rng.normal(0.0, 0.5);  // linear + noise
+    }
+    Mars::Options no_prune;
+    no_prune.prune = false;
+    Mars grown(no_prune);
+    grown.fit(x, y);
+
+    Mars pruned;  // default prunes
+    pruned.fit(x, y);
+    EXPECT_LE(pruned.terms().size(), grown.terms().size());
+}
+
+TEST(MarsFit, MaxTermsRespected) {
+    Rng rng(5);
+    Matrix x(100, 1);
+    Vector y(100);
+    for (std::size_t i = 0; i < 100; ++i) {
+        x(i, 0) = rng.uniform(-3.0, 3.0);
+        y[i] = std::sin(x(i, 0));
+    }
+    Mars::Options opts;
+    opts.max_terms = 5;
+    opts.prune = false;
+    Mars m(opts);
+    m.fit(x, y);
+    EXPECT_LE(m.terms().size(), 5u);
+}
+
+TEST(MarsFit, ExtrapolatesLinearly) {
+    // Trained on [0, 1]; prediction at 2 continues the edge slope instead of
+    // exploding — the property the pipeline relies on for the process shift.
+    Matrix x(51, 1);
+    Vector y(51);
+    for (std::size_t i = 0; i <= 50; ++i) {
+        x(i, 0) = 0.02 * static_cast<double>(i);
+        y[i] = 3.0 * x(i, 0);
+    }
+    Mars m;
+    m.fit(x, y);
+    EXPECT_NEAR(m.predict(Vector{2.0}), 6.0, 0.05);
+    EXPECT_NEAR(m.predict(Vector{-1.0}), -3.0, 0.05);
+}
+
+TEST(MarsFit, PredictBatchMatchesScalar) {
+    Rng rng(6);
+    Matrix x(50, 2);
+    Vector y(50);
+    for (std::size_t i = 0; i < 50; ++i) {
+        x(i, 0) = rng.normal();
+        x(i, 1) = rng.normal();
+        y[i] = x(i, 0) - x(i, 1);
+    }
+    Mars m;
+    m.fit(x, y);
+    const Vector batch = m.predict_batch(x);
+    for (std::size_t i = 0; i < 50; ++i) {
+        EXPECT_DOUBLE_EQ(batch[i], m.predict(x.row(i)));
+    }
+}
+
+TEST(MarsFit, KnotThinningStillFits) {
+    Rng rng(7);
+    Matrix x(300, 1);
+    Vector y(300);
+    for (std::size_t i = 0; i < 300; ++i) {
+        x(i, 0) = rng.uniform(-2.0, 2.0);
+        y[i] = std::max(0.0, x(i, 0));
+    }
+    Mars::Options opts;
+    opts.max_knots_per_variable = 20;
+    Mars m(opts);
+    m.fit(x, y);
+    EXPECT_GT(m.r_squared(), 0.99);
+}
+
+// --- MarsBank ------------------------------------------------------------------
+
+TEST(MarsBankTest, FitsMultipleOutputs) {
+    Rng rng(8);
+    Matrix x(100, 1);
+    Matrix y(100, 3);
+    for (std::size_t i = 0; i < 100; ++i) {
+        x(i, 0) = rng.uniform(-2.0, 2.0);
+        y(i, 0) = 2.0 * x(i, 0);
+        y(i, 1) = -x(i, 0) + 1.0;
+        y(i, 2) = std::max(0.0, x(i, 0));
+    }
+    MarsBank bank;
+    bank.fit(x, y);
+    ASSERT_EQ(bank.output_dim(), 3u);
+    const Vector pred = bank.predict(Vector{1.0});
+    EXPECT_NEAR(pred[0], 2.0, 1e-5);
+    EXPECT_NEAR(pred[1], 0.0, 1e-5);
+    EXPECT_NEAR(pred[2], 1.0, 1e-5);
+}
+
+TEST(MarsBankTest, PredictBatchShape) {
+    Rng rng(9);
+    Matrix x(40, 2);
+    Matrix y(40, 2);
+    for (std::size_t i = 0; i < 40; ++i) {
+        x(i, 0) = rng.normal();
+        x(i, 1) = rng.normal();
+        y(i, 0) = x(i, 0);
+        y(i, 1) = x(i, 1);
+    }
+    MarsBank bank;
+    bank.fit(x, y);
+    const Matrix out = bank.predict_batch(x);
+    EXPECT_EQ(out.rows(), 40u);
+    EXPECT_EQ(out.cols(), 2u);
+}
+
+TEST(MarsBankTest, RejectsMismatchedAndUnfitted) {
+    MarsBank bank;
+    EXPECT_THROW(bank.fit(Matrix(3, 1), Matrix(4, 2)), std::invalid_argument);
+    EXPECT_THROW((void)bank.predict(Vector{1.0}), std::logic_error);
+}
+
+/// Property: R^2 on exactly representable piecewise-linear targets is ~1 for
+/// a range of knot positions.
+class MarsKnotSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MarsKnotSweep, RecoversHingeAtAnyKnot) {
+    const double knot = GetParam();
+    Matrix x(121, 1);
+    Vector y(121);
+    for (std::size_t i = 0; i <= 120; ++i) {
+        const double xv = -3.0 + 0.05 * static_cast<double>(i);
+        x(i, 0) = xv;
+        y[i] = 2.0 * std::max(0.0, xv - knot) + 1.0;
+    }
+    Mars m;
+    m.fit(x, y);
+    EXPECT_GT(m.r_squared(), 0.9999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Knots, MarsKnotSweep,
+                         ::testing::Values(-2.0, -1.0, 0.0, 0.5, 1.5, 2.5));
+
+}  // namespace

@@ -1,0 +1,160 @@
+/// Tests for PCA (Fig. 4 projections) and the detection metrics (Eqs. 1-2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/metrics.hpp"
+#include "ml/pca.hpp"
+#include "rng/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using htd::linalg::Matrix;
+using htd::linalg::Vector;
+using htd::ml::DetectionMetrics;
+using htd::ml::DeviceLabel;
+using htd::ml::evaluate_detection;
+using htd::ml::Pca;
+using htd::rng::Rng;
+
+TEST(PcaTest, RejectsDegenerate) {
+    Pca pca;
+    EXPECT_THROW(pca.fit(Matrix(1, 3)), std::invalid_argument);
+    EXPECT_THROW(pca.fit(Matrix(10, 3), 4), std::invalid_argument);
+    const Pca unfitted;
+    EXPECT_THROW((void)unfitted.transform(Vector{1.0}), std::logic_error);
+}
+
+TEST(PcaTest, FirstComponentAlignsWithDominantDirection) {
+    Rng rng(1);
+    Matrix data(500, 2);
+    for (std::size_t r = 0; r < 500; ++r) {
+        const double t = rng.normal(0.0, 3.0);
+        data(r, 0) = t + rng.normal(0.0, 0.1);
+        data(r, 1) = 2.0 * t + rng.normal(0.0, 0.1);
+    }
+    Pca pca;
+    pca.fit(data, 2);
+    // First component ~ (1, 2)/sqrt(5)
+    const double c0 = pca.components()(0, 0);
+    const double c1 = pca.components()(1, 0);
+    EXPECT_NEAR(std::abs(c1 / c0), 2.0, 0.05);
+    // Explained variance strongly dominated by the first component.
+    const Vector ratio = pca.explained_variance_ratio();
+    EXPECT_GT(ratio[0], 0.99);
+}
+
+TEST(PcaTest, TransformCentersScores) {
+    Rng rng(2);
+    Matrix data(300, 3);
+    for (std::size_t r = 0; r < 300; ++r)
+        for (std::size_t c = 0; c < 3; ++c) data(r, c) = rng.normal(5.0, 1.0);
+    Pca pca;
+    pca.fit(data, 2);
+    const Matrix scores = pca.transform(data);
+    const Vector m = htd::stats::column_means(scores);
+    EXPECT_NEAR(m[0], 0.0, 1e-9);
+    EXPECT_NEAR(m[1], 0.0, 1e-9);
+}
+
+TEST(PcaTest, FullRankRoundTrip) {
+    Rng rng(3);
+    Matrix data(100, 3);
+    for (std::size_t r = 0; r < 100; ++r)
+        for (std::size_t c = 0; c < 3; ++c) data(r, c) = rng.normal();
+    Pca pca;
+    pca.fit(data);  // keep all components
+    const Vector x = data.row(42);
+    const Vector back = pca.inverse_transform(pca.transform(x));
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_NEAR(back[c], x[c], 1e-9);
+}
+
+TEST(PcaTest, EigenvaluesDescending) {
+    Rng rng(4);
+    Matrix data(200, 5);
+    for (std::size_t r = 0; r < 200; ++r)
+        for (std::size_t c = 0; c < 5; ++c)
+            data(r, c) = rng.normal(0.0, static_cast<double>(c + 1));
+    Pca pca;
+    pca.fit(data);
+    const Vector ev = pca.explained_variance();
+    for (std::size_t k = 1; k < ev.size(); ++k) EXPECT_GE(ev[k - 1], ev[k]);
+}
+
+TEST(PcaTest, VarianceRatioSumsToOneWhenAllKept) {
+    Rng rng(5);
+    Matrix data(150, 4);
+    for (std::size_t r = 0; r < 150; ++r)
+        for (std::size_t c = 0; c < 4; ++c) data(r, c) = rng.normal();
+    Pca pca;
+    pca.fit(data);
+    EXPECT_NEAR(pca.explained_variance_ratio().sum(), 1.0, 1e-9);
+}
+
+TEST(PcaTest, TransformDimMismatchThrows) {
+    Pca pca;
+    pca.fit(Matrix{{1.0, 2.0}, {3.0, 4.0}, {5.0, 7.0}});
+    EXPECT_THROW((void)pca.transform(Vector{1.0}), std::invalid_argument);
+    EXPECT_THROW((void)pca.inverse_transform(Vector{1.0, 2.0, 3.0}),
+                 std::invalid_argument);
+}
+
+// --- detection metrics ----------------------------------------------------------
+
+TEST(Metrics, PaperConventionFpOverInfested) {
+    // FP counts infested devices predicted free (Eq. 1);
+    // FN counts free devices predicted infested (Eq. 2).
+    const std::vector<bool> predicted_free{true, false, true, false};
+    const std::vector<DeviceLabel> labels{
+        DeviceLabel::kTrojanInfested,  // predicted free -> FP
+        DeviceLabel::kTrojanInfested,  // predicted infested -> TN
+        DeviceLabel::kTrojanFree,      // predicted free -> TP
+        DeviceLabel::kTrojanFree,      // predicted infested -> FN
+    };
+    const DetectionMetrics m = evaluate_detection(predicted_free, labels);
+    EXPECT_EQ(m.false_positives, 1u);
+    EXPECT_EQ(m.false_negatives, 1u);
+    EXPECT_EQ(m.true_positives, 1u);
+    EXPECT_EQ(m.true_negatives, 1u);
+    EXPECT_EQ(m.trojan_free_total, 2u);
+    EXPECT_EQ(m.trojan_infested_total, 2u);
+    EXPECT_DOUBLE_EQ(m.false_positive_rate(), 0.5);
+    EXPECT_DOUBLE_EQ(m.false_negative_rate(), 0.5);
+    EXPECT_DOUBLE_EQ(m.accuracy(), 0.5);
+}
+
+TEST(Metrics, PerfectDetector) {
+    const std::vector<bool> predicted{true, false};
+    const std::vector<DeviceLabel> labels{DeviceLabel::kTrojanFree,
+                                          DeviceLabel::kTrojanInfested};
+    const DetectionMetrics m = evaluate_detection(predicted, labels);
+    EXPECT_EQ(m.false_positives, 0u);
+    EXPECT_EQ(m.false_negatives, 0u);
+    EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+    EXPECT_THROW((void)evaluate_detection({true}, std::vector<DeviceLabel>{}),
+                 std::invalid_argument);
+}
+
+TEST(Metrics, EmptyBatchSafeRates) {
+    const DetectionMetrics m = evaluate_detection({}, std::vector<DeviceLabel>{});
+    EXPECT_DOUBLE_EQ(m.false_positive_rate(), 0.0);
+    EXPECT_DOUBLE_EQ(m.false_negative_rate(), 0.0);
+    EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+}
+
+TEST(Metrics, StrRendersTable1Style) {
+    DetectionMetrics m;
+    m.false_positives = 3;
+    m.trojan_infested_total = 80;
+    m.false_negatives = 5;
+    m.trojan_free_total = 40;
+    EXPECT_EQ(m.str(), "FP 3/80  FN 5/40");
+}
+
+}  // namespace

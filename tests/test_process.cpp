@@ -1,0 +1,215 @@
+/// Tests for the hierarchical process-variation model and the
+/// Spice-vs-silicon operating-point machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "process/variation_model.hpp"
+#include "rng/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using htd::linalg::Matrix;
+using htd::linalg::Vector;
+using htd::process::kParamCount;
+using htd::process::nominal_350nm;
+using htd::process::Param;
+using htd::process::ProcessPoint;
+using htd::process::ProcessShift;
+using htd::process::ProcessVariationModel;
+using htd::process::VarianceSplit;
+using htd::rng::Rng;
+
+TEST(ProcessPointTest, NamedAccessorsMatchIndices) {
+    ProcessPoint p = nominal_350nm();
+    EXPECT_DOUBLE_EQ(p.vth_n(), p.get(Param::kVthN));
+    EXPECT_DOUBLE_EQ(p.mu_p(), p.get(Param::kMuP));
+    p.set(Param::kTox, 8.0);
+    EXPECT_DOUBLE_EQ(p.tox_nm(), 8.0);
+}
+
+TEST(ProcessPointTest, VectorRoundTrip) {
+    const ProcessPoint p = nominal_350nm();
+    EXPECT_EQ(ProcessPoint::from_vector(p.to_vector()), p);
+    EXPECT_THROW((void)ProcessPoint::from_vector(Vector(3)), std::invalid_argument);
+}
+
+TEST(ProcessPointTest, ParamNames) {
+    EXPECT_EQ(htd::process::param_name(Param::kVthN), "vth_n");
+    EXPECT_EQ(htd::process::param_name(Param::kCjScale), "cj_scale");
+}
+
+TEST(ProcessPointTest, Nominal350nmPhysicallyPlausible) {
+    const ProcessPoint p = nominal_350nm();
+    EXPECT_GT(p.vth_n(), 0.3);
+    EXPECT_LT(p.vth_n(), 1.0);
+    EXPECT_GT(p.mu_n(), p.mu_p());  // electrons faster than holes
+    EXPECT_NEAR(p.leff_um(), 0.35, 1e-12);
+}
+
+TEST(VariationModel, RejectsBadConstruction) {
+    const Vector sigma(kParamCount, 0.05);
+    const Matrix corr = Matrix::identity(kParamCount);
+    EXPECT_THROW(ProcessVariationModel(nominal_350nm(), Vector(3), corr, {}),
+                 std::invalid_argument);
+    EXPECT_THROW(ProcessVariationModel(nominal_350nm(), sigma, Matrix(3, 3), {}),
+                 std::invalid_argument);
+    VarianceSplit bad_split;
+    bad_split.lot = 0.9;  // sums to > 1
+    EXPECT_THROW(ProcessVariationModel(nominal_350nm(), sigma, corr, bad_split),
+                 std::invalid_argument);
+    Vector neg_sigma = sigma;
+    neg_sigma[0] = -0.1;
+    EXPECT_THROW(ProcessVariationModel(nominal_350nm(), neg_sigma, corr, {}),
+                 std::invalid_argument);
+}
+
+TEST(VariationModel, MonteCarloMatchesConfiguredSigmas) {
+    const ProcessVariationModel model = ProcessVariationModel::default_350nm();
+    Rng rng(1);
+    const Matrix samples = model.sample_monte_carlo_n(rng, 20000);
+    const Vector means = htd::stats::column_means(samples);
+    const Vector sds = htd::stats::column_stddevs(samples);
+    for (std::size_t i = 0; i < kParamCount; ++i) {
+        const double nominal = model.nominal().values[i];
+        EXPECT_NEAR(means[i], nominal, 0.05 * std::abs(nominal) + 1e-9);
+        EXPECT_NEAR(sds[i], model.sigma()[i], 0.05 * model.sigma()[i] + 1e-12);
+    }
+}
+
+TEST(VariationModel, ConfiguredCorrelationsAppearInSamples) {
+    const ProcessVariationModel model = ProcessVariationModel::default_350nm();
+    Rng rng(2);
+    const Matrix samples = model.sample_monte_carlo_n(rng, 20000);
+    const Vector mu_n = samples.col(static_cast<std::size_t>(Param::kMuN));
+    const Vector mu_p = samples.col(static_cast<std::size_t>(Param::kMuP));
+    std::vector<double> a(mu_n.begin(), mu_n.end());
+    std::vector<double> b(mu_p.begin(), mu_p.end());
+    EXPECT_NEAR(htd::stats::pearson_correlation(a, b), 0.95, 0.02);
+
+    const Vector vth = samples.col(static_cast<std::size_t>(Param::kVthN));
+    std::vector<double> v(vth.begin(), vth.end());
+    EXPECT_LT(htd::stats::pearson_correlation(v, a), 0.0);  // anti-correlated
+}
+
+TEST(VariationModel, HierarchyVarianceDecomposes) {
+    const ProcessVariationModel model = ProcessVariationModel::default_350nm();
+    Rng rng(3);
+    // Devices in ONE lot+wafer context spread with only the die fraction.
+    const Vector lot = model.sample_lot_offset(rng);
+    const Vector wafer = model.sample_wafer_offset(rng);
+    Matrix within(2000, kParamCount);
+    for (std::size_t i = 0; i < 2000; ++i) {
+        within.set_row(i, model.sample_die(rng, lot, wafer).to_vector());
+    }
+    const Vector within_sd = htd::stats::column_stddevs(within);
+    const std::size_t mu_idx = static_cast<std::size_t>(Param::kMuN);
+    const double expected = model.sigma()[mu_idx] * std::sqrt(model.split().die);
+    EXPECT_NEAR(within_sd[mu_idx], expected, 0.1 * expected);
+    // Within-lot spread is strictly below the full process spread.
+    EXPECT_LT(within_sd[mu_idx], model.sigma()[mu_idx]);
+}
+
+TEST(VariationModel, LotOffsetsVaryAcrossLots) {
+    const ProcessVariationModel model = ProcessVariationModel::default_350nm();
+    Rng rng(4);
+    Matrix lots(2000, kParamCount);
+    for (std::size_t i = 0; i < 2000; ++i) lots.set_row(i, model.sample_lot_offset(rng));
+    const Vector sd = htd::stats::column_stddevs(lots);
+    const std::size_t mu_idx = static_cast<std::size_t>(Param::kMuN);
+    const double expected = model.sigma()[mu_idx] * std::sqrt(model.split().lot);
+    EXPECT_NEAR(sd[mu_idx], expected, 0.1 * expected);
+}
+
+TEST(VariationModel, PerturbWithinDieIsSmall) {
+    const ProcessVariationModel model = ProcessVariationModel::default_350nm();
+    Rng rng(5);
+    const ProcessPoint die = model.sample_monte_carlo(rng);
+    Matrix versions(500, kParamCount);
+    for (std::size_t i = 0; i < 500; ++i) {
+        versions.set_row(i, model.perturb_within_die(rng, die, 0.15).to_vector());
+    }
+    const Vector sd = htd::stats::column_stddevs(versions);
+    const std::size_t mu_idx = static_cast<std::size_t>(Param::kMuN);
+    EXPECT_LT(sd[mu_idx], 0.2 * model.sigma()[mu_idx]);
+    EXPECT_THROW((void)model.perturb_within_die(rng, die, -0.1), std::invalid_argument);
+}
+
+TEST(VariationModel, ZeroFractionPerturbIsIdentity) {
+    const ProcessVariationModel model = ProcessVariationModel::default_350nm();
+    Rng rng(6);
+    const ProcessPoint die = model.sample_monte_carlo(rng);
+    EXPECT_EQ(model.perturb_within_die(rng, die, 0.0), die);
+}
+
+// --- shifts -----------------------------------------------------------------------
+
+TEST(ShiftTest, SlowCornerRaisesVthLowersMobility) {
+    const ProcessShift s = ProcessShift::slow_corner(2.0);
+    EXPECT_GT(s.get(Param::kVthN), 0.0);
+    EXPECT_LT(s.get(Param::kMuN), 0.0);
+    const ProcessShift f = ProcessShift::fast_corner(2.0);
+    EXPECT_LT(f.get(Param::kVthN), 0.0);
+    EXPECT_GT(f.get(Param::kMuN), 0.0);
+}
+
+TEST(ShiftTest, ShiftedModelMovesNominalKeepsSigma) {
+    const ProcessVariationModel model = ProcessVariationModel::default_350nm();
+    const ProcessVariationModel shifted = model.shifted(ProcessShift::slow_corner(3.0));
+    const std::size_t vth_idx = static_cast<std::size_t>(Param::kVthN);
+    EXPECT_NEAR(shifted.nominal().values[vth_idx],
+                model.nominal().values[vth_idx] + 3.0 * model.sigma()[vth_idx], 1e-12);
+    // Sigma (absolute) unchanged: spread belongs to the technology.
+    EXPECT_EQ(shifted.sigma()[vth_idx], model.sigma()[vth_idx]);
+}
+
+TEST(ShiftTest, ZeroShiftIsIdentity) {
+    const ProcessVariationModel model = ProcessVariationModel::default_350nm();
+    const ProcessVariationModel same = model.shifted(ProcessShift{});
+    EXPECT_EQ(same.nominal(), model.nominal());
+}
+
+TEST(ShiftTest, RoundTripShiftCancels) {
+    const ProcessVariationModel model = ProcessVariationModel::default_350nm();
+    const ProcessVariationModel there =
+        model.shifted(ProcessShift::slow_corner(2.5));
+    const ProcessVariationModel back =
+        there.shifted(ProcessShift::fast_corner(2.5));
+    for (std::size_t i = 0; i < kParamCount; ++i) {
+        EXPECT_NEAR(back.nominal().values[i], model.nominal().values[i],
+                    1e-9 * std::abs(model.nominal().values[i]));
+    }
+}
+
+TEST(VariationModel, SampleDieRejectsBadOffsets) {
+    const ProcessVariationModel model = ProcessVariationModel::default_350nm();
+    Rng rng(7);
+    EXPECT_THROW((void)model.sample_die(rng, Vector(3), Vector(kParamCount)),
+                 std::invalid_argument);
+}
+
+/// Property: Monte Carlo samples stay physically sane across magnitudes of
+/// drift (no negative oxide thickness or mobility at realistic shifts).
+class ShiftSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShiftSweep, SamplesStayPhysical) {
+    const ProcessVariationModel model =
+        ProcessVariationModel::default_350nm().shifted(
+            ProcessShift::slow_corner(GetParam()));
+    Rng rng(8);
+    for (int i = 0; i < 200; ++i) {
+        const ProcessPoint p = model.sample_monte_carlo(rng);
+        EXPECT_GT(p.tox_nm(), 0.0);
+        EXPECT_GT(p.mu_n(), 0.0);
+        EXPECT_GT(p.mu_p(), 0.0);
+        EXPECT_GT(p.leff_um(), 0.0);
+        EXPECT_GT(p.rsheet(), 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, ShiftSweep, ::testing::Values(0.0, 1.0, 3.0, 4.5, 6.0));
+
+}  // namespace

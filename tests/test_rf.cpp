@@ -1,0 +1,260 @@
+/// Tests for the UWB transmitter, power amplifier and bench power meter.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "process/variation_model.hpp"
+#include "rf/uwb.hpp"
+#include "rng/rng.hpp"
+#include "trojan/trojan.hpp"
+
+namespace {
+
+using htd::process::nominal_350nm;
+using htd::process::Param;
+using htd::process::ProcessPoint;
+using htd::rf::dbm_to_mw;
+using htd::rf::mw_to_dbm;
+using htd::rf::PowerAmplifier;
+using htd::rf::PowerMeter;
+using htd::rf::UwbPulseParams;
+using htd::rf::UwbTransmitter;
+using htd::rng::Rng;
+using htd::trojan::AmplitudeLeakTrojan;
+using htd::trojan::FrequencyLeakTrojan;
+using htd::trojan::PulseObservation;
+
+std::array<bool, 128> all_ones() {
+    std::array<bool, 128> bits{};
+    bits.fill(true);
+    return bits;
+}
+
+std::array<bool, 128> alternating() {
+    std::array<bool, 128> bits{};
+    for (std::size_t i = 0; i < 128; i += 2) bits[i] = true;
+    return bits;
+}
+
+TEST(DbmConversion, RoundTripsAndKnownValues) {
+    EXPECT_DOUBLE_EQ(mw_to_dbm(1.0), 0.0);
+    EXPECT_NEAR(mw_to_dbm(2.0), 3.0103, 1e-4);
+    EXPECT_NEAR(dbm_to_mw(10.0), 10.0, 1e-12);
+    EXPECT_NEAR(dbm_to_mw(mw_to_dbm(0.37)), 0.37, 1e-12);
+    EXPECT_THROW((void)mw_to_dbm(0.0), std::domain_error);
+}
+
+TEST(PaModel, NominalPulseIsUnitReference) {
+    const PowerAmplifier pa;
+    const UwbPulseParams pulse = pa.pulse_params(nominal_350nm());
+    EXPECT_NEAR(pulse.amplitude_v, 1.0, 1e-9);
+    EXPECT_NEAR(pulse.center_freq_ghz, 4.0, 1e-9);
+    EXPECT_NEAR(pulse.tau_ns, 0.5, 1e-9);
+}
+
+TEST(PaModel, AmplitudeTracksMobility) {
+    const PowerAmplifier pa;
+    ProcessPoint fast = nominal_350nm();
+    fast.set(Param::kMuN, 500.0);
+    EXPECT_GT(pa.pulse_params(fast).amplitude_v, 1.0);
+    ProcessPoint slow = nominal_350nm();
+    slow.set(Param::kMuN, 350.0);
+    EXPECT_LT(pa.pulse_params(slow).amplitude_v, 1.0);
+}
+
+TEST(PaModel, AmplitudeDropsWithHigherThreshold) {
+    const PowerAmplifier pa;
+    ProcessPoint high_vth = nominal_350nm();
+    high_vth.set(Param::kVthN, 0.62);
+    EXPECT_LT(pa.pulse_params(high_vth).amplitude_v, 1.0);
+}
+
+TEST(PaModel, FrequencyTrimDampensCapacitanceSpread) {
+    PowerAmplifier::Options trimmed;      // default exponent 0.15
+    PowerAmplifier::Options free_running;
+    free_running.freq_tuning_exponent = 0.5;
+    ProcessPoint thick_ox = nominal_350nm();
+    thick_ox.set(Param::kTox, 8.0);  // lower Cox -> higher f
+    const double f_trim =
+        PowerAmplifier(trimmed).pulse_params(thick_ox).center_freq_ghz;
+    const double f_free =
+        PowerAmplifier(free_running).pulse_params(thick_ox).center_freq_ghz;
+    EXPECT_GT(f_trim, 4.0);
+    EXPECT_GT(f_free, f_trim);  // untrimmed tank moves further
+}
+
+TEST(PaModel, TauTracksRcProduct) {
+    const PowerAmplifier pa;
+    ProcessPoint high_r = nominal_350nm();
+    high_r.set(Param::kRsheet, 90.0);
+    EXPECT_GT(pa.pulse_params(high_r).tau_ns, 0.5);
+}
+
+TEST(PaModel, RejectsBadOptions) {
+    PowerAmplifier::Options opts;
+    opts.vdd = 0.0;
+    EXPECT_THROW(PowerAmplifier{opts}, std::invalid_argument);
+    PowerAmplifier::Options off_bias;
+    off_bias.bias_v = 0.1;  // below threshold: driver off
+    EXPECT_THROW(PowerAmplifier{off_bias}, std::invalid_argument);
+}
+
+// --- transmitter ---------------------------------------------------------------
+
+TEST(Transmitter, OokSilentOnZeroBits) {
+    const UwbTransmitter tx{PowerAmplifier{}};
+    const auto obs =
+        tx.transmit_block(nominal_350nm(), alternating(), all_ones());
+    ASSERT_EQ(obs.size(), 128u);
+    for (std::size_t i = 0; i < 128; ++i) {
+        EXPECT_EQ(obs[i].transmitted, i % 2 == 0);
+        if (!obs[i].transmitted) {
+            EXPECT_EQ(obs[i].amplitude_v, 0.0);
+        }
+    }
+}
+
+TEST(Transmitter, TrojanFreeHasUniformPulses) {
+    const UwbTransmitter tx{PowerAmplifier{}};
+    EXPECT_FALSE(tx.has_trojan());
+    const auto obs = tx.transmit_block(nominal_350nm(), all_ones(), all_ones());
+    for (std::size_t i = 1; i < 128; ++i) {
+        EXPECT_DOUBLE_EQ(obs[i].amplitude_v, obs[0].amplitude_v);
+        EXPECT_DOUBLE_EQ(obs[i].frequency_ghz, obs[0].frequency_ghz);
+    }
+}
+
+TEST(Transmitter, AmplitudeTrojanModulatesOnlyZeroKeyBits) {
+    const AmplitudeLeakTrojan trojan(0.2);
+    const UwbTransmitter tx{PowerAmplifier{}, &trojan};
+    EXPECT_TRUE(tx.has_trojan());
+    std::array<bool, 128> key{};
+    key.fill(true);
+    key[5] = false;
+    key[77] = false;
+    const auto obs = tx.transmit_block(nominal_350nm(), all_ones(), key);
+    const double base = obs[0].amplitude_v;
+    for (std::size_t i = 0; i < 128; ++i) {
+        if (i == 5 || i == 77) {
+            EXPECT_NEAR(obs[i].amplitude_v, base * 1.2, 1e-9);
+        } else {
+            EXPECT_DOUBLE_EQ(obs[i].amplitude_v, base);
+        }
+    }
+}
+
+TEST(Transmitter, FrequencyTrojanShiftsOnlyZeroKeyBits) {
+    const FrequencyLeakTrojan trojan(0.5);
+    const UwbTransmitter tx{PowerAmplifier{}, &trojan};
+    std::array<bool, 128> key = all_ones();
+    key[10] = false;
+    const auto obs = tx.transmit_block(nominal_350nm(), all_ones(), key);
+    EXPECT_NEAR(obs[10].frequency_ghz - obs[11].frequency_ghz, 0.5, 1e-9);
+}
+
+// --- power meter ------------------------------------------------------------------
+
+TEST(Meter, RejectsBadOptions) {
+    PowerMeter::Options opts;
+    opts.bandwidth_ghz = 0.0;
+    EXPECT_THROW(PowerMeter{opts}, std::invalid_argument);
+    PowerMeter::Options neg_noise;
+    neg_noise.noise_sigma_db = -0.1;
+    EXPECT_THROW(PowerMeter{neg_noise}, std::invalid_argument);
+}
+
+TEST(Meter, BandResponsePeaksAtCenter) {
+    PowerMeter::Options opts;
+    opts.center_freq_ghz = 4.0;
+    opts.bandwidth_ghz = 0.5;
+    const PowerMeter meter(opts);
+    EXPECT_DOUBLE_EQ(meter.band_response(4.0), 1.0);
+    EXPECT_LT(meter.band_response(5.0), meter.band_response(4.2));
+    EXPECT_NEAR(meter.band_response(4.5), std::exp(-0.5), 1e-12);
+}
+
+TEST(Meter, PowerScalesWithAmplitudeSquared) {
+    const PowerMeter meter;
+    std::vector<PulseObservation> block(128);
+    block[0] = {true, 1.0, 4.0, 0.5};
+    const double p1 = meter.average_power_mw(block);
+    block[0].amplitude_v = 2.0;
+    const double p2 = meter.average_power_mw(block);
+    EXPECT_NEAR(p2 / p1, 4.0, 1e-9);
+}
+
+TEST(Meter, PowerScalesWithPulseCount) {
+    const PowerMeter meter;
+    std::vector<PulseObservation> one(128);
+    one[0] = {true, 1.0, 4.0, 0.5};
+    std::vector<PulseObservation> four(128);
+    for (int i = 0; i < 4; ++i) four[i] = {true, 1.0, 4.0, 0.5};
+    EXPECT_NEAR(meter.average_power_mw(four) / meter.average_power_mw(one), 4.0, 1e-9);
+}
+
+TEST(Meter, OutOfBandPulsesAttenuated) {
+    PowerMeter::Options opts;
+    opts.center_freq_ghz = 4.0;
+    opts.bandwidth_ghz = 0.4;
+    const PowerMeter meter(opts);
+    std::vector<PulseObservation> in_band(128);
+    in_band[0] = {true, 1.0, 4.0, 0.5};
+    std::vector<PulseObservation> off_band(128);
+    off_band[0] = {true, 1.0, 5.0, 0.5};
+    EXPECT_GT(meter.average_power_mw(in_band), meter.average_power_mw(off_band));
+}
+
+TEST(Meter, EmptyBlockThrows) {
+    const PowerMeter meter;
+    EXPECT_THROW((void)meter.average_power_mw({}), std::invalid_argument);
+}
+
+TEST(Meter, NoiseFreeDbmIsDeterministic) {
+    PowerMeter::Options opts;  // zero noise by default
+    const PowerMeter meter(opts);
+    std::vector<PulseObservation> block(128);
+    block[0] = {true, 1.0, 4.0, 0.5};
+    Rng rng(1);
+    const double a = meter.average_power_dbm(block, rng);
+    const double b = meter.average_power_dbm(block, rng);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Meter, NoiseSpreadMatchesSigma) {
+    PowerMeter::Options opts;
+    opts.noise_sigma_db = 0.1;
+    const PowerMeter meter(opts);
+    std::vector<PulseObservation> block(128);
+    block[0] = {true, 1.0, 4.0, 0.5};
+    Rng rng(2);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        const double v = meter.average_power_dbm(block, rng);
+        sum += v;
+        sum2 += v * v;
+    }
+    const double mean = sum / n;
+    const double sd = std::sqrt(sum2 / n - mean * mean);
+    EXPECT_NEAR(sd, 0.1, 0.01);
+}
+
+TEST(Meter, AmplitudeTrojanRaisesBlockPower) {
+    const AmplitudeLeakTrojan trojan(0.2);
+    const UwbTransmitter clean{PowerAmplifier{}};
+    const UwbTransmitter infested{PowerAmplifier{}, &trojan};
+    const PowerMeter meter;
+    std::array<bool, 128> key{};  // all zero key bits: every pulse modulated
+    const auto obs_clean =
+        clean.transmit_block(nominal_350nm(), all_ones(), key);
+    const auto obs_bad =
+        infested.transmit_block(nominal_350nm(), all_ones(), key);
+    const double gain_db = mw_to_dbm(meter.average_power_mw(obs_bad)) -
+                           mw_to_dbm(meter.average_power_mw(obs_clean));
+    EXPECT_NEAR(gain_db, 20.0 * std::log10(1.2), 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+/// Tests for the deterministic random-number substrate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "rng/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using htd::linalg::Matrix;
+using htd::linalg::Vector;
+using htd::rng::MultivariateNormal;
+using htd::rng::Rng;
+using htd::rng::SplitMix64;
+
+TEST(SplitMix64, DeterministicForSeed) {
+    SplitMix64 a(123);
+    SplitMix64 b(123);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForSeed) {
+    Rng a(99);
+    Rng b(99);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+    Rng rng(2);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-2.0, 5.0);
+        EXPECT_GE(u, -2.0);
+        EXPECT_LT(u, 5.0);
+    }
+    EXPECT_THROW((void)rng.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+    Rng rng(4);
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_THROW((void)rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+    Rng rng(5);
+    const int n = 200000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum2 += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParams) {
+    Rng rng(6);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+    EXPECT_THROW((void)rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+    Rng rng(7);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+    EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+    Rng rng(8);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+    EXPECT_FALSE(Rng(1).bernoulli(0.0));
+    EXPECT_TRUE(Rng(1).bernoulli(1.0));
+}
+
+TEST(Rng, SplitProducesDifferentStream) {
+    Rng a(9);
+    Rng child = a.split();
+    bool any_diff = false;
+    for (int i = 0; i < 20; ++i) {
+        if (a.next_u64() != child.next_u64()) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, PermutationIsValid) {
+    Rng rng(10);
+    const auto p = rng.permutation(50);
+    std::set<std::size_t> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), 50u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, PermutationShuffles) {
+    Rng rng(11);
+    const auto p = rng.permutation(100);
+    std::size_t fixed = 0;
+    for (std::size_t i = 0; i < 100; ++i) {
+        if (p[i] == i) ++fixed;
+    }
+    EXPECT_LT(fixed, 20u);  // a uniform shuffle has ~1 fixed point on average
+}
+
+TEST(Rng, WeightedIndexMatchesWeights) {
+    Rng rng(12);
+    const double w[] = {1.0, 3.0, 0.0, 6.0};
+    std::array<int, 4> counts{};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(w)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+    Rng rng(13);
+    EXPECT_THROW((void)rng.weighted_index({}), std::invalid_argument);
+    const double neg[] = {1.0, -1.0};
+    EXPECT_THROW((void)rng.weighted_index(neg), std::invalid_argument);
+    const double zeros[] = {0.0, 0.0};
+    EXPECT_THROW((void)rng.weighted_index(zeros), std::invalid_argument);
+}
+
+// --- MultivariateNormal ---------------------------------------------------------
+
+TEST(MultivariateNormal, ShapeMismatchThrows) {
+    EXPECT_THROW(MultivariateNormal(Vector(2), Matrix(3, 3)), std::invalid_argument);
+}
+
+TEST(MultivariateNormal, SampleMeanAndCovarianceMatch) {
+    const Vector mean{1.0, -2.0};
+    const Matrix cov{{2.0, 0.8}, {0.8, 1.0}};
+    const MultivariateNormal mvn(mean, cov);
+    Rng rng(14);
+    const Matrix samples = mvn.sample_n(rng, 50000);
+
+    const Vector m = htd::stats::column_means(samples);
+    EXPECT_NEAR(m[0], 1.0, 0.03);
+    EXPECT_NEAR(m[1], -2.0, 0.03);
+
+    const Matrix c = htd::stats::covariance_matrix(samples);
+    EXPECT_NEAR(c(0, 0), 2.0, 0.06);
+    EXPECT_NEAR(c(0, 1), 0.8, 0.04);
+    EXPECT_NEAR(c(1, 1), 1.0, 0.03);
+}
+
+TEST(MultivariateNormal, HandlesSemiDefiniteCovariance) {
+    // Rank-1 covariance: samples lie on a line.
+    const Matrix cov{{1.0, 1.0}, {1.0, 1.0}};
+    const MultivariateNormal mvn(Vector(2), cov);
+    Rng rng(15);
+    for (int i = 0; i < 100; ++i) {
+        const Vector x = mvn.sample(rng);
+        EXPECT_NEAR(x[0], x[1], 1e-4);
+    }
+}
+
+/// Property: dimension sweep — samples have the right dimension and finite
+/// values for identity covariance.
+class MvnDims : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MvnDims, SamplesAreFiniteAndRightSize) {
+    const std::size_t d = GetParam();
+    const MultivariateNormal mvn(Vector(d), Matrix::identity(d));
+    Rng rng(16);
+    const Vector x = mvn.sample(rng);
+    ASSERT_EQ(x.size(), d);
+    for (std::size_t i = 0; i < d; ++i) EXPECT_TRUE(std::isfinite(x[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MvnDims, ::testing::Values(1, 2, 3, 6, 8, 17));
+
+}  // namespace

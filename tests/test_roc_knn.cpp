@@ -1,0 +1,172 @@
+/// Tests for the ROC analysis utilities and the k-NN one-class baseline.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "ml/knn_detector.hpp"
+#include "ml/metrics.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using htd::linalg::Matrix;
+using htd::linalg::Vector;
+using htd::ml::DeviceLabel;
+using htd::ml::KnnDetector;
+using htd::ml::roc_auc;
+using htd::ml::roc_curve;
+using htd::rng::Rng;
+
+// --- ROC --------------------------------------------------------------------
+
+TEST(Roc, RejectsDegenerateInput) {
+    const std::vector<double> scores{1.0, 2.0};
+    const std::vector<DeviceLabel> one_class{DeviceLabel::kTrojanFree,
+                                             DeviceLabel::kTrojanFree};
+    EXPECT_THROW((void)roc_curve(scores, one_class), std::invalid_argument);
+    const std::vector<DeviceLabel> short_labels{DeviceLabel::kTrojanFree};
+    EXPECT_THROW((void)roc_curve(scores, short_labels), std::invalid_argument);
+    EXPECT_THROW((void)roc_curve({}, std::vector<DeviceLabel>{}),
+                 std::invalid_argument);
+}
+
+TEST(Roc, PerfectSeparationGivesAucOne) {
+    // Free devices score high, infested low — perfectly separable.
+    const std::vector<double> scores{3.0, 2.5, 2.0, -1.0, -2.0};
+    const std::vector<DeviceLabel> labels{
+        DeviceLabel::kTrojanFree, DeviceLabel::kTrojanFree, DeviceLabel::kTrojanFree,
+        DeviceLabel::kTrojanInfested, DeviceLabel::kTrojanInfested};
+    const auto curve = roc_curve(scores, labels);
+    EXPECT_NEAR(roc_auc(curve), 1.0, 1e-12);
+    // The curve contains an operating point with FP = 0, FN = 0.
+    bool has_perfect = false;
+    for (const auto& pt : curve) {
+        if (pt.fp_rate == 0.0 && pt.fn_rate == 0.0) has_perfect = true;
+    }
+    EXPECT_TRUE(has_perfect);
+}
+
+TEST(Roc, InvertedScoresGiveAucZero) {
+    const std::vector<double> scores{-1.0, -2.0, 2.0, 3.0};
+    const std::vector<DeviceLabel> labels{
+        DeviceLabel::kTrojanFree, DeviceLabel::kTrojanFree,
+        DeviceLabel::kTrojanInfested, DeviceLabel::kTrojanInfested};
+    EXPECT_NEAR(roc_auc(roc_curve(scores, labels)), 0.0, 1e-12);
+}
+
+TEST(Roc, RandomScoresGiveAucNearHalf) {
+    Rng rng(1);
+    const std::size_t n = 4000;
+    std::vector<double> scores(n);
+    std::vector<DeviceLabel> labels(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        scores[i] = rng.normal();
+        labels[i] = rng.bernoulli(0.5) ? DeviceLabel::kTrojanFree
+                                       : DeviceLabel::kTrojanInfested;
+    }
+    EXPECT_NEAR(roc_auc(roc_curve(scores, labels)), 0.5, 0.03);
+}
+
+TEST(Roc, CurveIsMonotone) {
+    Rng rng(2);
+    std::vector<double> scores(200);
+    std::vector<DeviceLabel> labels(200);
+    for (std::size_t i = 0; i < 200; ++i) {
+        const bool free = rng.bernoulli(0.4);
+        labels[i] = free ? DeviceLabel::kTrojanFree : DeviceLabel::kTrojanInfested;
+        scores[i] = rng.normal(free ? 1.0 : 0.0, 1.0);
+    }
+    const auto curve = roc_curve(scores, labels);
+    for (std::size_t k = 1; k < curve.size(); ++k) {
+        EXPECT_GE(curve[k].fp_rate, curve[k - 1].fp_rate);
+        EXPECT_LE(curve[k].fn_rate, curve[k - 1].fn_rate);
+        EXPECT_LE(curve[k].threshold, curve[k - 1].threshold);
+    }
+    EXPECT_THROW((void)roc_auc(std::vector<htd::ml::RocPoint>{{0, 0, 0}}),
+                 std::invalid_argument);
+}
+
+// --- KnnDetector --------------------------------------------------------------
+
+Matrix blob(Rng& rng, std::size_t n, std::size_t d, double mean, double sd) {
+    Matrix data(n, d);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < d; ++c) data(r, c) = rng.normal(mean, sd);
+    return data;
+}
+
+TEST(Knn, RejectsBadOptions) {
+    KnnDetector::Options opts;
+    opts.k = 0;
+    EXPECT_THROW(KnnDetector{opts}, std::invalid_argument);
+    KnnDetector::Options bad_nu;
+    bad_nu.nu = 1.0;
+    EXPECT_THROW(KnnDetector{bad_nu}, std::invalid_argument);
+    KnnDetector::Options zero_cap;
+    zero_cap.max_training_samples = 0;
+    EXPECT_THROW(KnnDetector{zero_cap}, std::invalid_argument);
+}
+
+TEST(Knn, NeedsMoreThanKSamples) {
+    KnnDetector detector;
+    Rng rng(3);
+    EXPECT_THROW(detector.fit(blob(rng, 5, 2, 0.0, 1.0)), std::invalid_argument);
+}
+
+TEST(Knn, ThrowsBeforeFit) {
+    const KnnDetector detector;
+    EXPECT_THROW((void)detector.score(Vector{0.0}), std::logic_error);
+}
+
+TEST(Knn, ContainsCoreRejectsOutliers) {
+    Rng rng(4);
+    KnnDetector detector;
+    detector.fit(blob(rng, 300, 2, 0.0, 1.0));
+    EXPECT_TRUE(detector.contains(Vector{0.0, 0.0}));
+    EXPECT_FALSE(detector.contains(Vector{10.0, 10.0}));
+}
+
+TEST(Knn, NuControlsTrainingRejectionFraction) {
+    Rng rng(5);
+    const Matrix data = blob(rng, 400, 2, 0.0, 1.0);
+    KnnDetector::Options opts;
+    opts.nu = 0.2;
+    KnnDetector detector(opts);
+    detector.fit(data);
+    std::size_t outside = 0;
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        if (!detector.contains(data.row(r))) ++outside;
+    }
+    // Training self-scores are leave-one-out, full scores include the point
+    // itself as its own 1st neighbor, so full-score rejection <= nu.
+    EXPECT_LE(outside, 400u * 25 / 100);
+}
+
+TEST(Knn, ScoreGrowsWithDistance) {
+    Rng rng(6);
+    KnnDetector detector;
+    detector.fit(blob(rng, 200, 1, 0.0, 1.0));
+    EXPECT_LT(detector.score(Vector{0.0}), detector.score(Vector{3.0}));
+    EXPECT_LT(detector.score(Vector{3.0}), detector.score(Vector{6.0}));
+}
+
+TEST(Knn, SubsampleCapRespected) {
+    Rng rng(7);
+    KnnDetector::Options opts;
+    opts.max_training_samples = 100;
+    KnnDetector detector(opts);
+    detector.fit(blob(rng, 3000, 2, 5.0, 1.0));
+    EXPECT_TRUE(detector.contains(Vector{5.0, 5.0}));
+    EXPECT_FALSE(detector.contains(Vector{-10.0, 20.0}));
+}
+
+TEST(Knn, DimensionMismatchThrows) {
+    Rng rng(8);
+    KnnDetector detector;
+    detector.fit(blob(rng, 50, 3, 0.0, 1.0));
+    EXPECT_THROW((void)detector.score(Vector{0.0, 0.0}), std::invalid_argument);
+}
+
+}  // namespace

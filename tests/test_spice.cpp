@@ -1,0 +1,337 @@
+/// Tests for the mini-SPICE engine: netlist construction, PWL sources, DC
+/// operating points against hand analysis, transient RC behaviour against
+/// closed forms, MOSFET region equations, and cross-validation of the
+/// analytic PCM delay model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/spice.hpp"
+#include "process/variation_model.hpp"
+#include "rng/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using htd::circuit::build_pcm_path_netlist;
+using htd::circuit::MosfetGeometry;
+using htd::circuit::MosfetInstance;
+using htd::circuit::MosType;
+using htd::circuit::Netlist;
+using htd::circuit::PcmPath;
+using htd::circuit::Pwl;
+using htd::circuit::SpiceEngine;
+using htd::process::nominal_350nm;
+using htd::process::Param;
+using htd::process::ProcessPoint;
+
+// --- Pwl ----------------------------------------------------------------------
+
+TEST(PwlTest, ConstantEverywhere) {
+    const Pwl p(2.5);
+    EXPECT_DOUBLE_EQ(p.at(-1.0), 2.5);
+    EXPECT_DOUBLE_EQ(p.at(0.0), 2.5);
+    EXPECT_DOUBLE_EQ(p.at(1e9), 2.5);
+}
+
+TEST(PwlTest, InterpolatesAndClamps) {
+    const Pwl p(std::vector<std::pair<double, double>>{{1.0, 0.0}, {3.0, 4.0}});
+    EXPECT_DOUBLE_EQ(p.at(0.0), 0.0);   // before first point
+    EXPECT_DOUBLE_EQ(p.at(2.0), 2.0);   // midpoint
+    EXPECT_DOUBLE_EQ(p.at(10.0), 4.0);  // after last point
+}
+
+TEST(PwlTest, RejectsBadBreakpoints) {
+    EXPECT_THROW(Pwl(std::vector<std::pair<double, double>>{}), std::invalid_argument);
+    EXPECT_THROW(Pwl(std::vector<std::pair<double, double>>{{1.0, 0.0}, {1.0, 1.0}}),
+                 std::invalid_argument);
+}
+
+TEST(PwlTest, StepShape) {
+    const Pwl p = Pwl::step(0.0, 3.3, 1e-9, 0.1e-9);
+    EXPECT_DOUBLE_EQ(p.at(0.5e-9), 0.0);
+    EXPECT_DOUBLE_EQ(p.at(2e-9), 3.3);
+    EXPECT_NEAR(p.at(1.05e-9), 1.65, 1e-9);
+    EXPECT_THROW(Pwl::step(0.0, 1.0, 1e-9, 0.0), std::invalid_argument);
+}
+
+// --- Netlist ---------------------------------------------------------------------
+
+TEST(NetlistTest, GroundAliases) {
+    Netlist net;
+    EXPECT_EQ(net.node("0"), 0u);
+    EXPECT_EQ(net.node("gnd"), 0u);
+    const std::size_t a = net.node("a");
+    EXPECT_EQ(net.node("a"), a);
+    EXPECT_NE(a, 0u);
+}
+
+TEST(NetlistTest, RejectsBadDevices) {
+    Netlist net;
+    EXPECT_THROW(net.add_resistor("r", "a", "b", 0.0), std::invalid_argument);
+    EXPECT_THROW(net.add_capacitor("c", "a", "b", -1e-15), std::invalid_argument);
+    EXPECT_THROW(net.add_mosfet("m", "d", "g", "s", MosType::kNmos, {0.0, 0.35}),
+                 std::invalid_argument);
+}
+
+TEST(NetlistTest, InverterExpandsToTwoDevices) {
+    Netlist net;
+    net.add_inverter("x1", "in", "out", "vdd", 4.0);
+    ASSERT_EQ(net.mosfets().size(), 2u);
+    EXPECT_EQ(net.mosfets()[0].type, MosType::kPmos);
+    EXPECT_EQ(net.mosfets()[1].type, MosType::kNmos);
+    EXPECT_DOUBLE_EQ(net.mosfets()[0].geometry.width_um, 8.0);
+}
+
+// --- DC ---------------------------------------------------------------------------
+
+TEST(SpiceDc, VoltageDivider) {
+    Netlist net;
+    net.add_vsource("v1", "a", "0", Pwl(3.0));
+    net.add_resistor("r1", "a", "b", 2000.0);
+    net.add_resistor("r2", "b", "0", 1000.0);
+    SpiceEngine engine(net);
+    const auto dc = engine.dc(nominal_350nm());
+    EXPECT_TRUE(dc.converged);
+    EXPECT_NEAR(dc.node_voltages[net.node("b")], 1.0, 1e-4);
+}
+
+TEST(SpiceDc, CurrentSourceIntoResistor) {
+    Netlist net;
+    net.add_isource("i1", "a", "0", Pwl(1e-3));  // 1 mA flows a -> gnd inside
+    net.add_resistor("r1", "a", "0", 1000.0);
+    SpiceEngine engine(net);
+    const auto dc = engine.dc(nominal_350nm());
+    // The source removes current from node a, so a sits below ground.
+    EXPECT_NEAR(dc.node_voltages[net.node("a")], -1.0, 1e-3);
+}
+
+TEST(SpiceDc, InverterLogicLevels) {
+    const ProcessPoint pp = nominal_350nm();
+    for (const double vin : {0.0, 3.3}) {
+        Netlist net;
+        net.add_vsource("vdd", "vdd", "0", Pwl(3.3));
+        net.add_vsource("vin", "in", "0", Pwl(vin));
+        net.add_inverter("x1", "in", "out", "vdd", 4.0);
+        SpiceEngine engine(net);
+        const auto dc = engine.dc(pp);
+        ASSERT_TRUE(dc.converged);
+        const double vout = dc.node_voltages[net.node("out")];
+        if (vin == 0.0) {
+            EXPECT_NEAR(vout, 3.3, 0.05);
+        } else {
+            EXPECT_NEAR(vout, 0.0, 0.05);
+        }
+    }
+}
+
+TEST(SpiceDc, InverterTransferIsMonotoneDecreasing) {
+    const ProcessPoint pp = nominal_350nm();
+    double prev = 4.0;
+    for (double vin = 0.0; vin <= 3.3; vin += 0.3) {
+        Netlist net;
+        net.add_vsource("vdd", "vdd", "0", Pwl(3.3));
+        net.add_vsource("vin", "in", "0", Pwl(vin));
+        net.add_inverter("x1", "in", "out", "vdd", 4.0);
+        const auto dc = SpiceEngine(net).dc(pp);
+        const double vout = dc.node_voltages[net.node("out")];
+        EXPECT_LE(vout, prev + 1e-6);
+        prev = vout;
+    }
+}
+
+TEST(SpiceDc, NmosSaturationCurrentMatchesDeviceModel) {
+    // NMOS with grounded source, gate at 2 V, drain pulled to 3.3 V through
+    // a tiny resistor: drain current ~ model saturation current.
+    const ProcessPoint pp = nominal_350nm();
+    Netlist net;
+    net.add_vsource("vdd", "vdd", "0", Pwl(3.3));
+    net.add_vsource("vg", "g", "0", Pwl(2.0));
+    net.add_resistor("rd", "vdd", "d", 1.0);
+    net.add_mosfet("m1", "d", "g", "0", MosType::kNmos, {10.0, 0.35});
+    const auto dc = SpiceEngine(net).dc(pp);
+    ASSERT_TRUE(dc.converged);
+    const double i_drain = (3.3 - dc.node_voltages[net.node("d")]) / 1.0;
+    const htd::circuit::Mosfet model(MosType::kNmos, {10.0, 0.35});
+    const double i_model = model.saturation_current_ma(pp, 2.0) * 1e-3;
+    // Channel-length modulation raises the simulated value slightly.
+    EXPECT_NEAR(i_drain, i_model, 0.2 * i_model);
+}
+
+TEST(SpiceDc, EmptyNetlistRejected) {
+    Netlist net;
+    EXPECT_THROW(SpiceEngine{net}, std::invalid_argument);
+}
+
+// --- MOSFET region equations ----------------------------------------------------
+
+TEST(MosfetRegions, CutoffTriodeSaturation) {
+    const ProcessPoint pp = nominal_350nm();
+    const MosfetInstance m{"m", 1, 2, 0, MosType::kNmos, {10.0, 0.35}};
+    // Cutoff.
+    EXPECT_DOUBLE_EQ(htd::circuit::mosfet_current_a(m, pp, 0.2, 1.0), 0.0);
+    // Saturation current grows with vgs.
+    const double i1 = htd::circuit::mosfet_current_a(m, pp, 1.5, 3.0);
+    const double i2 = htd::circuit::mosfet_current_a(m, pp, 2.5, 3.0);
+    EXPECT_GT(i2, i1);
+    // Triode current below the saturation value.
+    const double i_triode = htd::circuit::mosfet_current_a(m, pp, 2.5, 0.1);
+    EXPECT_GT(i_triode, 0.0);
+    EXPECT_LT(i_triode, i2);
+}
+
+TEST(MosfetRegions, SymmetricInVds) {
+    const ProcessPoint pp = nominal_350nm();
+    const MosfetInstance m{"m", 1, 2, 0, MosType::kNmos, {10.0, 0.35}};
+    // Swapping drain/source negates the current, with the gate drive
+    // re-referenced to the new source: I(vgs, -vds) = -I(vgs + vds_mag, +vds_mag)
+    // evaluated at the effective vgs' = vgs - vds. Concretely the mirror of
+    // (vgs = 2, vds = 1) is (vgs = 1, vds = -1).
+    const double fwd = htd::circuit::mosfet_current_a(m, pp, 2.0, 1.0);
+    const double rev = htd::circuit::mosfet_current_a(m, pp, 1.0, -1.0);
+    EXPECT_NEAR(rev, -fwd, 1e-12);
+}
+
+TEST(MosfetRegions, PmosMirrorsNmos) {
+    const ProcessPoint pp = nominal_350nm();
+    const MosfetInstance p{"mp", 1, 2, 0, MosType::kPmos, {10.0, 0.35}};
+    // PMOS conducts for negative vgs/vds and carries negative drain current.
+    const double i = htd::circuit::mosfet_current_a(p, pp, -2.0, -1.5);
+    EXPECT_LT(i, 0.0);
+    EXPECT_DOUBLE_EQ(htd::circuit::mosfet_current_a(p, pp, 2.0, 1.5), 0.0);
+}
+
+// --- transient --------------------------------------------------------------------
+
+TEST(SpiceTransient, RcChargeMatchesClosedForm) {
+    // R = 1k, C = 1pF charged from a 1 V step: v(t) = 1 - exp(-t/RC).
+    Netlist net;
+    net.add_vsource("vin", "a", "0", Pwl::step(0.0, 1.0, 1e-10, 1e-12));
+    net.add_resistor("r", "a", "b", 1000.0);
+    net.add_capacitor("c", "b", "0", 1e-12);
+    SpiceEngine engine(net);
+    const auto tr = engine.transient(nominal_350nm(), 5e-9, 1e-12);
+    const std::size_t b = net.node("b");
+    // After one time constant (1 ns) past the step the node reaches ~63%.
+    double v_at_tau = 0.0;
+    for (std::size_t k = 0; k < tr.time.size(); ++k) {
+        if (tr.time[k] >= 1e-10 + 1e-9) {
+            v_at_tau = tr.voltages(k, b);
+            break;
+        }
+    }
+    EXPECT_NEAR(v_at_tau, 1.0 - std::exp(-1.0), 0.02);
+}
+
+TEST(SpiceTransient, CrossingTimeInterpolates) {
+    Netlist net;
+    net.add_vsource("vin", "a", "0", Pwl::step(0.0, 1.0, 1e-10, 1e-12));
+    net.add_resistor("r", "a", "b", 1000.0);
+    net.add_capacitor("c", "b", "0", 1e-12);
+    const auto tr = SpiceEngine(net).transient(nominal_350nm(), 5e-9, 1e-12);
+    const double t50 = tr.crossing_time(net.node("b"), 0.5, true);
+    // 50% of an RC charge happens at t = RC ln 2 after the step.
+    EXPECT_NEAR(t50, 1e-10 + 1e-9 * std::log(2.0), 0.05e-9);
+    // Falling crossing never happens.
+    EXPECT_LT(tr.crossing_time(net.node("b"), 0.5, false), 0.0);
+}
+
+TEST(SpiceTransient, RejectsBadTimeParameters) {
+    Netlist net;
+    net.add_vsource("v", "a", "0", Pwl(1.0));
+    net.add_resistor("r", "a", "0", 1.0);
+    SpiceEngine engine(net);
+    EXPECT_THROW((void)engine.transient(nominal_350nm(), 0.0, 1e-12),
+                 std::invalid_argument);
+    EXPECT_THROW((void)engine.transient(nominal_350nm(), 1e-9, 2e-9),
+                 std::invalid_argument);
+}
+
+// --- PCM path cross-validation -----------------------------------------------------
+
+TEST(SpicePcm, DelaySameOrderAsAnalyticModel) {
+    PcmPath::Options opts;
+    opts.stages = 4;
+    const double spice = htd::circuit::spice_pcm_delay_ns(nominal_350nm(), opts);
+    const double analytic = PcmPath(opts).delay_ns(nominal_350nm());
+    EXPECT_GT(spice, 0.1 * analytic);
+    EXPECT_LT(spice, 2.0 * analytic);
+}
+
+TEST(SpicePcm, SlowerAtSlowCorner) {
+    PcmPath::Options opts;
+    opts.stages = 2;
+    ProcessPoint slow = nominal_350nm();
+    slow.set(Param::kMuN, 350.0);
+    slow.set(Param::kMuP, 115.0);
+    EXPECT_GT(htd::circuit::spice_pcm_delay_ns(slow, opts),
+              htd::circuit::spice_pcm_delay_ns(nominal_350nm(), opts));
+}
+
+TEST(SpicePcm, CorrelatesWithAnalyticAcrossProcess) {
+    // The statistical pipeline only needs the analytic model to track the
+    // simulated silicon monotonically; check rank agreement over a small
+    // Monte Carlo population.
+    const auto model = htd::process::ProcessVariationModel::default_350nm();
+    htd::rng::Rng rng(5);
+    PcmPath::Options opts;
+    opts.stages = 2;
+    std::vector<double> spice, analytic;
+    for (int i = 0; i < 8; ++i) {
+        const ProcessPoint pp = model.sample_monte_carlo(rng);
+        spice.push_back(htd::circuit::spice_pcm_delay_ns(pp, opts));
+        analytic.push_back(PcmPath(opts).delay_ns(pp));
+    }
+    EXPECT_GT(htd::stats::pearson_correlation(spice, analytic), 0.9);
+}
+
+}  // namespace
+
+// --- additional solver behaviours (appended) ---------------------------------------
+
+namespace {
+
+TEST(SpiceTransient, CurrentSourceChargesCapacitor) {
+    // 1 uA switched on at t = 0.1 ns into 1 pF: dv/dt = 1e-3 V/ns, so after
+    // a further ~1.9 ns the node sits near -1.9 mV (the source convention
+    // pulls current out of np). The source is off at DC so the simulation
+    // starts from a discharged capacitor.
+    Netlist net;
+    net.add_isource("i1", "a", "0",
+                    Pwl(std::vector<std::pair<double, double>>{
+                        {0.0, 0.0}, {0.1e-9, 0.0}, {0.10001e-9, 1e-6}}));
+    net.add_capacitor("c1", "a", "0", 1e-12);
+    SpiceEngine engine(net);
+    const auto tr = engine.transient(nominal_350nm(), 2e-9, 1e-12);
+    const double v_end = tr.voltages(tr.time.size() - 1, net.node("a"));
+    EXPECT_NEAR(v_end, -1.9e-3, 2e-4);
+}
+
+TEST(SpiceDc, TwoStageBufferRestoresLevel) {
+    const ProcessPoint pp = nominal_350nm();
+    Netlist net;
+    net.add_vsource("vdd", "vdd", "0", Pwl(3.3));
+    net.add_vsource("vin", "in", "0", Pwl(3.3));
+    net.add_inverter("x1", "in", "mid", "vdd", 4.0);
+    net.add_inverter("x2", "mid", "out", "vdd", 4.0);
+    const auto dc = SpiceEngine(net).dc(pp);
+    EXPECT_NEAR(dc.node_voltages[net.node("mid")], 0.0, 0.05);
+    EXPECT_NEAR(dc.node_voltages[net.node("out")], 3.3, 0.05);
+}
+
+TEST(SpicePcm, NetlistBuilderShape) {
+    PcmPath::Options opts;
+    opts.stages = 3;
+    const Netlist net = build_pcm_path_netlist(opts);
+    // 3 stages + load inverter = 8 MOSFETs; 3 wires = 3 R + 6 C.
+    EXPECT_EQ(net.mosfets().size(), 8u);
+    EXPECT_EQ(net.resistors().size(), 3u);
+    EXPECT_EQ(net.capacitors().size(), 6u);
+    EXPECT_EQ(net.vsources().size(), 2u);
+    EXPECT_THROW((void)build_pcm_path_netlist(PcmPath::Options{.stages = 0}),
+                 std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,207 @@
+/// Tests for the Trojan models and the attacker's key-recovery receiver —
+/// the threat-model half of the platform.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "crypto/aes.hpp"
+#include "process/variation_model.hpp"
+#include "rf/uwb.hpp"
+#include "rng/rng.hpp"
+#include "trojan/attacker.hpp"
+#include "trojan/trojan.hpp"
+
+namespace {
+
+using htd::crypto::Block;
+using htd::process::nominal_350nm;
+using htd::rf::PowerAmplifier;
+using htd::rf::UwbTransmitter;
+using htd::rng::Rng;
+using htd::trojan::AmplitudeLeakTrojan;
+using htd::trojan::BitModulation;
+using htd::trojan::DesignVariant;
+using htd::trojan::FrequencyLeakTrojan;
+using htd::trojan::KeyRecoveryAttacker;
+using htd::trojan::LeakChannel;
+using htd::trojan::PulseObservation;
+
+std::array<bool, 128> random_bits(Rng& rng) {
+    std::array<bool, 128> bits{};
+    for (auto& b : bits) b = rng.bernoulli(0.5);
+    return bits;
+}
+
+TEST(TrojanModels, RejectBadParameters) {
+    EXPECT_THROW(AmplitudeLeakTrojan(0.0), std::invalid_argument);
+    EXPECT_THROW(AmplitudeLeakTrojan(0.6), std::invalid_argument);
+    EXPECT_THROW(FrequencyLeakTrojan(0.0), std::invalid_argument);
+    EXPECT_THROW(FrequencyLeakTrojan(1.5), std::invalid_argument);
+}
+
+TEST(TrojanModels, AmplitudeModulatesOnZeroKeyBit) {
+    const AmplitudeLeakTrojan trojan(0.1);
+    std::array<bool, 128> key{};
+    key.fill(true);
+    key[3] = false;
+    const BitModulation unmodulated = trojan.modulate(0, key);
+    EXPECT_DOUBLE_EQ(unmodulated.amplitude_scale, 1.0);
+    EXPECT_DOUBLE_EQ(unmodulated.frequency_offset_ghz, 0.0);
+    const BitModulation modulated = trojan.modulate(3, key);
+    EXPECT_DOUBLE_EQ(modulated.amplitude_scale, 1.1);
+    EXPECT_DOUBLE_EQ(modulated.frequency_offset_ghz, 0.0);
+}
+
+TEST(TrojanModels, FrequencyModulatesOnZeroKeyBit) {
+    const FrequencyLeakTrojan trojan(0.4);
+    std::array<bool, 128> key{};
+    key.fill(false);
+    const BitModulation mod = trojan.modulate(7, key);
+    EXPECT_DOUBLE_EQ(mod.amplitude_scale, 1.0);
+    EXPECT_DOUBLE_EQ(mod.frequency_offset_ghz, 0.4);
+}
+
+TEST(TrojanModels, VariantNamesAndFactory) {
+    EXPECT_EQ(htd::trojan::variant_name(DesignVariant::kTrojanFree), "trojan-free");
+    EXPECT_EQ(htd::trojan::variant_name(DesignVariant::kTrojanAmplitude),
+              "trojan-amplitude");
+    EXPECT_EQ(htd::trojan::variant_name(DesignVariant::kTrojanFrequency),
+              "trojan-frequency");
+    EXPECT_EQ(htd::trojan::make_trojan(DesignVariant::kTrojanFree, 0.1, 0.1), nullptr);
+    const auto amp = htd::trojan::make_trojan(DesignVariant::kTrojanAmplitude, 0.1, 0.1);
+    ASSERT_NE(amp, nullptr);
+    EXPECT_EQ(amp->name(), "amplitude-leak");
+    const auto freq =
+        htd::trojan::make_trojan(DesignVariant::kTrojanFrequency, 0.1, 0.1);
+    ASSERT_NE(freq, nullptr);
+    EXPECT_EQ(freq->name(), "frequency-leak");
+}
+
+// --- attacker -----------------------------------------------------------------
+
+std::vector<std::vector<PulseObservation>> capture_blocks(
+    const UwbTransmitter& tx, const std::array<bool, 128>& key, Rng& rng,
+    std::size_t n_blocks) {
+    std::vector<std::vector<PulseObservation>> blocks;
+    blocks.reserve(n_blocks);
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+        blocks.push_back(
+            tx.transmit_block(nominal_350nm(), random_bits(rng), key));
+    }
+    return blocks;
+}
+
+TEST(Attacker, RejectsBadInput) {
+    const KeyRecoveryAttacker attacker;
+    Rng rng(1);
+    EXPECT_THROW((void)attacker.recover_key({}, LeakChannel::kAmplitude, rng),
+                 std::invalid_argument);
+    std::vector<std::vector<PulseObservation>> short_block{{PulseObservation{}}};
+    EXPECT_THROW((void)attacker.recover_key(short_block, LeakChannel::kAmplitude, rng),
+                 std::invalid_argument);
+}
+
+TEST(Attacker, RejectsBadOptions) {
+    KeyRecoveryAttacker::Options opts;
+    opts.amplitude_noise_rel = -0.1;
+    EXPECT_THROW(KeyRecoveryAttacker{opts}, std::invalid_argument);
+    KeyRecoveryAttacker::Options opts2;
+    opts2.min_separation = 0.0;
+    EXPECT_THROW(KeyRecoveryAttacker{opts2}, std::invalid_argument);
+}
+
+TEST(Attacker, RecoversKeyFromAmplitudeTrojan) {
+    Rng rng(2);
+    const std::array<bool, 128> key = random_bits(rng);
+    const AmplitudeLeakTrojan trojan(0.1);
+    const UwbTransmitter tx{PowerAmplifier{}, &trojan};
+    const auto blocks = capture_blocks(tx, key, rng, 16);
+    const KeyRecoveryAttacker attacker;
+    const auto result = attacker.recover_key(blocks, LeakChannel::kAmplitude, rng);
+    EXPECT_GE(result.separation, attacker.options().min_separation);
+    // With 16 blocks every position was almost surely observed at least once.
+    EXPECT_GE(result.observed_positions, 120u);
+    EXPECT_LE(result.bit_errors(key), 2u);
+}
+
+TEST(Attacker, RecoversKeyFromFrequencyTrojan) {
+    Rng rng(3);
+    const std::array<bool, 128> key = random_bits(rng);
+    const FrequencyLeakTrojan trojan(0.4);
+    const UwbTransmitter tx{PowerAmplifier{}, &trojan};
+    const auto blocks = capture_blocks(tx, key, rng, 16);
+    const KeyRecoveryAttacker attacker;
+    const auto result = attacker.recover_key(blocks, LeakChannel::kFrequency, rng);
+    EXPECT_LE(result.bit_errors(key), 2u);
+}
+
+TEST(Attacker, TrojanFreeDeviceLeaksNothing) {
+    Rng rng(4);
+    const std::array<bool, 128> key = random_bits(rng);
+    const UwbTransmitter tx{PowerAmplifier{}};  // no Trojan
+    const auto blocks = capture_blocks(tx, key, rng, 16);
+    const KeyRecoveryAttacker attacker;
+    const auto result = attacker.recover_key(blocks, LeakChannel::kAmplitude, rng);
+    // No two-level structure: the receiver falls back to all-ones.
+    EXPECT_LT(result.separation, attacker.options().min_separation);
+    std::size_t ones = 0;
+    for (bool b : result.key_bits) ones += b ? 1 : 0;
+    EXPECT_EQ(ones, 128u);
+}
+
+TEST(Attacker, MoreBlocksImproveRecovery) {
+    Rng rng(5);
+    const std::array<bool, 128> key = random_bits(rng);
+    const AmplitudeLeakTrojan trojan(0.05);  // weak leak
+    const UwbTransmitter tx{PowerAmplifier{}, &trojan};
+    KeyRecoveryAttacker::Options noisy;
+    noisy.amplitude_noise_rel = 0.02;
+    const KeyRecoveryAttacker attacker(noisy);
+
+    const auto few = capture_blocks(tx, key, rng, 2);
+    const auto many = capture_blocks(tx, key, rng, 64);
+    const auto r_few = attacker.recover_key(few, LeakChannel::kAmplitude, rng);
+    const auto r_many = attacker.recover_key(many, LeakChannel::kAmplitude, rng);
+    EXPECT_LE(r_many.bit_errors(key), r_few.bit_errors(key) + 2);
+    EXPECT_LE(r_many.bit_errors(key), 6u);
+}
+
+TEST(Attacker, BitErrorsCountsCorrectly) {
+    htd::trojan::KeyRecoveryResult result;
+    result.key_bits.fill(true);
+    std::array<bool, 128> truth{};
+    truth.fill(true);
+    truth[0] = false;
+    truth[64] = false;
+    EXPECT_EQ(result.bit_errors(truth), 2u);
+}
+
+TEST(Attacker, WorksWithRealAesKeySchedule) {
+    // End-to-end: the attacker recovers the actual AES key bits of the chip,
+    // demonstrating the complete leak (the Trojans of [12]).
+    Rng rng(6);
+    Block aes_key{};
+    for (auto& b : aes_key) b = static_cast<std::uint8_t>(rng.next_u64() & 0xff);
+    const auto key_bits = htd::crypto::block_to_bits(aes_key);
+
+    const AmplitudeLeakTrojan trojan(0.1);
+    const UwbTransmitter tx{PowerAmplifier{}, &trojan};
+    const htd::crypto::Aes aes(aes_key);
+    std::vector<std::vector<PulseObservation>> blocks;
+    for (int b = 0; b < 20; ++b) {
+        Block pt{};
+        for (auto& byte : pt) byte = static_cast<std::uint8_t>(rng.next_u64() & 0xff);
+        const auto ct_bits = htd::crypto::block_to_bits(aes.encrypt(pt));
+        blocks.push_back(tx.transmit_block(nominal_350nm(), ct_bits, key_bits));
+    }
+    const KeyRecoveryAttacker attacker;
+    const auto result = attacker.recover_key(blocks, LeakChannel::kAmplitude, rng);
+    const auto recovered = htd::crypto::bits_to_block(result.key_bits);
+    EXPECT_LE(result.bit_errors(key_bits), 1u);
+    if (result.bit_errors(key_bits) == 0) {
+        EXPECT_EQ(recovered, aes_key);
+    }
+}
+
+}  // namespace

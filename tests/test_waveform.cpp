@@ -1,0 +1,150 @@
+/// Tests for time-domain waveform synthesis and the DFT spectrum analyzer,
+/// including cross-validation of the behavioural PowerMeter against actual
+/// sampled-waveform power.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "process/process_point.hpp"
+#include "rf/uwb.hpp"
+#include "rf/waveform.hpp"
+#include "trojan/trojan.hpp"
+
+namespace {
+
+using htd::rf::average_power_w;
+using htd::rf::SampledWaveform;
+using htd::rf::SpectrumAnalyzer;
+using htd::rf::synthesize_block;
+using htd::trojan::PulseObservation;
+
+std::vector<PulseObservation> one_pulse(double amp, double freq, double tau) {
+    std::vector<PulseObservation> block(8);
+    block[4] = {true, amp, freq, tau};
+    return block;
+}
+
+SampledWaveform pure_tone(double amp, double freq_ghz, double duration_ns,
+                          double rate_ghz) {
+    SampledWaveform wave;
+    wave.sample_rate_ghz = rate_ghz;
+    const auto n = static_cast<std::size_t>(duration_ns * rate_ghz);
+    wave.samples.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        wave.samples[k] =
+            amp * std::cos(2.0 * std::numbers::pi * freq_ghz *
+                           static_cast<double>(k) / rate_ghz);
+    }
+    return wave;
+}
+
+TEST(Synthesis, RejectsBadParameters) {
+    const auto block = one_pulse(1.0, 4.0, 0.5);
+    EXPECT_THROW((void)synthesize_block(block, 0.0, 20.0), std::invalid_argument);
+    EXPECT_THROW((void)synthesize_block(block, 10.0, 0.0), std::invalid_argument);
+    // Nyquist violation: 4 GHz pulse sampled at 6 GHz.
+    EXPECT_THROW((void)synthesize_block(block, 10.0, 6.0), std::invalid_argument);
+}
+
+TEST(Synthesis, SilentBlockIsAllZero) {
+    const std::vector<PulseObservation> silent(8);
+    const SampledWaveform wave = synthesize_block(silent, 10.0, 20.0);
+    for (const double v : wave.samples) EXPECT_EQ(v, 0.0);
+    EXPECT_NEAR(wave.duration_ns(), 80.0, 0.1);
+}
+
+TEST(Synthesis, PulsePeaksNearSlotCenter) {
+    const SampledWaveform wave = synthesize_block(one_pulse(1.0, 4.0, 0.5), 10.0, 40.0);
+    std::size_t argmax = 0;
+    for (std::size_t k = 1; k < wave.samples.size(); ++k) {
+        if (std::abs(wave.samples[k]) > std::abs(wave.samples[argmax])) argmax = k;
+    }
+    const double t_peak = static_cast<double>(argmax) / 40.0;
+    EXPECT_NEAR(t_peak, 45.0, 0.6);  // slot 4 center = 45 ns
+}
+
+TEST(Synthesis, EnergyMatchesClosedForm) {
+    // Gaussian pulse energy into R: A^2 tau sqrt(pi) / 2 / R.
+    const double amp = 1.0, tau = 0.5;
+    const SampledWaveform wave = synthesize_block(one_pulse(amp, 4.0, tau), 10.0, 80.0);
+    const double avg_w = average_power_w(wave, 50.0);
+    const double energy_measured = avg_w * wave.duration_ns();  // V^2/ohm * ns
+    const double energy_expected =
+        amp * amp * tau * std::sqrt(std::numbers::pi) / 2.0 / 50.0;
+    EXPECT_NEAR(energy_measured, energy_expected, 0.05 * energy_expected);
+}
+
+TEST(Analyzer, ToneLandsInCorrectBin) {
+    const SampledWaveform wave = pure_tone(1.0, 4.0, 100.0, 20.0);
+    const SpectrumAnalyzer analyzer(0.05);
+    const double at_tone = analyzer.tone_power_w(wave, 4.0);
+    const double off_tone = analyzer.tone_power_w(wave, 5.0);
+    EXPECT_GT(at_tone, 100.0 * off_tone);
+    // Amplitude-1 tone into 50 ohm = 10 mW average power.
+    EXPECT_NEAR(at_tone, 0.01, 0.002);
+}
+
+TEST(Analyzer, BandPowerScalesWithAmplitudeSquared) {
+    const SpectrumAnalyzer analyzer(0.05);
+    const SampledWaveform a = pure_tone(1.0, 4.0, 100.0, 20.0);
+    const SampledWaveform b = pure_tone(2.0, 4.0, 100.0, 20.0);
+    const double pa = analyzer.band_power_w(a, 3.5, 4.5);
+    const double pb = analyzer.band_power_w(b, 3.5, 4.5);
+    EXPECT_NEAR(pb / pa, 4.0, 0.1);
+}
+
+TEST(Analyzer, RejectsEmptyBandAndWaveform) {
+    const SpectrumAnalyzer analyzer;
+    EXPECT_THROW(SpectrumAnalyzer(0.0), std::invalid_argument);
+    const SampledWaveform wave = pure_tone(1.0, 4.0, 10.0, 20.0);
+    EXPECT_THROW((void)analyzer.band_power_w(wave, 4.0, 4.0), std::invalid_argument);
+    SampledWaveform empty;
+    EXPECT_THROW((void)analyzer.tone_power_w(empty, 4.0), std::invalid_argument);
+}
+
+TEST(Analyzer, SweepShowsTrojanFrequencyShift) {
+    // A frequency-leak Trojan moves modulated pulses up in the spectrum;
+    // the sweep of a modulated block shows power at both carrier positions.
+    std::vector<PulseObservation> block(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+        block[i] = {true, 1.0, i % 2 == 0 ? 4.0 : 4.6, 0.5};
+    }
+    const SampledWaveform wave = synthesize_block(block, 10.0, 20.0);
+    const SpectrumAnalyzer analyzer(0.05);
+    const double p_base = analyzer.band_power_w(wave, 3.8, 4.2);
+    const double p_shifted = analyzer.band_power_w(wave, 4.4, 4.8);
+    const double p_between = analyzer.band_power_w(wave, 4.25, 4.35);
+    EXPECT_GT(p_base, 3.0 * p_between);
+    EXPECT_GT(p_shifted, 3.0 * p_between);
+}
+
+TEST(CrossValidation, BehaviouralMeterTracksWaveformPower) {
+    // The pipeline's analytic PowerMeter and an actual sampled-waveform
+    // measurement must agree on *relative* power across devices; check the
+    // ratio between a strong and a weak transmitter.
+    using htd::process::nominal_350nm;
+    htd::rf::PowerMeter::Options mopts;
+    mopts.center_freq_ghz = 4.0;  // wide, centered band for a fair comparison
+    mopts.bandwidth_ghz = 3.0;
+    const htd::rf::PowerMeter meter(mopts);
+
+    auto block_with_amp = [&](double amp) {
+        std::vector<PulseObservation> block(32);
+        for (std::size_t i = 0; i < 32; i += 2) block[i] = {true, amp, 4.0, 0.5};
+        return block;
+    };
+    const auto weak = block_with_amp(0.8);
+    const auto strong = block_with_amp(1.3);
+
+    const double analytic_ratio =
+        meter.average_power_mw(strong) / meter.average_power_mw(weak);
+    const double waveform_ratio =
+        average_power_w(synthesize_block(strong, 10.0, 20.0)) /
+        average_power_w(synthesize_block(weak, 10.0, 20.0));
+    EXPECT_NEAR(analytic_ratio, waveform_ratio, 0.02 * analytic_ratio);
+}
+
+}  // namespace

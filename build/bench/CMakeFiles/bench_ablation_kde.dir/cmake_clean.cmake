@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kde.dir/bench_ablation_kde.cpp.o"
+  "CMakeFiles/bench_ablation_kde.dir/bench_ablation_kde.cpp.o.d"
+  "bench_ablation_kde"
+  "bench_ablation_kde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

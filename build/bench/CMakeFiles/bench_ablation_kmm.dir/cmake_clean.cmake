@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kmm.dir/bench_ablation_kmm.cpp.o"
+  "CMakeFiles/bench_ablation_kmm.dir/bench_ablation_kmm.cpp.o.d"
+  "bench_ablation_kmm"
+  "bench_ablation_kmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mc.dir/bench_ablation_mc.cpp.o"
+  "CMakeFiles/bench_ablation_mc.dir/bench_ablation_mc.cpp.o.d"
+  "bench_ablation_mc"
+  "bench_ablation_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

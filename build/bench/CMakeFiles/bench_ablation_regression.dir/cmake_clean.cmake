@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_regression.dir/bench_ablation_regression.cpp.o"
+  "CMakeFiles/bench_ablation_regression.dir/bench_ablation_regression.cpp.o.d"
+  "bench_ablation_regression"
+  "bench_ablation_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

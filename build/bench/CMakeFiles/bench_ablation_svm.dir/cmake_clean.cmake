@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_svm.dir/bench_ablation_svm.cpp.o"
+  "CMakeFiles/bench_ablation_svm.dir/bench_ablation_svm.cpp.o.d"
+  "bench_ablation_svm"
+  "bench_ablation_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delay_modality.dir/bench_delay_modality.cpp.o"
+  "CMakeFiles/bench_delay_modality.dir/bench_delay_modality.cpp.o.d"
+  "bench_delay_modality"
+  "bench_delay_modality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_modality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diagnostics.dir/bench_diagnostics.cpp.o"
+  "CMakeFiles/bench_diagnostics.dir/bench_diagnostics.cpp.o.d"
+  "bench_diagnostics"
+  "bench_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_golden_baseline.cpp" "bench/CMakeFiles/bench_golden_baseline.dir/bench_golden_baseline.cpp.o" "gcc" "bench/CMakeFiles/bench_golden_baseline.dir/bench_golden_baseline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/htd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/htd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/silicon/CMakeFiles/htd_silicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/htd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/htd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/htd_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/htd_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/htd_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/trojan/CMakeFiles/htd_trojan.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/htd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/htd_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/htd_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

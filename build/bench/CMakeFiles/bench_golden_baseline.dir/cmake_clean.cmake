@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_golden_baseline.dir/bench_golden_baseline.cpp.o"
+  "CMakeFiles/bench_golden_baseline.dir/bench_golden_baseline.cpp.o.d"
+  "bench_golden_baseline"
+  "bench_golden_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_golden_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

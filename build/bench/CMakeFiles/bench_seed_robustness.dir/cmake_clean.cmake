@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seed_robustness.dir/bench_seed_robustness.cpp.o"
+  "CMakeFiles/bench_seed_robustness.dir/bench_seed_robustness.cpp.o.d"
+  "bench_seed_robustness"
+  "bench_seed_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seed_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

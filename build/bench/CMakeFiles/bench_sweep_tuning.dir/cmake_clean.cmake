@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_tuning.dir/bench_sweep_tuning.cpp.o"
+  "CMakeFiles/bench_sweep_tuning.dir/bench_sweep_tuning.cpp.o.d"
+  "bench_sweep_tuning"
+  "bench_sweep_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

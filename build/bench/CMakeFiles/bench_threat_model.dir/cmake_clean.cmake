@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_threat_model.dir/bench_threat_model.cpp.o"
+  "CMakeFiles/bench_threat_model.dir/bench_threat_model.cpp.o.d"
+  "bench_threat_model"
+  "bench_threat_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_threat_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

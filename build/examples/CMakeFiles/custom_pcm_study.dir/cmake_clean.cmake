@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_pcm_study.dir/custom_pcm_study.cpp.o"
+  "CMakeFiles/custom_pcm_study.dir/custom_pcm_study.cpp.o.d"
+  "custom_pcm_study"
+  "custom_pcm_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_pcm_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_vs_goldenfree.dir/golden_vs_goldenfree.cpp.o"
+  "CMakeFiles/golden_vs_goldenfree.dir/golden_vs_goldenfree.cpp.o.d"
+  "golden_vs_goldenfree"
+  "golden_vs_goldenfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_vs_goldenfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for golden_vs_goldenfree.
+# This may be replaced when dependencies are built.

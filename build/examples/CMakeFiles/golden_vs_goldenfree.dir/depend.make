@@ -1,0 +1,2 @@
+# Empty dependencies file for golden_vs_goldenfree.
+# This may be replaced when dependencies are built.

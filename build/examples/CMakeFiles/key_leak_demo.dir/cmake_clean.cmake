@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_leak_demo.dir/key_leak_demo.cpp.o"
+  "CMakeFiles/key_leak_demo.dir/key_leak_demo.cpp.o.d"
+  "key_leak_demo"
+  "key_leak_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_leak_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_demo.dir/spectrum_demo.cpp.o"
+  "CMakeFiles/spectrum_demo.dir/spectrum_demo.cpp.o.d"
+  "spectrum_demo"
+  "spectrum_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_pcm_demo.dir/spice_pcm_demo.cpp.o"
+  "CMakeFiles/spice_pcm_demo.dir/spice_pcm_demo.cpp.o.d"
+  "spice_pcm_demo"
+  "spice_pcm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_pcm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

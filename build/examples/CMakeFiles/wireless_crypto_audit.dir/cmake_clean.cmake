@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_crypto_audit.dir/wireless_crypto_audit.cpp.o"
+  "CMakeFiles/wireless_crypto_audit.dir/wireless_crypto_audit.cpp.o.d"
+  "wireless_crypto_audit"
+  "wireless_crypto_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_crypto_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/delay.cpp" "src/circuit/CMakeFiles/htd_circuit.dir/delay.cpp.o" "gcc" "src/circuit/CMakeFiles/htd_circuit.dir/delay.cpp.o.d"
+  "/root/repo/src/circuit/monitored_paths.cpp" "src/circuit/CMakeFiles/htd_circuit.dir/monitored_paths.cpp.o" "gcc" "src/circuit/CMakeFiles/htd_circuit.dir/monitored_paths.cpp.o.d"
+  "/root/repo/src/circuit/mosfet.cpp" "src/circuit/CMakeFiles/htd_circuit.dir/mosfet.cpp.o" "gcc" "src/circuit/CMakeFiles/htd_circuit.dir/mosfet.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/htd_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/htd_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/spice.cpp" "src/circuit/CMakeFiles/htd_circuit.dir/spice.cpp.o" "gcc" "src/circuit/CMakeFiles/htd_circuit.dir/spice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/htd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/htd_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/htd_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htd_circuit.dir/delay.cpp.o"
+  "CMakeFiles/htd_circuit.dir/delay.cpp.o.d"
+  "CMakeFiles/htd_circuit.dir/monitored_paths.cpp.o"
+  "CMakeFiles/htd_circuit.dir/monitored_paths.cpp.o.d"
+  "CMakeFiles/htd_circuit.dir/mosfet.cpp.o"
+  "CMakeFiles/htd_circuit.dir/mosfet.cpp.o.d"
+  "CMakeFiles/htd_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/htd_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/htd_circuit.dir/spice.cpp.o"
+  "CMakeFiles/htd_circuit.dir/spice.cpp.o.d"
+  "libhtd_circuit.a"
+  "libhtd_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htd_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

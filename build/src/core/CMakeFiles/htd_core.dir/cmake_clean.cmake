@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htd_core.dir/experiment.cpp.o"
+  "CMakeFiles/htd_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/htd_core.dir/pipeline.cpp.o"
+  "CMakeFiles/htd_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/htd_core.dir/report.cpp.o"
+  "CMakeFiles/htd_core.dir/report.cpp.o.d"
+  "libhtd_core.a"
+  "libhtd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htd_crypto.dir/aes.cpp.o"
+  "CMakeFiles/htd_crypto.dir/aes.cpp.o.d"
+  "libhtd_crypto.a"
+  "libhtd_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htd_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htd_io.dir/csv.cpp.o"
+  "CMakeFiles/htd_io.dir/csv.cpp.o.d"
+  "CMakeFiles/htd_io.dir/json.cpp.o"
+  "CMakeFiles/htd_io.dir/json.cpp.o.d"
+  "CMakeFiles/htd_io.dir/table.cpp.o"
+  "CMakeFiles/htd_io.dir/table.cpp.o.d"
+  "libhtd_io.a"
+  "libhtd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htd_linalg.dir/decompositions.cpp.o"
+  "CMakeFiles/htd_linalg.dir/decompositions.cpp.o.d"
+  "CMakeFiles/htd_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/htd_linalg.dir/matrix.cpp.o.d"
+  "libhtd_linalg.a"
+  "libhtd_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htd_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/gpr.cpp" "src/ml/CMakeFiles/htd_ml.dir/gpr.cpp.o" "gcc" "src/ml/CMakeFiles/htd_ml.dir/gpr.cpp.o.d"
+  "/root/repo/src/ml/kernel_functions.cpp" "src/ml/CMakeFiles/htd_ml.dir/kernel_functions.cpp.o" "gcc" "src/ml/CMakeFiles/htd_ml.dir/kernel_functions.cpp.o.d"
+  "/root/repo/src/ml/kmm.cpp" "src/ml/CMakeFiles/htd_ml.dir/kmm.cpp.o" "gcc" "src/ml/CMakeFiles/htd_ml.dir/kmm.cpp.o.d"
+  "/root/repo/src/ml/knn_detector.cpp" "src/ml/CMakeFiles/htd_ml.dir/knn_detector.cpp.o" "gcc" "src/ml/CMakeFiles/htd_ml.dir/knn_detector.cpp.o.d"
+  "/root/repo/src/ml/mars.cpp" "src/ml/CMakeFiles/htd_ml.dir/mars.cpp.o" "gcc" "src/ml/CMakeFiles/htd_ml.dir/mars.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/htd_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/htd_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/one_class_svm.cpp" "src/ml/CMakeFiles/htd_ml.dir/one_class_svm.cpp.o" "gcc" "src/ml/CMakeFiles/htd_ml.dir/one_class_svm.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/ml/CMakeFiles/htd_ml.dir/pca.cpp.o" "gcc" "src/ml/CMakeFiles/htd_ml.dir/pca.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/htd_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/htd_ml.dir/scaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/htd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/htd_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/htd_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

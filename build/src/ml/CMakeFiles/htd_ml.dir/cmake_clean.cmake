@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htd_ml.dir/gpr.cpp.o"
+  "CMakeFiles/htd_ml.dir/gpr.cpp.o.d"
+  "CMakeFiles/htd_ml.dir/kernel_functions.cpp.o"
+  "CMakeFiles/htd_ml.dir/kernel_functions.cpp.o.d"
+  "CMakeFiles/htd_ml.dir/kmm.cpp.o"
+  "CMakeFiles/htd_ml.dir/kmm.cpp.o.d"
+  "CMakeFiles/htd_ml.dir/knn_detector.cpp.o"
+  "CMakeFiles/htd_ml.dir/knn_detector.cpp.o.d"
+  "CMakeFiles/htd_ml.dir/mars.cpp.o"
+  "CMakeFiles/htd_ml.dir/mars.cpp.o.d"
+  "CMakeFiles/htd_ml.dir/metrics.cpp.o"
+  "CMakeFiles/htd_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/htd_ml.dir/one_class_svm.cpp.o"
+  "CMakeFiles/htd_ml.dir/one_class_svm.cpp.o.d"
+  "CMakeFiles/htd_ml.dir/pca.cpp.o"
+  "CMakeFiles/htd_ml.dir/pca.cpp.o.d"
+  "CMakeFiles/htd_ml.dir/scaler.cpp.o"
+  "CMakeFiles/htd_ml.dir/scaler.cpp.o.d"
+  "libhtd_ml.a"
+  "libhtd_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htd_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/process/process_point.cpp" "src/process/CMakeFiles/htd_process.dir/process_point.cpp.o" "gcc" "src/process/CMakeFiles/htd_process.dir/process_point.cpp.o.d"
+  "/root/repo/src/process/variation_model.cpp" "src/process/CMakeFiles/htd_process.dir/variation_model.cpp.o" "gcc" "src/process/CMakeFiles/htd_process.dir/variation_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/htd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/htd_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

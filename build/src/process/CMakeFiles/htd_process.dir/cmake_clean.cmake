@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htd_process.dir/process_point.cpp.o"
+  "CMakeFiles/htd_process.dir/process_point.cpp.o.d"
+  "CMakeFiles/htd_process.dir/variation_model.cpp.o"
+  "CMakeFiles/htd_process.dir/variation_model.cpp.o.d"
+  "libhtd_process.a"
+  "libhtd_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htd_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/uwb.cpp" "src/rf/CMakeFiles/htd_rf.dir/uwb.cpp.o" "gcc" "src/rf/CMakeFiles/htd_rf.dir/uwb.cpp.o.d"
+  "/root/repo/src/rf/waveform.cpp" "src/rf/CMakeFiles/htd_rf.dir/waveform.cpp.o" "gcc" "src/rf/CMakeFiles/htd_rf.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/htd_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/htd_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/htd_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/trojan/CMakeFiles/htd_trojan.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/htd_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

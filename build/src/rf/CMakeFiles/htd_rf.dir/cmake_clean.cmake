@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htd_rf.dir/uwb.cpp.o"
+  "CMakeFiles/htd_rf.dir/uwb.cpp.o.d"
+  "CMakeFiles/htd_rf.dir/waveform.cpp.o"
+  "CMakeFiles/htd_rf.dir/waveform.cpp.o.d"
+  "libhtd_rf.a"
+  "libhtd_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htd_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htd_rng.dir/rng.cpp.o"
+  "CMakeFiles/htd_rng.dir/rng.cpp.o.d"
+  "libhtd_rng.a"
+  "libhtd_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htd_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htd_silicon.dir/bench_measure.cpp.o"
+  "CMakeFiles/htd_silicon.dir/bench_measure.cpp.o.d"
+  "CMakeFiles/htd_silicon.dir/fab.cpp.o"
+  "CMakeFiles/htd_silicon.dir/fab.cpp.o.d"
+  "CMakeFiles/htd_silicon.dir/platform.cpp.o"
+  "CMakeFiles/htd_silicon.dir/platform.cpp.o.d"
+  "libhtd_silicon.a"
+  "libhtd_silicon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htd_silicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/htd_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/htd_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/evt.cpp" "src/stats/CMakeFiles/htd_stats.dir/evt.cpp.o" "gcc" "src/stats/CMakeFiles/htd_stats.dir/evt.cpp.o.d"
+  "/root/repo/src/stats/kde.cpp" "src/stats/CMakeFiles/htd_stats.dir/kde.cpp.o" "gcc" "src/stats/CMakeFiles/htd_stats.dir/kde.cpp.o.d"
+  "/root/repo/src/stats/kernels.cpp" "src/stats/CMakeFiles/htd_stats.dir/kernels.cpp.o" "gcc" "src/stats/CMakeFiles/htd_stats.dir/kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/htd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/htd_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htd_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/htd_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/htd_stats.dir/evt.cpp.o"
+  "CMakeFiles/htd_stats.dir/evt.cpp.o.d"
+  "CMakeFiles/htd_stats.dir/kde.cpp.o"
+  "CMakeFiles/htd_stats.dir/kde.cpp.o.d"
+  "CMakeFiles/htd_stats.dir/kernels.cpp.o"
+  "CMakeFiles/htd_stats.dir/kernels.cpp.o.d"
+  "libhtd_stats.a"
+  "libhtd_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htd_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

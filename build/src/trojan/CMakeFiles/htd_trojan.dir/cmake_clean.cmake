@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htd_trojan.dir/attacker.cpp.o"
+  "CMakeFiles/htd_trojan.dir/attacker.cpp.o.d"
+  "CMakeFiles/htd_trojan.dir/trojan.cpp.o"
+  "CMakeFiles/htd_trojan.dir/trojan.cpp.o.d"
+  "libhtd_trojan.a"
+  "libhtd_trojan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htd_trojan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for htd_trojan.
+# This may be replaced when dependencies are built.

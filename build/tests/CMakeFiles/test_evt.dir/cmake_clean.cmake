@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evt.dir/test_evt.cpp.o"
+  "CMakeFiles/test_evt.dir/test_evt.cpp.o.d"
+  "test_evt"
+  "test_evt.pdb"
+  "test_evt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpr.dir/test_gpr.cpp.o"
+  "CMakeFiles/test_gpr.dir/test_gpr.cpp.o.d"
+  "test_gpr"
+  "test_gpr.pdb"
+  "test_gpr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

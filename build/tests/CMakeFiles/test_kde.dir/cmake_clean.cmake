@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kde.dir/test_kde.cpp.o"
+  "CMakeFiles/test_kde.dir/test_kde.cpp.o.d"
+  "test_kde"
+  "test_kde.pdb"
+  "test_kde[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kmm.dir/test_kmm.cpp.o"
+  "CMakeFiles/test_kmm.dir/test_kmm.cpp.o.d"
+  "test_kmm"
+  "test_kmm.pdb"
+  "test_kmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_kmm.
+# This may be replaced when dependencies are built.

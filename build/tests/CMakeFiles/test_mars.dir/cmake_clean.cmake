@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mars.dir/test_mars.cpp.o"
+  "CMakeFiles/test_mars.dir/test_mars.cpp.o.d"
+  "test_mars"
+  "test_mars.pdb"
+  "test_mars[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_scaler_kernels.dir/test_ml_scaler_kernels.cpp.o"
+  "CMakeFiles/test_ml_scaler_kernels.dir/test_ml_scaler_kernels.cpp.o.d"
+  "test_ml_scaler_kernels"
+  "test_ml_scaler_kernels.pdb"
+  "test_ml_scaler_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_scaler_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

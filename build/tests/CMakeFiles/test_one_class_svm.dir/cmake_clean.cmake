@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_one_class_svm.dir/test_one_class_svm.cpp.o"
+  "CMakeFiles/test_one_class_svm.dir/test_one_class_svm.cpp.o.d"
+  "test_one_class_svm"
+  "test_one_class_svm.pdb"
+  "test_one_class_svm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_one_class_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pca_metrics.dir/test_pca_metrics.cpp.o"
+  "CMakeFiles/test_pca_metrics.dir/test_pca_metrics.cpp.o.d"
+  "test_pca_metrics"
+  "test_pca_metrics.pdb"
+  "test_pca_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pca_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

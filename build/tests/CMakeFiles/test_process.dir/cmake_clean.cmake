@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_process.dir/test_process.cpp.o"
+  "CMakeFiles/test_process.dir/test_process.cpp.o.d"
+  "test_process"
+  "test_process.pdb"
+  "test_process[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roc_knn.dir/test_roc_knn.cpp.o"
+  "CMakeFiles/test_roc_knn.dir/test_roc_knn.cpp.o.d"
+  "test_roc_knn"
+  "test_roc_knn.pdb"
+  "test_roc_knn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roc_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trojan.dir/test_trojan.cpp.o"
+  "CMakeFiles/test_trojan.dir/test_trojan.cpp.o.d"
+  "test_trojan"
+  "test_trojan.pdb"
+  "test_trojan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trojan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

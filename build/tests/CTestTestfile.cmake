@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_kde[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_scaler_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_one_class_svm[1]_include.cmake")
+include("/root/repo/build/tests/test_mars[1]_include.cmake")
+include("/root/repo/build/tests/test_kmm[1]_include.cmake")
+include("/root/repo/build/tests/test_pca_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_process[1]_include.cmake")
+include("/root/repo/build/tests/test_rf[1]_include.cmake")
+include("/root/repo/build/tests/test_trojan[1]_include.cmake")
+include("/root/repo/build/tests/test_silicon[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_spice[1]_include.cmake")
+include("/root/repo/build/tests/test_evt[1]_include.cmake")
+include("/root/repo/build/tests/test_waveform[1]_include.cmake")
+include("/root/repo/build/tests/test_roc_knn[1]_include.cmake")
+include("/root/repo/build/tests/test_gpr[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")

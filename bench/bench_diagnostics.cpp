@@ -17,15 +17,29 @@ namespace {
 using htd::linalg::Matrix;
 using htd::linalg::Vector;
 
-void print_population(const char* name, const Matrix& data) {
+/// Table over populations sharing one feature space: two rows per
+/// population (column means, column stddevs).
+htd::io::Table population_table(std::size_t dims, const char* dim_prefix) {
+    std::vector<std::string> header{"population", "n", "stat"};
+    for (std::size_t c = 0; c < dims; ++c) {
+        header.push_back(dim_prefix + std::to_string(c + 1));
+    }
+    return htd::io::Table(std::move(header));
+}
+
+void add_population(htd::io::Table& table, const std::string& name,
+                    const Matrix& data) {
     const Vector mean = htd::stats::column_means(data);
     const Vector sd = data.rows() >= 2 ? htd::stats::column_stddevs(data)
                                        : Vector(data.cols());
-    std::printf("%-22s n=%-6zu mean:", name, data.rows());
-    for (std::size_t c = 0; c < mean.size(); ++c) std::printf(" %8.3f", mean[c]);
-    std::printf("\n%-22s %-8s  std:", "", "");
-    for (std::size_t c = 0; c < sd.size(); ++c) std::printf(" %8.4f", sd[c]);
-    std::printf("\n");
+    std::vector<std::string> mean_row{name, std::to_string(data.rows()), "mean"};
+    std::vector<std::string> sd_row{"", "", "std"};
+    for (std::size_t c = 0; c < mean.size(); ++c) {
+        mean_row.push_back(htd::io::fmt(mean[c], 3));
+        sd_row.push_back(htd::io::fmt(sd[c], 4));
+    }
+    table.add_row(std::move(mean_row));
+    table.add_row(std::move(sd_row));
 }
 
 Matrix rows_of_variant(const htd::silicon::DuttDataset& ds,
@@ -60,10 +74,12 @@ int main() {
         rows_of_variant(measured, trojan::DesignVariant::kTrojanFrequency);
 
     std::printf("--- fingerprints (dBm per block) ---\n");
-    print_population("sim golden (S1)", golden.fingerprints);
-    print_population("silicon TF", tf);
-    print_population("silicon TI-amp", ta);
-    print_population("silicon TI-freq", tfreq);
+    io::Table fingerprints = population_table(golden.fingerprints.cols(), "m");
+    add_population(fingerprints, "sim golden (S1)", golden.fingerprints);
+    add_population(fingerprints, "silicon TF", tf);
+    add_population(fingerprints, "silicon TI-amp", ta);
+    add_population(fingerprints, "silicon TI-freq", tfreq);
+    std::printf("%s\n", fingerprints.str().c_str());
 
     // Trojan displacement relative to TF, split into the component along the
     // all-ones (common gain) direction and the orthogonal remainder.
@@ -84,8 +100,10 @@ int main() {
     std::printf("meter noise sigma: %.4f dB\n", config.platform.meter.noise_sigma_db);
 
     std::printf("\n--- PCM (path delay ns) ---\n");
-    print_population("sim golden PCM", golden.pcms);
-    print_population("silicon PCM", measured.pcms);
+    io::Table pcm_table = population_table(golden.pcms.cols(), "p");
+    add_population(pcm_table, "sim golden PCM", golden.pcms);
+    add_population(pcm_table, "silicon PCM", measured.pcms);
+    std::printf("%s\n", pcm_table.str().c_str());
 
     // Regression quality achievable from the PCM, in the pipeline's own
     // (log-transformed) input space.
@@ -99,10 +117,13 @@ int main() {
     ml::MarsBank bank(config.pipeline.mars);  // same options as the pipeline
     bank.fit(log_pcms(golden.pcms), golden.fingerprints);
     std::printf("\n--- MARS (log PCM -> fingerprint) training R^2 per output ---\n");
+    io::Table mars_table({"output", "R^2", "terms"});
     for (std::size_t j = 0; j < bank.output_dim(); ++j) {
-        std::printf("  m%zu: %.4f (terms: %zu)\n", j + 1, bank.model(j).r_squared(),
-                    bank.model(j).terms().size());
+        mars_table.add_row({"m" + std::to_string(j + 1),
+                            io::fmt(bank.model(j).r_squared(), 4),
+                            std::to_string(bank.model(j).terms().size())});
     }
+    std::printf("%s\n", mars_table.str().c_str());
 
     // Residual structure of silicon TF devices around the regression
     // prediction from their own PCMs. The per-block residual means expose
@@ -137,18 +158,28 @@ int main() {
     rng::Rng sim2 = master.split();
     pipeline.run_premanufacturing(sim2);
     pipeline.run_silicon_stage(measured.pcms, pipe_rng);
+    io::Table datasets = population_table(measured.fingerprints.cols(), "m");
     for (const core::Boundary b : core::kAllBoundaries) {
-        print_population(core::dataset_name(b).c_str(), pipeline.dataset(b));
+        add_population(datasets, core::dataset_name(b), pipeline.dataset(b));
     }
-    print_population("measured TF", tf);
+    add_population(datasets, "measured TF", tf);
+    std::printf("%s\n", datasets.str().c_str());
 
     std::printf("\n--- decision values (first 8 TF devices) ---\n");
+    std::vector<std::string> dv_header{"boundary"};
+    for (std::size_t i = 0; i < 8; ++i) {
+        std::string col = "d";
+        col += std::to_string(i + 1);
+        dv_header.push_back(std::move(col));
+    }
+    io::Table dv_table(std::move(dv_header));
     for (const core::Boundary b : {core::Boundary::kB3, core::Boundary::kB4,
                                    core::Boundary::kB5}) {
         const Vector dv = pipeline.decision_values(b, tf);
-        std::printf("%s:", core::boundary_name(b).c_str());
-        for (std::size_t i = 0; i < 8; ++i) std::printf(" %+.4f", dv[i]);
-        std::printf("\n");
+        std::vector<std::string> row{core::boundary_name(b)};
+        for (std::size_t i = 0; i < 8; ++i) row.push_back(io::fmt(dv[i], 4));
+        dv_table.add_row(std::move(row));
     }
+    std::printf("%s\n", dv_table.str().c_str());
     return 0;
 }

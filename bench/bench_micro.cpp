@@ -2,14 +2,20 @@
 /// Experiment E9: google-benchmark microbenchmarks of the statistical
 /// kernels the pipeline spends its time in — KDE construction and sampling,
 /// one-class SVM training, MARS fitting, KMM solving, AES encryption and
-/// the analytic circuit models.
+/// the analytic circuit models — plus the htd::obs instrumentation overhead
+/// (disabled vs enabled). Results are written to BENCH_micro.json through
+/// the obs JSON sink for the perf trajectory.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "crypto/aes.hpp"
 #include "circuit/delay.hpp"
 #include "circuit/spice.hpp"
 #include "ml/gpr.hpp"
+#include "obs/run_report.hpp"
+#include "obs/span.hpp"
 #include "stats/evt.hpp"
 #include "ml/kmm.hpp"
 #include "ml/mars.hpp"
@@ -164,6 +170,64 @@ void BM_EvtEnhancerSample(benchmark::State& state) {
 }
 BENCHMARK(BM_EvtEnhancerSample);
 
+// --- htd::obs overhead -------------------------------------------------------
+// The acceptance bar for leaving instrumentation in hot paths: a disabled
+// span must cost no more than a few ns (one relaxed atomic load), and the
+// enabled path must stay cheap enough for per-stage (not per-sample) use.
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+    htd::obs::Registry::global().configure(htd::obs::SinkKind::kOff);
+    for (auto _ : state) {
+        htd::obs::ScopedSpan span("bench.disabled_span");
+        benchmark::DoNotOptimize(span.active());
+    }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+    auto& registry = htd::obs::Registry::global();
+    registry.configure(htd::obs::SinkKind::kJson);
+    for (auto _ : state) {
+        htd::obs::ScopedSpan span("bench.enabled_span");
+        benchmark::DoNotOptimize(span.active());
+    }
+    registry.configure(htd::obs::SinkKind::kOff);
+    registry.reset();  // don't let millions of bench spans pollute the report
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+void BM_ObsCounterDisabled(benchmark::State& state) {
+    htd::obs::Registry::global().configure(htd::obs::SinkKind::kOff);
+    for (auto _ : state) {
+        htd::obs::Registry::global().counter_add("bench.disabled_counter");
+    }
+}
+BENCHMARK(BM_ObsCounterDisabled);
+
+void BM_ObsCounterEnabled(benchmark::State& state) {
+    auto& registry = htd::obs::Registry::global();
+    registry.configure(htd::obs::SinkKind::kJson);
+    for (auto _ : state) {
+        registry.counter_add("bench.enabled_counter");
+    }
+    registry.configure(htd::obs::SinkKind::kOff);
+    registry.reset();
+}
+BENCHMARK(BM_ObsCounterEnabled);
+
+void BM_ObsHistogramEnabled(benchmark::State& state) {
+    auto& registry = htd::obs::Registry::global();
+    registry.configure(htd::obs::SinkKind::kJson);
+    double v = 0.0;
+    for (auto _ : state) {
+        registry.histogram_record("bench.enabled_histogram", v);
+        v += 0.1;
+    }
+    registry.configure(htd::obs::SinkKind::kOff);
+    registry.reset();
+}
+BENCHMARK(BM_ObsHistogramEnabled);
+
 void BM_GprFit(benchmark::State& state) {
     const std::size_t n = static_cast<std::size_t>(state.range(0));
     htd::rng::Rng rng(12);
@@ -181,6 +245,43 @@ void BM_GprFit(benchmark::State& state) {
 }
 BENCHMARK(BM_GprFit)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
 
+// The usual console table, plus a JSON copy of every finished run so
+// main() can serialize the lot to BENCH_micro.json.
+class CapturingReporter : public benchmark::ConsoleReporter {
+public:
+    void ReportRuns(const std::vector<Run>& runs) override {
+        benchmark::ConsoleReporter::ReportRuns(runs);
+        for (const Run& run : runs) {
+            if (run.error_occurred) continue;
+            const double iters = static_cast<double>(run.iterations);
+            htd::io::Json entry = htd::io::Json::object();
+            entry.set("name", run.benchmark_name());
+            entry.set("iterations", iters);
+            entry.set("real_ns_per_iter",
+                      iters > 0 ? run.real_accumulated_time * 1e9 / iters : 0.0);
+            entry.set("cpu_ns_per_iter",
+                      iters > 0 ? run.cpu_accumulated_time * 1e9 / iters : 0.0);
+            results_.push_back(std::move(entry));
+        }
+    }
+
+    htd::io::Json take() && { return std::move(results_); }
+
+private:
+    htd::io::Json results_ = htd::io::Json::array();
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    const std::string path =
+        htd::obs::write_bench_report("micro", std::move(reporter).take());
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+    return 0;
+}

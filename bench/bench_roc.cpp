@@ -3,7 +3,8 @@
 /// decision values over the 120 DUTTs, plus the same analysis with the k-NN
 /// one-class baseline in place of the SVM (showing the Table-1 shape is a
 /// property of the pipeline, not of the specific classifier). Writes
-/// roc_<boundary>.csv series.
+/// roc_<boundary>.csv series and a BENCH_roc.json run report with the
+/// per-boundary AUCs and the timed pipeline spans.
 
 #include <cstdio>
 
@@ -11,11 +12,13 @@
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "ml/knn_detector.hpp"
+#include "obs/run_report.hpp"
 
 int main() {
     using namespace htd;
 
     core::ExperimentConfig config;
+    config.pipeline.obs.sink = obs::SinkKind::kJson;  // time the stages for the report
     rng::Rng master(config.seed);
     rng::Rng fab_rng = master.split();
     rng::Rng sim_rng = master.split();
@@ -33,6 +36,7 @@ int main() {
 
     std::printf("ROC analysis of the trusted-region decision values\n\n");
     io::Table table({"boundary", "AUC", "FN at FP=0"});
+    io::Json roc_results = io::Json::array();
     for (const core::Boundary b : core::kAllBoundaries) {
         const linalg::Vector dv = pipeline.decision_values(b, measured.fingerprints);
         const std::vector<double> scores(dv.begin(), dv.end());
@@ -46,6 +50,11 @@ int main() {
         }
         table.add_row({core::boundary_name(b), io::fmt(ml::roc_auc(curve), 3),
                        io::fmt(fn_at_fp0 * 40.0, 0) + "/40"});
+        io::Json entry = io::Json::object();
+        entry.set("boundary", core::boundary_name(b));
+        entry.set("auc", ml::roc_auc(curve));
+        entry.set("fn_rate_at_fp0", fn_at_fp0);
+        roc_results.push_back(std::move(entry));
 
         linalg::Matrix series(curve.size(), 3);
         for (std::size_t k = 0; k < curve.size(); ++k) {
@@ -72,5 +81,17 @@ int main() {
     std::printf("detector swap (k-NN one-class on S5): %s, AUC %.3f\n",
                 knn_metrics.str().c_str(), knn_auc);
     std::printf("wrote roc_B1..B5.csv series\n");
+
+    io::Json payload = io::Json::object();
+    payload.set("boundaries", std::move(roc_results));
+    io::Json swap = io::Json::object();
+    swap.set("detector", "knn_one_class");
+    swap.set("auc", knn_auc);
+    swap.set("fp_rate", knn_metrics.false_positive_rate());
+    swap.set("fn_rate", knn_metrics.false_negative_rate());
+    swap.set("accuracy", knn_metrics.accuracy());
+    payload.set("detector_swap", std::move(swap));
+    const std::string path = obs::write_bench_report("roc", std::move(payload));
+    std::printf("wrote %s\n", path.c_str());
     return 0;
 }

@@ -3,13 +3,17 @@
 ///   1. describe the platform (key, fingerprint blocks, Trojan strengths),
 ///   2. fabricate and measure a small lot of devices under Trojan test,
 ///   3. run the golden chip-free pipeline (no trusted chips involved),
-///   4. classify every device against the best boundary, B5.
+///   4. classify every device against the best boundary, B5,
+///   5. write a structured RunReport (quickstart_run_report.json) with the
+///      timed stage spans and per-boundary metrics.
 ///
 /// Build & run:  ./build/examples/quickstart
+/// Set HTD_OBS=text to stream the stage spans to stderr while it runs.
 
 #include <cstdio>
 
 #include "core/experiment.hpp"
+#include "core/report.hpp"
 
 int main() {
     using namespace htd;
@@ -20,6 +24,12 @@ int main() {
     core::ExperimentConfig config;
     config.n_chips = 12;                         // small demo lot: 36 devices
     config.pipeline.synthetic_samples = 20000;   // faster than the paper's 1e5
+
+    // Collect spans + metrics for the RunReport unless the HTD_OBS
+    // environment variable already picked a sink (e.g. HTD_OBS=text).
+    if (obs::Registry::global().sink() == obs::SinkKind::kOff) {
+        config.pipeline.obs.sink = obs::SinkKind::kJson;
+    }
 
     // 2. Fabricate and measure the devices under Trojan test. In a real
     //    deployment this is the tester output; here the virtual fab plays
@@ -59,5 +69,14 @@ int main() {
     }
     std::printf("\n%zu/%zu devices classified correctly — with zero golden chips.\n",
                 correct, devices.size());
+
+    // 5. Structured run record: config, all five boundaries with their
+    //    detection metrics on this lot, calibration diagnostics, and the
+    //    timed spans/counters of everything above.
+    const obs::RunReport report =
+        core::pipeline_run_report(pipeline, "quickstart", &devices);
+    report.write("quickstart_run_report.json");
+    std::printf("wrote quickstart_run_report.json (%zu spans captured)\n",
+                obs::Registry::global().span_count());
     return 0;
 }

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build the release preset and run the
+# full ctest suite. This is the gate every change must keep green.
+#
+#   scripts/check.sh            # release preset (build-release/)
+#   scripts/check.sh sanitize   # same gate under ASan+UBSan
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset="${1:-release}"
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset"

@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include "obs/span.hpp"
+
 namespace htd::core {
 
 ProcessPair make_process_pair(double process_shift_sigma) {
@@ -18,6 +20,8 @@ ProcessPair make_process_pair(double process_shift_sigma) {
 
 silicon::DuttDataset fabricate_and_measure(const ExperimentConfig& config,
                                            rng::Rng& rng) {
+    obs::ScopedSpan span("experiment.fabricate_measure");
+    span.attr("n_chips", static_cast<double>(config.n_chips));
     silicon::Fab::Options fab_opts = config.fab;
     fab_opts.within_die_fraction = config.platform.within_die_fraction;
     const ProcessPair processes = make_process_pair(config.process_shift_sigma);
@@ -28,6 +32,9 @@ silicon::DuttDataset fabricate_and_measure(const ExperimentConfig& config,
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+    obs::ScopedSpan span("experiment.run");
+    span.attr("seed", static_cast<double>(config.seed));
+    span.attr("n_chips", static_cast<double>(config.n_chips));
     rng::Rng master(config.seed);
     rng::Rng fab_rng = master.split();
     rng::Rng sim_rng = master.split();
@@ -43,10 +50,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     pipeline.run_premanufacturing(sim_rng);
     pipeline.run_silicon_stage(result.measured.pcms, pipeline_rng);
 
-    for (std::size_t i = 0; i < kAllBoundaries.size(); ++i) {
-        const Boundary b = kAllBoundaries[i];
-        result.table1[i] = pipeline.evaluate(b, result.measured);
-        result.datasets[i] = pipeline.dataset(b);
+    {
+        obs::ScopedSpan score_span("experiment.score_boundaries");
+        for (std::size_t i = 0; i < kAllBoundaries.size(); ++i) {
+            const Boundary b = kAllBoundaries[i];
+            result.table1[i] = pipeline.evaluate(b, result.measured);
+            result.datasets[i] = pipeline.dataset(b);
+        }
     }
 
     const ml::MarsBank& bank = pipeline.regressions();

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/span.hpp"
+
 namespace htd::core {
 
 namespace {
@@ -37,6 +39,7 @@ GoldenFreePipeline::GoldenFreePipeline(PipelineConfig config,
     if (config_.synthetic_samples == 0) {
         throw std::invalid_argument("GoldenFreePipeline: zero synthetic samples");
     }
+    obs::Registry::global().configure(config_.obs);
 }
 
 linalg::Matrix GoldenFreePipeline::transform_pcms(const linalg::Matrix& pcms) const {
@@ -79,20 +82,32 @@ linalg::Matrix GoldenFreePipeline::kde_enhance(const linalg::Matrix& source,
 }
 
 void GoldenFreePipeline::run_premanufacturing(rng::Rng& rng) {
-    const silicon::SpiceSimulator::GoldenData golden =
-        simulator_.simulate_golden(rng, config_.monte_carlo_samples);
-    mc_pcms_ = transform_pcms(golden.pcms);
+    obs::ScopedSpan stage("pipeline.stage1_premanufacturing");
+    stage.attr("monte_carlo_samples", static_cast<double>(config_.monte_carlo_samples));
+
+    linalg::Matrix golden_fingerprints;
+    {
+        obs::ScopedSpan span("pipeline.monte_carlo");
+        const silicon::SpiceSimulator::GoldenData golden =
+            simulator_.simulate_golden(rng, config_.monte_carlo_samples);
+        mc_pcms_ = transform_pcms(golden.pcms);
+        golden_fingerprints = golden.fingerprints;
+        span.attr("pcm_dim", static_cast<double>(mc_pcms_.cols()));
+        span.attr("fingerprint_dim", static_cast<double>(golden_fingerprints.cols()));
+    }
+    obs::Registry::global().counter_add("pipeline.monte_carlo_devices",
+                                        static_cast<double>(mc_pcms_.rows()));
 
     // Regression bank g_j : m_p -> m_j on the simulated devices.
     regressions_ = ml::MarsBank(config_.mars);
-    regressions_.fit(mc_pcms_, golden.fingerprints);
+    regressions_.fit(mc_pcms_, golden_fingerprints);
 
     // S1 / B1: raw simulated fingerprints.
-    datasets_[index_of(Boundary::kB1)] = golden.fingerprints;
-    boundaries_[index_of(Boundary::kB1)] = train_boundary(golden.fingerprints);
+    datasets_[index_of(Boundary::kB1)] = golden_fingerprints;
+    boundaries_[index_of(Boundary::kB1)] = train_boundary(golden_fingerprints);
 
     // S2 / B2: tail-enhanced synthetic population.
-    datasets_[index_of(Boundary::kB2)] = kde_enhance(golden.fingerprints, rng);
+    datasets_[index_of(Boundary::kB2)] = kde_enhance(golden_fingerprints, rng);
     boundaries_[index_of(Boundary::kB2)] =
         train_boundary(datasets_[index_of(Boundary::kB2)]);
 
@@ -110,6 +125,10 @@ void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
     if (dutt_pcms.rows() == 0) {
         throw std::invalid_argument("run_silicon_stage: no DUTT PCM measurements");
     }
+    obs::ScopedSpan stage("pipeline.stage2_silicon");
+    stage.attr("dutt_devices", static_cast<double>(dutt_pcms.rows()));
+    obs::Registry::global().counter_add("pipeline.dutt_devices",
+                                        static_cast<double>(dutt_pcms.rows()));
     const linalg::Matrix silicon_pcms = transform_pcms(dutt_pcms);
 
     // S3 / B3: golden fingerprints predicted from the measured silicon PCMs.
@@ -163,10 +182,18 @@ const ml::OneClassSvm& GoldenFreePipeline::svm_for(Boundary b) const {
 std::vector<bool> GoldenFreePipeline::classify(Boundary b,
                                                const linalg::Matrix& fingerprints) const {
     const ml::OneClassSvm& svm = svm_for(b);
+    obs::ScopedSpan span("pipeline.stage3_classify");
+    span.attr("boundary", static_cast<double>(index_of(b)) + 1.0);  // 1 = B1
+    span.attr("devices", static_cast<double>(fingerprints.rows()));
     std::vector<bool> inside(fingerprints.rows());
+    std::size_t accepted = 0;
     for (std::size_t r = 0; r < fingerprints.rows(); ++r) {
         inside[r] = svm.contains(fingerprints.row(r));
+        accepted += inside[r] ? 1 : 0;
     }
+    span.attr("accepted", static_cast<double>(accepted));
+    obs::Registry::global().counter_add("pipeline.devices_classified",
+                                        static_cast<double>(fingerprints.rows()));
     return inside;
 }
 
@@ -210,10 +237,14 @@ GoldenChipBaseline::GoldenChipBaseline(ml::OneClassSvm::Options svm_opts)
     : svm_(svm_opts) {}
 
 void GoldenChipBaseline::fit(const linalg::Matrix& golden_fingerprints) {
+    obs::ScopedSpan span("baseline.fit");
+    span.attr("golden_devices", static_cast<double>(golden_fingerprints.rows()));
     svm_.fit(golden_fingerprints);
 }
 
 std::vector<bool> GoldenChipBaseline::classify(const linalg::Matrix& fingerprints) const {
+    obs::ScopedSpan span("baseline.classify");
+    span.attr("devices", static_cast<double>(fingerprints.rows()));
     std::vector<bool> inside(fingerprints.rows());
     for (std::size_t r = 0; r < fingerprints.rows(); ++r) {
         inside[r] = svm_.contains(fingerprints.row(r));

@@ -24,6 +24,7 @@
 #include "ml/mars.hpp"
 #include "ml/metrics.hpp"
 #include "ml/one_class_svm.hpp"
+#include "obs/obs.hpp"
 #include "rng/rng.hpp"
 #include "silicon/bench_measure.hpp"
 #include "stats/evt.hpp"
@@ -99,6 +100,11 @@ struct PipelineConfig {
     /// training points.
     ml::KernelMeanShiftCalibrator::Options calibration{
         .kmm = {.weight_bound = 5.0, .gamma = 8.0}};
+
+    /// Observability sink selection, applied to the global obs registry when
+    /// the pipeline is constructed. The default (kInherit) leaves whatever
+    /// the process / HTD_OBS environment variable configured.
+    obs::Config obs{};
 };
 
 /// The golden chip-free detection pipeline.
@@ -150,6 +156,13 @@ public:
 
     /// True once the given boundary has been trained.
     [[nodiscard]] bool boundary_ready(Boundary b) const noexcept;
+
+    /// The trained 1-class SVM behind a boundary (throws std::logic_error
+    /// when it has not been trained yet). Exposed for diagnostics and the
+    /// observability RunReport (support-vector counts, effective gamma).
+    [[nodiscard]] const ml::OneClassSvm& boundary_svm(Boundary b) const {
+        return svm_for(b);
+    }
 
 private:
     [[nodiscard]] const ml::OneClassSvm& svm_for(Boundary b) const;

@@ -76,4 +76,68 @@ void write_experiment_report(const std::string& path, const ExperimentConfig& co
     experiment_report(config, result, include_measurements).dump_to_file(path);
 }
 
+obs::RunReport pipeline_run_report(const GoldenFreePipeline& pipeline,
+                                   const std::string& run_name,
+                                   const silicon::DuttDataset* dutts) {
+    obs::RunReport report(run_name);
+    const PipelineConfig& config = pipeline.config();
+
+    io::Json cfg = io::Json::object();
+    cfg.set("monte_carlo_samples", config.monte_carlo_samples);
+    cfg.set("synthetic_samples", config.synthetic_samples);
+    cfg.set("kde_alpha", config.kde_alpha);
+    cfg.set("kde_bandwidth", config.kde_bandwidth);
+    cfg.set("kde_max_lambda", config.kde_max_lambda);
+    cfg.set("tail_model",
+            config.tail_model == TailModel::kAdaptiveKde ? "adaptive_kde" : "evt_pot");
+    cfg.set("log_transform_pcm", config.log_transform_pcm);
+    cfg.set("svm_nu", config.svm.nu);
+    cfg.set("svm_gamma_scale", config.svm.gamma_scale);
+    cfg.set("kmm_weight_bound", config.calibration.kmm.weight_bound);
+    cfg.set("obs_sink", obs::sink_kind_name(obs::Registry::global().sink()));
+    report.set("config", std::move(cfg));
+
+    io::Json boundaries = io::Json::array();
+    for (const Boundary b : kAllBoundaries) {
+        if (!pipeline.boundary_ready(b)) continue;
+        io::Json entry = io::Json::object();
+        entry.set("boundary", boundary_name(b));
+        entry.set("dataset", dataset_name(b));
+        const linalg::Matrix& ds = pipeline.dataset(b);
+        entry.set("dataset_rows", ds.rows());
+        entry.set("dataset_cols", ds.cols());
+        const ml::OneClassSvm& svm = pipeline.boundary_svm(b);
+        entry.set("support_vectors", svm.support_vector_count());
+        entry.set("effective_gamma", svm.effective_gamma());
+        entry.set("smo_iterations", svm.iterations_used());
+        if (dutts != nullptr) {
+            const ml::DetectionMetrics m = pipeline.evaluate(b, *dutts);
+            io::Json metrics = io::Json::object();
+            metrics.set("false_positives", m.false_positives);
+            metrics.set("false_negatives", m.false_negatives);
+            metrics.set("trojan_free_total", m.trojan_free_total);
+            metrics.set("trojan_infested_total", m.trojan_infested_total);
+            metrics.set("fp_rate", m.false_positive_rate());
+            metrics.set("fn_rate", m.false_negative_rate());
+            metrics.set("accuracy", m.accuracy());
+            entry.set("metrics", std::move(metrics));
+        }
+        boundaries.push_back(std::move(entry));
+    }
+    report.set("boundaries", std::move(boundaries));
+
+    if (pipeline.calibration_result()) {
+        const auto& calibration = *pipeline.calibration_result();
+        io::Json cal = io::Json::object();
+        cal.set("shift_iterations", calibration.iterations);
+        cal.set("total_shift_norm", calibration.total_shift.norm());
+        cal.set("kmm_effective_sample_size",
+                ml::effective_sample_size(calibration.weights));
+        report.set("calibration", std::move(cal));
+    }
+
+    report.capture_observability();
+    return report;
+}
+
 }  // namespace htd::core

@@ -8,6 +8,7 @@
 
 #include "core/experiment.hpp"
 #include "io/json.hpp"
+#include "obs/run_report.hpp"
 
 namespace htd::core {
 
@@ -23,5 +24,17 @@ namespace htd::core {
 void write_experiment_report(const std::string& path, const ExperimentConfig& config,
                              const ExperimentResult& result,
                              bool include_measurements = false);
+
+/// Structured record of one pipeline execution for the obs subsystem: the
+/// pipeline configuration, every trained boundary (dataset name/size,
+/// support-vector count, effective RBF gamma, SMO iterations), calibration
+/// diagnostics (kernel-mean-shift iterations, KMM effective sample size),
+/// and — when `dutts` is non-null — per-boundary detection metrics on that
+/// population. Finishes by capturing the global registry's spans + metrics
+/// as the report's "observability" section, so call it after the stages of
+/// interest have run.
+[[nodiscard]] obs::RunReport pipeline_run_report(
+    const GoldenFreePipeline& pipeline, const std::string& run_name,
+    const silicon::DuttDataset* dutts = nullptr);
 
 }  // namespace htd::core

@@ -1,11 +1,225 @@
 #include "io/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace htd::io {
+
+namespace {
+
+/// Recursive-descent parser over the RFC 8259 value grammar.
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json parse_document() {
+        Json value = parse_value();
+        skip_whitespace();
+        if (pos_ != text_.size()) fail("trailing content after JSON value");
+        return value;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::invalid_argument("Json::parse: " + what + " at offset " +
+                                    std::to_string(pos_));
+    }
+
+    void skip_whitespace() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view literal) {
+        if (text_.substr(pos_, literal.size()) != literal) return false;
+        pos_ += literal.size();
+        return true;
+    }
+
+    Json parse_value() {
+        skip_whitespace();
+        switch (peek()) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return Json(parse_string());
+            case 't':
+                if (!consume_literal("true")) fail("invalid literal");
+                return Json(true);
+            case 'f':
+                if (!consume_literal("false")) fail("invalid literal");
+                return Json(false);
+            case 'n':
+                if (!consume_literal("null")) fail("invalid literal");
+                return Json();
+            default: return parse_number();
+        }
+    }
+
+    Json parse_object() {
+        expect('{');
+        Json obj = Json::object();
+        skip_whitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skip_whitespace();
+            std::string key = parse_string();
+            skip_whitespace();
+            expect(':');
+            obj.set(key, parse_value());
+            skip_whitespace();
+            const char c = peek();
+            ++pos_;
+            if (c == '}') return obj;
+            if (c != ',') fail("expected ',' or '}' in object");
+        }
+    }
+
+    Json parse_array() {
+        expect('[');
+        Json arr = Json::array();
+        skip_whitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push_back(parse_value());
+            skip_whitespace();
+            const char c = peek();
+            ++pos_;
+            if (c == ']') return arr;
+            if (c != ',') fail("expected ',' or ']' in array");
+        }
+    }
+
+    /// Append a code point as UTF-8.
+    static void append_utf8(std::string& out, unsigned cp) {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    unsigned parse_hex4() {
+        if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            value <<= 4;
+            if (c >= '0' && c <= '9') {
+                value |= static_cast<unsigned>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                value |= static_cast<unsigned>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                value |= static_cast<unsigned>(c - 'A' + 10);
+            } else {
+                fail("invalid hex digit in \\u escape");
+            }
+        }
+        return value;
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("truncated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    unsigned cp = parse_hex4();
+                    if (cp >= 0xD800 && cp <= 0xDBFF) {
+                        // High surrogate: a low surrogate must follow.
+                        if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                            text_[pos_ + 1] == 'u') {
+                            pos_ += 2;
+                            const unsigned lo = parse_hex4();
+                            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+                            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                        } else {
+                            fail("unpaired surrogate");
+                        }
+                    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                        fail("unpaired surrogate");
+                    }
+                    append_utf8(out, cp);
+                    break;
+                }
+                default: fail("unknown escape");
+            }
+        }
+    }
+
+    Json parse_number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-')) {
+            ++pos_;
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        if (token.empty() || token == "-") fail("invalid number");
+        char* end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) fail("invalid number");
+        return Json(value);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
 
 std::string json_escape(const std::string& s) {
     std::string out = "\"";
@@ -54,6 +268,58 @@ Json Json::from(const linalg::Matrix& m) {
     Json j = array();
     for (std::size_t r = 0; r < m.rows(); ++r) j.push_back(from(m.row(r)));
     return j;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Json Json::parse_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("Json::parse_file: cannot open " + path);
+    std::ostringstream content;
+    content << in.rdbuf();
+    return parse(content.str());
+}
+
+bool Json::boolean() const {
+    if (kind_ != Kind::kBool) throw std::logic_error("Json::boolean: not a bool");
+    return bool_;
+}
+
+double Json::number() const {
+    if (kind_ != Kind::kNumber) throw std::logic_error("Json::number: not a number");
+    return number_;
+}
+
+const std::string& Json::str() const {
+    if (kind_ != Kind::kString) throw std::logic_error("Json::str: not a string");
+    return string_;
+}
+
+const Json& Json::at(std::size_t index) const {
+    if (kind_ != Kind::kArray) throw std::logic_error("Json::at: not an array");
+    if (index >= array_.size()) throw std::out_of_range("Json::at: index out of range");
+    return array_[index];
+}
+
+const Json& Json::at(const std::string& key) const {
+    if (kind_ != Kind::kObject) throw std::logic_error("Json::at: not an object");
+    const auto it = object_.find(key);
+    if (it == object_.end()) throw std::out_of_range("Json::at: no member '" + key + "'");
+    return it->second;
+}
+
+bool Json::contains(const std::string& key) const noexcept {
+    return kind_ == Kind::kObject && object_.count(key) > 0;
+}
+
+const std::map<std::string, Json>& Json::members() const {
+    if (kind_ != Kind::kObject) throw std::logic_error("Json::members: not an object");
+    return object_;
+}
+
+const std::vector<Json>& Json::elements() const {
+    if (kind_ != Kind::kArray) throw std::logic_error("Json::elements: not an array");
+    return array_;
 }
 
 Json& Json::push_back(Json value) {

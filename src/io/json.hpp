@@ -1,13 +1,16 @@
 #pragma once
 /// \file json.hpp
-/// Minimal JSON value model and serializer for experiment reports. Write
-/// only (the library never consumes JSON); strings are escaped per RFC 8259
-/// and doubles are emitted with round-trip precision.
+/// Minimal JSON value model, serializer and parser for experiment reports
+/// and observability artifacts. Strings are escaped per RFC 8259, doubles
+/// are emitted with round-trip precision, and `Json::parse` accepts exactly
+/// the RFC 8259 value grammar (used to read back RunReport / BENCH_*.json
+/// files in tests and tooling).
 
 #include <cstddef>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -40,6 +43,14 @@ public:
     /// Nested arrays from a matrix (row-major).
     [[nodiscard]] static Json from(const linalg::Matrix& m);
 
+    /// Parse one JSON document (with optional surrounding whitespace);
+    /// throws std::invalid_argument on malformed input or trailing content.
+    [[nodiscard]] static Json parse(std::string_view text);
+
+    /// Read and parse a file; throws std::runtime_error on IO failure and
+    /// std::invalid_argument on malformed content.
+    [[nodiscard]] static Json parse_file(const std::string& path);
+
     /// Append to an array; throws std::logic_error when not an array.
     Json& push_back(Json value);
 
@@ -50,8 +61,33 @@ public:
     [[nodiscard]] std::size_t size() const;
 
     [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+    [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+    [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+    [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
     [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
     [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+    /// Typed accessors; each throws std::logic_error on a kind mismatch.
+    [[nodiscard]] bool boolean() const;
+    [[nodiscard]] double number() const;
+    [[nodiscard]] const std::string& str() const;
+
+    /// Array element access; throws std::logic_error when not an array and
+    /// std::out_of_range on a bad index.
+    [[nodiscard]] const Json& at(std::size_t index) const;
+
+    /// Object member access; throws std::logic_error when not an object and
+    /// std::out_of_range on a missing key.
+    [[nodiscard]] const Json& at(const std::string& key) const;
+
+    /// True when an object has the member (false for non-objects).
+    [[nodiscard]] bool contains(const std::string& key) const noexcept;
+
+    /// Object members (sorted by key); throws when not an object.
+    [[nodiscard]] const std::map<std::string, Json>& members() const;
+
+    /// Array elements; throws when not an array.
+    [[nodiscard]] const std::vector<Json>& elements() const;
 
     /// Serialize; `indent` > 0 pretty-prints with that many spaces per level.
     [[nodiscard]] std::string dump(int indent = 0) const;

@@ -4,9 +4,20 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/span.hpp"
 #include "stats/descriptive.hpp"
 
 namespace htd::ml {
+
+double effective_sample_size(const linalg::Vector& weights) noexcept {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        sum += weights[i];
+        sum_sq += weights[i] * weights[i];
+    }
+    return sum_sq > 0.0 ? sum * sum / sum_sq : 0.0;
+}
 
 linalg::Matrix weighted_resample(const linalg::Matrix& data,
                                  const linalg::Vector& weights, std::size_t n,
@@ -94,6 +105,9 @@ linalg::Vector KernelMeanMatching::solve(const linalg::Matrix& train,
 
     const std::size_t ntr = train.rows();
     const std::size_t nte = test.rows();
+    obs::ScopedSpan span("kmm.solve");
+    span.attr("train_samples", static_cast<double>(ntr));
+    span.attr("test_samples", static_cast<double>(nte));
 
     double gamma = opts_.gamma;
     if (gamma <= 0.0) {
@@ -158,6 +172,9 @@ KernelMeanShiftCalibrator::Result KernelMeanShiftCalibrator::calibrate(
     if (train.cols() != test.cols()) {
         throw std::invalid_argument("KernelMeanShiftCalibrator: column mismatch");
     }
+    obs::ScopedSpan span("kmm.calibrate");
+    span.attr("train_samples", static_cast<double>(train.rows()));
+    span.attr("test_samples", static_cast<double>(test.rows()));
 
     const std::size_t d = train.cols();
     const linalg::Vector test_mean = stats::column_means(test);
@@ -236,6 +253,15 @@ KernelMeanShiftCalibrator::Result KernelMeanShiftCalibrator::calibrate(
     // for diagnostics and downstream weighting.
     const KernelMeanMatching kmm(opts_.kmm);
     result.weights = kmm.solve(result.calibrated, test);
+
+    const double ess = effective_sample_size(result.weights);
+    span.attr("shift_iterations", static_cast<double>(result.iterations));
+    span.attr("total_shift_norm", result.total_shift.norm());
+    span.attr("effective_sample_size", ess);
+    obs::Registry& registry = obs::Registry::global();
+    registry.counter_add("kmm.calibrations");
+    registry.gauge_set("kmm.effective_sample_size", ess);
+    registry.gauge_set("kmm.shift_iterations", static_cast<double>(result.iterations));
     return result;
 }
 

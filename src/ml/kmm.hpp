@@ -38,6 +38,14 @@ namespace htd::ml {
                                                const linalg::Vector& weights,
                                                std::size_t n, rng::Rng& rng);
 
+/// Kish effective sample size of an importance-weight vector,
+/// (sum w)^2 / sum w^2 — how many equally-weighted samples the weighted
+/// population is worth. Ranges from 1 (one weight dominates) to size()
+/// (uniform weights); 0 for an empty or all-zero vector. This is the
+/// health metric behind the small `weight_bound` default: a collapsed ESS
+/// means boundary B4 trains on a handful of effective devices.
+[[nodiscard]] double effective_sample_size(const linalg::Vector& weights) noexcept;
+
 /// Kernel mean matching QP solver.
 class KernelMeanMatching {
 public:

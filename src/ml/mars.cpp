@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "linalg/decompositions.hpp"
+#include "obs/span.hpp"
 
 namespace htd::ml {
 
@@ -95,6 +96,9 @@ void Mars::fit(const linalg::Matrix& x, const linalg::Vector& y) {
     const std::size_t p = x.cols();
     if (n == 0 || p == 0) throw std::invalid_argument("Mars::fit: empty dataset");
     if (y.size() != n) throw std::invalid_argument("Mars::fit: x/y size mismatch");
+    obs::ScopedSpan span("mars.fit");
+    span.attr("samples", static_cast<double>(n));
+    span.attr("inputs", static_cast<double>(p));
     input_dim_ = p;
 
     // Candidate knots: sorted distinct values per variable, optionally thinned
@@ -267,6 +271,10 @@ void Mars::fit(const linalg::Matrix& x, const linalg::Vector& y) {
     for (std::size_t r = 0; r < n; ++r) tss += (y[r] - y_mean) * (y[r] - y_mean);
     r2_ = tss > 0.0 ? 1.0 - current_rss / tss : 1.0;
 
+    span.attr("terms", static_cast<double>(terms_.size()));
+    span.attr("r_squared", r2_);
+    obs::Registry::global().counter_add("mars.fits");
+    obs::Registry::global().counter_add("mars.terms", static_cast<double>(terms_.size()));
     fitted_ = true;
 }
 
@@ -291,6 +299,8 @@ linalg::Vector Mars::predict_batch(const linalg::Matrix& x) const {
 void MarsBank::fit(const linalg::Matrix& x, const linalg::Matrix& y) {
     if (y.rows() != x.rows()) throw std::invalid_argument("MarsBank::fit: row mismatch");
     if (y.cols() == 0) throw std::invalid_argument("MarsBank::fit: no outputs");
+    obs::ScopedSpan span("mars.bank_fit");
+    span.attr("outputs", static_cast<double>(y.cols()));
     models_.clear();
     models_.reserve(y.cols());
     for (std::size_t j = 0; j < y.cols(); ++j) {

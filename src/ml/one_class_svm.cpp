@@ -1,6 +1,7 @@
 #include "ml/one_class_svm.hpp"
 
 #include "linalg/decompositions.hpp"
+#include "obs/span.hpp"
 #include "stats/descriptive.hpp"
 
 #include <algorithm>
@@ -30,6 +31,9 @@ void OneClassSvm::fit(const linalg::Matrix& data) {
     if (data.rows() == 0 || data.cols() == 0) {
         throw std::invalid_argument("OneClassSvm::fit: empty dataset");
     }
+    obs::ScopedSpan span("svm.fit");
+    span.attr("samples", static_cast<double>(data.rows()));
+    span.attr("dim", static_cast<double>(data.cols()));
 
     // 1. Uniform subsample when the training set exceeds the cap.
     linalg::Matrix train;
@@ -171,6 +175,15 @@ void OneClassSvm::fit(const linalg::Matrix& data) {
             alpha_.push_back(alpha[t]);
         }
     }
+
+    span.attr("trained_samples", static_cast<double>(l));
+    span.attr("support_vectors", static_cast<double>(support_vectors_.rows()));
+    span.attr("smo_iterations", static_cast<double>(iterations_));
+    obs::Registry& registry = obs::Registry::global();
+    registry.counter_add("svm.fits");
+    registry.counter_add("svm.smo_iterations", static_cast<double>(iterations_));
+    registry.counter_add("svm.support_vectors",
+                         static_cast<double>(support_vectors_.rows()));
     fitted_ = true;
 }
 

@@ -1,0 +1,194 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/run_report.hpp"
+#include "obs/sink.hpp"
+
+namespace htd::obs {
+
+std::string sink_kind_name(SinkKind kind) {
+    switch (kind) {
+        case SinkKind::kInherit: return "inherit";
+        case SinkKind::kOff: return "off";
+        case SinkKind::kText: return "text";
+        case SinkKind::kJson: return "json";
+    }
+    throw std::invalid_argument("sink_kind_name: unknown sink kind");
+}
+
+const std::vector<double>& histogram_bucket_bounds() {
+    // 1-2-5 ladder, 1 µs .. 10 s; values above fall into the overflow bucket.
+    static const std::vector<double> bounds = {
+        1.0,     2.0,     5.0,     10.0,     20.0,     50.0,     100.0,
+        200.0,   500.0,   1e3,     2e3,      5e3,      1e4,      2e4,
+        5e4,     1e5,     2e5,     5e5,      1e6,      2e6,      5e6,
+        1e7};
+    return bounds;
+}
+
+Registry::Registry() { apply_environment(); }
+
+Registry& Registry::global() {
+    static Registry instance;
+    return instance;
+}
+
+void Registry::apply_environment() {
+    const char* path = std::getenv("HTD_OBS_PATH");
+    json_path_ = (path != nullptr && *path != '\0') ? path : "htd_obs.json";
+
+    const char* mode = std::getenv("HTD_OBS");
+    if (mode == nullptr) return;
+    const std::string m(mode);
+    if (m == "text") {
+        configure(SinkKind::kText);
+    } else if (m == "json") {
+        configure(SinkKind::kJson);
+    } else if (m == "off" || m.empty()) {
+        configure(SinkKind::kOff);
+    } else {
+        std::fprintf(stderr, "[obs] ignoring unknown HTD_OBS value '%s'\n", m.c_str());
+    }
+}
+
+void Registry::configure(SinkKind sink, std::string json_path) {
+    if (sink == SinkKind::kInherit && json_path.empty()) return;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!json_path.empty()) json_path_ = std::move(json_path);
+    }
+    if (sink == SinkKind::kInherit) return;
+    sink_.store(sink, std::memory_order_relaxed);
+    enabled_.store(sink != SinkKind::kOff, std::memory_order_relaxed);
+}
+
+std::string Registry::json_path() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return json_path_;
+}
+
+void Registry::counter_add(std::string_view name, double delta) {
+    if (!enabled()) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        counters_.emplace(std::string(name), delta);
+    } else {
+        it->second += delta;
+    }
+}
+
+void Registry::gauge_set(std::string_view name, double value) {
+    if (!enabled()) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        gauges_.emplace(std::string(name), value);
+    } else {
+        it->second = value;
+    }
+}
+
+void Registry::histogram_record_locked(std::string_view name, double value_us) {
+    const std::vector<double>& bounds = histogram_bucket_bounds();
+    const auto bucket = static_cast<std::size_t>(
+        std::upper_bound(bounds.begin(), bounds.end(), value_us) - bounds.begin());
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(std::string(name), HistogramSnapshot{}).first;
+        it->second.counts.assign(bounds.size() + 1, 0);
+    }
+    HistogramSnapshot& h = it->second;
+    h.counts[bucket] += 1;
+    h.sum += value_us;
+    h.min = h.total == 0 ? value_us : std::min(h.min, value_us);
+    h.max = h.total == 0 ? value_us : std::max(h.max, value_us);
+    h.total += 1;
+}
+
+void Registry::histogram_record(std::string_view name, double value_us) {
+    if (!enabled()) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    histogram_record_locked(name, value_us);
+}
+
+void Registry::span_record(SpanRecord record) {
+    if (!enabled()) return;
+    if (sink() == SinkKind::kText) {
+        const std::string line = span_text_line(record);
+        std::fprintf(stderr, "%s\n", line.c_str());
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Every span also feeds a latency histogram, so repeated spans keep an
+    // aggregate view even once the stored-span cap is hit.
+    histogram_record_locked("span." + record.name,
+                            static_cast<double>(record.wall_ns) / 1e3);
+    if (spans_.size() >= kMaxStoredSpans) {
+        auto it = counters_.find("obs.spans_dropped");
+        if (it == counters_.end()) {
+            counters_.emplace("obs.spans_dropped", 1.0);
+        } else {
+            it->second += 1.0;
+        }
+        return;
+    }
+    spans_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Registry::spans() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+std::map<std::string, double> Registry::counters() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, double> Registry::gauges() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return {gauges_.begin(), gauges_.end()};
+}
+
+std::map<std::string, HistogramSnapshot> Registry::histograms() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return {histograms_.begin(), histograms_.end()};
+}
+
+double Registry::counter_value(std::string_view name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+}
+
+std::size_t Registry::span_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
+}
+
+void Registry::flush() const {
+    if (sink() != SinkKind::kText) return;
+    const std::string text = metrics_text(*this);
+    if (!text.empty()) std::fprintf(stderr, "%s", text.c_str());
+}
+
+void Registry::write_default_report() const {
+    if (sink() != SinkKind::kJson) return;
+    RunReport report("htd_obs");
+    report.capture_observability(*this);
+    report.write(json_path());
+}
+
+void Registry::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    spans_.clear();
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+}  // namespace htd::obs

@@ -1,0 +1,181 @@
+#pragma once
+/// \file obs.hpp
+/// Pipeline-wide observability: a process-global registry of metrics
+/// (counters, gauges, fixed-bucket latency histograms) and completed trace
+/// spans, plus pluggable output sinks. Instrumented code talks to
+/// `Registry::global()` through `ScopedSpan` (span.hpp) and the counter /
+/// gauge / histogram calls below; reporting code snapshots the registry into
+/// `io::Json` (sink.hpp) or a full `RunReport` (run_report.hpp).
+///
+/// The sink is selected programmatically (`Registry::configure`) or through
+/// the `HTD_OBS` environment variable:
+///
+///     HTD_OBS=off    no-op (default) — every call is a single relaxed
+///                    atomic load on the hot path
+///     HTD_OBS=text   spans and flush() summaries stream to stderr
+///     HTD_OBS=json   records accumulate in memory for a RunReport /
+///                    BENCH_<name>.json artifact (HTD_OBS_PATH overrides
+///                    the default report path of write_default_report())
+///
+/// All registry operations are thread-safe: the hot-path enabled check is
+/// lock-free and the record/aggregate paths take one short mutex section.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace htd::obs {
+
+/// Output sink selection.
+enum class SinkKind {
+    kInherit,  ///< keep whatever the registry is already configured with
+    kOff,      ///< disabled: all instrumentation is a no-op
+    kText,     ///< human-readable stream to stderr
+    kJson,     ///< accumulate in memory for JSON export
+};
+
+/// "off" / "text" / "json" / "inherit".
+[[nodiscard]] std::string sink_kind_name(SinkKind kind);
+
+/// Observability options embeddable in a component config (for example
+/// `core::PipelineConfig::obs`). `kInherit` leaves the global registry
+/// untouched, so library code never overrides an explicit caller choice.
+struct Config {
+    SinkKind sink = SinkKind::kInherit;
+
+    /// Default path used by Registry::write_default_report() under the JSON
+    /// sink; empty keeps the current path ("htd_obs.json" unless
+    /// HTD_OBS_PATH is set).
+    std::string json_path;
+};
+
+/// One completed trace span.
+struct SpanRecord {
+    std::uint64_t id = 0;      ///< 1-based, unique per process
+    std::uint64_t parent = 0;  ///< 0 = root span of its thread
+    std::uint32_t depth = 0;   ///< nesting depth (root = 0)
+    std::string name;
+    std::int64_t start_wall_ns = 0;  ///< steady-clock start, ns since registry init
+    std::int64_t wall_ns = 0;        ///< wall-clock duration
+    std::int64_t cpu_ns = 0;         ///< thread CPU time consumed
+    /// Numeric attributes attached via ScopedSpan::attr (insertion order).
+    std::vector<std::pair<std::string, double>> attrs;
+};
+
+/// Aggregated state of one fixed-bucket latency histogram (microseconds).
+struct HistogramSnapshot {
+    std::vector<std::uint64_t> counts;  ///< one per bucket + final overflow
+    std::uint64_t total = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    [[nodiscard]] double mean() const noexcept {
+        return total == 0 ? 0.0 : sum / static_cast<double>(total);
+    }
+};
+
+/// Upper bucket bounds (µs) shared by every latency histogram: a 1-2-5
+/// geometric ladder from 1 µs to 10 s. Values above the last bound land in
+/// the overflow bucket, so `HistogramSnapshot::counts` has size() + 1
+/// entries.
+[[nodiscard]] const std::vector<double>& histogram_bucket_bounds();
+
+/// Process-global observability registry.
+class Registry {
+public:
+    /// The process-wide instance. First access applies the HTD_OBS /
+    /// HTD_OBS_PATH environment variables.
+    static Registry& global();
+
+    /// Swap the sink; `SinkKind::kInherit` is a no-op. Not reset()-ing:
+    /// already-recorded data survives a sink change.
+    void configure(SinkKind sink, std::string json_path = {});
+    void configure(const Config& config) { configure(config.sink, config.json_path); }
+
+    /// True when any sink other than kOff is active.
+    [[nodiscard]] bool enabled() const noexcept {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] SinkKind sink() const noexcept {
+        return sink_.load(std::memory_order_relaxed);
+    }
+
+    /// Default path for write_default_report().
+    [[nodiscard]] std::string json_path() const;
+
+    // --- metrics -----------------------------------------------------------
+
+    /// Add `delta` to a monotonic counter (created on first use).
+    void counter_add(std::string_view name, double delta = 1.0);
+
+    /// Set a last-value-wins gauge.
+    void gauge_set(std::string_view name, double value);
+
+    /// Record one latency observation (µs) into a fixed-bucket histogram.
+    void histogram_record(std::string_view name, double value_us);
+
+    // --- spans (used by ScopedSpan; see span.hpp) --------------------------
+
+    /// Store a completed span and feed its wall time into the
+    /// "span.<name>" latency histogram. Spans beyond `kMaxStoredSpans` are
+    /// counted in the `obs.spans_dropped` counter instead of stored,
+    /// bounding memory under hot loops (the histogram keeps aggregating).
+    void span_record(SpanRecord record);
+
+    /// Unique span id (1-based). Cheap; called even before timing starts.
+    [[nodiscard]] std::uint64_t next_span_id() noexcept {
+        return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+
+    // --- snapshots ---------------------------------------------------------
+
+    [[nodiscard]] std::vector<SpanRecord> spans() const;
+    [[nodiscard]] std::map<std::string, double> counters() const;
+    [[nodiscard]] std::map<std::string, double> gauges() const;
+    [[nodiscard]] std::map<std::string, HistogramSnapshot> histograms() const;
+
+    /// Current value of one counter (0 when absent).
+    [[nodiscard]] double counter_value(std::string_view name) const;
+
+    /// Number of spans currently stored.
+    [[nodiscard]] std::size_t span_count() const;
+
+    /// Under the text sink, print a metrics summary table to stderr.
+    /// No-op otherwise.
+    void flush() const;
+
+    /// Under the JSON sink, write a generic RunReport snapshot to
+    /// json_path(). No-op otherwise.
+    void write_default_report() const;
+
+    /// Drop all recorded spans and metrics (sink selection is kept).
+    void reset();
+
+    /// Stored-span cap (per process, not per run).
+    static constexpr std::size_t kMaxStoredSpans = 65536;
+
+private:
+    Registry();
+
+    void apply_environment();
+    void histogram_record_locked(std::string_view name, double value_us);
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<SinkKind> sink_{SinkKind::kOff};
+    std::atomic<std::uint64_t> next_id_{0};
+
+    mutable std::mutex mutex_;
+    std::string json_path_;
+    std::vector<SpanRecord> spans_;
+    std::map<std::string, double, std::less<>> counters_;
+    std::map<std::string, double, std::less<>> gauges_;
+    std::map<std::string, HistogramSnapshot, std::less<>> histograms_;
+};
+
+}  // namespace htd::obs

@@ -1,0 +1,36 @@
+#include "obs/run_report.hpp"
+
+#include "obs/sink.hpp"
+
+namespace htd::obs {
+
+RunReport::RunReport(std::string name) : doc_(io::Json::object()) {
+    doc_.set("run", std::move(name));
+    doc_.set("schema", "htd.run_report.v1");
+}
+
+RunReport& RunReport::set(const std::string& key, io::Json value) {
+    doc_.set(key, std::move(value));
+    return *this;
+}
+
+RunReport& RunReport::capture_observability(const Registry& registry) {
+    doc_.set("observability", observability_json(registry));
+    return *this;
+}
+
+void RunReport::write(const std::string& path, int indent) const {
+    doc_.dump_to_file(path, indent);
+}
+
+std::string write_bench_report(const std::string& bench_name, io::Json payload,
+                               const Registry& registry) {
+    RunReport report("bench_" + bench_name);
+    report.set("results", std::move(payload));
+    report.capture_observability(registry);
+    const std::string path = "BENCH_" + bench_name + ".json";
+    report.write(path);
+    return path;
+}
+
+}  // namespace htd::obs

@@ -1,0 +1,46 @@
+#pragma once
+/// \file run_report.hpp
+/// Structured, machine-readable record of one pipeline / bench execution.
+/// A `RunReport` is a named JSON document that reporting code fills with
+/// domain sections (config, datasets, per-boundary metrics, ...) and that
+/// can capture the global observability state (spans + metrics) as its
+/// "observability" section. Benches use `write_bench_report` to emit the
+/// `BENCH_<name>.json` artifacts tracked by the perf trajectory.
+
+#include <string>
+
+#include "io/json.hpp"
+#include "obs/obs.hpp"
+
+namespace htd::obs {
+
+class RunReport {
+public:
+    /// `name` identifies the run (e.g. "quickstart", "bench_roc").
+    explicit RunReport(std::string name);
+
+    /// Set a top-level section; later sets of the same key overwrite.
+    RunReport& set(const std::string& key, io::Json value);
+
+    /// Snapshot `registry` (spans + metrics) into the "observability"
+    /// section. Call after the instrumented work has finished.
+    RunReport& capture_observability(const Registry& registry = Registry::global());
+
+    /// The document so far (name + sections, in a deterministic key order).
+    [[nodiscard]] const io::Json& json() const noexcept { return doc_; }
+
+    /// Serialize (pretty-printed) and write; throws std::runtime_error on
+    /// IO failure.
+    void write(const std::string& path, int indent = 2) const;
+
+private:
+    io::Json doc_;
+};
+
+/// Emit "BENCH_<bench_name>.json" in the working directory: `payload`
+/// under "results" plus the registry's observability snapshot. Returns the
+/// path written.
+std::string write_bench_report(const std::string& bench_name, io::Json payload,
+                               const Registry& registry = Registry::global());
+
+}  // namespace htd::obs

@@ -1,0 +1,154 @@
+#include "obs/sink.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "io/table.hpp"
+
+namespace htd::obs {
+
+namespace {
+
+/// "12.3 ms" style rendering for nanosecond durations.
+std::string fmt_duration_ns(std::int64_t ns) {
+    char buf[32];
+    const double v = static_cast<double>(ns);
+    if (ns < 10'000) {
+        std::snprintf(buf, sizeof buf, "%" PRId64 " ns", ns);
+    } else if (ns < 10'000'000) {
+        std::snprintf(buf, sizeof buf, "%.1f us", v / 1e3);
+    } else if (ns < 10'000'000'000) {
+        std::snprintf(buf, sizeof buf, "%.1f ms", v / 1e6);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.2f s", v / 1e9);
+    }
+    return buf;
+}
+
+std::string fmt_compact(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+}
+
+}  // namespace
+
+io::Json spans_json(const Registry& registry) {
+    io::Json out = io::Json::array();
+    for (const SpanRecord& s : registry.spans()) {
+        io::Json rec = io::Json::object();
+        rec.set("id", static_cast<double>(s.id));
+        rec.set("parent", static_cast<double>(s.parent));
+        rec.set("depth", static_cast<double>(s.depth));
+        rec.set("name", s.name);
+        rec.set("start_wall_ns", static_cast<double>(s.start_wall_ns));
+        rec.set("wall_ns", static_cast<double>(s.wall_ns));
+        rec.set("cpu_ns", static_cast<double>(s.cpu_ns));
+        if (!s.attrs.empty()) {
+            io::Json attrs = io::Json::object();
+            for (const auto& [key, value] : s.attrs) attrs.set(key, value);
+            rec.set("attrs", std::move(attrs));
+        }
+        out.push_back(std::move(rec));
+    }
+    return out;
+}
+
+io::Json metrics_json(const Registry& registry) {
+    io::Json out = io::Json::object();
+
+    io::Json counters = io::Json::object();
+    for (const auto& [name, value] : registry.counters()) counters.set(name, value);
+    out.set("counters", std::move(counters));
+
+    io::Json gauges = io::Json::object();
+    for (const auto& [name, value] : registry.gauges()) gauges.set(name, value);
+    out.set("gauges", std::move(gauges));
+
+    io::Json histograms = io::Json::object();
+    const std::vector<double>& bounds = histogram_bucket_bounds();
+    for (const auto& [name, h] : registry.histograms()) {
+        io::Json hist = io::Json::object();
+        hist.set("unit", "us");
+        hist.set("total", h.total);
+        hist.set("sum", h.sum);
+        hist.set("mean", h.mean());
+        hist.set("min", h.min);
+        hist.set("max", h.max);
+        io::Json buckets = io::Json::array();
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            if (h.counts[i] == 0) continue;  // sparse: only occupied buckets
+            io::Json bucket = io::Json::object();
+            bucket.set("le_us", i < bounds.size() ? io::Json(bounds[i]) : io::Json());
+            bucket.set("count", h.counts[i]);
+            buckets.push_back(std::move(bucket));
+        }
+        hist.set("buckets", std::move(buckets));
+        histograms.set(name, std::move(hist));
+    }
+    out.set("histograms", std::move(histograms));
+    return out;
+}
+
+io::Json observability_json(const Registry& registry) {
+    io::Json out = io::Json::object();
+    out.set("sink", sink_kind_name(registry.sink()));
+    out.set("spans", spans_json(registry));
+    out.set("metrics", metrics_json(registry));
+    return out;
+}
+
+std::string span_text_line(const SpanRecord& record) {
+    std::string line = "[obs] ";
+    line.append(static_cast<std::size_t>(record.depth) * 2, ' ');
+    line += record.name;
+    line += "  wall ";
+    line += fmt_duration_ns(record.wall_ns);
+    line += "  cpu ";
+    line += fmt_duration_ns(record.cpu_ns);
+    if (!record.attrs.empty()) {
+        line += "  (";
+        bool first = true;
+        for (const auto& [key, value] : record.attrs) {
+            if (!first) line += ", ";
+            first = false;
+            line += key;
+            line += '=';
+            line += fmt_compact(value);
+        }
+        line += ')';
+    }
+    return line;
+}
+
+std::string metrics_text(const Registry& registry) {
+    std::string out;
+
+    const auto counters = registry.counters();
+    const auto gauges = registry.gauges();
+    if (!counters.empty() || !gauges.empty()) {
+        io::Table table({"metric", "kind", "value"});
+        for (const auto& [name, value] : counters) {
+            table.add_row({name, "counter", fmt_compact(value)});
+        }
+        for (const auto& [name, value] : gauges) {
+            table.add_row({name, "gauge", fmt_compact(value)});
+        }
+        out += "[obs] metrics\n";
+        out += table.str();
+    }
+
+    const auto histograms = registry.histograms();
+    if (!histograms.empty()) {
+        io::Table table({"histogram", "count", "mean us", "min us", "max us"});
+        for (const auto& [name, h] : histograms) {
+            table.add_row({name, fmt_compact(static_cast<double>(h.total)),
+                           io::fmt(h.mean(), 2), io::fmt(h.min, 2), io::fmt(h.max, 2)});
+        }
+        out += "[obs] latency histograms\n";
+        out += table.str();
+    }
+    return out;
+}
+
+}  // namespace htd::obs

@@ -1,0 +1,36 @@
+#pragma once
+/// \file sink.hpp
+/// Registry snapshot -> output conversions shared by the text and JSON
+/// sinks: `io::Json` views of the recorded spans and metrics, and the
+/// stderr rendering used by `Registry::flush()` under the text sink.
+
+#include <string>
+
+#include "io/json.hpp"
+#include "obs/obs.hpp"
+
+namespace htd::obs {
+
+/// Flat array of the recorded spans in completion order. Each element
+/// carries id / parent / depth / name / start_wall_ns / wall_ns / cpu_ns
+/// and an "attrs" object.
+[[nodiscard]] io::Json spans_json(const Registry& registry);
+
+/// Object with "counters", "gauges" and "histograms" members. Histograms
+/// serialize their bucket counts against the shared
+/// `histogram_bucket_bounds()` ladder plus total/sum/mean/min/max.
+[[nodiscard]] io::Json metrics_json(const Registry& registry);
+
+/// Combined snapshot: {"spans": ..., "metrics": ...}.
+[[nodiscard]] io::Json observability_json(const Registry& registry);
+
+/// One-line text rendering of a completed span, e.g.
+/// "[obs]   pipeline.mars_fit  wall 12.3 ms  cpu 12.1 ms  (outputs=6)".
+/// Indented two spaces per nesting level.
+[[nodiscard]] std::string span_text_line(const SpanRecord& record);
+
+/// Metrics summary tables (io::Table format) used by flush() under the
+/// text sink.
+[[nodiscard]] std::string metrics_text(const Registry& registry);
+
+}  // namespace htd::obs

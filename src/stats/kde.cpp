@@ -4,6 +4,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "obs/span.hpp"
 #include "stats/descriptive.hpp"
 
 namespace htd::stats {
@@ -111,8 +112,12 @@ linalg::Vector Kde::sample(rng::Rng& rng) const {
 }
 
 linalg::Matrix Kde::sample_n(rng::Rng& rng, std::size_t n) const {
+    obs::ScopedSpan span("kde.sample_n");
+    span.attr("samples", static_cast<double>(n));
+    span.attr("dim", static_cast<double>(dim()));
     linalg::Matrix out(n, dim());
     for (std::size_t i = 0; i < n; ++i) out.set_row(i, sample(rng));
+    obs::Registry::global().counter_add("kde.samples_drawn", static_cast<double>(n));
     return out;
 }
 
@@ -195,8 +200,13 @@ linalg::Vector AdaptiveKde::sample(rng::Rng& rng) const {
 }
 
 linalg::Matrix AdaptiveKde::sample_n(rng::Rng& rng, std::size_t n) const {
+    obs::ScopedSpan span("kde.adaptive_sample_n");
+    span.attr("samples", static_cast<double>(n));
+    span.attr("dim", static_cast<double>(dim()));
+    span.attr("observations", static_cast<double>(observation_count()));
     linalg::Matrix out(n, dim());
     for (std::size_t i = 0; i < n; ++i) out.set_row(i, sample(rng));
+    obs::Registry::global().counter_add("kde.samples_drawn", static_cast<double>(n));
     return out;
 }
 

@@ -94,6 +94,59 @@ TEST(JsonValue, DumpToFileRoundTrips) {
     EXPECT_THROW(obj.dump_to_file("/nonexistent/dir/file.json"), std::runtime_error);
 }
 
+TEST(JsonParse, ScalarsAndContainers) {
+    EXPECT_TRUE(Json::parse("null").is_null());
+    EXPECT_EQ(Json::parse("true").boolean(), true);
+    EXPECT_EQ(Json::parse(" false ").boolean(), false);
+    EXPECT_DOUBLE_EQ(Json::parse("-12.5e2").number(), -1250.0);
+    EXPECT_EQ(Json::parse("\"hi\"").str(), "hi");
+
+    const Json arr = Json::parse("[1, \"two\", null]");
+    ASSERT_EQ(arr.size(), 3u);
+    EXPECT_DOUBLE_EQ(arr.at(0).number(), 1.0);
+    EXPECT_EQ(arr.at(1).str(), "two");
+    EXPECT_TRUE(arr.at(2).is_null());
+
+    const Json obj = Json::parse("{\"a\": {\"b\": [true]}}");
+    EXPECT_TRUE(obj.contains("a"));
+    EXPECT_FALSE(obj.contains("b"));
+    EXPECT_EQ(obj.at("a").at("b").at(0).boolean(), true);
+}
+
+TEST(JsonParse, EscapesAndUnicode) {
+    EXPECT_EQ(Json::parse("\"a\\\"b\\\\c\\n\"").str(), "a\"b\\c\n");
+    EXPECT_EQ(Json::parse("\"\\u0041\"").str(), "A");
+    // Surrogate pair: U+1D11E (musical G clef) -> 4-byte UTF-8.
+    EXPECT_EQ(Json::parse("\"\\uD834\\uDD1E\"").str(), "\xF0\x9D\x84\x9E");
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+    EXPECT_THROW((void)Json::parse(""), std::invalid_argument);
+    EXPECT_THROW((void)Json::parse("{"), std::invalid_argument);
+    EXPECT_THROW((void)Json::parse("[1,]"), std::invalid_argument);
+    EXPECT_THROW((void)Json::parse("nul"), std::invalid_argument);
+    EXPECT_THROW((void)Json::parse("\"unterminated"), std::invalid_argument);
+    EXPECT_THROW((void)Json::parse("1 2"), std::invalid_argument);  // trailing
+    EXPECT_THROW((void)Json::parse("{\"a\" 1}"), std::invalid_argument);
+}
+
+TEST(JsonParse, DumpParseRoundTrip) {
+    Json doc = Json::object();
+    doc.set("name", "round trip");
+    doc.set("pi", 3.141592653589793);
+    doc.set("flags", Json::array());
+    Json nested = Json::array();
+    nested.push_back(1).push_back(false).push_back("x\ty");
+    doc.set("nested", std::move(nested));
+
+    for (const int indent : {0, 2}) {
+        const Json parsed = Json::parse(doc.dump(indent));
+        EXPECT_EQ(parsed.dump(), doc.dump());
+        EXPECT_DOUBLE_EQ(parsed.at("pi").number(), 3.141592653589793);
+        EXPECT_EQ(parsed.at("nested").at(2).str(), "x\ty");
+    }
+}
+
 TEST(Report, ContainsTable1AndDiagnostics) {
     htd::core::ExperimentConfig config;
     config.n_chips = 8;

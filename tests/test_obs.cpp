@@ -1,0 +1,225 @@
+/// Tests for the observability layer: scoped spans (nesting, timing),
+/// the metrics registry (counters, gauges, histograms), the JSON sink
+/// round-trip through the io::Json parser, and the pipeline RunReport.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "io/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/run_report.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+using htd::io::Json;
+using htd::obs::Registry;
+using htd::obs::ScopedSpan;
+using htd::obs::SinkKind;
+
+// The registry is process-global; each test starts from a clean JSON sink
+// and leaves the registry disabled for whoever runs next.
+class ObsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        Registry::global().configure(SinkKind::kJson);
+        Registry::global().reset();
+    }
+    void TearDown() override {
+        Registry::global().configure(SinkKind::kOff);
+        Registry::global().reset();
+    }
+};
+
+TEST_F(ObsTest, DisabledRegistryRecordsNothing) {
+    Registry::global().configure(SinkKind::kOff);
+    {
+        ScopedSpan span("test.noop");
+        EXPECT_FALSE(span.active());
+    }
+    Registry::global().counter_add("test.noop_counter");
+    EXPECT_EQ(Registry::global().span_count(), 0u);
+    EXPECT_EQ(Registry::global().counter_value("test.noop_counter"), 0.0);
+}
+
+TEST_F(ObsTest, SpansNestAndTimingIsMonotonic) {
+    {
+        ScopedSpan outer_span("test.outer");
+        EXPECT_TRUE(outer_span.active());
+        ScopedSpan inner_span("test.inner");
+        inner_span.attr("k", 2.0);
+    }
+    const auto spans = Registry::global().spans();
+    ASSERT_EQ(spans.size(), 2u);
+    // Spans record on close, innermost first.
+    const auto& inner = spans[0];
+    const auto& outer = spans[1];
+    EXPECT_EQ(inner.name, "test.inner");
+    EXPECT_EQ(outer.name, "test.outer");
+    EXPECT_EQ(inner.parent, outer.id);
+    EXPECT_EQ(inner.depth, 1u);
+    EXPECT_EQ(outer.parent, 0u);
+    EXPECT_EQ(outer.depth, 0u);
+    // The child's window is contained in the parent's.
+    EXPECT_GE(inner.wall_ns, 0);
+    EXPECT_GE(inner.cpu_ns, 0);
+    EXPECT_GE(inner.start_wall_ns, outer.start_wall_ns);
+    EXPECT_GE(outer.wall_ns, inner.wall_ns);
+    ASSERT_EQ(inner.attrs.size(), 1u);
+    EXPECT_EQ(inner.attrs[0].first, "k");
+    EXPECT_DOUBLE_EQ(inner.attrs[0].second, 2.0);
+}
+
+TEST_F(ObsTest, ClocksAreMonotonic) {
+    const std::int64_t w0 = htd::obs::wall_clock_ns();
+    const std::int64_t c0 = htd::obs::thread_cpu_ns();
+    volatile double sink = 0.0;
+    for (int i = 0; i < 10000; ++i) sink = sink + 1.0;
+    EXPECT_GE(htd::obs::wall_clock_ns(), w0);
+    EXPECT_GE(htd::obs::thread_cpu_ns(), c0);
+}
+
+TEST_F(ObsTest, CountersGaugesHistogramsAggregate) {
+    auto& reg = Registry::global();
+    reg.counter_add("test.counter");
+    reg.counter_add("test.counter", 2.5);
+    EXPECT_DOUBLE_EQ(reg.counter_value("test.counter"), 3.5);
+    EXPECT_DOUBLE_EQ(reg.counter_value("test.absent"), 0.0);
+
+    reg.gauge_set("test.gauge", 1.0);
+    reg.gauge_set("test.gauge", -4.0);  // last value wins
+    EXPECT_DOUBLE_EQ(reg.gauges().at("test.gauge"), -4.0);
+
+    reg.histogram_record("test.hist", 1.5);
+    reg.histogram_record("test.hist", 150.0);
+    reg.histogram_record("test.hist", 1e9);  // beyond the ladder: overflow
+    const auto hist = reg.histograms().at("test.hist");
+    EXPECT_EQ(hist.total, 3u);
+    EXPECT_DOUBLE_EQ(hist.min, 1.5);
+    EXPECT_DOUBLE_EQ(hist.max, 1e9);
+    EXPECT_DOUBLE_EQ(hist.mean(), (1.5 + 150.0 + 1e9) / 3.0);
+    const auto& bounds = htd::obs::histogram_bucket_bounds();
+    ASSERT_EQ(hist.counts.size(), bounds.size() + 1);
+    EXPECT_EQ(hist.counts.back(), 1u);  // the 1e9 µs observation
+    std::uint64_t bucketed = 0;
+    for (const auto c : hist.counts) bucketed += c;
+    EXPECT_EQ(bucketed, hist.total);
+}
+
+TEST_F(ObsTest, SpanStorageIsCappedButHistogramKeepsAggregating) {
+    constexpr std::size_t kExtra = 10;
+    for (std::size_t i = 0; i < Registry::kMaxStoredSpans + kExtra; ++i) {
+        ScopedSpan span("test.capped");
+    }
+    auto& reg = Registry::global();
+    EXPECT_EQ(reg.span_count(), Registry::kMaxStoredSpans);
+    EXPECT_DOUBLE_EQ(reg.counter_value("obs.spans_dropped"),
+                     static_cast<double>(kExtra));
+    const auto hist = reg.histograms().at("span.test.capped");
+    EXPECT_EQ(hist.total, Registry::kMaxStoredSpans + kExtra);
+}
+
+TEST_F(ObsTest, JsonSinkRoundTripsThroughParser) {
+    auto& reg = Registry::global();
+    {
+        ScopedSpan span("test.roundtrip");
+        span.attr("samples", 42.0);
+        reg.counter_add("test.rt_counter", 2.0);
+        reg.histogram_record("test.rt_hist", 10.0);
+    }
+    const Json parsed = Json::parse(htd::obs::observability_json(reg).dump(2));
+    const Json& spans = parsed.at("spans");
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans.at(0).at("name").str(), "test.roundtrip");
+    EXPECT_DOUBLE_EQ(spans.at(0).at("attrs").at("samples").number(), 42.0);
+    EXPECT_GE(spans.at(0).at("wall_ns").number(), 0.0);
+    const Json& metrics = parsed.at("metrics");
+    EXPECT_DOUBLE_EQ(metrics.at("counters").at("test.rt_counter").number(), 2.0);
+    EXPECT_TRUE(metrics.at("histograms").contains("test.rt_hist"));
+    // Every span feeds a "span.<name>" histogram automatically.
+    EXPECT_TRUE(metrics.at("histograms").contains("span.test.roundtrip"));
+}
+
+TEST_F(ObsTest, RunReportWritesParseableFile) {
+    {
+        ScopedSpan span("test.report_span");
+    }
+    htd::obs::RunReport report("obs_test");
+    Json section = Json::object();
+    section.set("k", 1);
+    report.set("section", std::move(section));
+    report.capture_observability();
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "htd_obs_test_report.json").string();
+    report.write(path);
+    const Json parsed = Json::parse_file(path);
+    std::filesystem::remove(path);
+    EXPECT_EQ(parsed.at("run").str(), "obs_test");
+    EXPECT_EQ(parsed.at("schema").str(), "htd.run_report.v1");
+    EXPECT_DOUBLE_EQ(parsed.at("section").at("k").number(), 1.0);
+    const Json& spans = parsed.at("observability").at("spans");
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans.at(0).at("name").str(), "test.report_span");
+}
+
+TEST_F(ObsTest, PipelineRunReportCoversAllBoundaries) {
+    namespace core = htd::core;
+    core::ExperimentConfig config;
+    config.n_chips = 8;
+    config.pipeline.synthetic_samples = 5000;
+
+    htd::rng::Rng master(config.seed);
+    htd::rng::Rng fab_rng = master.split();
+    htd::rng::Rng sim_rng = master.split();
+    htd::rng::Rng pipe_rng = master.split();
+    const htd::silicon::DuttDataset measured =
+        core::fabricate_and_measure(config, fab_rng);
+    const core::ProcessPair processes =
+        core::make_process_pair(config.process_shift_sigma);
+    core::GoldenFreePipeline pipeline(
+        config.pipeline,
+        htd::silicon::SpiceSimulator(config.platform, processes.spice));
+    pipeline.run_premanufacturing(sim_rng);
+    pipeline.run_silicon_stage(measured.pcms, pipe_rng);
+
+    const htd::obs::RunReport report =
+        core::pipeline_run_report(pipeline, "obs_pipeline_test", &measured);
+    const Json parsed = Json::parse(report.json().dump());
+    EXPECT_EQ(parsed.at("run").str(), "obs_pipeline_test");
+
+    const Json& boundaries = parsed.at("boundaries");
+    ASSERT_EQ(boundaries.size(), 5u);
+    std::set<std::string> names;
+    for (const Json& entry : boundaries.elements()) {
+        names.insert(entry.at("boundary").str());
+        EXPECT_GT(entry.at("support_vectors").number(), 0.0);
+        EXPECT_GT(entry.at("dataset_rows").number(), 0.0);
+        EXPECT_TRUE(entry.contains("metrics"));
+        EXPECT_GE(entry.at("metrics").at("accuracy").number(), 0.0);
+    }
+    EXPECT_EQ(names, (std::set<std::string>{"B1", "B2", "B3", "B4", "B5"}));
+
+    EXPECT_TRUE(parsed.contains("calibration"));
+    EXPECT_GT(parsed.at("calibration").at("kmm_effective_sample_size").number(), 0.0);
+
+    // The timed stage spans landed in the observability section.
+    std::set<std::string> span_names;
+    for (const Json& span : parsed.at("observability").at("spans").elements()) {
+        span_names.insert(span.at("name").str());
+    }
+    EXPECT_TRUE(span_names.count("pipeline.stage1_premanufacturing"));
+    EXPECT_TRUE(span_names.count("pipeline.stage2_silicon"));
+    EXPECT_TRUE(span_names.count("pipeline.monte_carlo"));
+    EXPECT_TRUE(span_names.count("mars.bank_fit"));
+    EXPECT_TRUE(span_names.count("kmm.calibrate"));
+}
+
+}  // namespace

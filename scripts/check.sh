@@ -1,14 +1,27 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure + build the release preset and run the
-# full ctest suite. This is the gate every change must keep green.
+# Tier-1 verification: configure + build a preset and run the full ctest
+# suite. This is the gate every change must keep green. With no argument
+# both gates run: the release preset first, then the same suite under
+# ASan+UBSan (the sanitize preset), so memory and UB bugs cannot hide
+# behind a green optimized build.
 #
-#   scripts/check.sh            # release preset (build-release/)
-#   scripts/check.sh sanitize   # same gate under ASan+UBSan
+#   scripts/check.sh            # release, then sanitize
+#   scripts/check.sh release    # just the release gate (build-release/)
+#   scripts/check.sh sanitize   # just the ASan+UBSan gate (build-sanitize/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-preset="${1:-release}"
+run_preset() {
+    local preset="$1"
+    echo "== check.sh: preset '$preset' =="
+    cmake --preset "$preset"
+    cmake --build --preset "$preset" -j "$(nproc)"
+    ctest --preset "$preset"
+}
 
-cmake --preset "$preset"
-cmake --build --preset "$preset" -j "$(nproc)"
-ctest --preset "$preset"
+if [[ $# -ge 1 ]]; then
+    run_preset "$1"
+else
+    run_preset release
+    run_preset sanitize
+fi

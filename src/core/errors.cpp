@@ -1,0 +1,17 @@
+#include "core/errors.hpp"
+
+namespace htd::core {
+
+std::string pipeline_error_code_name(PipelineErrorCode code) {
+    switch (code) {
+        case PipelineErrorCode::kConfig: return "config";
+        case PipelineErrorCode::kStageOrder: return "stage_order";
+        case PipelineErrorCode::kDimensionMismatch: return "dimension_mismatch";
+        case PipelineErrorCode::kDataQuality: return "data_quality";
+        case PipelineErrorCode::kBoundaryUnavailable: return "boundary_unavailable";
+        case PipelineErrorCode::kCalibrationCollapse: return "calibration_collapse";
+    }
+    return "unknown";
+}
+
+}  // namespace htd::core

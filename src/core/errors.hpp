@@ -1,0 +1,101 @@
+#pragma once
+/// \file errors.hpp
+/// Typed error hierarchy of the detection pipeline. Every failure the
+/// pipeline and the ingestion layer can signal carries a machine-readable
+/// `PipelineErrorCode`, so callers can distinguish misuse (stage ordering,
+/// dimension mismatches) from data problems (non-finite measurements, a
+/// rejected lot) and from statistical degradation (a collapsed KMM
+/// calibration) — and react differently: misuse is a bug, data problems
+/// call for re-measurement, degradation for falling back to a healthier
+/// boundary.
+
+#include <stdexcept>
+#include <string>
+
+namespace htd::core {
+
+/// Machine-readable failure category.
+enum class PipelineErrorCode {
+    kConfig,               ///< invalid configuration value
+    kStageOrder,           ///< stages invoked out of order
+    kDimensionMismatch,    ///< matrix shape disagrees with the trained model
+    kDataQuality,          ///< non-finite / out-of-range / rejected measurements
+    kBoundaryUnavailable,  ///< requested boundary not trained or failed
+    kCalibrationCollapse,  ///< KMM effective sample size below the floor
+};
+
+/// Stable short name of a code ("config", "stage_order", ...).
+[[nodiscard]] std::string pipeline_error_code_name(PipelineErrorCode code);
+
+/// Base of every pipeline failure. Derives from std::runtime_error so
+/// legacy catch sites keep working; prefer catching the subtypes below.
+class PipelineError : public std::runtime_error {
+public:
+    PipelineError(PipelineErrorCode code, const std::string& message)
+        : std::runtime_error("[" + pipeline_error_code_name(code) + "] " + message),
+          code_(code) {}
+
+    [[nodiscard]] PipelineErrorCode code() const noexcept { return code_; }
+
+private:
+    PipelineErrorCode code_;
+};
+
+/// A configuration value is invalid (rejected at construction time).
+class ConfigError : public PipelineError {
+public:
+    explicit ConfigError(const std::string& message)
+        : PipelineError(PipelineErrorCode::kConfig, message) {}
+};
+
+/// A stage was invoked before its prerequisite stage completed.
+class StageOrderError : public PipelineError {
+public:
+    explicit StageOrderError(const std::string& message)
+        : PipelineError(PipelineErrorCode::kStageOrder, message) {}
+};
+
+/// An input matrix's shape disagrees with what the trained models expect.
+class DimensionError : public PipelineError {
+public:
+    explicit DimensionError(const std::string& message)
+        : PipelineError(PipelineErrorCode::kDimensionMismatch, message) {}
+};
+
+/// Measurements are unusable: non-finite values, physical-range violations,
+/// or a lot rejected by the ingestion quarantine.
+class DataQualityError : public PipelineError {
+public:
+    explicit DataQualityError(const std::string& message)
+        : PipelineError(PipelineErrorCode::kDataQuality, message) {}
+};
+
+/// The requested boundary has not been trained, or its training failed.
+class BoundaryUnavailableError : public PipelineError {
+public:
+    explicit BoundaryUnavailableError(const std::string& message)
+        : PipelineError(PipelineErrorCode::kBoundaryUnavailable, message) {}
+};
+
+/// The KMM calibration weights collapsed: their Kish effective sample size
+/// fell below the configured floor and the B4->B3 fallback was disabled.
+class CalibrationCollapseError : public PipelineError {
+public:
+    CalibrationCollapseError(const std::string& message, double effective_sample_size,
+                             double floor)
+        : PipelineError(PipelineErrorCode::kCalibrationCollapse, message),
+          ess_(effective_sample_size),
+          floor_(floor) {}
+
+    /// Kish effective sample size the calibration actually achieved.
+    [[nodiscard]] double effective_sample_size() const noexcept { return ess_; }
+
+    /// The configured floor it fell below.
+    [[nodiscard]] double floor() const noexcept { return floor_; }
+
+private:
+    double ess_;
+    double floor_;
+};
+
+}  // namespace htd::core

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/span.hpp"
 
@@ -10,6 +11,20 @@ namespace htd::core {
 namespace {
 
 std::size_t index_of(Boundary b) { return static_cast<std::size_t>(b); }
+
+/// Reject NaN / +/-Inf matrices before they poison a trained model.
+void require_finite(const linalg::Matrix& m, const char* context) {
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            if (!std::isfinite(m(r, c))) {
+                throw DataQualityError(std::string(context) +
+                                       ": non-finite value at row " +
+                                       std::to_string(r) + ", column " +
+                                       std::to_string(c));
+            }
+        }
+    }
+}
 
 }  // namespace
 
@@ -30,14 +45,28 @@ std::string dataset_name(Boundary b) {
     return n;
 }
 
+std::string boundary_health_name(BoundaryHealth health) {
+    switch (health) {
+        case BoundaryHealth::kUntrained: return "untrained";
+        case BoundaryHealth::kHealthy: return "healthy";
+        case BoundaryHealth::kDegraded: return "degraded";
+        case BoundaryHealth::kFailed: return "failed";
+    }
+    return "unknown";
+}
+
 GoldenFreePipeline::GoldenFreePipeline(PipelineConfig config,
                                        silicon::SpiceSimulator simulator)
     : config_(config), simulator_(std::move(simulator)), regressions_(config.mars) {
     if (config_.monte_carlo_samples < 2) {
-        throw std::invalid_argument("GoldenFreePipeline: need >= 2 Monte Carlo samples");
+        throw ConfigError("GoldenFreePipeline: need >= 2 Monte Carlo samples");
     }
     if (config_.synthetic_samples == 0) {
-        throw std::invalid_argument("GoldenFreePipeline: zero synthetic samples");
+        throw ConfigError("GoldenFreePipeline: zero synthetic samples");
+    }
+    if (!(config_.kmm_min_effective_sample_size >= 0.0)) {
+        throw ConfigError(
+            "GoldenFreePipeline: negative KMM effective-sample-size floor");
     }
     obs::Registry::global().configure(config_.obs);
 }
@@ -47,12 +76,15 @@ linalg::Matrix GoldenFreePipeline::transform_pcms(const linalg::Matrix& pcms) co
     linalg::Matrix out = pcms;
     for (std::size_t r = 0; r < out.rows(); ++r) {
         auto row = out.row_span(r);
-        for (double& v : row) {
-            if (v <= 0.0) {
-                throw std::invalid_argument(
-                    "GoldenFreePipeline: log transform requires positive PCM values");
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (row[c] <= 0.0) {
+                throw DataQualityError(
+                    "GoldenFreePipeline: log transform requires positive PCM "
+                    "values; got " +
+                    std::to_string(row[c]) + " at row " + std::to_string(r) +
+                    ", column " + std::to_string(c));
             }
-            v = std::log(v);
+            row[c] = std::log(row[c]);
         }
     }
     return out;
@@ -78,12 +110,37 @@ linalg::Matrix GoldenFreePipeline::kde_enhance(const linalg::Matrix& source,
             return evt.sample_n(rng, config_.synthetic_samples);
         }
     }
-    throw std::invalid_argument("GoldenFreePipeline: unknown tail model");
+    throw ConfigError("GoldenFreePipeline: unknown tail model");
+}
+
+template <typename BuildDataset>
+void GoldenFreePipeline::build_boundary(Boundary b, BuildDataset&& build) {
+    const std::size_t i = index_of(b);
+    try {
+        datasets_[i] = build();
+        boundaries_[i] = train_boundary(datasets_[i]);
+        if (status_[i].health != BoundaryHealth::kDegraded) {
+            status_[i] = {BoundaryHealth::kHealthy, {}};
+        }
+    } catch (const std::exception& e) {
+        datasets_[i] = linalg::Matrix{};
+        boundaries_[i] = ml::OneClassSvm(config_.svm);
+        status_[i] = {BoundaryHealth::kFailed, e.what()};
+        obs::Registry::global().counter_add("pipeline.boundary_failures");
+    }
 }
 
 void GoldenFreePipeline::run_premanufacturing(rng::Rng& rng) {
     obs::ScopedSpan stage("pipeline.stage1_premanufacturing");
     stage.attr("monte_carlo_samples", static_cast<double>(config_.monte_carlo_samples));
+
+    // A re-run rebuilds every boundary from scratch.
+    premanufacturing_done_ = false;
+    silicon_done_ = false;
+    status_ = {};
+    kmm_fallback_applied_ = false;
+    kmm_ess_ = std::numeric_limits<double>::quiet_NaN();
+    calibration_.reset();
 
     linalg::Matrix golden_fingerprints;
     {
@@ -98,18 +155,17 @@ void GoldenFreePipeline::run_premanufacturing(rng::Rng& rng) {
     obs::Registry::global().counter_add("pipeline.monte_carlo_devices",
                                         static_cast<double>(mc_pcms_.rows()));
 
-    // Regression bank g_j : m_p -> m_j on the simulated devices.
+    // Regression bank g_j : m_p -> m_j on the simulated devices. A failure
+    // here kills the whole stage: nothing downstream can work without g.
     regressions_ = ml::MarsBank(config_.mars);
     regressions_.fit(mc_pcms_, golden_fingerprints);
 
     // S1 / B1: raw simulated fingerprints.
-    datasets_[index_of(Boundary::kB1)] = golden_fingerprints;
-    boundaries_[index_of(Boundary::kB1)] = train_boundary(golden_fingerprints);
+    build_boundary(Boundary::kB1, [&] { return golden_fingerprints; });
 
     // S2 / B2: tail-enhanced synthetic population.
-    datasets_[index_of(Boundary::kB2)] = kde_enhance(golden_fingerprints, rng);
-    boundaries_[index_of(Boundary::kB2)] =
-        train_boundary(datasets_[index_of(Boundary::kB2)]);
+    build_boundary(Boundary::kB2,
+                   [&] { return kde_enhance(golden_fingerprints, rng); });
 
     premanufacturing_done_ = true;
 }
@@ -117,64 +173,151 @@ void GoldenFreePipeline::run_premanufacturing(rng::Rng& rng) {
 void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
                                            rng::Rng& rng) {
     if (!premanufacturing_done_) {
-        throw std::logic_error("run_silicon_stage: pre-manufacturing stage has not run");
-    }
-    if (dutt_pcms.cols() != mc_pcms_.cols()) {
-        throw std::invalid_argument("run_silicon_stage: PCM dimension mismatch");
+        throw StageOrderError("run_silicon_stage: pre-manufacturing stage has not run");
     }
     if (dutt_pcms.rows() == 0) {
-        throw std::invalid_argument("run_silicon_stage: no DUTT PCM measurements");
+        throw DataQualityError("run_silicon_stage: no DUTT PCM measurements");
     }
+    if (dutt_pcms.cols() != mc_pcms_.cols()) {
+        throw DimensionError("run_silicon_stage: PCM dimension mismatch (got " +
+                             std::to_string(dutt_pcms.cols()) +
+                             " columns, expected " +
+                             std::to_string(mc_pcms_.cols()) + ")");
+    }
+    require_finite(dutt_pcms, "run_silicon_stage: DUTT PCMs");
+
     obs::ScopedSpan stage("pipeline.stage2_silicon");
     stage.attr("dutt_devices", static_cast<double>(dutt_pcms.rows()));
     obs::Registry::global().counter_add("pipeline.dutt_devices",
                                         static_cast<double>(dutt_pcms.rows()));
+
+    silicon_done_ = false;
+    for (const Boundary b : {Boundary::kB3, Boundary::kB4, Boundary::kB5}) {
+        status_[index_of(b)] = {};
+    }
+    kmm_fallback_applied_ = false;
+    kmm_ess_ = std::numeric_limits<double>::quiet_NaN();
+    calibration_.reset();
+
     const linalg::Matrix silicon_pcms = transform_pcms(dutt_pcms);
 
     // S3 / B3: golden fingerprints predicted from the measured silicon PCMs.
-    datasets_[index_of(Boundary::kB3)] = regressions_.predict_batch(silicon_pcms);
-    boundaries_[index_of(Boundary::kB3)] =
-        train_boundary(datasets_[index_of(Boundary::kB3)]);
+    build_boundary(Boundary::kB3,
+                   [&] { return regressions_.predict_batch(silicon_pcms); });
 
     // S4 / B4: simulated PCMs calibrated to the silicon operating point by
     // kernel mean shift; the KMM importance weights then resample the
     // calibrated cloud onto the silicon distribution (m''_p), and the
-    // regression bank maps it to fingerprints.
-    const ml::KernelMeanShiftCalibrator calibrator(config_.calibration);
-    calibration_ = calibrator.calibrate(mc_pcms_, silicon_pcms);
-    const linalg::Matrix calibrated_pcms = ml::weighted_resample(
-        calibration_->calibrated, calibration_->weights,
-        config_.monte_carlo_samples, rng);
-    datasets_[index_of(Boundary::kB4)] = regressions_.predict_batch(calibrated_pcms);
-    boundaries_[index_of(Boundary::kB4)] =
-        train_boundary(datasets_[index_of(Boundary::kB4)]);
+    // regression bank maps it to fingerprints. The Kish effective sample
+    // size of the weights is the calibration's health metric: below the
+    // configured floor the resampled cloud is a handful of repeated points
+    // and B4/B5 fall back to S3 (or the stage throws, keeping B3 usable).
+    bool fallback = false;
+    try {
+        const ml::KernelMeanShiftCalibrator calibrator(config_.calibration);
+        calibration_ = calibrator.calibrate(mc_pcms_, silicon_pcms);
+        kmm_ess_ = ml::effective_sample_size(calibration_->weights);
+        obs::Registry::global().gauge_set("pipeline.kmm_effective_sample_size",
+                                          kmm_ess_);
+        if (kmm_ess_ < config_.kmm_min_effective_sample_size) {
+            if (!config_.kmm_fallback_to_b3) {
+                silicon_done_ = true;  // B3 (if healthy) stays usable
+                throw CalibrationCollapseError(
+                    "run_silicon_stage: KMM calibration collapsed (effective "
+                    "sample size " +
+                        std::to_string(kmm_ess_) + " below floor " +
+                        std::to_string(config_.kmm_min_effective_sample_size) +
+                        ") and the B4->B3 fallback is disabled",
+                    kmm_ess_, config_.kmm_min_effective_sample_size);
+            }
+            fallback = true;
+        }
+    } catch (const CalibrationCollapseError&) {
+        throw;
+    } catch (const std::exception& e) {
+        const std::string detail = std::string("KMM calibration failed: ") + e.what();
+        status_[index_of(Boundary::kB4)] = {BoundaryHealth::kFailed, detail};
+        status_[index_of(Boundary::kB5)] = {BoundaryHealth::kFailed, detail};
+        obs::Registry::global().counter_add("pipeline.boundary_failures", 2.0);
+        silicon_done_ = true;
+        return;
+    }
 
-    // S5 / B5: tail-enhanced version of S4.
-    datasets_[index_of(Boundary::kB5)] =
-        kde_enhance(datasets_[index_of(Boundary::kB4)], rng);
-    boundaries_[index_of(Boundary::kB5)] =
-        train_boundary(datasets_[index_of(Boundary::kB5)]);
+    if (fallback) {
+        kmm_fallback_applied_ = true;
+        obs::Registry::global().counter_add("pipeline.kmm_fallback_to_b3");
+        const std::string detail =
+            "KMM collapse (effective sample size " + std::to_string(kmm_ess_) +
+            " < floor " + std::to_string(config_.kmm_min_effective_sample_size) +
+            "): trained on S3";
+        if (!status_[index_of(Boundary::kB3)].usable()) {
+            const std::string no_fb =
+                detail + ", but B3 is unavailable: " +
+                status_[index_of(Boundary::kB3)].detail;
+            status_[index_of(Boundary::kB4)] = {BoundaryHealth::kFailed, no_fb};
+            status_[index_of(Boundary::kB5)] = {BoundaryHealth::kFailed, no_fb};
+            silicon_done_ = true;
+            return;
+        }
+        status_[index_of(Boundary::kB4)] = {BoundaryHealth::kDegraded, detail};
+        build_boundary(Boundary::kB4,
+                       [&] { return datasets_[index_of(Boundary::kB3)]; });
+    } else {
+        build_boundary(Boundary::kB4, [&] {
+            const linalg::Matrix calibrated_pcms = ml::weighted_resample(
+                calibration_->calibrated, calibration_->weights,
+                config_.monte_carlo_samples, rng);
+            return regressions_.predict_batch(calibrated_pcms);
+        });
+    }
+
+    // S5 / B5: tail-enhanced version of S4 (inherits B4's degradation).
+    if (status_[index_of(Boundary::kB4)].usable()) {
+        status_[index_of(Boundary::kB5)] = status_[index_of(Boundary::kB4)];
+        build_boundary(Boundary::kB5, [&] {
+            return kde_enhance(datasets_[index_of(Boundary::kB4)], rng);
+        });
+    } else {
+        status_[index_of(Boundary::kB5)] = {
+            BoundaryHealth::kFailed,
+            "B4 unavailable: " + status_[index_of(Boundary::kB4)].detail};
+    }
 
     silicon_done_ = true;
 }
 
 bool GoldenFreePipeline::boundary_ready(Boundary b) const noexcept {
-    switch (b) {
-        case Boundary::kB1:
-        case Boundary::kB2:
-            return premanufacturing_done_;
-        case Boundary::kB3:
-        case Boundary::kB4:
-        case Boundary::kB5:
-            return silicon_done_;
+    return status_[index_of(b)].usable();
+}
+
+io::Json GoldenFreePipeline::degradation_report() const {
+    io::Json boundaries = io::Json::array();
+    for (const Boundary b : kAllBoundaries) {
+        const BoundaryStatus& st = status_[index_of(b)];
+        io::Json entry = io::Json::object();
+        entry.set("boundary", boundary_name(b));
+        entry.set("health", boundary_health_name(st.health));
+        entry.set("detail", st.detail);
+        boundaries.push_back(std::move(entry));
     }
-    return false;
+    io::Json out = io::Json::object();
+    out.set("boundaries", std::move(boundaries));
+    out.set("kmm_fallback_to_b3", kmm_fallback_applied_);
+    out.set("kmm_effective_sample_size",
+            std::isfinite(kmm_ess_) ? io::Json(kmm_ess_) : io::Json());
+    return out;
 }
 
 const ml::OneClassSvm& GoldenFreePipeline::svm_for(Boundary b) const {
-    if (!boundary_ready(b)) {
-        throw std::logic_error("GoldenFreePipeline: boundary " + boundary_name(b) +
-                               " has not been trained yet");
+    const BoundaryStatus& st = status_[index_of(b)];
+    if (!st.usable()) {
+        std::string msg = "GoldenFreePipeline: boundary " + boundary_name(b);
+        if (st.health == BoundaryHealth::kFailed) {
+            msg += " failed: " + st.detail;
+        } else {
+            msg += " has not been trained yet";
+        }
+        throw BoundaryUnavailableError(msg);
     }
     return boundaries_[index_of(b)];
 }
@@ -182,6 +325,14 @@ const ml::OneClassSvm& GoldenFreePipeline::svm_for(Boundary b) const {
 std::vector<bool> GoldenFreePipeline::classify(Boundary b,
                                                const linalg::Matrix& fingerprints) const {
     const ml::OneClassSvm& svm = svm_for(b);
+    if (fingerprints.cols() != datasets_[index_of(b)].cols()) {
+        throw DimensionError("classify: fingerprint dimension mismatch (got " +
+                             std::to_string(fingerprints.cols()) +
+                             " columns, boundary " + boundary_name(b) +
+                             " was trained on " +
+                             std::to_string(datasets_[index_of(b)].cols()) + ")");
+    }
+    require_finite(fingerprints, "classify: fingerprints");
     obs::ScopedSpan span("pipeline.stage3_classify");
     span.attr("boundary", static_cast<double>(index_of(b)) + 1.0);  // 1 = B1
     span.attr("devices", static_cast<double>(fingerprints.rows()));
@@ -199,7 +350,16 @@ std::vector<bool> GoldenFreePipeline::classify(Boundary b,
 
 linalg::Vector GoldenFreePipeline::decision_values(
     Boundary b, const linalg::Matrix& fingerprints) const {
-    return svm_for(b).decision_values(fingerprints);
+    const ml::OneClassSvm& svm = svm_for(b);
+    if (fingerprints.cols() != datasets_[index_of(b)].cols()) {
+        throw DimensionError(
+            "decision_values: fingerprint dimension mismatch (got " +
+            std::to_string(fingerprints.cols()) + " columns, boundary " +
+            boundary_name(b) + " was trained on " +
+            std::to_string(datasets_[index_of(b)].cols()) + ")");
+    }
+    require_finite(fingerprints, "decision_values: fingerprints");
+    return svm.decision_values(fingerprints);
 }
 
 ml::DetectionMetrics GoldenFreePipeline::evaluate(
@@ -210,23 +370,30 @@ ml::DetectionMetrics GoldenFreePipeline::evaluate(
 }
 
 const linalg::Matrix& GoldenFreePipeline::dataset(Boundary b) const {
-    if (!boundary_ready(b)) {
-        throw std::logic_error("GoldenFreePipeline: dataset " + dataset_name(b) +
-                               " has not been built yet");
+    const BoundaryStatus& st = status_[index_of(b)];
+    if (!st.usable()) {
+        std::string msg = "GoldenFreePipeline: dataset " + dataset_name(b);
+        if (st.health == BoundaryHealth::kFailed) {
+            msg += " is unavailable, boundary failed: " + st.detail;
+        } else {
+            msg += " has not been built yet";
+        }
+        throw BoundaryUnavailableError(msg);
     }
     return datasets_[index_of(b)];
 }
 
 const ml::MarsBank& GoldenFreePipeline::regressions() const {
     if (!premanufacturing_done_) {
-        throw std::logic_error("GoldenFreePipeline: regressions not trained yet");
+        throw StageOrderError("GoldenFreePipeline: regressions not trained yet");
     }
     return regressions_;
 }
 
 const linalg::Matrix& GoldenFreePipeline::simulated_pcms() const {
     if (!premanufacturing_done_) {
-        throw std::logic_error("GoldenFreePipeline: pre-manufacturing stage has not run");
+        throw StageOrderError(
+            "GoldenFreePipeline: pre-manufacturing stage has not run");
     }
     return mc_pcms_;
 }

@@ -16,9 +16,12 @@
 ///    fingerprint falls inside is declared Trojan-free.
 
 #include <array>
+#include <limits>
 #include <optional>
 #include <string>
 
+#include "core/errors.hpp"
+#include "io/json.hpp"
 #include "linalg/matrix.hpp"
 #include "ml/kmm.hpp"
 #include "ml/mars.hpp"
@@ -50,6 +53,31 @@ inline constexpr std::array<Boundary, 5> kAllBoundaries = {
 
 /// "S1".."S5" — the dataset each boundary is trained on.
 [[nodiscard]] std::string dataset_name(Boundary b);
+
+/// Health of one trained boundary. The pipeline degrades gracefully: a
+/// boundary whose training fails or whose inputs collapse is marked here
+/// instead of poisoning the others, and classify/evaluate keep working on
+/// every boundary that stays kHealthy or kDegraded.
+enum class BoundaryHealth {
+    kUntrained,  ///< its stage has not run (or ran before this boundary)
+    kHealthy,    ///< trained as designed
+    kDegraded,   ///< trained on fallback data (e.g. B4 on S3 after a KMM collapse)
+    kFailed,     ///< training threw; the boundary is unavailable
+};
+
+/// "untrained" / "healthy" / "degraded" / "failed".
+[[nodiscard]] std::string boundary_health_name(BoundaryHealth health);
+
+/// Health plus the human-readable reason for a degradation or failure.
+struct BoundaryStatus {
+    BoundaryHealth health = BoundaryHealth::kUntrained;
+    std::string detail;
+
+    [[nodiscard]] bool usable() const noexcept {
+        return health == BoundaryHealth::kHealthy ||
+               health == BoundaryHealth::kDegraded;
+    }
+};
 
 /// Which tail-modeling technique builds the synthetic populations S2/S5.
 enum class TailModel {
@@ -101,6 +129,16 @@ struct PipelineConfig {
     ml::KernelMeanShiftCalibrator::Options calibration{
         .kmm = {.weight_bound = 5.0, .gamma = 8.0}};
 
+    /// Kish effective-sample-size floor for the KMM calibration weights.
+    /// Below it the calibration has collapsed onto a handful of Monte Carlo
+    /// points and boundary B4 would train on effectively no data.
+    double kmm_min_effective_sample_size = 4.0;
+
+    /// On a KMM collapse, train B4/B5 on S3 (the fingerprints predicted
+    /// from the measured PCMs) instead of throwing CalibrationCollapseError.
+    /// The fallback is recorded in the boundary status and observability.
+    bool kmm_fallback_to_b3 = true;
+
     /// Observability sink selection, applied to the global obs registry when
     /// the pipeline is constructed. The default (kInherit) leaves whatever
     /// the process / HTD_OBS environment variable configured.
@@ -111,21 +149,30 @@ struct PipelineConfig {
 class GoldenFreePipeline {
 public:
     /// `simulator` wraps the trusted (but possibly stale) process model and
-    /// the platform's circuit models.
+    /// the platform's circuit models. Throws ConfigError on a degenerate
+    /// configuration.
     GoldenFreePipeline(PipelineConfig config, silicon::SpiceSimulator simulator);
 
     /// Stage 1. Runs the Monte Carlo, fits the MARS bank, and trains B1/B2.
-    /// Must be called before any other stage.
+    /// Must be called before any other stage. A per-boundary training
+    /// failure marks that boundary kFailed instead of aborting the stage.
     void run_premanufacturing(rng::Rng& rng);
 
     /// Stage 2. Consumes the PCM measurements of the DUTTs (rows = devices)
-    /// and trains B3/B4/B5. Throws std::logic_error when stage 1 has not
-    /// run, std::invalid_argument on a PCM dimension mismatch.
+    /// and trains B3/B4/B5. Throws StageOrderError when stage 1 has not
+    /// run, DimensionError on a PCM dimension mismatch, DataQualityError on
+    /// empty or non-finite input. A collapsed KMM calibration either falls
+    /// back to training B4/B5 on S3 (kmm_fallback_to_b3, boundary marked
+    /// kDegraded) or throws CalibrationCollapseError — in which case B3
+    /// stays usable. Other per-boundary failures mark that boundary kFailed
+    /// and the rest keep working.
     void run_silicon_stage(const linalg::Matrix& dutt_pcms, rng::Rng& rng);
 
     /// Stage 3. Classify measured fingerprints against one boundary:
     /// true = inside the trusted region (Trojan-free verdict). Throws
-    /// std::logic_error when the requested boundary is not trained yet.
+    /// BoundaryUnavailableError when the boundary is not usable,
+    /// DimensionError on a fingerprint-width mismatch, and
+    /// DataQualityError on non-finite fingerprints.
     [[nodiscard]] std::vector<bool> classify(Boundary b,
                                              const linalg::Matrix& fingerprints) const;
 
@@ -137,10 +184,12 @@ public:
     [[nodiscard]] ml::DetectionMetrics evaluate(Boundary b,
                                                 const silicon::DuttDataset& dutts) const;
 
-    /// The training dataset Sk behind a boundary (throws if not built yet).
+    /// The training dataset Sk behind a boundary (throws
+    /// BoundaryUnavailableError if not built yet).
     [[nodiscard]] const linalg::Matrix& dataset(Boundary b) const;
 
-    /// The fitted regression bank g (throws if stage 1 has not run).
+    /// The fitted regression bank g (throws StageOrderError if stage 1 has
+    /// not run).
     [[nodiscard]] const ml::MarsBank& regressions() const;
 
     /// The simulated golden PCM matrix from stage 1.
@@ -154,17 +203,43 @@ public:
 
     [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
 
-    /// True once the given boundary has been trained.
+    /// True once the given boundary has been trained and is usable
+    /// (healthy or degraded).
     [[nodiscard]] bool boundary_ready(Boundary b) const noexcept;
 
-    /// The trained 1-class SVM behind a boundary (throws std::logic_error
-    /// when it has not been trained yet). Exposed for diagnostics and the
-    /// observability RunReport (support-vector counts, effective gamma).
+    /// Health + detail of one boundary (degradation / failure reasons).
+    [[nodiscard]] const BoundaryStatus& boundary_status(Boundary b) const noexcept {
+        return status_[static_cast<std::size_t>(b)];
+    }
+
+    /// True when stage 2 trained B4/B5 on S3 after a KMM collapse.
+    [[nodiscard]] bool kmm_fallback_applied() const noexcept {
+        return kmm_fallback_applied_;
+    }
+
+    /// Kish effective sample size of the final KMM weights (NaN before
+    /// stage 2 ran).
+    [[nodiscard]] double kmm_effective_sample_size() const noexcept {
+        return kmm_ess_;
+    }
+
+    /// JSON array of per-boundary {boundary, health, detail} records — the
+    /// degradation section of a RunReport.
+    [[nodiscard]] io::Json degradation_report() const;
+
+    /// The trained 1-class SVM behind a boundary (throws
+    /// BoundaryUnavailableError when it is not usable). Exposed for
+    /// diagnostics and the observability RunReport (support-vector counts,
+    /// effective gamma).
     [[nodiscard]] const ml::OneClassSvm& boundary_svm(Boundary b) const {
         return svm_for(b);
     }
 
 private:
+    /// Build one boundary's dataset + SVM; a thrown std::exception marks
+    /// the boundary kFailed (detail = what()) instead of propagating.
+    template <typename BuildDataset>
+    void build_boundary(Boundary b, BuildDataset&& build);
     [[nodiscard]] const ml::OneClassSvm& svm_for(Boundary b) const;
     [[nodiscard]] linalg::Matrix transform_pcms(const linalg::Matrix& pcms) const;
     [[nodiscard]] ml::OneClassSvm train_boundary(const linalg::Matrix& dataset) const;
@@ -180,8 +255,11 @@ private:
     linalg::Matrix mc_pcms_;
     std::array<linalg::Matrix, 5> datasets_;
     std::array<ml::OneClassSvm, 5> boundaries_;
+    std::array<BoundaryStatus, 5> status_{};
     ml::MarsBank regressions_;
     std::optional<ml::KernelMeanShiftCalibrator::Result> calibration_;
+    bool kmm_fallback_applied_ = false;
+    double kmm_ess_ = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// The conventional golden-chip detector of Fig. 1 / [12]: a 1-class SVM

@@ -78,7 +78,8 @@ void write_experiment_report(const std::string& path, const ExperimentConfig& co
 
 obs::RunReport pipeline_run_report(const GoldenFreePipeline& pipeline,
                                    const std::string& run_name,
-                                   const silicon::DuttDataset* dutts) {
+                                   const silicon::DuttDataset* dutts,
+                                   const QuarantineSummary* quarantine) {
     obs::RunReport report(run_name);
     const PipelineConfig& config = pipeline.config();
 
@@ -103,6 +104,7 @@ obs::RunReport pipeline_run_report(const GoldenFreePipeline& pipeline,
         io::Json entry = io::Json::object();
         entry.set("boundary", boundary_name(b));
         entry.set("dataset", dataset_name(b));
+        entry.set("health", boundary_health_name(pipeline.boundary_status(b).health));
         const linalg::Matrix& ds = pipeline.dataset(b);
         entry.set("dataset_rows", ds.rows());
         entry.set("dataset_cols", ds.cols());
@@ -134,6 +136,11 @@ obs::RunReport pipeline_run_report(const GoldenFreePipeline& pipeline,
         cal.set("kmm_effective_sample_size",
                 ml::effective_sample_size(calibration.weights));
         report.set("calibration", std::move(cal));
+    }
+
+    report.set("degradation", pipeline.degradation_report());
+    if (quarantine != nullptr) {
+        report.set("quarantine", quarantine->to_json());
     }
 
     report.capture_observability();

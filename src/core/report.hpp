@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/experiment.hpp"
+#include "core/ingest.hpp"
 #include "io/json.hpp"
 #include "obs/run_report.hpp"
 
@@ -30,11 +31,15 @@ void write_experiment_report(const std::string& path, const ExperimentConfig& co
 /// support-vector count, effective RBF gamma, SMO iterations), calibration
 /// diagnostics (kernel-mean-shift iterations, KMM effective sample size),
 /// and — when `dutts` is non-null — per-boundary detection metrics on that
-/// population. Finishes by capturing the global registry's spans + metrics
-/// as the report's "observability" section, so call it after the stages of
-/// interest have run.
+/// population. Every boundary row carries its health, a "degradation"
+/// section records per-boundary status plus the KMM fallback, and — when
+/// `quarantine` is non-null — the MeasurementValidator's QuarantineSummary
+/// is embedded as the "quarantine" section. Finishes by capturing the
+/// global registry's spans + metrics as the report's "observability"
+/// section, so call it after the stages of interest have run.
 [[nodiscard]] obs::RunReport pipeline_run_report(
     const GoldenFreePipeline& pipeline, const std::string& run_name,
-    const silicon::DuttDataset* dutts = nullptr);
+    const silicon::DuttDataset* dutts = nullptr,
+    const QuarantineSummary* quarantine = nullptr);
 
 }  // namespace htd::core

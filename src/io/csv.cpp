@@ -1,5 +1,6 @@
 #include "io/csv.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -44,35 +45,66 @@ void write_csv(const std::string& path, const linalg::Matrix& data,
     if (!out) throw std::runtime_error("write_csv: write failure on " + path);
 }
 
+namespace {
+
+/// Parse one numeric cell; rejects trailing garbage ("1.5x"), empty cells
+/// and non-finite values ("nan", "inf", or an overflowing literal), naming
+/// the 1-based line and column on failure.
+double parse_cell(const std::string& cell, const std::string& path,
+                  std::size_t line_no, std::size_t col_no) {
+    const auto fail = [&](const std::string& why) -> double {
+        throw std::runtime_error("read_csv: " + why + " '" + cell + "' at line " +
+                                 std::to_string(line_no) + ", column " +
+                                 std::to_string(col_no) + " of " + path);
+    };
+    double value = 0.0;
+    std::size_t consumed = 0;
+    try {
+        value = std::stod(cell, &consumed);
+    } catch (const std::exception&) {
+        return fail("unparsable cell");
+    }
+    // Tolerate trailing spaces (and the \r of a CRLF file), nothing else.
+    for (std::size_t i = consumed; i < cell.size(); ++i) {
+        if (cell[i] != ' ' && cell[i] != '\t' && cell[i] != '\r') {
+            return fail("unparsable cell");
+        }
+    }
+    if (!std::isfinite(value)) return fail("non-finite value");
+    return value;
+}
+
+}  // namespace
+
 linalg::Matrix read_csv(const std::string& path, bool has_header) {
     std::ifstream in(path);
     if (!in) throw std::runtime_error("read_csv: cannot open " + path);
     linalg::Matrix out;
     std::string line;
+    std::size_t line_no = 0;
     bool first = true;
     while (std::getline(in, line)) {
+        ++line_no;
         if (first && has_header) {
             first = false;
             continue;
         }
         first = false;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
         if (line.empty()) continue;
         linalg::Vector row;
         std::stringstream ss(line);
         std::string cell;
         while (std::getline(ss, cell, ',')) {
-            try {
-                row.push_back(std::stod(cell));
-            } catch (const std::exception&) {
-                throw std::runtime_error("read_csv: unparsable cell '" + cell + "' in " +
-                                         path);
-            }
+            row.push_back(parse_cell(cell, path, line_no, row.size() + 1));
         }
-        try {
-            out.append_row(row);
-        } catch (const std::invalid_argument&) {
-            throw std::runtime_error("read_csv: ragged rows in " + path);
+        if (out.rows() > 0 && row.size() != out.cols()) {
+            throw std::runtime_error(
+                "read_csv: ragged row at line " + std::to_string(line_no) + " of " +
+                path + " (" + std::to_string(row.size()) + " columns, expected " +
+                std::to_string(out.cols()) + ")");
         }
+        out.append_row(row);
     }
     return out;
 }

@@ -16,8 +16,11 @@ namespace htd::io {
 void write_csv(const std::string& path, const linalg::Matrix& data,
                const std::vector<std::string>& header = {});
 
-/// Read a CSV of doubles. `has_header` skips the first line. Throws
-/// std::runtime_error on open failure or unparsable/ragged content.
+/// Read a CSV of doubles. `has_header` skips the first line; CRLF line
+/// endings and trailing cell whitespace are tolerated. Throws
+/// std::runtime_error on open failure, on unparsable or non-finite cells
+/// (naming the 1-based line and column), and on ragged rows (naming the
+/// line and the expected width).
 [[nodiscard]] linalg::Matrix read_csv(const std::string& path, bool has_header = false);
 
 /// Render one CSV line from string fields (quotes fields containing commas).

@@ -33,6 +33,20 @@ linalg::Matrix DuttDataset::fingerprints_at(const std::vector<std::size_t>& rows
     return out;
 }
 
+// --- MeasurementSource -----------------------------------------------------------
+
+DuttDataset MeasurementSource::measure_lot(const FabricatedLot& lot,
+                                           rng::Rng& rng) const {
+    DuttDataset ds;
+    ds.variants.reserve(lot.devices.size());
+    for (const Device& dev : lot.devices) {
+        ds.fingerprints.append_row(measure_fingerprint(dev, rng));
+        ds.pcms.append_row(measure_pcm(dev, rng));
+        ds.variants.push_back(dev.variant);
+    }
+    return ds;
+}
+
 // --- MeasurementBench ---------------------------------------------------------
 
 namespace {

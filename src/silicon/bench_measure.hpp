@@ -41,22 +41,46 @@ struct DuttDataset {
         const std::vector<std::size_t>& rows) const;
 };
 
+/// Abstract source of device measurements. `MeasurementBench` is the clean
+/// tester; `FaultyBench` (fault_injector.hpp) decorates any source with
+/// injected measurement faults; `core::MeasurementValidator` (core/ingest.hpp)
+/// drives its bounded re-measure policy through this interface.
+class MeasurementSource {
+public:
+    virtual ~MeasurementSource() = default;
+
+    /// PCM measurement vector (np entries) of a device.
+    [[nodiscard]] virtual linalg::Vector measure_pcm(const Device& device,
+                                                     rng::Rng& rng) const = 0;
+
+    /// Side-channel fingerprint (nm entries) of a device.
+    [[nodiscard]] virtual linalg::Vector measure_fingerprint(const Device& device,
+                                                             rng::Rng& rng) const = 0;
+
+    /// Measure a whole fabricated lot. The default loops the per-device
+    /// calls in lot order (fingerprint first, then PCM, per device).
+    [[nodiscard]] virtual DuttDataset measure_lot(const FabricatedLot& lot,
+                                                  rng::Rng& rng) const;
+};
+
 /// The tester bench.
-class MeasurementBench {
+class MeasurementBench : public MeasurementSource {
 public:
     /// Throws std::invalid_argument when the platform has no plaintext blocks.
     explicit MeasurementBench(PlatformConfig config);
 
     /// PCM measurement vector (np entries) of a device, with jitter.
-    [[nodiscard]] linalg::Vector measure_pcm(const Device& device, rng::Rng& rng) const;
+    [[nodiscard]] linalg::Vector measure_pcm(const Device& device,
+                                             rng::Rng& rng) const override;
 
     /// Side-channel fingerprint (nm entries, dBm) of a device: transmit the
     /// nm ciphertext blocks and record the average block power.
     [[nodiscard]] linalg::Vector measure_fingerprint(const Device& device,
-                                                     rng::Rng& rng) const;
+                                                     rng::Rng& rng) const override;
 
     /// Measure a whole fabricated lot.
-    [[nodiscard]] DuttDataset measure_lot(const FabricatedLot& lot, rng::Rng& rng) const;
+    [[nodiscard]] DuttDataset measure_lot(const FabricatedLot& lot,
+                                          rng::Rng& rng) const override;
 
     /// Raw per-bit observations of one block transmission by a device —
     /// what an attacker's antenna captures. `block_index` selects the

@@ -1,9 +1,19 @@
 #include "silicon/fab.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace htd::silicon {
+
+std::size_t FabricatedLot::chip_count() const {
+    std::vector<std::size_t> ids;
+    ids.reserve(devices.size());
+    for (const Device& dev : devices) ids.push_back(dev.chip_id);
+    std::sort(ids.begin(), ids.end());
+    return static_cast<std::size_t>(
+        std::unique(ids.begin(), ids.end()) - ids.begin());
+}
 
 double Device::site_radius() const noexcept {
     return std::sqrt(site_x * site_x + site_y * site_y);

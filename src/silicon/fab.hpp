@@ -38,9 +38,10 @@ struct FabricatedLot {
     std::vector<linalg::Vector> wafer_offsets;
     std::size_t chips_per_wafer = 0;
 
-    [[nodiscard]] std::size_t chip_count() const noexcept {
-        return devices.empty() ? 0 : devices.size() / 3;
-    }
+    /// Number of distinct chips in the lot, derived from the device list.
+    /// Not a divide-by-versions shortcut: a lot that was filtered (e.g. by
+    /// measurement quarantine) no longer carries every version of every chip.
+    [[nodiscard]] std::size_t chip_count() const;
 };
 
 /// The virtual foundry.

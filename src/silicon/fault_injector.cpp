@@ -1,0 +1,141 @@
+#include "silicon/fault_injector.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace htd::silicon {
+
+namespace {
+
+void check_rate(double rate, const char* name) {
+    if (!(rate >= 0.0 && rate <= 1.0)) {
+        throw std::invalid_argument(std::string("FaultModel: ") + name +
+                                    " must be in [0, 1]");
+    }
+}
+
+void check_magnitude(double value, const char* name) {
+    if (!(value >= 0.0) || !std::isfinite(value)) {
+        throw std::invalid_argument(std::string("FaultModel: ") + name +
+                                    " must be finite and >= 0");
+    }
+}
+
+}  // namespace
+
+void FaultModel::validate() const {
+    check_rate(nan_dropout_rate, "nan_dropout_rate");
+    check_rate(inf_fraction, "inf_fraction");
+    check_rate(stuck_rate, "stuck_rate");
+    check_rate(spike_rate, "spike_rate");
+    check_magnitude(spike_magnitude, "spike_magnitude");
+    check_magnitude(gain_drift_per_device, "gain_drift_per_device");
+    check_magnitude(retest_jitter_fraction, "retest_jitter_fraction");
+}
+
+FaultyBench::FaultyBench(const MeasurementSource& inner, FaultModel model)
+    : inner_(inner), model_(model), fault_rng_(model.seed) {
+    model_.validate();
+}
+
+void FaultyBench::reset() {
+    fault_rng_ = rng::Rng(model_.seed);
+    stats_ = FaultStats{};
+    latch_pcm_ = linalg::Vector{};
+    latch_fp_ = linalg::Vector{};
+    drift_dir_pcm_ = linalg::Vector{};
+    drift_dir_fp_ = linalg::Vector{};
+    sequence_pcm_ = 0;
+    sequence_fp_ = 0;
+    measure_counts_.clear();
+}
+
+linalg::Vector FaultyBench::measure_pcm(const Device& device, rng::Rng& rng) const {
+    linalg::Vector reading = inner_.measure_pcm(device, rng);
+    apply_faults(reading, Kind::kPcm, device);
+    return reading;
+}
+
+linalg::Vector FaultyBench::measure_fingerprint(const Device& device,
+                                                rng::Rng& rng) const {
+    linalg::Vector reading = inner_.measure_fingerprint(device, rng);
+    apply_faults(reading, Kind::kFingerprint, device);
+    return reading;
+}
+
+void FaultyBench::apply_faults(linalg::Vector& reading, Kind kind,
+                               const Device& device) const {
+    const bool is_fp = kind == Kind::kFingerprint;
+    linalg::Vector& latch = is_fp ? latch_fp_ : latch_pcm_;
+    linalg::Vector& drift_dir = is_fp ? drift_dir_fp_ : drift_dir_pcm_;
+    std::size_t& sequence = is_fp ? sequence_fp_ : sequence_pcm_;
+
+    if (drift_dir.size() != reading.size()) {
+        drift_dir = linalg::Vector(reading.size());
+        for (std::size_t c = 0; c < reading.size(); ++c) {
+            drift_dir[c] = fault_rng_.bernoulli(0.5) ? 1.0 : -1.0;
+        }
+    }
+
+    ++stats_.measurements;
+    const std::uint64_t key = (static_cast<std::uint64_t>(device.chip_id) << 3) |
+                              (static_cast<std::uint64_t>(device.variant) << 1) |
+                              (is_fp ? 1u : 0u);
+    const bool retest = measure_counts_[key]++ > 0;
+    if (retest) ++stats_.remeasures;
+    // One whole-device offset per retest, not per channel: the socket /
+    // thermal state shifts every reading of the contact together.
+    const double retest_offset =
+        retest && model_.retest_jitter_fraction > 0.0
+            ? fault_rng_.normal(0.0, model_.retest_jitter_fraction)
+            : 0.0;
+
+    for (std::size_t c = 0; c < reading.size(); ++c) {
+        double v = reading[c];
+        if (model_.gain_drift_per_device > 0.0) {
+            const double drift = model_.gain_drift_per_device *
+                                 static_cast<double>(sequence) * drift_dir[c];
+            v = is_fp ? v + drift : v * (1.0 + drift);
+        }
+        if (retest_offset != 0.0) {
+            v = is_fp ? v + retest_offset : v * (1.0 + retest_offset);
+        }
+        if (model_.spike_rate > 0.0 && fault_rng_.bernoulli(model_.spike_rate)) {
+            const double sign = fault_rng_.bernoulli(0.5) ? 1.0 : -1.0;
+            v = is_fp ? v + sign * model_.spike_magnitude
+                      : v * (1.0 + sign * model_.spike_magnitude);
+            ++stats_.spikes_injected;
+        }
+        if (model_.stuck_rate > 0.0 && latch.size() == reading.size() &&
+            fault_rng_.bernoulli(model_.stuck_rate)) {
+            v = latch[c];
+            ++stats_.stuck_injected;
+        }
+        // Dropouts last: a lost contact hides every other fault.
+        if (model_.nan_dropout_rate > 0.0 &&
+            fault_rng_.bernoulli(model_.nan_dropout_rate)) {
+            if (fault_rng_.bernoulli(model_.inf_fraction)) {
+                v = fault_rng_.bernoulli(0.5)
+                        ? std::numeric_limits<double>::infinity()
+                        : -std::numeric_limits<double>::infinity();
+                ++stats_.inf_injected;
+            } else {
+                v = std::numeric_limits<double>::quiet_NaN();
+                ++stats_.nan_injected;
+            }
+        }
+        reading[c] = v;
+    }
+
+    // The latch repeats the last ADC code that existed: keep the previous
+    // value on channels that just dropped out.
+    if (latch.size() != reading.size()) latch = linalg::Vector(reading.size());
+    for (std::size_t c = 0; c < reading.size(); ++c) {
+        if (std::isfinite(reading[c])) latch[c] = reading[c];
+    }
+    ++sequence;
+}
+
+}  // namespace htd::silicon

@@ -1,0 +1,125 @@
+#pragma once
+/// \file fault_injector.hpp
+/// Seeded measurement-fault injection. `FaultyBench` decorates any
+/// `MeasurementSource` with the classic tester failure modes:
+///
+///  - *probe-contact dropouts* — a reading is lost and comes back NaN (or
+///    rails to +/-Inf when the front-end saturates instead),
+///  - *stuck channels* — an ADC latch repeats the previous device's reading,
+///  - *spike outliers* — isolated gross errors far outside the population,
+///  - *per-channel gain drift* — slow calibration drift accumulating over
+///    the measurement sequence,
+///  - *retest jitter* — a re-measured device reads slightly differently
+///    than its first contact (socket wear, thermal state).
+///
+/// Faults are drawn from a dedicated stream seeded by `FaultModel::seed`,
+/// independent of the measurement-noise stream passed by the caller, so a
+/// sweep over fault rates perturbs the same measurements the clean bench
+/// would produce. The decorator is the adversary the hardened ingestion
+/// layer (core/ingest.hpp) is tested against, and `bench_fault_sweep`
+/// tracks the detection metrics' degradation under it.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+#include "silicon/bench_measure.hpp"
+
+namespace htd::silicon {
+
+/// Fault rates and magnitudes of a FaultyBench. All rates are per-element
+/// probabilities in [0, 1]; a default-constructed model injects nothing.
+struct FaultModel {
+    /// Probability a reading is lost to probe-contact failure.
+    double nan_dropout_rate = 0.0;
+
+    /// Fraction of dropouts that rail to +/-Inf instead of reading NaN.
+    double inf_fraction = 0.25;
+
+    /// Probability a channel latches and repeats the previous device's
+    /// reading on that channel (no effect on the first device measured).
+    double stuck_rate = 0.0;
+
+    /// Probability of an isolated spike outlier.
+    double spike_rate = 0.0;
+
+    /// Spike size: added in dB on fingerprints; on PCMs the reading scales
+    /// by (1 +/- magnitude). Sign is random per spike.
+    double spike_magnitude = 10.0;
+
+    /// Per-channel gain drift accumulated per device measured: additive dB
+    /// per device on fingerprints, relative per device on PCMs, with a fixed
+    /// random sign per channel.
+    double gain_drift_per_device = 0.0;
+
+    /// Extra whole-device offset (1-sigma) applied when a device is measured
+    /// again: dB on fingerprints, relative on PCMs.
+    double retest_jitter_fraction = 0.0;
+
+    /// Seed of the dedicated fault stream.
+    std::uint64_t seed = 0xfa0175eedULL;
+
+    /// Throws std::invalid_argument when a rate is outside [0, 1] or a
+    /// magnitude is negative.
+    void validate() const;
+};
+
+/// Counters of the faults actually injected and the bench activity seen.
+struct FaultStats {
+    std::size_t measurements = 0;   ///< vectors measured (PCM + fingerprint)
+    std::size_t remeasures = 0;     ///< vectors measured again for a retry
+    std::size_t nan_injected = 0;
+    std::size_t inf_injected = 0;
+    std::size_t stuck_injected = 0;
+    std::size_t spikes_injected = 0;
+
+    /// Faulted readings of any kind.
+    [[nodiscard]] std::size_t total_faults() const noexcept {
+        return nan_injected + inf_injected + stuck_injected + spikes_injected;
+    }
+};
+
+/// Fault-injecting decorator over a measurement source.
+///
+/// The decorator keeps instrument state (stuck-channel latches, the drift
+/// clock, per-device measure counts) in mutable members so it satisfies the
+/// const `MeasurementSource` interface; it is not thread-safe, matching the
+/// single-probe tester it models.
+class FaultyBench : public MeasurementSource {
+public:
+    /// Decorates `inner`, which is kept by reference and must outlive the
+    /// FaultyBench. Throws std::invalid_argument on an invalid model.
+    FaultyBench(const MeasurementSource& inner, FaultModel model);
+
+    [[nodiscard]] linalg::Vector measure_pcm(const Device& device,
+                                             rng::Rng& rng) const override;
+    [[nodiscard]] linalg::Vector measure_fingerprint(const Device& device,
+                                                     rng::Rng& rng) const override;
+
+    [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const FaultModel& model() const noexcept { return model_; }
+
+    /// Clear stats, latches, drift clocks, measure counts and re-seed the
+    /// fault stream, as if the bench had just been powered on.
+    void reset();
+
+private:
+    enum class Kind { kPcm, kFingerprint };
+
+    void apply_faults(linalg::Vector& reading, Kind kind, const Device& device) const;
+
+    const MeasurementSource& inner_;
+    FaultModel model_;
+    mutable rng::Rng fault_rng_;
+    mutable FaultStats stats_{};
+    mutable linalg::Vector latch_pcm_;       ///< previous device's PCM readings
+    mutable linalg::Vector latch_fp_;        ///< previous device's fingerprints
+    mutable linalg::Vector drift_dir_pcm_;   ///< fixed +/-1 drift sign per channel
+    mutable linalg::Vector drift_dir_fp_;
+    mutable std::size_t sequence_pcm_ = 0;   ///< drift clock (devices measured)
+    mutable std::size_t sequence_fp_ = 0;
+    mutable std::unordered_map<std::uint64_t, std::size_t> measure_counts_;
+};
+
+}  // namespace htd::silicon

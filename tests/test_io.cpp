@@ -61,6 +61,44 @@ TEST_F(CsvTest, RaggedRowsThrow) {
     EXPECT_THROW((void)read_csv(path_), std::runtime_error);
 }
 
+TEST_F(CsvTest, ErrorsNameLineAndColumn) {
+    std::ofstream(path_) << "1.0,2.0\n3.0,oops\n";
+    try {
+        (void)read_csv(path_);
+        FAIL() << "expected parse error";
+    } catch (const std::runtime_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("column 2"), std::string::npos) << msg;
+    }
+    std::ofstream(path_, std::ios::trunc) << "1.0,2.0\n3.0,4.0,5.0\n";
+    try {
+        (void)read_csv(path_);
+        FAIL() << "expected ragged-row error";
+    } catch (const std::runtime_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("expected 2"), std::string::npos) << msg;
+    }
+}
+
+TEST_F(CsvTest, RejectsNonFiniteValues) {
+    std::ofstream(path_) << "1.0,nan\n";
+    EXPECT_THROW((void)read_csv(path_), std::runtime_error);
+    std::ofstream(path_, std::ios::trunc) << "inf,2.0\n";
+    EXPECT_THROW((void)read_csv(path_), std::runtime_error);
+    std::ofstream(path_, std::ios::trunc) << "1e9999,2.0\n";  // overflows to inf
+    EXPECT_THROW((void)read_csv(path_), std::runtime_error);
+}
+
+TEST_F(CsvTest, RejectsTrailingGarbageButNotWhitespace) {
+    std::ofstream(path_) << "1.5x,2.0\n";
+    EXPECT_THROW((void)read_csv(path_), std::runtime_error);
+    std::ofstream(path_, std::ios::trunc) << "1.5 ,2.0\r\n3.0,4.0\n";
+    const Matrix back = read_csv(path_);
+    EXPECT_EQ(back, (Matrix{{1.5, 2.0}, {3.0, 4.0}}));
+}
+
 TEST(CsvLine, QuotesSpecialFields) {
     EXPECT_EQ(csv_line({"a", "b"}), "a,b");
     EXPECT_EQ(csv_line({"a,b", "c"}), "\"a,b\",c");

@@ -4,14 +4,21 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
+#include "core/errors.hpp"
 #include "core/experiment.hpp"
 #include "core/pipeline.hpp"
 
 namespace {
 
 using htd::core::Boundary;
+using htd::core::BoundaryUnavailableError;
+using htd::core::ConfigError;
+using htd::core::DataQualityError;
+using htd::core::DimensionError;
+using htd::core::StageOrderError;
 using htd::core::boundary_name;
 using htd::core::dataset_name;
 using htd::core::GoldenChipBaseline;
@@ -47,20 +54,23 @@ TEST(BoundaryNames, AllDistinct) {
 TEST(Pipeline, RejectsDegenerateConfig) {
     PipelineConfig cfg = small_config();
     cfg.monte_carlo_samples = 1;
-    EXPECT_THROW(GoldenFreePipeline(cfg, make_simulator()), std::invalid_argument);
+    EXPECT_THROW(GoldenFreePipeline(cfg, make_simulator()), ConfigError);
     cfg = small_config();
     cfg.synthetic_samples = 0;
-    EXPECT_THROW(GoldenFreePipeline(cfg, make_simulator()), std::invalid_argument);
+    EXPECT_THROW(GoldenFreePipeline(cfg, make_simulator()), ConfigError);
+    cfg = small_config();
+    cfg.kmm_min_effective_sample_size = -1.0;
+    EXPECT_THROW(GoldenFreePipeline(cfg, make_simulator()), ConfigError);
 }
 
 TEST(Pipeline, StageOrderingEnforced) {
     GoldenFreePipeline pipeline(small_config(), make_simulator());
     Rng rng(1);
     // Silicon stage before pre-manufacturing: error.
-    EXPECT_THROW(pipeline.run_silicon_stage(Matrix(10, 1, 1.0), rng), std::logic_error);
-    EXPECT_THROW((void)pipeline.regressions(), std::logic_error);
-    EXPECT_THROW((void)pipeline.simulated_pcms(), std::logic_error);
-    EXPECT_THROW((void)pipeline.dataset(Boundary::kB1), std::logic_error);
+    EXPECT_THROW(pipeline.run_silicon_stage(Matrix(10, 1, 1.0), rng), StageOrderError);
+    EXPECT_THROW((void)pipeline.regressions(), StageOrderError);
+    EXPECT_THROW((void)pipeline.simulated_pcms(), StageOrderError);
+    EXPECT_THROW((void)pipeline.dataset(Boundary::kB1), BoundaryUnavailableError);
 }
 
 TEST(Pipeline, PremanufacturingEnablesB1B2Only) {
@@ -73,7 +83,7 @@ TEST(Pipeline, PremanufacturingEnablesB1B2Only) {
     EXPECT_FALSE(pipeline.boundary_ready(Boundary::kB4));
     EXPECT_FALSE(pipeline.boundary_ready(Boundary::kB5));
     EXPECT_THROW((void)pipeline.classify(Boundary::kB3, Matrix(1, 6)),
-                 std::logic_error);
+                 BoundaryUnavailableError);
 }
 
 TEST(Pipeline, DatasetShapesMatchPaper) {
@@ -105,11 +115,15 @@ TEST(Pipeline, SiliconStageValidatesInput) {
     Rng rng(5);
     pipeline.run_premanufacturing(rng);
     EXPECT_THROW(pipeline.run_silicon_stage(Matrix(10, 3, 1.0), rng),
-                 std::invalid_argument);
-    EXPECT_THROW(pipeline.run_silicon_stage(Matrix(0, 1), rng), std::invalid_argument);
+                 DimensionError);
+    EXPECT_THROW(pipeline.run_silicon_stage(Matrix(0, 1), rng), DataQualityError);
     // Log transform rejects non-positive PCM values.
     EXPECT_THROW(pipeline.run_silicon_stage(Matrix(4, 1, -1.0), rng),
-                 std::invalid_argument);
+                 DataQualityError);
+    // Non-finite PCM measurements are rejected before any training.
+    Matrix bad(4, 1, 1.0);
+    bad(2, 0) = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(pipeline.run_silicon_stage(bad, rng), DataQualityError);
 }
 
 TEST(Pipeline, ClassifyReturnsOneVerdictPerRow) {

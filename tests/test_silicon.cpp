@@ -82,6 +82,22 @@ TEST(FabTest, ThreeVersionsPerChipInOrder) {
     }
 }
 
+TEST(FabTest, ChipCountFollowsDistinctChips) {
+    const Fab fab(ProcessVariationModel::default_350nm());
+    Rng rng(7);
+    FabricatedLot lot = fab.fabricate_lot(rng, 5);
+    EXPECT_EQ(lot.chip_count(), 5u);
+    // A filtered lot no longer carries three versions of every chip; the
+    // count must follow the distinct chip ids, not devices.size() / 3.
+    lot.devices.erase(lot.devices.begin() + 1, lot.devices.begin() + 3);
+    EXPECT_EQ(lot.devices.size(), 13u);
+    EXPECT_EQ(lot.chip_count(), 5u);
+    lot.devices.erase(lot.devices.begin());  // chip 0 fully gone
+    EXPECT_EQ(lot.chip_count(), 4u);
+    lot.devices.clear();
+    EXPECT_EQ(lot.chip_count(), 0u);
+}
+
 TEST(FabTest, VersionsShareDieProcessClosely) {
     const Fab fab(ProcessVariationModel::default_350nm());
     Rng rng(3);

@@ -5,9 +5,15 @@
 # ASan+UBSan (the sanitize preset), so memory and UB bugs cannot hide
 # behind a green optimized build.
 #
-#   scripts/check.sh            # release, then sanitize
-#   scripts/check.sh release    # just the release gate (build-release/)
-#   scripts/check.sh sanitize   # just the ASan+UBSan gate (build-sanitize/)
+#   scripts/check.sh               # release, then sanitize
+#   scripts/check.sh release       # just the release gate (build-release/)
+#   scripts/check.sh sanitize      # just the ASan+UBSan gate (build-sanitize/)
+#   scripts/check.sh --bench-gate  # perf-regression gate: rerun the release
+#                                  # benches and diff the fresh BENCH_*.json
+#                                  # against bench/baselines/ via bench_compare
+#
+# The bench gate only makes sense on a quiet machine; see
+# bench/baselines/README.md for how baselines are blessed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,7 +25,27 @@ run_preset() {
     ctest --preset "$preset"
 }
 
-if [[ $# -ge 1 ]]; then
+run_bench_gate() {
+    echo "== check.sh: bench gate (release benches vs bench/baselines/) =="
+    cmake --preset release
+    cmake --build --preset release -j "$(nproc)" \
+        --target bench_micro bench_roc bench_fault_sweep bench_drift_sweep \
+                 bench_compare
+    local out
+    out="$(mktemp -d)"
+    # Each bench writes BENCH_<name>.json into the CWD. bench_micro runs
+    # with its default min-time so the candidate methodology matches the
+    # blessed baseline's.
+    (cd "$out" && "$OLDPWD"/build-release/bench/bench_micro)
+    (cd "$out" && "$OLDPWD"/build-release/bench/bench_roc)
+    (cd "$out" && "$OLDPWD"/build-release/bench/bench_fault_sweep)
+    (cd "$out" && "$OLDPWD"/build-release/bench/bench_drift_sweep)
+    ./build-release/tools/bench_compare --candidate-dir "$out"
+}
+
+if [[ $# -ge 1 && "$1" == "--bench-gate" ]]; then
+    run_bench_gate
+elif [[ $# -ge 1 ]]; then
     run_preset "$1"
 else
     run_preset release

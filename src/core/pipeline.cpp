@@ -57,7 +57,8 @@ std::string boundary_health_name(BoundaryHealth health) {
 
 GoldenFreePipeline::GoldenFreePipeline(PipelineConfig config,
                                        silicon::SpiceSimulator simulator)
-    : config_(config), simulator_(std::move(simulator)), regressions_(config.mars) {
+    : config_(config), simulator_(std::move(simulator)), regressions_(config.mars),
+      health_(config.health) {
     if (config_.monte_carlo_samples < 2) {
         throw ConfigError("GoldenFreePipeline: need >= 2 Monte Carlo samples");
     }
@@ -97,20 +98,86 @@ ml::OneClassSvm GoldenFreePipeline::train_boundary(const linalg::Matrix& dataset
 }
 
 linalg::Matrix GoldenFreePipeline::kde_enhance(const linalg::Matrix& source,
-                                               rng::Rng& rng) const {
+                                               rng::Rng& rng,
+                                               std::string_view probe_name) const {
     switch (config_.tail_model) {
         case TailModel::kAdaptiveKde: {
             const stats::AdaptiveKde kde(source, config_.kde_alpha,
                                          config_.kde_bandwidth, config_.kde_kernel,
                                          config_.kde_max_lambda);
-            return kde.sample_n(rng, config_.synthetic_samples);
+            linalg::Matrix synthetic = kde.sample_n(rng, config_.synthetic_samples);
+            health_.record(
+                health_.probe_kde(probe_name, source, synthetic, kde.bandwidth()));
+            return synthetic;
         }
         case TailModel::kEvtPot: {
             const stats::EvtTailEnhancer evt(source, config_.evt_tail_fraction);
-            return evt.sample_n(rng, config_.synthetic_samples);
+            linalg::Matrix synthetic = evt.sample_n(rng, config_.synthetic_samples);
+            // No bandwidth under the EVT tail model; the probe carries the
+            // tail fraction in its place (always positive, so no false WARN).
+            health_.record(health_.probe_kde(probe_name, source, synthetic,
+                                             config_.evt_tail_fraction));
+            return synthetic;
         }
     }
     throw ConfigError("GoldenFreePipeline: unknown tail model");
+}
+
+void GoldenFreePipeline::record_svm_probe(Boundary b) const {
+    const std::size_t i = index_of(b);
+    const linalg::Matrix& dataset = datasets_[i];
+    const ml::OneClassSvm& svm = boundaries_[i];
+    if (!svm.fitted() || dataset.rows() == 0) return;
+
+    // Decision values over a strided sample of the training set: large
+    // synthetic populations (S2/S5) would make the full pass quadratic in
+    // the support-vector count for no diagnostic gain.
+    constexpr std::size_t kMaxProbeRows = 512;
+    const std::size_t stride = dataset.rows() / kMaxProbeRows + 1;
+    const std::size_t sampled = (dataset.rows() + stride - 1) / stride;
+    linalg::Matrix sample(sampled, dataset.cols());
+    for (std::size_t r = 0, out = 0; r < dataset.rows(); r += stride, ++out) {
+        for (std::size_t c = 0; c < dataset.cols(); ++c) sample(out, c) = dataset(r, c);
+    }
+    const linalg::Vector decisions = svm.decision_values(sample);
+    const std::size_t trained =
+        std::min(dataset.rows(), config_.svm.max_training_samples);
+    health_.record(health_.probe_svm_margins("svm." + boundary_name(b),
+                                             decisions.span(), config_.svm.nu,
+                                             svm.support_vector_count(), trained));
+}
+
+void GoldenFreePipeline::record_boundary_probe() const {
+    obs::ProbeResult probe;
+    probe.name = "boundaries";
+    double healthy = 0.0;
+    double degraded = 0.0;
+    double failed = 0.0;
+    std::string bad;
+    for (const Boundary b : kAllBoundaries) {
+        const BoundaryStatus& st = status_[index_of(b)];
+        switch (st.health) {
+            case BoundaryHealth::kHealthy: healthy += 1.0; break;
+            case BoundaryHealth::kDegraded:
+                degraded += 1.0;
+                if (!bad.empty()) bad += ", ";
+                bad += boundary_name(b) + " degraded";
+                break;
+            case BoundaryHealth::kFailed:
+                failed += 1.0;
+                if (!bad.empty()) bad += ", ";
+                bad += boundary_name(b) + " failed";
+                break;
+            case BoundaryHealth::kUntrained: break;
+        }
+    }
+    probe.value("healthy", healthy).value("degraded", degraded).value("failed", failed);
+    if (failed > 0.0) {
+        probe.escalate(obs::HealthLevel::kCritical, bad);
+    } else if (degraded > 0.0) {
+        probe.escalate(obs::HealthLevel::kDegraded, bad);
+    }
+    health_.record(std::move(probe));
 }
 
 template <typename BuildDataset>
@@ -122,6 +189,7 @@ void GoldenFreePipeline::build_boundary(Boundary b, BuildDataset&& build) {
         if (status_[i].health != BoundaryHealth::kDegraded) {
             status_[i] = {BoundaryHealth::kHealthy, {}};
         }
+        record_svm_probe(b);
     } catch (const std::exception& e) {
         datasets_[i] = linalg::Matrix{};
         boundaries_[i] = ml::OneClassSvm(config_.svm);
@@ -141,6 +209,7 @@ void GoldenFreePipeline::run_premanufacturing(rng::Rng& rng) {
     kmm_fallback_applied_ = false;
     kmm_ess_ = std::numeric_limits<double>::quiet_NaN();
     calibration_.reset();
+    health_.clear();
 
     linalg::Matrix golden_fingerprints;
     {
@@ -160,12 +229,31 @@ void GoldenFreePipeline::run_premanufacturing(rng::Rng& rng) {
     regressions_ = ml::MarsBank(config_.mars);
     regressions_.fit(mc_pcms_, golden_fingerprints);
 
+    // Training fit health: per-output R^2 plus the training |residual|
+    // distribution (the reference for the incoming-device residual probe).
+    {
+        std::vector<double> r2(regressions_.output_dim());
+        for (std::size_t j = 0; j < r2.size(); ++j) {
+            r2[j] = regressions_.model(j).r_squared();
+        }
+        const linalg::Matrix predicted = regressions_.predict_batch(mc_pcms_);
+        train_abs_residuals_ = linalg::Matrix(golden_fingerprints.rows(),
+                                              golden_fingerprints.cols());
+        for (std::size_t r = 0; r < train_abs_residuals_.rows(); ++r) {
+            for (std::size_t c = 0; c < train_abs_residuals_.cols(); ++c) {
+                train_abs_residuals_(r, c) =
+                    std::abs(golden_fingerprints(r, c) - predicted(r, c));
+            }
+        }
+        health_.record(health_.probe_mars_fit(r2, train_abs_residuals_));
+    }
+
     // S1 / B1: raw simulated fingerprints.
     build_boundary(Boundary::kB1, [&] { return golden_fingerprints; });
 
     // S2 / B2: tail-enhanced synthetic population.
     build_boundary(Boundary::kB2,
-                   [&] { return kde_enhance(golden_fingerprints, rng); });
+                   [&] { return kde_enhance(golden_fingerprints, rng, "kde.s2"); });
 
     premanufacturing_done_ = true;
 }
@@ -222,6 +310,13 @@ void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
         if (kmm_ess_ < config_.kmm_min_effective_sample_size) {
             if (!config_.kmm_fallback_to_b3) {
                 silicon_done_ = true;  // B3 (if healthy) stays usable
+                obs::ProbeResult collapse =
+                    health_.probe_kmm_weights(calibration_->weights.span());
+                collapse.escalate(obs::HealthLevel::kCritical,
+                                  "KMM calibration collapsed and the B4->B3 "
+                                  "fallback is disabled");
+                health_.record(std::move(collapse));
+                record_boundary_probe();
                 throw CalibrationCollapseError(
                     "run_silicon_stage: KMM calibration collapsed (effective "
                     "sample size " +
@@ -239,8 +334,82 @@ void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
         status_[index_of(Boundary::kB4)] = {BoundaryHealth::kFailed, detail};
         status_[index_of(Boundary::kB5)] = {BoundaryHealth::kFailed, detail};
         obs::Registry::global().counter_add("pipeline.boundary_failures", 2.0);
+        obs::ProbeResult kmm_probe;
+        kmm_probe.name = "kmm_weights";
+        kmm_probe.escalate(obs::HealthLevel::kCritical, detail);
+        health_.record(std::move(kmm_probe));
+        // No calibrated reference exists; measure drift against the raw
+        // simulated PCM cloud instead.
+        health_.record(health_.probe_drift("drift.pcm", mc_pcms_, silicon_pcms));
+        record_boundary_probe();
         silicon_done_ = true;
         return;
+    }
+
+    {
+        obs::ProbeResult kmm_probe =
+            health_.probe_kmm_weights(calibration_->weights.span());
+        if (fallback) {
+            kmm_probe.escalate(obs::HealthLevel::kDegraded,
+                               "KMM collapse: B4/B5 fall back to S3");
+        }
+        health_.record(std::move(kmm_probe));
+
+        // Calibration staleness: how far (relative to the reference cloud's
+        // RMS per-column spread) the kernel mean shift had to move the
+        // simulated PCMs to reach the silicon operating point.
+        obs::ProbeResult cal_probe;
+        cal_probe.name = "calibration";
+        double variance_sum = 0.0;
+        for (std::size_t c = 0; c < mc_pcms_.cols(); ++c) {
+            double mean = 0.0;
+            for (std::size_t r = 0; r < mc_pcms_.rows(); ++r) mean += mc_pcms_(r, c);
+            mean /= static_cast<double>(mc_pcms_.rows());
+            double var = 0.0;
+            for (std::size_t r = 0; r < mc_pcms_.rows(); ++r) {
+                const double d = mc_pcms_(r, c) - mean;
+                var += d * d;
+            }
+            variance_sum += var / static_cast<double>(mc_pcms_.rows() - 1);
+        }
+        const double rms_spread =
+            std::sqrt(variance_sum / static_cast<double>(mc_pcms_.cols()));
+        const double shift_norm = calibration_->total_shift.norm();
+        const double shift_sigma = shift_norm / std::max(rms_spread, 1e-300);
+        cal_probe.value("shift_norm", shift_norm)
+            .value("reference_rms_spread", rms_spread)
+            .value("shift_sigma", shift_sigma)
+            .value("iterations", static_cast<double>(calibration_->iterations));
+        const obs::HealthThresholds& ht = health_.thresholds();
+        if (shift_sigma > ht.calibration_shift_critical) {
+            cal_probe.escalate(obs::HealthLevel::kCritical,
+                               "calibration shift " + std::to_string(shift_sigma) +
+                                   " reference sigmas (above " +
+                                   std::to_string(ht.calibration_shift_critical) +
+                                   ")");
+        } else if (shift_sigma > ht.calibration_shift_warn) {
+            cal_probe.escalate(obs::HealthLevel::kWarn,
+                               "calibration shift " + std::to_string(shift_sigma) +
+                                   " reference sigmas (above " +
+                                   std::to_string(ht.calibration_shift_warn) + ")");
+        }
+        health_.record(std::move(cal_probe));
+
+        // The drift detector proper: does the incoming silicon PCM batch
+        // still look like the KMM-calibrated reference distribution? The
+        // reference is the *weighted* calibrated cloud materialized by
+        // importance resampling — the unweighted cloud keeps the simulator's
+        // shape and would false-alarm on a healthy calibration. On a
+        // fallback the weights are collapsed, so the unweighted cloud is
+        // used (the verdict is already degraded through kmm_weights).
+        constexpr std::size_t kDriftReferenceSamples = 512;
+        const linalg::Matrix drift_reference =
+            fallback ? calibration_->calibrated
+                     : ml::weighted_resample(calibration_->calibrated,
+                                             calibration_->weights,
+                                             kDriftReferenceSamples, rng);
+        health_.record(health_.probe_drift("drift.pcm", drift_reference,
+                                           silicon_pcms));
     }
 
     if (fallback) {
@@ -256,6 +425,7 @@ void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
                 status_[index_of(Boundary::kB3)].detail;
             status_[index_of(Boundary::kB4)] = {BoundaryHealth::kFailed, no_fb};
             status_[index_of(Boundary::kB5)] = {BoundaryHealth::kFailed, no_fb};
+            record_boundary_probe();
             silicon_done_ = true;
             return;
         }
@@ -275,7 +445,7 @@ void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
     if (status_[index_of(Boundary::kB4)].usable()) {
         status_[index_of(Boundary::kB5)] = status_[index_of(Boundary::kB4)];
         build_boundary(Boundary::kB5, [&] {
-            return kde_enhance(datasets_[index_of(Boundary::kB4)], rng);
+            return kde_enhance(datasets_[index_of(Boundary::kB4)], rng, "kde.s5");
         });
     } else {
         status_[index_of(Boundary::kB5)] = {
@@ -283,7 +453,35 @@ void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
             "B4 unavailable: " + status_[index_of(Boundary::kB4)].detail};
     }
 
+    record_boundary_probe();
     silicon_done_ = true;
+}
+
+void GoldenFreePipeline::probe_incoming(const silicon::DuttDataset& dutts) const {
+    if (!premanufacturing_done_) {
+        throw StageOrderError("probe_incoming: pre-manufacturing stage has not run");
+    }
+    if (dutts.pcms.cols() != mc_pcms_.cols()) {
+        throw DimensionError("probe_incoming: PCM dimension mismatch (got " +
+                             std::to_string(dutts.pcms.cols()) + " columns, expected " +
+                             std::to_string(mc_pcms_.cols()) + ")");
+    }
+    if (dutts.fingerprints.cols() != train_abs_residuals_.cols()) {
+        throw DimensionError(
+            "probe_incoming: fingerprint dimension mismatch (got " +
+            std::to_string(dutts.fingerprints.cols()) + " columns, expected " +
+            std::to_string(train_abs_residuals_.cols()) + ")");
+    }
+    const linalg::Matrix predicted =
+        regressions_.predict_batch(transform_pcms(dutts.pcms));
+    linalg::Matrix incoming(dutts.fingerprints.rows(), dutts.fingerprints.cols());
+    for (std::size_t r = 0; r < incoming.rows(); ++r) {
+        for (std::size_t c = 0; c < incoming.cols(); ++c) {
+            incoming(r, c) = std::abs(dutts.fingerprints(r, c) - predicted(r, c));
+        }
+    }
+    health_.record(
+        health_.probe_regression_residuals(train_abs_residuals_, incoming));
 }
 
 bool GoldenFreePipeline::boundary_ready(Boundary b) const noexcept {

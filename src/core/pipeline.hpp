@@ -27,6 +27,7 @@
 #include "ml/mars.hpp"
 #include "ml/metrics.hpp"
 #include "ml/one_class_svm.hpp"
+#include "obs/health.hpp"
 #include "obs/obs.hpp"
 #include "rng/rng.hpp"
 #include "silicon/bench_measure.hpp"
@@ -143,6 +144,11 @@ struct PipelineConfig {
     /// the pipeline is constructed. The default (kInherit) leaves whatever
     /// the process / HTD_OBS environment variable configured.
     obs::Config obs{};
+
+    /// Thresholds behind the statistical health probes recorded by every
+    /// stage (KMM weight diagnostics, PCM drift, KDE tail mass, MARS fit,
+    /// SVM margins). Defaults keep the paper-default clean path all-healthy.
+    obs::HealthThresholds health{};
 };
 
 /// The golden chip-free detection pipeline.
@@ -227,6 +233,20 @@ public:
     /// degradation section of a RunReport.
     [[nodiscard]] io::Json degradation_report() const;
 
+    /// Statistical health probes recorded so far (cleared when stage 1
+    /// re-runs; stage re-runs replace same-name probes). Serialized as the
+    /// "health" section of a run_report.v2 by core::pipeline_run_report.
+    [[nodiscard]] const obs::HealthMonitor& health() const noexcept {
+        return health_;
+    }
+
+    /// Record the incoming-population probes for a measured DUTT batch:
+    /// per-device |fingerprint - g(pcm)| residuals against the training
+    /// residual distribution (the model-staleness signal). Throws
+    /// StageOrderError before stage 1 ran, DimensionError on a PCM /
+    /// fingerprint width mismatch.
+    void probe_incoming(const silicon::DuttDataset& dutts) const;
+
     /// The trained 1-class SVM behind a boundary (throws
     /// BoundaryUnavailableError when it is not usable). Exposed for
     /// diagnostics and the observability RunReport (support-vector counts,
@@ -243,8 +263,17 @@ private:
     [[nodiscard]] const ml::OneClassSvm& svm_for(Boundary b) const;
     [[nodiscard]] linalg::Matrix transform_pcms(const linalg::Matrix& pcms) const;
     [[nodiscard]] ml::OneClassSvm train_boundary(const linalg::Matrix& dataset) const;
+    /// Build the synthetic tail-enhanced population for `source` and record
+    /// a `kde.<probe_name>` health probe over it.
     [[nodiscard]] linalg::Matrix kde_enhance(const linalg::Matrix& source,
-                                             rng::Rng& rng) const;
+                                             rng::Rng& rng,
+                                             std::string_view probe_name) const;
+    /// Record the `svm.<boundary>` margin probe for a freshly trained
+    /// boundary (decision values over a strided sample of its dataset).
+    void record_svm_probe(Boundary b) const;
+    /// Record the `boundaries` probe summarizing the BoundaryStatus array
+    /// (any failed boundary -> CRITICAL, any degraded -> DEGRADED).
+    void record_boundary_probe() const;
 
     PipelineConfig config_;
     silicon::SpiceSimulator simulator_;
@@ -260,6 +289,14 @@ private:
     std::optional<ml::KernelMeanShiftCalibrator::Result> calibration_;
     bool kmm_fallback_applied_ = false;
     double kmm_ess_ = std::numeric_limits<double>::quiet_NaN();
+
+    /// Per-run statistical health probes. Mutable: const observers
+    /// (probe_incoming, record_svm_probe) record diagnostics without
+    /// changing the detection state.
+    mutable obs::HealthMonitor health_;
+    /// |fingerprint - g(pcm)| on the Monte Carlo training set — the
+    /// reference distribution for the incoming residual probe.
+    linalg::Matrix train_abs_residuals_;
 };
 
 /// The conventional golden-chip detector of Fig. 1 / [12]: a 1-class SVM

@@ -30,6 +30,26 @@ const std::vector<double>& histogram_bucket_bounds() {
     return bounds;
 }
 
+double HistogramSnapshot::quantile(double q) const noexcept {
+    if (total == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const std::vector<double>& bounds = histogram_bucket_bounds();
+    const double target = q * static_cast<double>(total);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0) continue;
+        const double next = cumulative + static_cast<double>(counts[i]);
+        if (target <= next) {
+            const double lo = i == 0 ? 0.0 : bounds[i - 1];
+            const double hi = i < bounds.size() ? bounds[i] : std::max(max, lo);
+            const double frac = (target - cumulative) / static_cast<double>(counts[i]);
+            return std::clamp(lo + frac * (hi - lo), min, max);
+        }
+        cumulative = next;
+    }
+    return max;
+}
+
 Registry::Registry() { apply_environment(); }
 
 Registry& Registry::global() {

@@ -77,6 +77,12 @@ struct HistogramSnapshot {
     [[nodiscard]] double mean() const noexcept {
         return total == 0 ? 0.0 : sum / static_cast<double>(total);
     }
+
+    /// Estimated quantile (µs) by linear interpolation inside the 1-2-5
+    /// bucket ladder: the first bucket interpolates from 0, the overflow
+    /// bucket towards `max`, and the estimate is clamped to [min, max].
+    /// 0 for an empty histogram; `q` is clamped to [0, 1].
+    [[nodiscard]] double quantile(double q) const noexcept;
 };
 
 /// Upper bucket bounds (µs) shared by every latency histogram: a 1-2-5
@@ -145,6 +151,12 @@ public:
 
     /// Number of spans currently stored.
     [[nodiscard]] std::size_t span_count() const;
+
+    /// Spans rejected by the kMaxStoredSpans cap so far (the
+    /// `obs.spans_dropped` counter; 0 when nothing was dropped).
+    [[nodiscard]] double spans_dropped() const {
+        return counter_value("obs.spans_dropped");
+    }
 
     /// Under the text sink, print a metrics summary table to stderr.
     /// No-op otherwise.

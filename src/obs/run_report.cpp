@@ -6,7 +6,10 @@ namespace htd::obs {
 
 RunReport::RunReport(std::string name) : doc_(io::Json::object()) {
     doc_.set("run", std::move(name));
-    doc_.set("schema", "htd.run_report.v1");
+    // v2 adds the optional "health" section (and per-histogram quantiles in
+    // "observability"); every v1 field is unchanged, so v1 readers that
+    // ignore unknown keys still parse v2 documents.
+    doc_.set("schema", "htd.run_report.v2");
 }
 
 RunReport& RunReport::set(const std::string& key, io::Json value) {

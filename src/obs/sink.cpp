@@ -75,6 +75,9 @@ io::Json metrics_json(const Registry& registry) {
         hist.set("mean", h.mean());
         hist.set("min", h.min);
         hist.set("max", h.max);
+        hist.set("p50", h.quantile(0.50));
+        hist.set("p90", h.quantile(0.90));
+        hist.set("p99", h.quantile(0.99));
         io::Json buckets = io::Json::array();
         for (std::size_t i = 0; i < h.counts.size(); ++i) {
             if (h.counts[i] == 0) continue;  // sparse: only occupied buckets
@@ -94,6 +97,7 @@ io::Json observability_json(const Registry& registry) {
     io::Json out = io::Json::object();
     out.set("sink", sink_kind_name(registry.sink()));
     out.set("spans", spans_json(registry));
+    out.set("spans_dropped", registry.spans_dropped());
     out.set("metrics", metrics_json(registry));
     return out;
 }
@@ -140,13 +144,23 @@ std::string metrics_text(const Registry& registry) {
 
     const auto histograms = registry.histograms();
     if (!histograms.empty()) {
-        io::Table table({"histogram", "count", "mean us", "min us", "max us"});
+        io::Table table({"histogram", "count", "mean us", "p50 us", "p90 us",
+                         "p99 us", "min us", "max us"});
         for (const auto& [name, h] : histograms) {
             table.add_row({name, fmt_compact(static_cast<double>(h.total)),
-                           io::fmt(h.mean(), 2), io::fmt(h.min, 2), io::fmt(h.max, 2)});
+                           io::fmt(h.mean(), 2), io::fmt(h.quantile(0.50), 2),
+                           io::fmt(h.quantile(0.90), 2), io::fmt(h.quantile(0.99), 2),
+                           io::fmt(h.min, 2), io::fmt(h.max, 2)});
         }
         out += "[obs] latency histograms\n";
         out += table.str();
+    }
+
+    const double dropped = registry.spans_dropped();
+    if (dropped > 0.0) {
+        out += "[obs] spans dropped past the storage cap: ";
+        out += fmt_compact(dropped);
+        out += '\n';
     }
     return out;
 }

@@ -1,0 +1,363 @@
+/// Statistical health monitor (htd::obs v2): exported two-sample statistics
+/// against offline-computed references, drift-detector behavior on synthetic
+/// batches, probe thresholds, pipeline wiring, and the committed quickstart
+/// artifact.
+
+#include "obs/health.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "io/json.hpp"
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using namespace htd;
+using obs::HealthLevel;
+using obs::HealthMonitor;
+using obs::ProbeResult;
+
+TEST(HealthLevel, NamesRoundTrip) {
+    for (const HealthLevel level :
+         {HealthLevel::kHealthy, HealthLevel::kWarn, HealthLevel::kDegraded,
+          HealthLevel::kCritical}) {
+        EXPECT_EQ(obs::health_level_from_name(obs::health_level_name(level)), level);
+    }
+    EXPECT_THROW((void)obs::health_level_from_name("bogus"), std::invalid_argument);
+    EXPECT_EQ(obs::worse(HealthLevel::kWarn, HealthLevel::kDegraded),
+              HealthLevel::kDegraded);
+    EXPECT_EQ(obs::worse(HealthLevel::kCritical, HealthLevel::kHealthy),
+              HealthLevel::kCritical);
+}
+
+// --- two-sample statistics vs offline references ----------------------------
+
+TEST(TwoSampleStats, KsStatisticMatchesOfflineReference) {
+    // Reference computed offline by walking the pooled empirical CDFs:
+    // D = sup |F_a - F_b| = 2/7 for these samples.
+    const std::vector<double> a{0.12, 0.55, 0.93, 1.40, 2.10, 2.75, 3.30};
+    const std::vector<double> b{0.30, 0.95, 1.15, 1.85, 2.60};
+    EXPECT_NEAR(obs::ks_statistic(a, b), 0.2857142857142857, 1e-12);
+    EXPECT_NEAR(obs::scaled_ks_statistic(0.2857142857142857, a.size(), b.size()),
+                0.48795003647426655, 1e-12);
+    // Symmetry and the identical-sample case.
+    EXPECT_NEAR(obs::ks_statistic(b, a), 0.2857142857142857, 1e-12);
+    EXPECT_EQ(obs::ks_statistic(a, a), 0.0);
+    EXPECT_THROW((void)obs::ks_statistic({}, a), std::invalid_argument);
+    EXPECT_THROW((void)obs::scaled_ks_statistic(0.5, 0, 3), std::invalid_argument);
+}
+
+TEST(TwoSampleStats, KsStatisticDisjointSupportsIsOne) {
+    const std::vector<double> lo{0.0, 0.1, 0.2};
+    const std::vector<double> hi{5.0, 5.1, 5.2, 5.3};
+    EXPECT_NEAR(obs::ks_statistic(lo, hi), 1.0, 1e-12);
+}
+
+TEST(TwoSampleStats, EnergyDistanceMatchesOfflineReference) {
+    // V-statistic estimate computed offline for these row sets.
+    const linalg::Matrix a{{0.0, 0.0}, {1.0, 0.5}, {2.0, 1.5}, {0.5, 2.0}};
+    const linalg::Matrix b{{0.5, 0.25}, {1.5, 1.0}, {2.5, 2.0}};
+    EXPECT_NEAR(obs::energy_distance(a, b), 0.4490105346972, 1e-10);
+    EXPECT_NEAR(obs::energy_coefficient(a, b), 0.15410684218537768, 1e-10);
+    // Identical samples agree exactly; mismatched shapes are rejected.
+    EXPECT_NEAR(obs::energy_distance(a, a), 0.0, 1e-12);
+    EXPECT_EQ(obs::energy_coefficient(a, a), 0.0);
+    const linalg::Matrix one_col{{1.0}, {2.0}};
+    EXPECT_THROW((void)obs::energy_distance(a, one_col), std::invalid_argument);
+    EXPECT_EQ(obs::energy_coefficient(a, one_col), 0.0);
+}
+
+TEST(TwoSampleStats, KishEssAndEntropy) {
+    const std::vector<double> uniform(8, 0.25);
+    EXPECT_NEAR(obs::kish_ess(uniform), 8.0, 1e-12);
+    EXPECT_NEAR(obs::weight_entropy_ratio(uniform), 1.0, 1e-12);
+
+    std::vector<double> collapsed(8, 0.0);
+    collapsed[3] = 5.0;
+    EXPECT_NEAR(obs::kish_ess(collapsed), 1.0, 1e-12);
+    EXPECT_NEAR(obs::weight_entropy_ratio(collapsed), 0.0, 1e-12);
+
+    EXPECT_EQ(obs::kish_ess({}), 0.0);
+    EXPECT_EQ(obs::weight_entropy_ratio({}), 0.0);
+}
+
+// --- drift detector on synthetic batches ------------------------------------
+
+linalg::Matrix gaussian_batch(rng::Rng& rng, std::size_t n, double mean,
+                              double sigma) {
+    linalg::Matrix out(n, 2);
+    for (std::size_t r = 0; r < n; ++r) {
+        out(r, 0) = rng.normal(mean, sigma);
+        out(r, 1) = rng.normal(mean * 0.5, sigma * 2.0);
+    }
+    return out;
+}
+
+TEST(DriftProbe, SameDistributionStaysBelowWarn) {
+    rng::Rng rng(0xd21f7'5eedULL);
+    const linalg::Matrix reference = gaussian_batch(rng, 500, 1.0, 0.3);
+    const linalg::Matrix incoming = gaussian_batch(rng, 500, 1.0, 0.3);
+    const HealthMonitor monitor;
+    const ProbeResult probe = monitor.probe_drift("drift.test", reference, incoming);
+    EXPECT_EQ(probe.level, HealthLevel::kHealthy) << probe.detail;
+}
+
+TEST(DriftProbe, MeanShiftTripsCritical) {
+    rng::Rng rng(0xd21f7'5eedULL);
+    const linalg::Matrix reference = gaussian_batch(rng, 500, 1.0, 0.3);
+    linalg::Matrix incoming = gaussian_batch(rng, 500, 1.0, 0.3);
+    for (std::size_t r = 0; r < incoming.rows(); ++r) {
+        incoming(r, 0) += 0.45;  // 1.5 sigma mean shift on channel 0
+    }
+    const HealthMonitor monitor;
+    const ProbeResult probe = monitor.probe_drift("drift.test", reference, incoming);
+    EXPECT_EQ(probe.level, HealthLevel::kCritical) << probe.detail;
+}
+
+TEST(DriftProbe, VarianceInflationTripsCritical) {
+    rng::Rng rng(0xd21f7'5eedULL);
+    const linalg::Matrix reference = gaussian_batch(rng, 500, 1.0, 0.3);
+    const linalg::Matrix incoming = gaussian_batch(rng, 500, 1.0, 0.9);
+    const HealthMonitor monitor;
+    const ProbeResult probe = monitor.probe_drift("drift.test", reference, incoming);
+    EXPECT_EQ(probe.level, HealthLevel::kCritical) << probe.detail;
+}
+
+TEST(DriftProbe, EmitsPerChannelStatistics) {
+    rng::Rng rng(1);
+    const linalg::Matrix reference = gaussian_batch(rng, 60, 0.0, 1.0);
+    const linalg::Matrix incoming = gaussian_batch(rng, 40, 0.0, 1.0);
+    const HealthMonitor monitor;
+    const ProbeResult probe = monitor.probe_drift("drift.test", reference, incoming);
+    bool saw_ks_ch0 = false;
+    bool saw_ks_ch1 = false;
+    bool saw_energy = false;
+    for (const auto& [key, value] : probe.values) {
+        if (key == "ks_ch0") saw_ks_ch0 = true;
+        if (key == "ks_ch1") saw_ks_ch1 = true;
+        if (key == "energy_distance") {
+            saw_energy = true;
+            EXPECT_GE(value, 0.0);
+        }
+    }
+    EXPECT_TRUE(saw_ks_ch0);
+    EXPECT_TRUE(saw_ks_ch1);
+    EXPECT_TRUE(saw_energy);
+    EXPECT_EQ(probe.values.front().first, "channels");
+}
+
+TEST(DriftProbe, DegenerateInputsAreCritical) {
+    const HealthMonitor monitor;
+    const linalg::Matrix some{{1.0, 2.0}};
+    const ProbeResult probe = monitor.probe_drift("drift.test", some, linalg::Matrix{});
+    EXPECT_EQ(probe.level, HealthLevel::kCritical);
+}
+
+// --- other probes ------------------------------------------------------------
+
+TEST(KmmProbe, UniformWeightsHealthyCollapsedCritical) {
+    const HealthMonitor monitor;
+    const std::vector<double> uniform(100, 1.0);
+    EXPECT_EQ(monitor.probe_kmm_weights(uniform).level, HealthLevel::kHealthy);
+
+    std::vector<double> collapsed(100, 1e-9);
+    collapsed[0] = 5.0;
+    const ProbeResult probe = monitor.probe_kmm_weights(collapsed);
+    EXPECT_EQ(probe.level, HealthLevel::kCritical) << probe.detail;
+
+    EXPECT_EQ(monitor.probe_kmm_weights({}).level, HealthLevel::kCritical);
+}
+
+TEST(ResidualProbe, InflatedIncomingResidualsEscalate) {
+    const HealthMonitor monitor;
+    linalg::Matrix train(50, 2);
+    linalg::Matrix incoming(50, 2);
+    rng::Rng rng(7);
+    for (std::size_t r = 0; r < 50; ++r) {
+        for (std::size_t c = 0; c < 2; ++c) {
+            train(r, c) = std::abs(rng.normal(0.0, 0.1));
+            incoming(r, c) = train(r, c);
+        }
+    }
+    EXPECT_EQ(monitor.probe_regression_residuals(train, incoming).level,
+              HealthLevel::kHealthy);
+    for (std::size_t r = 0; r < 50; ++r) {
+        for (std::size_t c = 0; c < 2; ++c) incoming(r, c) = train(r, c) * 40.0;
+    }
+    const ProbeResult probe = monitor.probe_regression_residuals(train, incoming);
+    EXPECT_EQ(probe.level, HealthLevel::kCritical) << probe.detail;
+}
+
+TEST(MonitorState, RecordReplacesSameNameAndAggregatesVerdict) {
+    HealthMonitor monitor;
+    EXPECT_EQ(monitor.verdict(), HealthLevel::kHealthy);
+
+    ProbeResult warn;
+    warn.name = "drift.pcm";
+    warn.escalate(HealthLevel::kWarn, "first pass");
+    monitor.record(warn);
+    EXPECT_EQ(monitor.verdict(), HealthLevel::kWarn);
+    EXPECT_EQ(monitor.probes().size(), 1u);
+
+    ProbeResult healthy;
+    healthy.name = "drift.pcm";
+    monitor.record(healthy);  // stage re-ran: same-name probe is replaced
+    EXPECT_EQ(monitor.verdict(), HealthLevel::kHealthy);
+    EXPECT_EQ(monitor.probes().size(), 1u);
+
+    ProbeResult critical;
+    critical.name = "kmm_weights";
+    critical.escalate(HealthLevel::kCritical, "collapse");
+    monitor.record(critical);
+    EXPECT_EQ(monitor.verdict(), HealthLevel::kCritical);
+    ASSERT_NE(monitor.find("kmm_weights"), nullptr);
+    EXPECT_EQ(monitor.find("kmm_weights")->level, HealthLevel::kCritical);
+    EXPECT_EQ(monitor.find("absent"), nullptr);
+
+    const io::Json doc = monitor.to_json();
+    EXPECT_EQ(doc.at("verdict").str(), "critical");
+    EXPECT_EQ(doc.at("probes").size(), 2u);
+
+    monitor.clear();
+    EXPECT_EQ(monitor.verdict(), HealthLevel::kHealthy);
+    EXPECT_TRUE(monitor.probes().empty());
+}
+
+// --- pipeline integration ----------------------------------------------------
+
+core::ExperimentConfig small_config() {
+    core::ExperimentConfig config;
+    config.n_chips = 12;
+    config.pipeline.monte_carlo_samples = 60;
+    config.pipeline.synthetic_samples = 2000;
+    return config;
+}
+
+TEST(PipelineHealth, CleanRunReportsAllProbesHealthy) {
+    const core::ExperimentConfig config = small_config();
+    rng::Rng master(config.seed);
+    rng::Rng fab_rng = master.split();
+    rng::Rng sim_rng = master.split();
+    rng::Rng pipe_rng = master.split();
+    const silicon::DuttDataset measured =
+        core::fabricate_and_measure(config, fab_rng);
+    const core::ProcessPair processes =
+        core::make_process_pair(config.process_shift_sigma);
+    core::GoldenFreePipeline pipeline(
+        config.pipeline, silicon::SpiceSimulator(config.platform, processes.spice));
+    pipeline.run_premanufacturing(sim_rng);
+    pipeline.run_silicon_stage(measured.pcms, pipe_rng);
+    pipeline.probe_incoming(measured);
+
+    const obs::HealthMonitor& health = pipeline.health();
+    EXPECT_EQ(health.verdict(), HealthLevel::kHealthy);
+    for (const char* name : {"mars_fit", "kmm_weights", "calibration", "drift.pcm",
+                             "kde.s2", "kde.s5", "boundaries",
+                             "regression_residuals", "svm.B1", "svm.B5"}) {
+        const ProbeResult* probe = health.find(name);
+        ASSERT_NE(probe, nullptr) << name;
+        EXPECT_EQ(probe->level, HealthLevel::kHealthy)
+            << name << ": " << probe->detail;
+    }
+}
+
+TEST(PipelineHealth, ForcedDriftAndCollapseDegradeVerdictWithPerChannelKs) {
+    core::ExperimentConfig config = small_config();
+    // The E14/E15 forcing: an impossible ESS floor guarantees the KMM
+    // collapse fallback, and the DUTT PCMs get an extra >= 1 sigma shift.
+    config.pipeline.kmm_min_effective_sample_size = 1e9;
+    rng::Rng master(config.seed);
+    rng::Rng fab_rng = master.split();
+    rng::Rng sim_rng = master.split();
+    rng::Rng pipe_rng = master.split();
+    silicon::DuttDataset measured = core::fabricate_and_measure(config, fab_rng);
+    for (std::size_t c = 0; c < measured.pcms.cols(); ++c) {
+        double mean = 0.0;
+        for (std::size_t r = 0; r < measured.pcms.rows(); ++r) {
+            mean += measured.pcms(r, c);
+        }
+        mean /= static_cast<double>(measured.pcms.rows());
+        double var = 0.0;
+        for (std::size_t r = 0; r < measured.pcms.rows(); ++r) {
+            const double d = measured.pcms(r, c) - mean;
+            var += d * d;
+        }
+        const double sigma =
+            std::sqrt(var / static_cast<double>(measured.pcms.rows() - 1));
+        for (std::size_t r = 0; r < measured.pcms.rows(); ++r) {
+            measured.pcms(r, c) += 1.5 * sigma;
+        }
+    }
+
+    const core::ProcessPair processes =
+        core::make_process_pair(config.process_shift_sigma);
+    core::GoldenFreePipeline pipeline(
+        config.pipeline, silicon::SpiceSimulator(config.platform, processes.spice));
+    pipeline.run_premanufacturing(sim_rng);
+    pipeline.run_silicon_stage(measured.pcms, pipe_rng);
+
+    ASSERT_TRUE(pipeline.kmm_fallback_applied());
+    const obs::HealthMonitor& health = pipeline.health();
+    EXPECT_GE(static_cast<int>(health.verdict()),
+              static_cast<int>(HealthLevel::kDegraded));
+
+    // The health section carries per-channel KS statistics for the drift.
+    const ProbeResult* drift = health.find("drift.pcm");
+    ASSERT_NE(drift, nullptr);
+    bool per_channel_ks = false;
+    for (const auto& [key, value] : drift->values) {
+        if (key.rfind("ks_ch", 0) == 0) {
+            per_channel_ks = true;
+            EXPECT_GE(value, 0.0);
+            EXPECT_LE(value, 1.0);
+        }
+    }
+    EXPECT_TRUE(per_channel_ks);
+
+    const ProbeResult* kmm = health.find("kmm_weights");
+    ASSERT_NE(kmm, nullptr);
+    EXPECT_GE(static_cast<int>(kmm->level),
+              static_cast<int>(HealthLevel::kDegraded));
+
+    // And the RunReport serializes the verdict under "health".
+    const obs::RunReport report =
+        core::pipeline_run_report(pipeline, "forced_drift");
+    const io::Json& doc = report.json();
+    ASSERT_TRUE(doc.contains("health"));
+    const HealthLevel reported =
+        obs::health_level_from_name(doc.at("health").at("verdict").str());
+    EXPECT_GE(static_cast<int>(reported), static_cast<int>(HealthLevel::kDegraded));
+}
+
+// --- committed quickstart artifact -------------------------------------------
+
+TEST(CommittedArtifact, QuickstartRunReportParsesWithCurrentSchema) {
+    const std::string path =
+        std::string(HTD_SOURCE_DIR) + "/quickstart_run_report.json";
+    const io::Json doc = io::Json::parse_file(path);
+    EXPECT_EQ(doc.at("schema").str(), "htd.run_report.v2");
+    EXPECT_EQ(doc.at("run").str(), "quickstart");
+    ASSERT_TRUE(doc.contains("health"));
+    EXPECT_EQ(doc.at("health").at("verdict").str(), "healthy");
+    ASSERT_TRUE(doc.contains("boundaries"));
+    ASSERT_TRUE(doc.contains("degradation"));
+    ASSERT_TRUE(doc.contains("observability"));
+    // v2 emits estimated quantiles for every latency histogram.
+    for (const auto& [name, hist] :
+         doc.at("observability").at("metrics").at("histograms").members()) {
+        EXPECT_TRUE(hist.contains("p50")) << name;
+        EXPECT_TRUE(hist.contains("p90")) << name;
+        EXPECT_TRUE(hist.contains("p99")) << name;
+    }
+    EXPECT_TRUE(doc.at("observability").contains("spans_dropped"));
+}
+
+}  // namespace

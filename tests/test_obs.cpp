@@ -113,6 +113,52 @@ TEST_F(ObsTest, CountersGaugesHistogramsAggregate) {
     EXPECT_EQ(bucketed, hist.total);
 }
 
+TEST_F(ObsTest, HistogramSnapshotQuantilesInterpolate) {
+    auto& reg = Registry::global();
+    // 100 observations spread over the 1-2-5 ladder: quantiles must be
+    // monotone, clamped to [min, max], and land inside the right buckets.
+    for (int i = 1; i <= 100; ++i) {
+        reg.histogram_record("test.quant", static_cast<double>(i));
+    }
+    const auto hist = reg.histograms().at("test.quant");
+    const double p50 = hist.quantile(0.50);
+    const double p90 = hist.quantile(0.90);
+    const double p99 = hist.quantile(0.99);
+    EXPECT_LE(hist.quantile(0.0), p50);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_LE(p99, hist.quantile(1.0));
+    EXPECT_GE(p50, hist.min);
+    EXPECT_LE(hist.quantile(1.0), hist.max);
+    // The true p50 is 50; bucket interpolation must stay within the
+    // containing (50, 100] ladder bucket.
+    EXPECT_GT(p50, 20.0);
+    EXPECT_LE(p50, 100.0);
+    EXPECT_GT(p99, 50.0);
+
+    // Degenerate cases: empty snapshot and a single observation.
+    const htd::obs::HistogramSnapshot empty{};
+    EXPECT_EQ(empty.quantile(0.5), 0.0);
+    reg.histogram_record("test.single", 42.0);
+    const auto single = reg.histograms().at("test.single");
+    EXPECT_DOUBLE_EQ(single.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(single.quantile(1.0), 42.0);
+}
+
+TEST_F(ObsTest, JsonSinkEmitsQuantilesAndSpansDropped) {
+    auto& reg = Registry::global();
+    reg.histogram_record("test.q_hist", 10.0);
+    reg.histogram_record("test.q_hist", 20.0);
+    const Json parsed = Json::parse(htd::obs::observability_json(reg).dump());
+    // No spans were dropped, but the counter is always surfaced.
+    EXPECT_DOUBLE_EQ(parsed.at("spans_dropped").number(), 0.0);
+    const Json& hist = parsed.at("metrics").at("histograms").at("test.q_hist");
+    EXPECT_TRUE(hist.contains("p50"));
+    EXPECT_TRUE(hist.contains("p90"));
+    EXPECT_TRUE(hist.contains("p99"));
+    EXPECT_GE(hist.at("p90").number(), hist.at("p50").number());
+}
+
 TEST_F(ObsTest, SpanStorageIsCappedButHistogramKeepsAggregating) {
     constexpr std::size_t kExtra = 10;
     for (std::size_t i = 0; i < Registry::kMaxStoredSpans + kExtra; ++i) {
@@ -122,8 +168,16 @@ TEST_F(ObsTest, SpanStorageIsCappedButHistogramKeepsAggregating) {
     EXPECT_EQ(reg.span_count(), Registry::kMaxStoredSpans);
     EXPECT_DOUBLE_EQ(reg.counter_value("obs.spans_dropped"),
                      static_cast<double>(kExtra));
+    EXPECT_DOUBLE_EQ(reg.spans_dropped(), static_cast<double>(kExtra));
     const auto hist = reg.histograms().at("span.test.capped");
     EXPECT_EQ(hist.total, Registry::kMaxStoredSpans + kExtra);
+
+    // Both sinks surface the drop: top-level JSON field and the text trailer.
+    const Json parsed = Json::parse(htd::obs::observability_json(reg).dump());
+    EXPECT_DOUBLE_EQ(parsed.at("spans_dropped").number(),
+                     static_cast<double>(kExtra));
+    const std::string text = htd::obs::metrics_text(reg);
+    EXPECT_NE(text.find("spans dropped"), std::string::npos);
 }
 
 TEST_F(ObsTest, JsonSinkRoundTripsThroughParser) {
@@ -163,7 +217,7 @@ TEST_F(ObsTest, RunReportWritesParseableFile) {
     const Json parsed = Json::parse_file(path);
     std::filesystem::remove(path);
     EXPECT_EQ(parsed.at("run").str(), "obs_test");
-    EXPECT_EQ(parsed.at("schema").str(), "htd.run_report.v1");
+    EXPECT_EQ(parsed.at("schema").str(), "htd.run_report.v2");
     EXPECT_DOUBLE_EQ(parsed.at("section").at("k").number(), 1.0);
     const Json& spans = parsed.at("observability").at("spans");
     ASSERT_EQ(spans.size(), 1u);

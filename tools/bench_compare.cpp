@@ -1,0 +1,349 @@
+/// \file bench_compare.cpp
+/// Perf/quality regression gate over the BENCH_*.json artifacts.
+///
+/// Compares freshly produced bench reports against the blessed baselines in
+/// bench/baselines/ with per-metric thresholds:
+///
+///   micro        real_ns_per_iter per benchmark — lower is better; a
+///                regression needs BOTH > +20% relative AND > +100 ns
+///                absolute, so nanosecond-scale benchmarks don't flap.
+///   roc          per-boundary AUC (higher, abs 0.02) and FN rate at zero
+///                FP (lower, abs 0.05), plus the detector_swap block.
+///   fault_sweep  per sweep point x boundary accuracy (lower by > 0.1
+///                fails) and fp/fn rates (higher by > 0.1 fails).
+///   drift_sweep  per sweep point: the health verdict must not worsen
+///                (healthy < warn < degraded < critical) and boundary
+///                accuracy follows the fault_sweep rule.
+///
+/// Usage:
+///   bench_compare [--baseline-dir DIR] [--candidate-dir DIR]
+///                 [--json PATH] [--bless] [name...]
+///
+/// Names default to "micro roc fault_sweep drift_sweep". A name whose
+/// baseline file does not exist is reported as unblessed and skipped; a
+/// missing *candidate* file is a hard usage error. Exit codes: 0 = no
+/// regression, 1 = regression detected, 2 = usage / IO error.
+///
+/// --bless copies the candidate artifacts over the baselines (exit 0).
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+#include "obs/health.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using htd::io::Json;
+
+struct Check {
+    std::string metric;
+    double baseline = 0.0;
+    double candidate = 0.0;
+    std::string rule;  ///< human-readable threshold description
+    bool ok = true;
+};
+
+struct Comparison {
+    std::string name;    ///< "micro", "roc", ...
+    std::string status;  ///< "ok" / "regression" / "unblessed"
+    std::vector<Check> checks;
+};
+
+/// Lower-is-better metric: fail when the candidate exceeds the baseline by
+/// more than `rel` relative AND `abs_floor` absolute.
+Check check_lower(std::string metric, double base, double cand, double rel,
+                  double abs_floor, const char* unit) {
+    Check c{std::move(metric), base, cand, {}, true};
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "<= baseline +%g%% (+%g %s floor)", rel * 100.0,
+                  abs_floor, unit);
+    c.rule = buf;
+    c.ok = !(cand > base * (1.0 + rel) && cand - base > abs_floor);
+    return c;
+}
+
+/// Absolute-band metric: fail when the candidate moves past the baseline in
+/// the bad direction by more than `abs_tol`.
+Check check_abs(std::string metric, double base, double cand, double abs_tol,
+                bool higher_is_better) {
+    Check c{std::move(metric), base, cand, {}, true};
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s baseline %s %g",
+                  higher_is_better ? ">=" : "<=", higher_is_better ? "-" : "+",
+                  abs_tol);
+    c.rule = buf;
+    c.ok = higher_is_better ? cand >= base - abs_tol : cand <= base + abs_tol;
+    return c;
+}
+
+void compare_micro(const Json& base, const Json& cand, Comparison& out) {
+    std::map<std::string, double> cand_ns;
+    for (const Json& r : cand.at("results").elements()) {
+        cand_ns[r.at("name").str()] = r.at("real_ns_per_iter").number();
+    }
+    for (const Json& r : base.at("results").elements()) {
+        const std::string& name = r.at("name").str();
+        const auto it = cand_ns.find(name);
+        if (it == cand_ns.end()) {
+            out.checks.push_back({name + ".real_ns_per_iter",
+                                  r.at("real_ns_per_iter").number(), 0.0,
+                                  "benchmark present in candidate", false});
+            continue;
+        }
+        out.checks.push_back(check_lower(name + ".real_ns_per_iter",
+                                         r.at("real_ns_per_iter").number(),
+                                         it->second, 0.20, 100.0, "ns"));
+    }
+}
+
+void compare_roc(const Json& base, const Json& cand, Comparison& out) {
+    std::map<std::string, const Json*> cand_rows;
+    for (const Json& r : cand.at("results").at("boundaries").elements()) {
+        cand_rows[r.at("boundary").str()] = &r;
+    }
+    for (const Json& r : base.at("results").at("boundaries").elements()) {
+        const std::string& b = r.at("boundary").str();
+        const auto it = cand_rows.find(b);
+        if (it == cand_rows.end()) {
+            out.checks.push_back(
+                {b + ".auc", r.at("auc").number(), 0.0, "boundary present", false});
+            continue;
+        }
+        out.checks.push_back(check_abs(b + ".auc", r.at("auc").number(),
+                                       it->second->at("auc").number(), 0.02, true));
+        out.checks.push_back(check_abs(
+            b + ".fn_rate_at_fp0", r.at("fn_rate_at_fp0").number(),
+            it->second->at("fn_rate_at_fp0").number(), 0.05, false));
+    }
+    if (base.at("results").contains("detector_swap") &&
+        cand.at("results").contains("detector_swap")) {
+        const Json& bs = base.at("results").at("detector_swap");
+        const Json& cs = cand.at("results").at("detector_swap");
+        out.checks.push_back(check_abs("detector_swap.accuracy",
+                                       bs.at("accuracy").number(),
+                                       cs.at("accuracy").number(), 0.05, true));
+        out.checks.push_back(check_abs("detector_swap.auc", bs.at("auc").number(),
+                                       cs.at("auc").number(), 0.02, true));
+    }
+}
+
+void compare_boundary_block(const std::string& prefix, const Json& base,
+                            const Json& cand, Comparison& out) {
+    for (const auto& [boundary, bb] : base.members()) {
+        if (!cand.contains(boundary)) {
+            out.checks.push_back({prefix + boundary + ".accuracy",
+                                  bb.at("accuracy").number(), 0.0,
+                                  "boundary present", false});
+            continue;
+        }
+        const Json& cb = cand.at(boundary);
+        out.checks.push_back(check_abs(prefix + boundary + ".accuracy",
+                                       bb.at("accuracy").number(),
+                                       cb.at("accuracy").number(), 0.10, true));
+        out.checks.push_back(check_abs(prefix + boundary + ".fp_rate",
+                                       bb.at("fp_rate").number(),
+                                       cb.at("fp_rate").number(), 0.10, false));
+        out.checks.push_back(check_abs(prefix + boundary + ".fn_rate",
+                                       bb.at("fn_rate").number(),
+                                       cb.at("fn_rate").number(), 0.10, false));
+    }
+}
+
+void compare_sweep(const Json& base, const Json& cand, bool with_verdict,
+                   Comparison& out) {
+    const auto& base_sweep = base.at("results").at("sweep").elements();
+    const auto& cand_sweep = cand.at("results").at("sweep").elements();
+    for (std::size_t i = 0; i < base_sweep.size(); ++i) {
+        const std::string prefix = "sweep[" + std::to_string(i) + "].";
+        if (i >= cand_sweep.size()) {
+            out.checks.push_back(
+                {prefix + "present", 1.0, 0.0, "sweep point present", false});
+            continue;
+        }
+        const Json& bp = base_sweep[i];
+        const Json& cp = cand_sweep[i];
+        if (with_verdict && bp.contains("verdict") && cp.contains("verdict")) {
+            const auto rank = [](const Json& p) {
+                return static_cast<double>(
+                    htd::obs::health_level_from_name(p.at("verdict").str()));
+            };
+            out.checks.push_back(check_abs(prefix + "verdict_rank", rank(bp),
+                                           rank(cp), 0.0, false));
+        }
+        if (bp.contains("boundaries") && cp.contains("boundaries")) {
+            compare_boundary_block(prefix, bp.at("boundaries"), cp.at("boundaries"),
+                                   out);
+        }
+    }
+}
+
+Json comparison_json(const std::vector<Comparison>& comparisons,
+                     const std::string& baseline_dir,
+                     const std::string& candidate_dir, int regressions) {
+    Json doc = Json::object();
+    doc.set("tool", "bench_compare");
+    doc.set("baseline_dir", baseline_dir);
+    doc.set("candidate_dir", candidate_dir);
+    doc.set("regressions", regressions);
+    Json list = Json::array();
+    for (const Comparison& cmp : comparisons) {
+        Json entry = Json::object();
+        entry.set("name", cmp.name);
+        entry.set("status", cmp.status);
+        Json checks = Json::array();
+        for (const Check& c : cmp.checks) {
+            Json check = Json::object();
+            check.set("metric", c.metric);
+            check.set("baseline", c.baseline);
+            check.set("candidate", c.candidate);
+            check.set("rule", c.rule);
+            check.set("ok", c.ok);
+            checks.push_back(std::move(check));
+        }
+        entry.set("checks", std::move(checks));
+        list.push_back(std::move(entry));
+    }
+    doc.set("comparisons", std::move(list));
+    return doc;
+}
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--baseline-dir DIR] [--candidate-dir DIR] "
+                 "[--json PATH] [--bless] [name...]\n"
+                 "names default to: micro roc fault_sweep drift_sweep\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string baseline_dir = "bench/baselines";
+    std::string candidate_dir = ".";
+    std::string json_path;
+    bool bless = false;
+    std::vector<std::string> names;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--baseline-dir") {
+            const char* v = next();
+            if (v == nullptr) return usage(argv[0]);
+            baseline_dir = v;
+        } else if (arg == "--candidate-dir") {
+            const char* v = next();
+            if (v == nullptr) return usage(argv[0]);
+            candidate_dir = v;
+        } else if (arg == "--json") {
+            const char* v = next();
+            if (v == nullptr) return usage(argv[0]);
+            json_path = v;
+        } else if (arg == "--bless") {
+            bless = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            names.push_back(arg);
+        }
+    }
+    if (names.empty()) names = {"micro", "roc", "fault_sweep", "drift_sweep"};
+
+    if (bless) {
+        std::error_code ec;
+        fs::create_directories(baseline_dir, ec);
+        for (const std::string& name : names) {
+            const fs::path src = fs::path(candidate_dir) / ("BENCH_" + name + ".json");
+            if (!fs::exists(src)) {
+                std::fprintf(stderr, "bench_compare: cannot bless %s: %s missing\n",
+                             name.c_str(), src.string().c_str());
+                return 2;
+            }
+            const fs::path dst = fs::path(baseline_dir) / ("BENCH_" + name + ".json");
+            fs::copy_file(src, dst, fs::copy_options::overwrite_existing, ec);
+            if (ec) {
+                std::fprintf(stderr, "bench_compare: bless %s failed: %s\n",
+                             name.c_str(), ec.message().c_str());
+                return 2;
+            }
+            std::printf("blessed %s -> %s\n", src.string().c_str(),
+                        dst.string().c_str());
+        }
+        return 0;
+    }
+
+    std::vector<Comparison> comparisons;
+    int regressions = 0;
+    for (const std::string& name : names) {
+        Comparison cmp;
+        cmp.name = name;
+        const fs::path base_path =
+            fs::path(baseline_dir) / ("BENCH_" + name + ".json");
+        const fs::path cand_path =
+            fs::path(candidate_dir) / ("BENCH_" + name + ".json");
+        if (!fs::exists(base_path)) {
+            cmp.status = "unblessed";
+            std::printf("%-12s UNBLESSED (no %s; run with --bless to create)\n",
+                        name.c_str(), base_path.string().c_str());
+            comparisons.push_back(std::move(cmp));
+            continue;
+        }
+        if (!fs::exists(cand_path)) {
+            std::fprintf(stderr, "bench_compare: candidate %s missing\n",
+                         cand_path.string().c_str());
+            return 2;
+        }
+        Json base;
+        Json cand;
+        try {
+            base = Json::parse_file(base_path.string());
+            cand = Json::parse_file(cand_path.string());
+            if (name == "micro") {
+                compare_micro(base, cand, cmp);
+            } else if (name == "roc") {
+                compare_roc(base, cand, cmp);
+            } else if (name == "fault_sweep") {
+                compare_sweep(base, cand, /*with_verdict=*/false, cmp);
+            } else if (name == "drift_sweep") {
+                compare_sweep(base, cand, /*with_verdict=*/true, cmp);
+            } else {
+                std::fprintf(stderr, "bench_compare: unknown artifact '%s'\n",
+                             name.c_str());
+                return 2;
+            }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "bench_compare: %s: %s\n", name.c_str(), e.what());
+            return 2;
+        }
+
+        int failed = 0;
+        for (const Check& c : cmp.checks) failed += c.ok ? 0 : 1;
+        cmp.status = failed == 0 ? "ok" : "regression";
+        regressions += failed;
+        std::printf("%-12s %s (%zu checks, %d failed)\n", name.c_str(),
+                    failed == 0 ? "OK" : "REGRESSION", cmp.checks.size(), failed);
+        for (const Check& c : cmp.checks) {
+            if (c.ok) continue;
+            std::printf("  FAIL %-40s baseline %.6g candidate %.6g  rule: %s\n",
+                        c.metric.c_str(), c.baseline, c.candidate, c.rule.c_str());
+        }
+        comparisons.push_back(std::move(cmp));
+    }
+
+    if (!json_path.empty()) {
+        comparison_json(comparisons, baseline_dir, candidate_dir, regressions)
+            .dump_to_file(json_path);
+    }
+    return regressions == 0 ? 0 : 1;
+}

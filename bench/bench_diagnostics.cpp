@@ -22,7 +22,11 @@ using htd::linalg::Vector;
 htd::io::Table population_table(std::size_t dims, const char* dim_prefix) {
     std::vector<std::string> header{"population", "n", "stat"};
     for (std::size_t c = 0; c < dims; ++c) {
-        header.push_back(dim_prefix + std::to_string(c + 1));
+        // Append-built (not operator+): GCC 12 -O2 emits a spurious
+        // -Wrestrict for inlined string operator+ chains (PR 105329).
+        std::string col = dim_prefix;
+        col += std::to_string(c + 1);
+        header.push_back(std::move(col));
     }
     return htd::io::Table(std::move(header));
 }
@@ -119,7 +123,9 @@ int main() {
     std::printf("\n--- MARS (log PCM -> fingerprint) training R^2 per output ---\n");
     io::Table mars_table({"output", "R^2", "terms"});
     for (std::size_t j = 0; j < bank.output_dim(); ++j) {
-        mars_table.add_row({"m" + std::to_string(j + 1),
+        std::string model_name = "m";
+        model_name += std::to_string(j + 1);
+        mars_table.add_row({std::move(model_name),
                             io::fmt(bank.model(j).r_squared(), 4),
                             std::to_string(bank.model(j).terms().size())});
     }

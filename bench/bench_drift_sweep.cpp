@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
 
 #include "core/experiment.hpp"
 #include "core/report.hpp"
@@ -89,9 +90,9 @@ int main() {
         pipeline.probe_incoming(measured);
 
         const obs::HealthMonitor& health = pipeline.health();
-        const obs::ProbeResult* drift = health.find("drift.pcm");
+        const std::optional<obs::ProbeResult> drift = health.find("drift.pcm");
         double max_scaled_ks = 0.0;
-        if (drift != nullptr) {
+        if (drift.has_value()) {
             for (const auto& [key, v] : drift->values) {
                 if (key == "max_scaled_ks") max_scaled_ks = v;
             }

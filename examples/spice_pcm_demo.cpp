@@ -49,7 +49,11 @@ int main() {
     circuit::SpiceEngine engine(net);
     const auto tr = engine.transient(process::nominal_350nm(), 0.4e-9, 0.5e-12);
     const std::size_t in_node = net.node("in");
-    const std::size_t out_node = net.node("n" + std::to_string(opts.stages));
+    // Append-built node name: inlined string operator+ trips GCC 12's
+    // spurious -Wrestrict at -O2 (PR 105329).
+    std::string out_name = "n";
+    out_name += std::to_string(opts.stages);
+    const std::size_t out_node = net.node(out_name);
     linalg::Matrix wave(tr.time.size(), 3);
     for (std::size_t k = 0; k < tr.time.size(); ++k) {
         wave(k, 0) = tr.time[k] * 1e12;  // ps

@@ -1,18 +1,35 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure + build a preset and run the full ctest
 # suite. This is the gate every change must keep green. With no argument
-# both gates run: the release preset first, then the same suite under
-# ASan+UBSan (the sanitize preset), so memory and UB bugs cannot hide
-# behind a green optimized build.
+# both default gates run: the release preset first, then the same suite
+# under ASan+UBSan (the sanitize preset), so memory and UB bugs cannot
+# hide behind a green optimized build.
+#
+# Gate matrix (see DESIGN.md §11 for what each prong catches):
 #
 #   scripts/check.sh               # release, then sanitize
 #   scripts/check.sh release       # just the release gate (build-release/)
 #   scripts/check.sh sanitize      # just the ASan+UBSan gate (build-sanitize/)
+#   scripts/check.sh tsan          # ThreadSanitizer gate (build-tsan/):
+#                                  # the full suite, including the
+#                                  # test_obs_concurrency stress tests, under
+#                                  # -fsanitize=thread
+#   scripts/check.sh --analyze     # static-analysis gate:
+#                                  #   1. htd_lint project invariants
+#                                  #      (tools/htd_lint, committed allowlist)
+#                                  #   2. scripts/format.sh --check
+#                                  #   3. clang-tidy over the tidy preset's
+#                                  #      compile_commands.json (when
+#                                  #      clang-tidy is installed; skipped
+#                                  #      with a notice otherwise so the gate
+#                                  #      is deterministic on GCC-only boxes)
 #   scripts/check.sh --bench-gate  # perf-regression gate: rerun the release
 #                                  # benches and diff the fresh BENCH_*.json
 #                                  # against bench/baselines/ via bench_compare
 #
-# The bench gate only makes sense on a quiet machine; see
+# All presets build with HTD_WARNINGS_AS_ERRORS=ON: a new warning anywhere
+# in src/, tools/, bench/ or tests/ fails the build rather than scrolling
+# by. The bench gate only makes sense on a quiet machine; see
 # bench/baselines/README.md for how baselines are blessed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -43,8 +60,50 @@ run_bench_gate() {
     ./build-release/tools/bench_compare --candidate-dir "$out"
 }
 
+run_analyze() {
+    echo "== check.sh: static-analysis gate =="
+
+    # 1. htd_lint: project invariants clang-tidy cannot express (seeded
+    #    RNGs, obs-only output, centralized NaN screening, header hygiene,
+    #    checked stream opens). Built through the release preset so the
+    #    gate shares its cache.
+    echo "-- htd_lint --"
+    cmake --preset release > /dev/null
+    cmake --build --preset release -j "$(nproc)" --target htd_lint
+    ./build-release/tools/htd_lint/htd_lint --root .
+
+    # 2. Format verification (portable whitespace checks always; the
+    #    clang-format pass where the tool exists).
+    echo "-- format --"
+    scripts/format.sh --check
+
+    # 3. clang-tidy over the tidy preset's compile_commands.json. The
+    #    curated .clang-tidy runs everything as errors; without clang-tidy
+    #    installed this prong is skipped loudly (the htd_lint + warning-
+    #    as-error gates above still hold).
+    echo "-- clang-tidy --"
+    cmake --preset tidy > /dev/null
+    if command -v clang-tidy > /dev/null 2>&1; then
+        local sources
+        mapfile -t sources < <(git ls-files 'src/*.cpp' 'tools/*.cpp' \
+            'bench/*.cpp' 'tests/*.cpp')
+        if command -v run-clang-tidy > /dev/null 2>&1; then
+            run-clang-tidy -p build-tidy -quiet "${sources[@]}"
+        else
+            clang-tidy -p build-tidy --quiet "${sources[@]}"
+        fi
+    else
+        echo "check.sh: clang-tidy not found; skipping (htd_lint, format and"
+        echo "          warnings-as-errors gates above still ran)"
+    fi
+
+    echo "== check.sh: static-analysis gate OK =="
+}
+
 if [[ $# -ge 1 && "$1" == "--bench-gate" ]]; then
     run_bench_gate
+elif [[ $# -ge 1 && "$1" == "--analyze" ]]; then
+    run_analyze
 elif [[ $# -ge 1 ]]; then
     run_preset "$1"
 else

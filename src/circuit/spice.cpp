@@ -259,6 +259,19 @@ TransientSolution SpiceEngine::transient(const process::ProcessPoint& pp,
 
 // --- PCM path as a netlist ---------------------------------------------------------
 
+namespace {
+
+/// Append-built "<prefix><n>" element/node name. Not string operator+:
+/// GCC 12 at -O2 emits a spurious -Wrestrict for the inlined operator+
+/// insert path (PR 105329), which breaks warnings-as-errors builds.
+std::string numbered(const char* prefix, std::size_t n) {
+    std::string name = prefix;
+    name += std::to_string(n);
+    return name;
+}
+
+}  // namespace
+
 Netlist build_pcm_path_netlist(const PcmPath::Options& opts) {
     if (opts.stages == 0) {
         throw std::invalid_argument("build_pcm_path_netlist: zero stages");
@@ -271,19 +284,19 @@ Netlist build_pcm_path_netlist(const PcmPath::Options& opts) {
     const WireSegment wire{opts.wire_length_um, 0.08, 0.08};
     std::string prev = "in";
     for (std::size_t s = 1; s <= opts.stages; ++s) {
-        const std::string mid = "m" + std::to_string(s);
-        const std::string out = "n" + std::to_string(s);
-        net.add_inverter("x" + std::to_string(s), prev, mid, "vdd",
+        const std::string mid = numbered("m", s);
+        const std::string out = numbered("n", s);
+        net.add_inverter(numbered("x", s), prev, mid, "vdd",
                          opts.nmos_width_um);
         // Wire between stages: lumped pi model (R with half the capacitance
         // on each side), tracking the process sheet resistance / parasitics.
         const double r_ohm = wire.res_per_um * wire.length_um;
         const double c_f = wire.cap_per_um_ff * wire.length_um * 1e-15;
-        net.add_resistor("rw" + std::to_string(s), mid, out, r_ohm,
+        net.add_resistor(numbered("rw", s), mid, out, r_ohm,
                          /*scale_with_rsheet=*/true);
-        net.add_capacitor("cw1_" + std::to_string(s), mid, "0", 0.5 * c_f,
+        net.add_capacitor(numbered("cw1_", s), mid, "0", 0.5 * c_f,
                           /*scale_with_cj=*/true);
-        net.add_capacitor("cw2_" + std::to_string(s), out, "0", 0.5 * c_f,
+        net.add_capacitor(numbered("cw2_", s), out, "0", 0.5 * c_f,
                           /*scale_with_cj=*/true);
         prev = out;
     }
@@ -304,7 +317,7 @@ double spice_pcm_delay_ns(const process::ProcessPoint& pp,
 
     Netlist mutable_net = net;  // node() is non-const; indices are stable
     const std::size_t in_node = mutable_net.node("in");
-    const std::size_t out_node = mutable_net.node("n" + std::to_string(opts.stages));
+    const std::size_t out_node = mutable_net.node(numbered("n", opts.stages));
     const double half = 0.5 * opts.vdd;
 
     const double t_in = result.crossing_time(in_node, half, /*rising=*/true);

@@ -14,4 +14,16 @@ std::string pipeline_error_code_name(PipelineErrorCode code) {
     return "unknown";
 }
 
+std::string PipelineError::format_message(PipelineErrorCode code,
+                                          const std::string& message) {
+    const std::string name = pipeline_error_code_name(code);
+    std::string out;
+    out.reserve(name.size() + message.size() + 3);
+    out += '[';
+    out += name;
+    out += "] ";
+    out += message;
+    return out;
+}
+
 }  // namespace htd::core

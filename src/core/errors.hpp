@@ -32,12 +32,18 @@ enum class PipelineErrorCode {
 class PipelineError : public std::runtime_error {
 public:
     PipelineError(PipelineErrorCode code, const std::string& message)
-        : std::runtime_error("[" + pipeline_error_code_name(code) + "] " + message),
-          code_(code) {}
+        : std::runtime_error(format_message(code, message)), code_(code) {}
 
     [[nodiscard]] PipelineErrorCode code() const noexcept { return code_; }
 
 private:
+    /// Out-of-line "[code] message" formatting: keeps the std::string
+    /// concatenation out of every throw site (GCC 12 -O2 emits spurious
+    /// -Wrestrict for inlined operator+ chains, PR 105329) and builds the
+    /// message with appends instead of temporaries.
+    static std::string format_message(PipelineErrorCode code,
+                                      const std::string& message);
+
     PipelineErrorCode code_;
 };
 

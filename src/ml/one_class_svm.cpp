@@ -66,8 +66,8 @@ void OneClassSvm::fit(const linalg::Matrix& data) {
         // W = diag(1/sqrt(max(lambda, floor))) V^T
         for (std::size_t k = 0; k < d; ++k) {
             const double scale = 1.0 / std::sqrt(std::max(eig.values[k], floor_val));
-            for (std::size_t c = 0; c < d; ++c) {
-                input_transform_(k, c) = scale * eig.vectors(c, k);
+            for (std::size_t col = 0; col < d; ++col) {
+                input_transform_(k, col) = scale * eig.vectors(col, k);
             }
         }
     } else {

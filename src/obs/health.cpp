@@ -215,24 +215,35 @@ io::Json ProbeResult::to_json() const {
 HealthMonitor::HealthMonitor(HealthThresholds thresholds)
     : thresholds_(thresholds) {}
 
-const ProbeResult& HealthMonitor::record(ProbeResult probe) {
-    auto it = std::find_if(probes_.begin(), probes_.end(),
-                           [&](const ProbeResult& p) { return p.name == probe.name; });
-    if (it == probes_.end()) {
-        probes_.push_back(std::move(probe));
-        it = probes_.end() - 1;
-    } else {
-        *it = std::move(probe);
+ProbeResult HealthMonitor::record(ProbeResult probe) {
+    ProbeResult stored;
+    HealthLevel verdict_now = HealthLevel::kHealthy;
+    {
+        const core::MutexLock lock(mutex_);
+        auto it = std::find_if(
+            probes_.begin(), probes_.end(),
+            [&](const ProbeResult& p) { return p.name == probe.name; });
+        if (it == probes_.end()) {
+            probes_.push_back(std::move(probe));
+            it = probes_.end() - 1;
+        } else {
+            *it = std::move(probe);
+        }
+        stored = *it;
+        verdict_now = verdict_locked();
     }
+    // Gauge publication happens outside the probe lock: the Registry has
+    // its own mutex and the Health -> Registry lock order must never be
+    // entangled (a sink flushing while a stage records must not deadlock).
     Registry& registry = Registry::global();
     registry.counter_add("health.probes_recorded");
-    for (const auto& [key, v] : it->values) {
-        registry.gauge_set("health." + it->name + "." + key, v);
+    for (const auto& [key, v] : stored.values) {
+        registry.gauge_set("health." + stored.name + "." + key, v);
     }
-    registry.gauge_set("health." + it->name + ".level",
-                       static_cast<double>(it->level));
-    registry.gauge_set("health.verdict", static_cast<double>(verdict()));
-    return *it;
+    registry.gauge_set("health." + stored.name + ".level",
+                       static_cast<double>(stored.level));
+    registry.gauge_set("health.verdict", static_cast<double>(verdict_now));
+    return stored;
 }
 
 ProbeResult HealthMonitor::probe_kmm_weights(std::span<const double> weights) const {
@@ -601,22 +612,39 @@ ProbeResult HealthMonitor::probe_svm_margins(std::string_view name,
     return probe;
 }
 
-HealthLevel HealthMonitor::verdict() const noexcept {
+HealthLevel HealthMonitor::verdict_locked() const {
     HealthLevel v = HealthLevel::kHealthy;
     for (const ProbeResult& p : probes_) v = worse(v, p.level);
     return v;
 }
 
-const ProbeResult* HealthMonitor::find(std::string_view name) const noexcept {
+HealthLevel HealthMonitor::verdict() const {
+    const core::MutexLock lock(mutex_);
+    return verdict_locked();
+}
+
+std::vector<ProbeResult> HealthMonitor::probes() const {
+    const core::MutexLock lock(mutex_);
+    return probes_;
+}
+
+std::optional<ProbeResult> HealthMonitor::find(std::string_view name) const {
+    const core::MutexLock lock(mutex_);
     for (const ProbeResult& p : probes_) {
-        if (p.name == name) return &p;
+        if (p.name == name) return p;
     }
-    return nullptr;
+    return std::nullopt;
+}
+
+void HealthMonitor::clear() {
+    const core::MutexLock lock(mutex_);
+    probes_.clear();
 }
 
 io::Json HealthMonitor::to_json() const {
+    const core::MutexLock lock(mutex_);
     io::Json out = io::Json::object();
-    out.set("verdict", health_level_name(verdict()));
+    out.set("verdict", health_level_name(verdict_locked()));
     io::Json probes = io::Json::array();
     for (const ProbeResult& p : probes_) probes.push_back(p.to_json());
     out.set("probes", std::move(probes));

@@ -23,12 +23,14 @@
 /// dependency footprint (io + linalg only) and the stats layer can keep
 /// depending on obs for spans.
 
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "io/json.hpp"
 #include "linalg/matrix.hpp"
 
@@ -170,19 +172,26 @@ struct ProbeResult {
 
 /// Collects probes for one pipeline run, mirrors their statistics as
 /// `health.*` gauges, and aggregates the run verdict (worst probe level).
-/// Probe builders are const and pure; only record() mutates state.
+/// Probe builders are const and pure; only record() / clear() mutate state.
+///
+/// Thread-safe: the recorded probe set is guarded by an annotated mutex
+/// (core/annotations.hpp), so pipeline stages may record probes
+/// concurrently — the requirement the sharded Monte Carlo / batched KMM
+/// work depends on. Accessors therefore return snapshots by value, never
+/// references into the guarded state.
 class HealthMonitor {
 public:
     explicit HealthMonitor(HealthThresholds thresholds = {});
 
     [[nodiscard]] const HealthThresholds& thresholds() const noexcept {
-        return thresholds_;
+        return thresholds_;  // immutable after construction; no lock needed
     }
 
     /// Record a probe (a later probe with the same name replaces the
     /// earlier one — stages re-run). Publishes `health.<name>.<stat>` and
     /// `health.<name>.level` gauges plus the `health.verdict` gauge.
-    const ProbeResult& record(ProbeResult probe);
+    /// Returns a copy of the stored probe.
+    ProbeResult record(ProbeResult probe) HTD_EXCLUDES(mutex_);
 
     /// KMM importance-weight diagnostics: Kish ESS (absolute and as a
     /// fraction of n), max-weight share, entropy ratio.
@@ -223,25 +232,28 @@ public:
         double nu, std::size_t support_vectors, std::size_t trained_samples) const;
 
     /// Worst level over the recorded probes (kHealthy when none).
-    [[nodiscard]] HealthLevel verdict() const noexcept;
+    [[nodiscard]] HealthLevel verdict() const HTD_EXCLUDES(mutex_);
 
-    [[nodiscard]] const std::vector<ProbeResult>& probes() const noexcept {
-        return probes_;
-    }
+    /// Snapshot of the recorded probes in first-recorded order.
+    [[nodiscard]] std::vector<ProbeResult> probes() const HTD_EXCLUDES(mutex_);
 
-    /// The probe with that name, or nullptr.
-    [[nodiscard]] const ProbeResult* find(std::string_view name) const noexcept;
+    /// The probe with that name, or std::nullopt.
+    [[nodiscard]] std::optional<ProbeResult> find(std::string_view name) const
+        HTD_EXCLUDES(mutex_);
 
     /// The run_report.v2 "health" section:
     /// {"verdict": ..., "probes": [...]}.
-    [[nodiscard]] io::Json to_json() const;
+    [[nodiscard]] io::Json to_json() const HTD_EXCLUDES(mutex_);
 
     /// Drop all recorded probes (thresholds are kept).
-    void clear() { probes_.clear(); }
+    void clear() HTD_EXCLUDES(mutex_);
 
 private:
+    [[nodiscard]] HealthLevel verdict_locked() const HTD_REQUIRES(mutex_);
+
     HealthThresholds thresholds_{};
-    std::vector<ProbeResult> probes_;
+    mutable core::Mutex mutex_;
+    std::vector<ProbeResult> probes_ HTD_GUARDED_BY(mutex_);
 };
 
 }  // namespace htd::obs

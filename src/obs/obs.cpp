@@ -78,7 +78,7 @@ void Registry::apply_environment() {
 void Registry::configure(SinkKind sink, std::string json_path) {
     if (sink == SinkKind::kInherit && json_path.empty()) return;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const core::MutexLock lock(mutex_);
         if (!json_path.empty()) json_path_ = std::move(json_path);
     }
     if (sink == SinkKind::kInherit) return;
@@ -87,13 +87,11 @@ void Registry::configure(SinkKind sink, std::string json_path) {
 }
 
 std::string Registry::json_path() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     return json_path_;
 }
 
-void Registry::counter_add(std::string_view name, double delta) {
-    if (!enabled()) return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+void Registry::counter_add_locked(std::string_view name, double delta) {
     auto it = counters_.find(name);
     if (it == counters_.end()) {
         counters_.emplace(std::string(name), delta);
@@ -102,9 +100,15 @@ void Registry::counter_add(std::string_view name, double delta) {
     }
 }
 
+void Registry::counter_add(std::string_view name, double delta) {
+    if (!enabled()) return;
+    const core::MutexLock lock(mutex_);
+    counter_add_locked(name, delta);
+}
+
 void Registry::gauge_set(std::string_view name, double value) {
     if (!enabled()) return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     auto it = gauges_.find(name);
     if (it == gauges_.end()) {
         gauges_.emplace(std::string(name), value);
@@ -132,7 +136,7 @@ void Registry::histogram_record_locked(std::string_view name, double value_us) {
 
 void Registry::histogram_record(std::string_view name, double value_us) {
     if (!enabled()) return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     histogram_record_locked(name, value_us);
 }
 
@@ -142,51 +146,46 @@ void Registry::span_record(SpanRecord record) {
         const std::string line = span_text_line(record);
         std::fprintf(stderr, "%s\n", line.c_str());
     }
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     // Every span also feeds a latency histogram, so repeated spans keep an
     // aggregate view even once the stored-span cap is hit.
     histogram_record_locked("span." + record.name,
                             static_cast<double>(record.wall_ns) / 1e3);
     if (spans_.size() >= kMaxStoredSpans) {
-        auto it = counters_.find("obs.spans_dropped");
-        if (it == counters_.end()) {
-            counters_.emplace("obs.spans_dropped", 1.0);
-        } else {
-            it->second += 1.0;
-        }
+        counter_add_locked("obs.spans_dropped", 1.0);
         return;
     }
     spans_.push_back(std::move(record));
 }
 
 std::vector<SpanRecord> Registry::spans() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     return spans_;
 }
 
 std::map<std::string, double> Registry::counters() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     return {counters_.begin(), counters_.end()};
 }
 
 std::map<std::string, double> Registry::gauges() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     return {gauges_.begin(), gauges_.end()};
 }
 
 std::map<std::string, HistogramSnapshot> Registry::histograms() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     return {histograms_.begin(), histograms_.end()};
 }
 
 double Registry::counter_value(std::string_view name) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0.0 : it->second;
 }
 
 std::size_t Registry::span_count() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     return spans_.size();
 }
 
@@ -204,7 +203,7 @@ void Registry::write_default_report() const {
 }
 
 void Registry::reset() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     spans_.clear();
     counters_.clear();
     gauges_.clear();

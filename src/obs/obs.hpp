@@ -19,14 +19,19 @@
 ///
 /// All registry operations are thread-safe: the hot-path enabled check is
 /// lock-free and the record/aggregate paths take one short mutex section.
+/// The lock discipline is annotated for Clang's `-Wthread-safety` analysis
+/// (core/annotations.hpp): every field behind `mutex_` is `HTD_GUARDED_BY`
+/// it, so an unlocked access is a compile error on Clang and the `tsan`
+/// preset (scripts/check.sh tsan) verifies the same discipline dynamically.
 
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "core/annotations.hpp"
 
 namespace htd::obs {
 
@@ -100,7 +105,7 @@ public:
 
     /// Swap the sink; `SinkKind::kInherit` is a no-op. Not reset()-ing:
     /// already-recorded data survives a sink change.
-    void configure(SinkKind sink, std::string json_path = {});
+    void configure(SinkKind sink, std::string json_path = {}) HTD_EXCLUDES(mutex_);
     void configure(const Config& config) { configure(config.sink, config.json_path); }
 
     /// True when any sink other than kOff is active.
@@ -113,18 +118,18 @@ public:
     }
 
     /// Default path for write_default_report().
-    [[nodiscard]] std::string json_path() const;
+    [[nodiscard]] std::string json_path() const HTD_EXCLUDES(mutex_);
 
     // --- metrics -----------------------------------------------------------
 
     /// Add `delta` to a monotonic counter (created on first use).
-    void counter_add(std::string_view name, double delta = 1.0);
+    void counter_add(std::string_view name, double delta = 1.0) HTD_EXCLUDES(mutex_);
 
     /// Set a last-value-wins gauge.
-    void gauge_set(std::string_view name, double value);
+    void gauge_set(std::string_view name, double value) HTD_EXCLUDES(mutex_);
 
     /// Record one latency observation (µs) into a fixed-bucket histogram.
-    void histogram_record(std::string_view name, double value_us);
+    void histogram_record(std::string_view name, double value_us) HTD_EXCLUDES(mutex_);
 
     // --- spans (used by ScopedSpan; see span.hpp) --------------------------
 
@@ -132,7 +137,7 @@ public:
     /// "span.<name>" latency histogram. Spans beyond `kMaxStoredSpans` are
     /// counted in the `obs.spans_dropped` counter instead of stored,
     /// bounding memory under hot loops (the histogram keeps aggregating).
-    void span_record(SpanRecord record);
+    void span_record(SpanRecord record) HTD_EXCLUDES(mutex_);
 
     /// Unique span id (1-based). Cheap; called even before timing starts.
     [[nodiscard]] std::uint64_t next_span_id() noexcept {
@@ -141,16 +146,17 @@ public:
 
     // --- snapshots ---------------------------------------------------------
 
-    [[nodiscard]] std::vector<SpanRecord> spans() const;
-    [[nodiscard]] std::map<std::string, double> counters() const;
-    [[nodiscard]] std::map<std::string, double> gauges() const;
-    [[nodiscard]] std::map<std::string, HistogramSnapshot> histograms() const;
+    [[nodiscard]] std::vector<SpanRecord> spans() const HTD_EXCLUDES(mutex_);
+    [[nodiscard]] std::map<std::string, double> counters() const HTD_EXCLUDES(mutex_);
+    [[nodiscard]] std::map<std::string, double> gauges() const HTD_EXCLUDES(mutex_);
+    [[nodiscard]] std::map<std::string, HistogramSnapshot> histograms() const
+        HTD_EXCLUDES(mutex_);
 
     /// Current value of one counter (0 when absent).
-    [[nodiscard]] double counter_value(std::string_view name) const;
+    [[nodiscard]] double counter_value(std::string_view name) const HTD_EXCLUDES(mutex_);
 
     /// Number of spans currently stored.
-    [[nodiscard]] std::size_t span_count() const;
+    [[nodiscard]] std::size_t span_count() const HTD_EXCLUDES(mutex_);
 
     /// Spans rejected by the kMaxStoredSpans cap so far (the
     /// `obs.spans_dropped` counter; 0 when nothing was dropped).
@@ -167,7 +173,7 @@ public:
     void write_default_report() const;
 
     /// Drop all recorded spans and metrics (sink selection is kept).
-    void reset();
+    void reset() HTD_EXCLUDES(mutex_);
 
     /// Stored-span cap (per process, not per run).
     static constexpr std::size_t kMaxStoredSpans = 65536;
@@ -176,18 +182,21 @@ private:
     Registry();
 
     void apply_environment();
-    void histogram_record_locked(std::string_view name, double value_us);
+    void histogram_record_locked(std::string_view name, double value_us)
+        HTD_REQUIRES(mutex_);
+    void counter_add_locked(std::string_view name, double delta) HTD_REQUIRES(mutex_);
 
     std::atomic<bool> enabled_{false};
     std::atomic<SinkKind> sink_{SinkKind::kOff};
     std::atomic<std::uint64_t> next_id_{0};
 
-    mutable std::mutex mutex_;
-    std::string json_path_;
-    std::vector<SpanRecord> spans_;
-    std::map<std::string, double, std::less<>> counters_;
-    std::map<std::string, double, std::less<>> gauges_;
-    std::map<std::string, HistogramSnapshot, std::less<>> histograms_;
+    mutable core::Mutex mutex_;
+    std::string json_path_ HTD_GUARDED_BY(mutex_);
+    std::vector<SpanRecord> spans_ HTD_GUARDED_BY(mutex_);
+    std::map<std::string, double, std::less<>> counters_ HTD_GUARDED_BY(mutex_);
+    std::map<std::string, double, std::less<>> gauges_ HTD_GUARDED_BY(mutex_);
+    std::map<std::string, HistogramSnapshot, std::less<>> histograms_
+        HTD_GUARDED_BY(mutex_);
 };
 
 }  // namespace htd::obs

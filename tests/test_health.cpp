@@ -6,6 +6,7 @@
 #include "obs/health.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -218,9 +219,9 @@ TEST(MonitorState, RecordReplacesSameNameAndAggregatesVerdict) {
     critical.escalate(HealthLevel::kCritical, "collapse");
     monitor.record(critical);
     EXPECT_EQ(monitor.verdict(), HealthLevel::kCritical);
-    ASSERT_NE(monitor.find("kmm_weights"), nullptr);
+    ASSERT_TRUE(monitor.find("kmm_weights").has_value());
     EXPECT_EQ(monitor.find("kmm_weights")->level, HealthLevel::kCritical);
-    EXPECT_EQ(monitor.find("absent"), nullptr);
+    EXPECT_FALSE(monitor.find("absent").has_value());
 
     const io::Json doc = monitor.to_json();
     EXPECT_EQ(doc.at("verdict").str(), "critical");
@@ -262,8 +263,8 @@ TEST(PipelineHealth, CleanRunReportsAllProbesHealthy) {
     for (const char* name : {"mars_fit", "kmm_weights", "calibration", "drift.pcm",
                              "kde.s2", "kde.s5", "boundaries",
                              "regression_residuals", "svm.B1", "svm.B5"}) {
-        const ProbeResult* probe = health.find(name);
-        ASSERT_NE(probe, nullptr) << name;
+        const std::optional<ProbeResult> probe = health.find(name);
+        ASSERT_TRUE(probe.has_value()) << name;
         EXPECT_EQ(probe->level, HealthLevel::kHealthy)
             << name << ": " << probe->detail;
     }
@@ -310,8 +311,8 @@ TEST(PipelineHealth, ForcedDriftAndCollapseDegradeVerdictWithPerChannelKs) {
               static_cast<int>(HealthLevel::kDegraded));
 
     // The health section carries per-channel KS statistics for the drift.
-    const ProbeResult* drift = health.find("drift.pcm");
-    ASSERT_NE(drift, nullptr);
+    const std::optional<ProbeResult> drift = health.find("drift.pcm");
+    ASSERT_TRUE(drift.has_value());
     bool per_channel_ks = false;
     for (const auto& [key, value] : drift->values) {
         if (key.rfind("ks_ch", 0) == 0) {
@@ -322,8 +323,8 @@ TEST(PipelineHealth, ForcedDriftAndCollapseDegradeVerdictWithPerChannelKs) {
     }
     EXPECT_TRUE(per_channel_ks);
 
-    const ProbeResult* kmm = health.find("kmm_weights");
-    ASSERT_NE(kmm, nullptr);
+    const std::optional<ProbeResult> kmm = health.find("kmm_weights");
+    ASSERT_TRUE(kmm.has_value());
     EXPECT_GE(static_cast<int>(kmm->level),
               static_cast<int>(HealthLevel::kDegraded));
 

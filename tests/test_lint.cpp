@@ -1,0 +1,319 @@
+/// Tests for tools/htd_lint: each rule trips on a seeded fixture, the
+/// scanner ignores rule patterns inside comments / string literals, the
+/// allowlist suppresses and reports stale entries, the --json schema is
+/// stable, and — the self-test with teeth — the committed tree itself
+/// lints clean under the committed allowlist, which is what keeps
+/// `scripts/check.sh --analyze` green.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+#include "lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using htd::io::Json;
+using htd::lint::AllowEntry;
+using htd::lint::Finding;
+using htd::lint::Report;
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+    std::vector<std::string> out;
+    out.reserve(findings.size());
+    for (const Finding& f : findings) out.push_back(f.rule);
+    return out;
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+    for (const Finding& f : findings) {
+        if (f.rule == rule) return true;
+    }
+    return false;
+}
+
+// --- scanner ----------------------------------------------------------------
+
+TEST(LintScanner, BlanksCommentsAndStrings) {
+    const std::string src =
+        "int a; // std::random_device in a comment\n"
+        "/* std::cout in a block\n"
+        "   comment */ int b;\n"
+        "const char* s = \"std::random_device\";\n"
+        "const char* r = R\"(std::random_device)\";\n";
+    const std::string blanked = htd::lint::blank_noncode(src);
+    EXPECT_EQ(blanked.find("random_device"), std::string::npos);
+    EXPECT_EQ(blanked.find("cout"), std::string::npos);
+    EXPECT_NE(blanked.find("int a;"), std::string::npos);
+    EXPECT_NE(blanked.find("int b;"), std::string::npos);
+    // Line structure preserved: same number of newlines.
+    EXPECT_EQ(std::count(src.begin(), src.end(), '\n'),
+              std::count(blanked.begin(), blanked.end(), '\n'));
+}
+
+TEST(LintScanner, PatternsInCommentsDoNotTrip) {
+    const std::string src =
+        "#pragma once\n"
+        "namespace htd {\n"
+        "// forbidden in a comment: std::mt19937 gen; std::cout << x;\n"
+        "}\n";
+    EXPECT_TRUE(htd::lint::lint_source("src/core/x.hpp", src).empty());
+}
+
+// --- individual rules -------------------------------------------------------
+
+TEST(LintRules, RngSeedTripsOnRandomDeviceAndDefaultEngines) {
+    const std::string src =
+        "#include <random>\n"
+        "void f() {\n"
+        "    std::random_device rd;\n"
+        "    std::mt19937 gen;\n"
+        "    std::mt19937_64 seeded(42);\n"  // fine: explicit seed
+        "}\n";
+    const std::vector<Finding> findings =
+        htd::lint::lint_source("bench/fixture.cpp", src);
+    Report diag;
+    diag.findings = findings;
+    ASSERT_EQ(findings.size(), 2u) << htd::lint::report_text(diag);
+    EXPECT_EQ(findings[0].rule, "rng-seed");
+    EXPECT_EQ(findings[0].line, 3u);
+    EXPECT_EQ(findings[1].rule, "rng-seed");
+    EXPECT_EQ(findings[1].line, 4u);
+}
+
+TEST(LintRules, StdRandomInLibraryScopesToSrc) {
+    const std::string src =
+        "#include <random>\n"
+        "void f(std::mt19937& gen) {\n"
+        "    std::normal_distribution<double> d(0.0, 1.0);\n"
+        "    (void)d(gen);\n"
+        "}\n";
+    // In src/ both the engine reference and the distribution are findings.
+    EXPECT_TRUE(has_rule(htd::lint::lint_source("src/ml/x.cpp", src),
+                         "std-random-in-library"));
+    // Outside src/ (tests, bench) raw <random> is allowed when seeded.
+    EXPECT_FALSE(has_rule(htd::lint::lint_source("tests/x.cpp", src),
+                          "std-random-in-library"));
+    // src/rng/ implements the abstraction and is exempt.
+    EXPECT_FALSE(has_rule(htd::lint::lint_source("src/rng/x.cpp", src),
+                          "std-random-in-library"));
+}
+
+TEST(LintRules, RawNanCheckExemptsIngest) {
+    const std::string src =
+        "#include <cmath>\n"
+        "bool f(double v) { return std::isfinite(v) && !std::isnan(v); }\n";
+    const std::vector<Finding> in_lib =
+        htd::lint::lint_source("src/stats/x.cpp", src);
+    EXPECT_EQ(rules_of(in_lib),
+              (std::vector<std::string>{"raw-nan-check", "raw-nan-check"}));
+    EXPECT_TRUE(htd::lint::lint_source("src/core/ingest.cpp", src).empty());
+    EXPECT_TRUE(htd::lint::lint_source("tools/x.cpp", src).empty());
+}
+
+TEST(LintRules, StdioInLibraryExemptsObs) {
+    const std::string src =
+        "#include <cstdio>\n"
+        "#include <iostream>\n"
+        "void f() {\n"
+        "    std::cout << 1;\n"
+        "    std::fprintf(stderr, \"x\");\n"
+        "    char buf[8];\n"
+        "    std::snprintf(buf, sizeof buf, \"y\");\n"  // not console output
+        "}\n";
+    const std::vector<Finding> findings =
+        htd::lint::lint_source("src/ml/x.cpp", src);
+    EXPECT_EQ(rules_of(findings),
+              (std::vector<std::string>{"stdio-in-library", "stdio-in-library"}));
+    EXPECT_TRUE(htd::lint::lint_source("src/obs/x.cpp", src).empty());
+    EXPECT_TRUE(htd::lint::lint_source("tools/x.cpp", src).empty());
+}
+
+TEST(LintRules, HeaderHygieneRequiresPragmaOnceAndNamespace) {
+    const std::string bad =
+        "#ifndef X\n#define X\nnamespace other {}\n#endif\n";
+    const std::vector<Finding> findings =
+        htd::lint::lint_source("src/core/x.hpp", bad);
+    EXPECT_EQ(rules_of(findings),
+              (std::vector<std::string>{"header-hygiene", "header-hygiene"}));
+
+    const std::string good =
+        "#pragma once\n/// doc\nnamespace htd::core {}\n";
+    EXPECT_TRUE(htd::lint::lint_source("src/core/x.hpp", good).empty());
+    // Sources and non-src headers are out of scope.
+    EXPECT_TRUE(htd::lint::lint_source("tools/htd_lint/lint.hpp", bad).empty());
+}
+
+TEST(LintRules, StreamUncheckedWantsAnErrorCheckNearby) {
+    const std::string unchecked =
+        "#include <fstream>\n"
+        "void f() {\n"
+        "    std::ifstream in(\"x.csv\");\n"
+        "    int y = 0;\n"
+        "    (void)y;\n"
+        "}\n";
+    EXPECT_TRUE(has_rule(htd::lint::lint_source("src/io/x.cpp", unchecked),
+                         "stream-unchecked"));
+
+    const std::string checked =
+        "#include <fstream>\n"
+        "void f() {\n"
+        "    std::ifstream in(\"x.csv\");\n"
+        "    if (!in) return;\n"
+        "}\n";
+    EXPECT_TRUE(htd::lint::lint_source("src/io/x.cpp", checked).empty());
+
+    const std::string is_open =
+        "#include <fstream>\n"
+        "void f() {\n"
+        "    std::ofstream out(\"x.csv\");\n"
+        "    if (!out.is_open()) return;\n"
+        "}\n";
+    EXPECT_TRUE(htd::lint::lint_source("src/io/x.cpp", is_open).empty());
+}
+
+// --- allowlist --------------------------------------------------------------
+
+TEST(LintAllowlist, ParsesEntriesAndComments) {
+    const std::vector<AllowEntry> entries = htd::lint::parse_allowlist(
+        "# header comment\n"
+        "\n"
+        "raw-nan-check src/foo.cpp  # trailing comment\n"
+        "* src/vendor/\n");
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].rule, "raw-nan-check");
+    EXPECT_EQ(entries[0].path_suffix, "src/foo.cpp");
+    EXPECT_EQ(entries[1].rule, "*");
+}
+
+TEST(LintAllowlist, RejectsMalformedLines) {
+    EXPECT_THROW((void)htd::lint::parse_allowlist("raw-nan-check\n"),
+                 std::runtime_error);
+    EXPECT_THROW((void)htd::lint::parse_allowlist("not-a-rule src/x.cpp\n"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        (void)htd::lint::parse_allowlist("raw-nan-check src/x.cpp stray\n"),
+        std::runtime_error);
+}
+
+// --- tree walk + report -----------------------------------------------------
+
+class LintTreeTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        root_ = fs::temp_directory_path() /
+                ("htd_lint_test_" + std::to_string(::getpid()));
+        fs::create_directories(root_ / "src" / "core");
+        write("src/core/bad.cpp",
+              "#include <random>\n"
+              "void f() { std::random_device rd; (void)rd; }\n");
+        write("src/core/good.hpp",
+              "#pragma once\nnamespace htd::core { void g(); }\n");
+    }
+    void TearDown() override { fs::remove_all(root_); }
+
+    void write(const std::string& rel, const std::string& contents) {
+        std::ofstream out(root_ / rel);
+        ASSERT_TRUE(out.is_open()) << rel;
+        out << contents;
+    }
+
+    fs::path root_;
+};
+
+TEST_F(LintTreeTest, WalksTreeAndCountsFiles) {
+    const Report report =
+        htd::lint::lint_paths({(root_ / "src").string()}, {});
+    EXPECT_EQ(report.files_checked, 2u);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].rule, "rng-seed");
+    EXPECT_EQ(report.findings[0].line, 2u);
+    EXPECT_FALSE(report.clean());
+}
+
+TEST_F(LintTreeTest, AllowlistSuppressesAndFlagsStaleEntries) {
+    const std::vector<AllowEntry> allow = {
+        {"rng-seed", "src/core/bad.cpp"},   // suppresses the finding
+        {"rng-seed", "src/core/other.cpp"}  // stale: matches nothing
+    };
+    const Report report =
+        htd::lint::lint_paths({(root_ / "src").string()}, allow);
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(report.suppressed, 1u);
+    ASSERT_EQ(report.unused_allow.size(), 1u);
+    EXPECT_EQ(report.unused_allow[0].path_suffix, "src/core/other.cpp");
+}
+
+TEST_F(LintTreeTest, ThrowsOnMissingPath) {
+    EXPECT_THROW(
+        (void)htd::lint::lint_paths({(root_ / "nope").string()}, {}),
+        std::runtime_error);
+}
+
+TEST_F(LintTreeTest, JsonReportSchema) {
+    const Report report =
+        htd::lint::lint_paths({(root_ / "src").string()}, {});
+    const Json json = htd::lint::report_json(report);
+    EXPECT_EQ(json.at("schema").str(), "htd_lint.v1");
+    EXPECT_EQ(json.at("files_checked").number(), 2.0);
+    EXPECT_EQ(json.at("suppressed").number(), 0.0);
+    ASSERT_EQ(json.at("findings").size(), 1u);
+    const Json& finding = json.at("findings").at(0);
+    EXPECT_EQ(finding.at("rule").str(), "rng-seed");
+    EXPECT_EQ(finding.at("line").number(), 2.0);
+    EXPECT_FALSE(finding.at("file").str().empty());
+    EXPECT_FALSE(finding.at("message").str().empty());
+    EXPECT_EQ(json.at("unused_allowlist_entries").size(), 0u);
+    // The JSON mode must round-trip through the strict parser.
+    const Json reparsed = Json::parse(json.dump(2));
+    EXPECT_EQ(reparsed.at("schema").str(), "htd_lint.v1");
+}
+
+TEST(LintReportText, RendersFileLineRuleAndSummary) {
+    Report report;
+    report.findings.push_back({"src/x.cpp", 7, "rng-seed", "message"});
+    report.files_checked = 3;
+    report.suppressed = 2;
+    const std::string text = htd::lint::report_text(report);
+    EXPECT_NE(text.find("src/x.cpp:7: [rng-seed] message"), std::string::npos);
+    EXPECT_NE(text.find("3 files"), std::string::npos);
+    EXPECT_NE(text.find("2 suppressed"), std::string::npos);
+}
+
+// --- the gate itself --------------------------------------------------------
+
+// The committed tree lints clean under the committed allowlist, with no
+// stale allowlist entries. This is exactly what `scripts/check.sh
+// --analyze` enforces; failing here means a new invariant violation (or a
+// rotted allowlist) is about to land.
+TEST(LintGate, CommittedTreeIsCleanUnderCommittedAllowlist) {
+    const fs::path repo(HTD_SOURCE_DIR);
+    std::ifstream allow_in(repo / "tools" / "htd_lint" / "allowlist.txt");
+    ASSERT_TRUE(allow_in.is_open());
+    std::ostringstream buffer;
+    buffer << allow_in.rdbuf();
+    const std::vector<AllowEntry> allow =
+        htd::lint::parse_allowlist(buffer.str());
+    EXPECT_FALSE(allow.empty());
+
+    std::vector<std::string> paths;
+    for (const char* dir : {"src", "tools", "bench", "tests", "examples"}) {
+        paths.push_back((repo / dir).string());
+    }
+    const Report report = htd::lint::lint_paths(paths, allow);
+    EXPECT_GT(report.files_checked, 100u);
+    EXPECT_TRUE(report.clean()) << htd::lint::report_text(report);
+    EXPECT_TRUE(report.unused_allow.empty()) << htd::lint::report_text(report);
+    EXPECT_GT(report.suppressed, 0u);  // the allowlist is real, not decorative
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+/// Multi-threaded stress tests for the htd::obs concurrency surface: N
+/// writer threads hammer counters / gauges / histograms / nested spans
+/// while a reader thread snapshots continuously, and HealthMonitor takes
+/// concurrent record() / find() / verdict() traffic. The assertions check
+/// totals (every write landed exactly once); the real teeth are the
+/// `tsan` preset (scripts/check.sh tsan), under which any data race in
+/// the Registry / HealthMonitor lock discipline fails these tests, and
+/// Clang's `-Wthread-safety`, under which an unlocked access to guarded
+/// state fails the build. See DESIGN.md §11.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/health.hpp"
+#include "obs/obs.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+using htd::obs::HealthLevel;
+using htd::obs::HealthMonitor;
+using htd::obs::HistogramSnapshot;
+using htd::obs::ProbeResult;
+using htd::obs::Registry;
+using htd::obs::ScopedSpan;
+using htd::obs::SinkKind;
+
+class ObsConcurrencyTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        Registry::global().configure(SinkKind::kJson);
+        Registry::global().reset();
+    }
+    void TearDown() override {
+        Registry::global().configure(SinkKind::kOff);
+        Registry::global().reset();
+    }
+};
+
+constexpr std::size_t kThreads = 8;
+constexpr std::size_t kIterations = 500;
+
+TEST_F(ObsConcurrencyTest, CountersGaugesHistogramsUnderContention) {
+    Registry& registry = Registry::global();
+    std::atomic<bool> stop{false};
+
+    // A reader snapshots concurrently with the writers; every snapshot must
+    // be internally consistent (no torn maps, no crashes).
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::map<std::string, double> counters = registry.counters();
+            for (const auto& [name, value] : counters) {
+                EXPECT_FALSE(name.empty());
+                EXPECT_GE(value, 0.0);
+            }
+            (void)registry.gauges();
+            const std::map<std::string, HistogramSnapshot> hists =
+                registry.histograms();
+            for (const auto& [name, h] : hists) {
+                std::uint64_t bucket_total = 0;
+                for (const std::uint64_t c : h.counts) bucket_total += c;
+                EXPECT_EQ(bucket_total, h.total) << name;
+            }
+        }
+    });
+
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&registry, t] {
+            const std::string own = "stress.own." + std::to_string(t);
+            for (std::size_t i = 0; i < kIterations; ++i) {
+                registry.counter_add("stress.shared");
+                registry.counter_add(own, 2.0);
+                registry.gauge_set("stress.gauge", static_cast<double>(i));
+                registry.histogram_record("stress.hist",
+                                          static_cast<double>(i % 97) + 0.5);
+            }
+        });
+    }
+    for (std::thread& w : writers) w.join();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    EXPECT_DOUBLE_EQ(registry.counter_value("stress.shared"),
+                     static_cast<double>(kThreads * kIterations));
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        EXPECT_DOUBLE_EQ(
+            registry.counter_value("stress.own." + std::to_string(t)),
+            2.0 * static_cast<double>(kIterations));
+    }
+    const std::map<std::string, HistogramSnapshot> hists = registry.histograms();
+    const auto it = hists.find("stress.hist");
+    ASSERT_NE(it, hists.end());
+    EXPECT_EQ(it->second.total, kThreads * kIterations);
+}
+
+TEST_F(ObsConcurrencyTest, NestedSpansAcrossThreads) {
+    Registry& registry = Registry::global();
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            // span_count / spans must stay coherent while writers record.
+            const std::size_t n = registry.span_count();
+            EXPECT_LE(n, Registry::kMaxStoredSpans);
+            (void)registry.spans();
+        }
+    });
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        workers.emplace_back([t] {
+            for (std::size_t i = 0; i < kIterations / 10; ++i) {
+                ScopedSpan outer("stress.outer");
+                outer.attr("thread", static_cast<double>(t));
+                {
+                    ScopedSpan inner("stress.inner");
+                    inner.attr("i", static_cast<double>(i));
+                }
+            }
+        });
+    }
+    for (std::thread& w : workers) w.join();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    // Every span landed: kThreads * iterations of outer + inner each.
+    const std::size_t expected = 2 * kThreads * (kIterations / 10);
+    EXPECT_EQ(registry.span_count() +
+                  static_cast<std::size_t>(registry.spans_dropped()),
+              expected);
+    // Nesting stayed thread-local: every inner span's parent is an outer
+    // span, never a span from another thread's stack.
+    std::map<std::uint64_t, std::string> by_id;
+    for (const auto& s : registry.spans()) by_id[s.id] = s.name;
+    for (const auto& s : registry.spans()) {
+        if (s.name == "stress.inner") {
+            EXPECT_EQ(s.depth, 1u);
+            const auto parent = by_id.find(s.parent);
+            if (parent != by_id.end()) {
+                EXPECT_EQ(parent->second, "stress.outer");
+            }
+        } else {
+            EXPECT_EQ(s.depth, 0u);
+        }
+    }
+}
+
+TEST_F(ObsConcurrencyTest, HealthMonitorConcurrentRecordAndSnapshot) {
+    HealthMonitor monitor;
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            (void)monitor.verdict();
+            (void)monitor.probes();
+            (void)monitor.to_json();
+            const std::optional<ProbeResult> probe = monitor.find("stress.0");
+            if (probe.has_value()) {
+                EXPECT_EQ(probe->name, "stress.0");
+            }
+        }
+    });
+
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&monitor, t] {
+            for (std::size_t i = 0; i < kIterations / 5; ++i) {
+                ProbeResult probe;
+                probe.name = "stress." + std::to_string(t);
+                probe.value("iteration", static_cast<double>(i));
+                if (i % 7 == 0) {
+                    probe.escalate(HealthLevel::kWarn, "synthetic warn");
+                }
+                const ProbeResult stored = monitor.record(std::move(probe));
+                EXPECT_EQ(stored.name, "stress." + std::to_string(t));
+            }
+        });
+    }
+    for (std::thread& w : writers) w.join();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    // Same-name probes replace, so exactly one probe per thread survives.
+    EXPECT_EQ(monitor.probes().size(), kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        EXPECT_TRUE(monitor.find("stress." + std::to_string(t)).has_value());
+    }
+}
+
+}  // namespace

@@ -1,0 +1,474 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+
+namespace htd::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- path helpers -----------------------------------------------------------
+
+std::string normalize(std::string path) {
+    std::replace(path.begin(), path.end(), '\\', '/');
+    // Strip a leading "./" so rule scoping sees "src/..." either way.
+    while (path.rfind("./", 0) == 0) path.erase(0, 2);
+    return path;
+}
+
+bool path_in(const std::string& path, const std::string& dir) {
+    return path.rfind(dir, 0) == 0 || path.find("/" + dir) != std::string::npos;
+}
+
+bool is_header(const std::string& path) {
+    return path.size() > 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
+}
+
+bool is_source_file(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp";
+}
+
+// --- line utilities ---------------------------------------------------------
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::string current;
+    for (const char c : text) {
+        if (c == '\n') {
+            lines.push_back(std::move(current));
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty()) lines.push_back(std::move(current));
+    return lines;
+}
+
+bool blank_line(const std::string& line) {
+    return std::all_of(line.begin(), line.end(),
+                       [](unsigned char c) { return std::isspace(c) != 0; });
+}
+
+// --- rule implementations ---------------------------------------------------
+
+void check_rng_seed(const std::string& path, const std::vector<std::string>& code,
+                    std::vector<Finding>& out) {
+    static const std::regex random_device(R"(\bstd\s*::\s*random_device\b)");
+    // An engine identifier followed by `;` / `{}` / nothing before the end
+    // of the declarator is default-constructed (seeded from the fixed
+    // default_seed — worse, a reader cannot tell it was intentional).
+    static const std::regex default_engine(
+        R"(\bstd\s*::\s*(mt19937(_64)?|minstd_rand0?|default_random_engine|)"
+        R"(ranlux(24|48)(_base)?|knuth_b)\s*(\{\s*\}|\(\s*\))?\s+[A-Za-z_]\w*\s*(;|\{\s*\}|\(\s*\)))");
+    static const std::regex default_temporary(
+        R"(\bstd\s*::\s*(mt19937(_64)?|minstd_rand0?|default_random_engine|)"
+        R"(ranlux(24|48)(_base)?|knuth_b)\s*(\{\s*\}|\(\s*\)))");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (std::regex_search(code[i], random_device)) {
+            out.push_back({path, i + 1, "rng-seed",
+                           "std::random_device is a nondeterministic seed source; "
+                           "derive seeds from the experiment seed instead"});
+        }
+        if (std::regex_search(code[i], default_engine) ||
+            std::regex_search(code[i], default_temporary)) {
+            out.push_back({path, i + 1, "rng-seed",
+                           "default-constructed standard engine; construct with an "
+                           "explicit seed so runs are reproducible"});
+        }
+    }
+}
+
+void check_std_random_in_library(const std::string& path,
+                                 const std::vector<std::string>& code,
+                                 std::vector<Finding>& out) {
+    if (!path_in(path, "src/") || path_in(path, "src/rng/")) return;
+    static const std::regex std_random(
+        R"(\bstd\s*::\s*(mt19937(_64)?|minstd_rand0?|default_random_engine|)"
+        R"(ranlux(24|48)(_base)?|knuth_b|(normal|uniform_real|uniform_int|bernoulli|)"
+        R"(exponential|poisson|gamma|cauchy|lognormal)_distribution)\b)");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        std::smatch m;
+        if (std::regex_search(code[i], m, std_random)) {
+            out.push_back({path, i + 1, "std-random-in-library",
+                           "library code uses std::" + m.str(1) +
+                               "; draw through htd::rng::Rng so one seed "
+                               "reproduces the whole experiment"});
+        }
+    }
+}
+
+void check_raw_nan(const std::string& path, const std::vector<std::string>& code,
+                   std::vector<Finding>& out) {
+    if (!path_in(path, "src/") || path_in(path, "src/core/ingest")) return;
+    static const std::regex raw_nan(R"(\bstd\s*::\s*(isnan|isinf|isfinite)\s*\()");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        // One finding per call, not per line: a screening helper often
+        // chains several checks and every one needs a justification.
+        for (auto it = std::sregex_iterator(code[i].begin(), code[i].end(), raw_nan);
+             it != std::sregex_iterator(); ++it) {
+            out.push_back({path, i + 1, "raw-nan-check",
+                           "std::" + it->str(1) +
+                               " outside core::MeasurementValidator; ingested "
+                               "measurement screening lives in core/ingest — "
+                               "allowlist this site if the float is not a "
+                               "measurement field"});
+        }
+    }
+}
+
+void check_stdio_in_library(const std::string& path,
+                            const std::vector<std::string>& code,
+                            std::vector<Finding>& out) {
+    if (!path_in(path, "src/") || path_in(path, "src/obs/")) return;
+    // `[^\w.]` keeps member calls (logger.printf) out but lets both the
+    // qualified std::fprintf and the unqualified C spelling through.
+    static const std::regex stdio(
+        R"(\bstd\s*::\s*(cout|cerr|clog)\b|(^|[^\w.])(f?printf|puts|putchar)\s*\()");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (std::regex_search(code[i], stdio)) {
+            out.push_back({path, i + 1, "stdio-in-library",
+                           "library code writes to stdio; route output through "
+                           "the htd::obs sinks (src/obs/ is the only exempt "
+                           "layer)"});
+        }
+    }
+}
+
+void check_header_hygiene(const std::string& path,
+                          const std::vector<std::string>& code,
+                          std::vector<Finding>& out) {
+    if (!path_in(path, "src/") || !is_header(path)) return;
+    std::size_t first_code = 0;
+    while (first_code < code.size() && blank_line(code[first_code])) ++first_code;
+    static const std::regex pragma_once(R"(^\s*#\s*pragma\s+once\b)");
+    if (first_code >= code.size() ||
+        !std::regex_search(code[first_code], pragma_once)) {
+        out.push_back({path, first_code < code.size() ? first_code + 1 : 1,
+                       "header-hygiene",
+                       "first directive of a src/ header must be #pragma once"});
+    }
+    static const std::regex htd_ns(R"(\bnamespace\s+htd\b)");
+    const bool has_ns = std::any_of(code.begin(), code.end(), [](const std::string& l) {
+        return std::regex_search(l, htd_ns);
+    });
+    if (!has_ns) {
+        out.push_back({path, 1, "header-hygiene",
+                       "src/ header declares nothing in the htd:: namespace"});
+    }
+}
+
+void check_stream_unchecked(const std::string& path,
+                            const std::vector<std::string>& code,
+                            std::vector<Finding>& out) {
+    if (!path_in(path, "src/") && !path_in(path, "tools/")) return;
+    static const std::regex decl(
+        R"(\bstd\s*::\s*[io]fstream\s+([A-Za-z_]\w*)\s*[({])");
+    constexpr std::size_t kWindow = 12;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        std::smatch m;
+        if (!std::regex_search(code[i], m, decl)) continue;
+        const std::string name = m.str(1);
+        const std::regex checked(
+            R"((!\s*)" + name + R"(\b|\b)" + name +
+            R"(\s*\.\s*(is_open|fail|good|bad)\s*\())");
+        bool ok = false;
+        for (std::size_t j = i; j < std::min(code.size(), i + kWindow); ++j) {
+            // Skip the declaration itself on its own line (a `!name` there
+            // would be part of an initializer, not a check).
+            const std::string& hay = code[j];
+            if (j == i) {
+                const std::string after = hay.substr(
+                    static_cast<std::size_t>(m.position(0)) + m.length(0));
+                if (std::regex_search(after, checked)) ok = true;
+                continue;
+            }
+            if (std::regex_search(hay, checked)) {
+                ok = true;
+                break;
+            }
+        }
+        if (!ok) {
+            out.push_back({path, i + 1, "stream-unchecked",
+                           "std::fstream '" + name +
+                               "' is never checked (is_open/fail/operator!) "
+                               "within " +
+                               std::to_string(kWindow) +
+                               " lines of construction; unreadable files must "
+                               "fail loudly"});
+        }
+    }
+}
+
+}  // namespace
+
+// --- scanner ----------------------------------------------------------------
+
+std::string blank_noncode(const std::string& contents) {
+    std::string out = contents;
+    enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+    State state = State::kCode;
+    std::string raw_delim;  // for R"delim( ... )delim"
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const char c = out[i];
+        const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+        switch (state) {
+            case State::kCode:
+                if (c == '/' && next == '/') {
+                    state = State::kLineComment;
+                    out[i] = ' ';
+                } else if (c == '/' && next == '*') {
+                    state = State::kBlockComment;
+                    out[i] = ' ';
+                } else if (c == 'R' && next == '"' &&
+                           (i == 0 || (std::isalnum(static_cast<unsigned char>(
+                                           out[i - 1])) == 0 &&
+                                       out[i - 1] != '_'))) {
+                    // R"delim( — capture the delimiter up to '('.
+                    std::size_t j = i + 2;
+                    raw_delim.clear();
+                    while (j < out.size() && out[j] != '(') raw_delim += out[j++];
+                    state = State::kRawString;
+                    // Keep the prefix readable length but blank it.
+                    for (std::size_t k = i; k <= std::min(j, out.size() - 1); ++k) {
+                        if (out[k] != '\n') out[k] = ' ';
+                    }
+                    i = j;
+                } else if (c == '"') {
+                    state = State::kString;
+                    out[i] = ' ';
+                } else if (c == '\'') {
+                    state = State::kChar;
+                    out[i] = ' ';
+                }
+                break;
+            case State::kLineComment:
+                if (c == '\n') {
+                    state = State::kCode;
+                } else {
+                    out[i] = ' ';
+                }
+                break;
+            case State::kBlockComment:
+                if (c == '*' && next == '/') {
+                    out[i] = ' ';
+                    out[i + 1] = ' ';
+                    ++i;
+                    state = State::kCode;
+                } else if (c != '\n') {
+                    out[i] = ' ';
+                }
+                break;
+            case State::kString:
+                if (c == '\\' && next != '\0') {
+                    out[i] = ' ';
+                    if (next != '\n') out[i + 1] = ' ';
+                    ++i;
+                } else if (c == '"') {
+                    out[i] = ' ';
+                    state = State::kCode;
+                } else if (c != '\n') {
+                    out[i] = ' ';
+                }
+                break;
+            case State::kChar:
+                if (c == '\\' && next != '\0') {
+                    out[i] = ' ';
+                    if (next != '\n') out[i + 1] = ' ';
+                    ++i;
+                } else if (c == '\'') {
+                    out[i] = ' ';
+                    state = State::kCode;
+                } else if (c != '\n') {
+                    out[i] = ' ';
+                }
+                break;
+            case State::kRawString: {
+                // Terminated by )delim"
+                const std::string terminator = ")" + raw_delim + "\"";
+                if (out.compare(i, terminator.size(), terminator) == 0) {
+                    for (std::size_t k = 0; k < terminator.size(); ++k) out[i + k] = ' ';
+                    i += terminator.size() - 1;
+                    state = State::kCode;
+                } else if (c != '\n') {
+                    out[i] = ' ';
+                }
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+// --- public API -------------------------------------------------------------
+
+const std::vector<std::string>& rule_ids() {
+    static const std::vector<std::string> ids = {
+        "rng-seed",        "std-random-in-library", "raw-nan-check",
+        "stdio-in-library", "header-hygiene",       "stream-unchecked"};
+    return ids;
+}
+
+std::vector<AllowEntry> parse_allowlist(const std::string& text) {
+    std::vector<AllowEntry> entries;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        std::istringstream fields(line);
+        std::string rule;
+        std::string suffix;
+        if (!(fields >> rule)) continue;  // blank / comment-only line
+        if (!(fields >> suffix)) {
+            throw std::runtime_error("allowlist line " + std::to_string(line_no) +
+                                     ": expected '<rule> <path-suffix>'");
+        }
+        std::string extra;
+        if (fields >> extra) {
+            throw std::runtime_error("allowlist line " + std::to_string(line_no) +
+                                     ": trailing tokens (use # for comments)");
+        }
+        if (rule != "*" &&
+            std::find(rule_ids().begin(), rule_ids().end(), rule) == rule_ids().end()) {
+            throw std::runtime_error("allowlist line " + std::to_string(line_no) +
+                                     ": unknown rule '" + rule + "'");
+        }
+        entries.push_back({std::move(rule), normalize(std::move(suffix))});
+    }
+    return entries;
+}
+
+std::vector<Finding> lint_source(const std::string& path, const std::string& contents) {
+    const std::string norm = normalize(path);
+    const std::vector<std::string> code = split_lines(blank_noncode(contents));
+    std::vector<Finding> findings;
+    check_rng_seed(norm, code, findings);
+    check_std_random_in_library(norm, code, findings);
+    check_raw_nan(norm, code, findings);
+    check_stdio_in_library(norm, code, findings);
+    check_header_hygiene(norm, code, findings);
+    check_stream_unchecked(norm, code, findings);
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding& a, const Finding& b) { return a.line < b.line; });
+    return findings;
+}
+
+namespace {
+
+bool allow_matches(const AllowEntry& entry, const Finding& finding) {
+    if (entry.rule != "*" && entry.rule != finding.rule) return false;
+    const std::string& suffix = entry.path_suffix;
+    const std::string& file = finding.file;
+    if (suffix.size() > file.size()) return false;
+    return file.compare(file.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+Report lint_paths(const std::vector<std::string>& paths,
+                  const std::vector<AllowEntry>& allow) {
+    // Collect files deterministically so diagnostics are stable across runs.
+    std::vector<fs::path> files;
+    for (const std::string& p : paths) {
+        const fs::path root(p);
+        if (!fs::exists(root)) {
+            throw std::runtime_error("htd_lint: no such path: " + p);
+        }
+        if (fs::is_directory(root)) {
+            for (const auto& entry : fs::recursive_directory_iterator(root)) {
+                if (entry.is_regular_file() && is_source_file(entry.path())) {
+                    files.push_back(entry.path());
+                }
+            }
+        } else if (is_source_file(root)) {
+            files.push_back(root);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    Report report;
+    std::vector<bool> allow_used(allow.size(), false);
+    for (const fs::path& file : files) {
+        std::ifstream in(file);
+        if (!in.is_open()) {
+            throw std::runtime_error("htd_lint: cannot open " + file.string());
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        ++report.files_checked;
+        for (Finding& finding : lint_source(file.generic_string(), buffer.str())) {
+            bool suppressed = false;
+            for (std::size_t i = 0; i < allow.size(); ++i) {
+                if (allow_matches(allow[i], finding)) {
+                    allow_used[i] = true;
+                    suppressed = true;
+                }
+            }
+            if (suppressed) {
+                ++report.suppressed;
+            } else {
+                report.findings.push_back(std::move(finding));
+            }
+        }
+    }
+    for (std::size_t i = 0; i < allow.size(); ++i) {
+        if (!allow_used[i]) report.unused_allow.push_back(allow[i]);
+    }
+    return report;
+}
+
+io::Json report_json(const Report& report) {
+    io::Json out = io::Json::object();
+    out.set("schema", std::string("htd_lint.v1"));
+    io::Json findings = io::Json::array();
+    for (const Finding& f : report.findings) {
+        io::Json rec = io::Json::object();
+        rec.set("file", f.file);
+        rec.set("line", static_cast<double>(f.line));
+        rec.set("rule", f.rule);
+        rec.set("message", f.message);
+        findings.push_back(std::move(rec));
+    }
+    out.set("findings", std::move(findings));
+    out.set("files_checked", static_cast<double>(report.files_checked));
+    out.set("suppressed", static_cast<double>(report.suppressed));
+    io::Json unused = io::Json::array();
+    for (const AllowEntry& entry : report.unused_allow) {
+        io::Json rec = io::Json::object();
+        rec.set("rule", entry.rule);
+        rec.set("path_suffix", entry.path_suffix);
+        unused.push_back(std::move(rec));
+    }
+    out.set("unused_allowlist_entries", std::move(unused));
+    return out;
+}
+
+std::string report_text(const Report& report) {
+    std::ostringstream out;
+    for (const Finding& f : report.findings) {
+        out << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message
+            << '\n';
+    }
+    for (const AllowEntry& entry : report.unused_allow) {
+        out << "htd_lint: stale allowlist entry (suppressed nothing): "
+            << entry.rule << ' ' << entry.path_suffix << '\n';
+    }
+    out << "htd_lint: " << report.files_checked << " files, "
+        << report.findings.size() << " finding(s), " << report.suppressed
+        << " suppressed\n";
+    return out.str();
+}
+
+}  // namespace htd::lint

@@ -1,0 +1,104 @@
+#pragma once
+/// \file lint.hpp
+/// htd_lint: the project-invariant checker behind `scripts/check.sh
+/// --analyze`. clang-tidy proves general C++ hygiene; these rules encode
+/// *project* contracts that no generic checker can express:
+///
+///   rng-seed            Deterministic reproducibility: no
+///                       `std::random_device`, no default-constructed
+///                       standard engines — every generator takes an
+///                       explicit seed.
+///   std-random-in-library
+///                       Library code (src/, outside src/rng/) draws
+///                       randomness through `htd::rng::Rng`, never raw
+///                       `<random>` engines/distributions, so one seed
+///                       reproduces a whole experiment.
+///   raw-nan-check       `std::isnan` / `std::isinf` on measurement data
+///                       belongs in `core::MeasurementValidator`
+///                       (src/core/ingest.*); other sites need a vetted
+///                       allowlist entry explaining why they screen
+///                       floats themselves.
+///   stdio-in-library    Library code never prints (`printf` family,
+///                       `std::cout` / `std::cerr`); output goes through
+///                       the `htd::obs` sinks. src/obs/ itself is exempt —
+///                       it *is* the sink layer.
+///   header-hygiene      Headers under src/ start with `#pragma once` and
+///                       declare into the `htd::` namespace.
+///   stream-unchecked    A `std::ifstream` / `std::ofstream` must have its
+///                       open/error state checked near the construction
+///                       site (CSV/JSON ingestion silently reading an
+///                       unopened stream was the PR 2 failure mode).
+///
+/// The scanner blanks comments and string/char literals before matching,
+/// so a rule pattern quoted in a test fixture or in this very file does
+/// not self-trip. Findings can be suppressed through an allowlist file
+/// (one `<rule> <path-suffix>` pair per line); unused entries are
+/// reported so the allowlist cannot silently rot. See DESIGN.md §11.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace htd::lint {
+
+/// One diagnostic: `file:line: [rule] message`.
+struct Finding {
+    std::string file;  ///< forward-slash path as walked
+    std::size_t line = 0;  ///< 1-based
+    std::string rule;
+    std::string message;
+};
+
+/// One allowlist entry: suppress `rule` findings in files whose path ends
+/// with `path_suffix`. `rule == "*"` matches every rule.
+struct AllowEntry {
+    std::string rule;
+    std::string path_suffix;
+};
+
+/// Parse allowlist text: one `<rule> <path-suffix>` per line, `#` starts
+/// a comment, blank lines ignored. Throws std::runtime_error naming the
+/// line on a malformed entry.
+[[nodiscard]] std::vector<AllowEntry> parse_allowlist(const std::string& text);
+
+/// The rule ids in reporting order.
+[[nodiscard]] const std::vector<std::string>& rule_ids();
+
+/// Lint one in-memory file. `path` selects which rules apply (library
+/// rules only fire under src/) and is echoed into findings.
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
+                                               const std::string& contents);
+
+/// Aggregate result of a tree walk.
+struct Report {
+    std::vector<Finding> findings;  ///< after allowlist filtering
+    std::size_t files_checked = 0;
+    std::size_t suppressed = 0;  ///< findings removed by the allowlist
+    /// Allowlist entries that suppressed nothing (stale — rot guard).
+    std::vector<AllowEntry> unused_allow;
+
+    [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+};
+
+/// Lint every *.cpp / *.hpp under `paths` (files or directories, walked
+/// recursively in sorted order). Throws std::runtime_error for a path
+/// that does not exist.
+[[nodiscard]] Report lint_paths(const std::vector<std::string>& paths,
+                                const std::vector<AllowEntry>& allow);
+
+/// Machine-readable report (schema "htd_lint.v1"):
+/// {"schema", "findings": [{file,line,rule,message}], "files_checked",
+///  "suppressed", "unused_allowlist_entries": [{rule,path_suffix}]}.
+[[nodiscard]] io::Json report_json(const Report& report);
+
+/// Human-readable rendering: one `file:line: [rule] message` per finding
+/// plus a summary line.
+[[nodiscard]] std::string report_text(const Report& report);
+
+/// Strip comments and string/char literals (replaced by spaces) while
+/// preserving line structure. Exposed for tests.
+[[nodiscard]] std::string blank_noncode(const std::string& contents);
+
+}  // namespace htd::lint

@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "pipeline/experiment.hpp"
 #include "io/table.hpp"
 #include "ml/kmm.hpp"
 

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <functional>
 
-#include "core/experiment.hpp"
+#include "pipeline/experiment.hpp"
 #include "io/table.hpp"
 #include "linalg/decompositions.hpp"
 #include "ml/gpr.hpp"

@@ -8,7 +8,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "pipeline/experiment.hpp"
 #include "io/table.hpp"
 #include "stats/descriptive.hpp"
 

@@ -12,8 +12,8 @@
 #include <cstdio>
 #include <optional>
 
-#include "core/experiment.hpp"
-#include "core/report.hpp"
+#include "pipeline/experiment.hpp"
+#include "pipeline/report.hpp"
 #include "io/table.hpp"
 #include "obs/health.hpp"
 #include "obs/run_report.hpp"

@@ -11,8 +11,8 @@
 
 #include <cstdio>
 
-#include "core/experiment.hpp"
-#include "core/ingest.hpp"
+#include "pipeline/experiment.hpp"
+#include "pipeline/ingest.hpp"
 #include "io/table.hpp"
 #include "obs/run_report.hpp"
 #include "silicon/fault_injector.hpp"

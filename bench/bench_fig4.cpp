@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/experiment.hpp"
+#include "pipeline/experiment.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "ml/pca.hpp"

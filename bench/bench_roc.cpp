@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "pipeline/experiment.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "ml/knn_detector.hpp"

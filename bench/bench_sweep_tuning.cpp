@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "pipeline/experiment.hpp"
 
 int main() {
     using namespace htd;

@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "pipeline/experiment.hpp"
 #include "crypto/aes.hpp"
 #include "io/table.hpp"
 #include "silicon/bench_measure.hpp"

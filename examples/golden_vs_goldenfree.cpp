@@ -6,7 +6,7 @@
 
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "pipeline/experiment.hpp"
 #include "io/table.hpp"
 
 int main() {

@@ -12,8 +12,8 @@
 
 #include <cstdio>
 
-#include "core/experiment.hpp"
-#include "core/report.hpp"
+#include "pipeline/experiment.hpp"
+#include "pipeline/report.hpp"
 
 int main() {
     using namespace htd;

@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "pipeline/experiment.hpp"
 #include "io/csv.hpp"
 #include "rf/waveform.hpp"
 #include "silicon/bench_measure.hpp"

@@ -12,8 +12,8 @@
 #include <cstdio>
 #include <string>
 
-#include "core/experiment.hpp"
-#include "core/report.hpp"
+#include "pipeline/experiment.hpp"
+#include "pipeline/report.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 

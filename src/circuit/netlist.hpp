@@ -78,7 +78,7 @@ public:
 
     /// Node index for `name`, creating it if needed. "0" and "gnd" map to
     /// ground (index 0).
-    std::size_t node(const std::string& name);
+    [[nodiscard]] std::size_t node(const std::string& name);
 
     /// Number of nodes including ground.
     [[nodiscard]] std::size_t node_count() const noexcept { return names_.size(); }

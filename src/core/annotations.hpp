@@ -77,7 +77,7 @@ public:
 
     void lock() HTD_ACQUIRE() { impl_.lock(); }
     void unlock() HTD_RELEASE() { impl_.unlock(); }
-    bool try_lock() HTD_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+    [[nodiscard]] bool try_lock() HTD_TRY_ACQUIRE(true) { return impl_.try_lock(); }
 
 private:
     std::mutex impl_;

@@ -40,7 +40,7 @@ private:
 /// Emit "BENCH_<bench_name>.json" in the working directory: `payload`
 /// under "results" plus the registry's observability snapshot. Returns the
 /// path written.
-std::string write_bench_report(const std::string& bench_name, io::Json payload,
+[[nodiscard]] std::string write_bench_report(const std::string& bench_name, io::Json payload,
                                const Registry& registry = Registry::global());
 
 }  // namespace htd::obs

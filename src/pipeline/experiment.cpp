@@ -1,4 +1,4 @@
-#include "core/experiment.hpp"
+#include "pipeline/experiment.hpp"
 
 #include "obs/span.hpp"
 

@@ -8,7 +8,7 @@
 #include <array>
 #include <cstdint>
 
-#include "core/pipeline.hpp"
+#include "pipeline/pipeline.hpp"
 #include "process/variation_model.hpp"
 #include "silicon/bench_measure.hpp"
 #include "silicon/fab.hpp"

@@ -1,4 +1,4 @@
-#include "core/ingest.hpp"
+#include "pipeline/ingest.hpp"
 
 #include <algorithm>
 #include <cmath>

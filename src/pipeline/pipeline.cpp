@@ -1,4 +1,4 @@
-#include "core/pipeline.hpp"
+#include "pipeline/pipeline.hpp"
 
 #include <cmath>
 #include <stdexcept>

@@ -1,4 +1,4 @@
-#include "core/report.hpp"
+#include "pipeline/report.hpp"
 
 #include "trojan/trojan.hpp"
 

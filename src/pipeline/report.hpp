@@ -6,8 +6,8 @@
 
 #include <string>
 
-#include "core/experiment.hpp"
-#include "core/ingest.hpp"
+#include "pipeline/experiment.hpp"
+#include "pipeline/ingest.hpp"
 #include "io/json.hpp"
 #include "obs/run_report.hpp"
 

@@ -112,7 +112,7 @@ void Rng::jump() noexcept {
                 t[2] ^= s_[2];
                 t[3] ^= s_[3];
             }
-            next_u64();
+            (void)next_u64();  // advance the stream; the draw itself is unused
         }
     }
     s_ = t;

@@ -24,7 +24,7 @@ public:
     explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
 
     /// Next 64 pseudo-random bits.
-    std::uint64_t next() noexcept;
+    [[nodiscard]] std::uint64_t next() noexcept;
 
 private:
     std::uint64_t state_;
@@ -41,33 +41,33 @@ public:
     /// Construct from a 64-bit seed (expanded through SplitMix64).
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
 
-    static constexpr result_type min() noexcept { return 0; }
-    static constexpr result_type max() noexcept { return ~result_type{0}; }
+    [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+    [[nodiscard]] static constexpr result_type max() noexcept { return ~result_type{0}; }
 
     /// Next 64 pseudo-random bits.
     result_type operator()() noexcept { return next_u64(); }
-    result_type next_u64() noexcept;
+    [[nodiscard]] result_type next_u64() noexcept;
 
     /// Uniform double in [0, 1).
-    double uniform() noexcept;
+    [[nodiscard]] double uniform() noexcept;
 
     /// Uniform double in [lo, hi); throws std::invalid_argument if hi < lo.
-    double uniform(double lo, double hi);
+    [[nodiscard]] double uniform(double lo, double hi);
 
     /// Uniform integer in [0, n); throws std::invalid_argument when n == 0.
-    std::size_t uniform_index(std::size_t n);
+    [[nodiscard]] std::size_t uniform_index(std::size_t n);
 
     /// Standard normal draw (polar Box-Muller with caching).
-    double normal() noexcept;
+    [[nodiscard]] double normal() noexcept;
 
     /// Normal draw with given mean and standard deviation (sigma >= 0).
-    double normal(double mean, double sigma);
+    [[nodiscard]] double normal(double mean, double sigma);
 
     /// Exponential draw with the given rate; throws when rate <= 0.
-    double exponential(double rate);
+    [[nodiscard]] double exponential(double rate);
 
     /// Bernoulli draw with probability p clamped into [0, 1].
-    bool bernoulli(double p) noexcept;
+    [[nodiscard]] bool bernoulli(double p) noexcept;
 
     /// Jump the generator far ahead; used to derive independent streams.
     void jump() noexcept;
@@ -81,7 +81,7 @@ public:
     /// Draw an index in [0, weights.size()) with probability proportional to
     /// `weights[i]`. Throws std::invalid_argument for empty/negative/all-zero
     /// weights.
-    std::size_t weighted_index(std::span<const double> weights);
+    [[nodiscard]] std::size_t weighted_index(std::span<const double> weights);
 
 private:
     std::array<std::uint64_t, 4> s_{};

@@ -12,9 +12,9 @@
 
 #include <gtest/gtest.h>
 
-#include "core/experiment.hpp"
-#include "core/pipeline.hpp"
-#include "core/report.hpp"
+#include "pipeline/experiment.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/report.hpp"
 #include "io/json.hpp"
 #include "linalg/matrix.hpp"
 #include "rng/rng.hpp"

@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/experiment.hpp"
-#include "core/report.hpp"
+#include "pipeline/experiment.hpp"
+#include "pipeline/report.hpp"
 
 namespace {
 

@@ -7,7 +7,7 @@
 #include <fstream>
 #include <stdexcept>
 
-#include "core/report.hpp"
+#include "pipeline/report.hpp"
 #include "io/json.hpp"
 
 namespace {

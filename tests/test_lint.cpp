@@ -1,9 +1,14 @@
 /// Tests for tools/htd_lint: each rule trips on a seeded fixture, the
-/// scanner ignores rule patterns inside comments / string literals, the
-/// allowlist suppresses and reports stale entries, the --json schema is
-/// stable, and — the self-test with teeth — the committed tree itself
-/// lints clean under the committed allowlist, which is what keeps
-/// `scripts/check.sh --analyze` green.
+/// lexer-backed scanner ignores rule patterns inside comments / string
+/// literals (including encoding-prefixed raw strings — the v1
+/// regression), the include-graph layering pass rejects back-edges,
+/// cycles and unmapped modules with exact diagnostics, the
+/// result-discard and missing-nodiscard passes enforce the must-use
+/// contract, the analyzer cache serves warm runs, the allowlist
+/// suppresses and reports stale entries with justifications, the --json
+/// schema is stable, and — the self-test with teeth — the committed tree
+/// itself lints clean under the committed allowlist and layering spec,
+/// which is what keeps `scripts/check.sh --analyze` green.
 
 #include <gtest/gtest.h>
 
@@ -25,7 +30,11 @@ namespace fs = std::filesystem;
 using htd::io::Json;
 using htd::lint::AllowEntry;
 using htd::lint::Finding;
+using htd::lint::LayerSpec;
+using htd::lint::Options;
 using htd::lint::Report;
+
+const std::vector<AllowEntry> kNoAllow;
 
 std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
     std::vector<std::string> out;
@@ -39,6 +48,10 @@ bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
         if (f.rule == rule) return true;
     }
     return false;
+}
+
+std::string dump_report(const Report& report) {
+    return htd::lint::report_text(report);
 }
 
 // --- scanner ----------------------------------------------------------------
@@ -69,6 +82,30 @@ TEST(LintScanner, PatternsInCommentsDoNotTrip) {
     EXPECT_TRUE(htd::lint::lint_source("src/core/x.hpp", src).empty());
 }
 
+// Regression: the v1 character-state scanner treated `u8R"(`, `LR"(` etc.
+// as ordinary quoted strings (the prefix made the R invisible), so a `)"`
+// *inside* the raw delimiter ended the literal early and the tail of the
+// string leaked into the scanned text. The lexer knows the full literal
+// grammar.
+TEST(LintScanner, EncodingPrefixedRawStringsBlankCorrectly) {
+    const std::string src =
+        "const char* a = u8R\"(std::random_device \" not code)\";\n"
+        "const char* b = LR\"sep(std::cout << \"x\")sep\";\n"
+        "void f() { std::random_device rd; (void)rd; }\n";
+    const std::string blanked = htd::lint::blank_noncode(src);
+    EXPECT_EQ(blanked.find("cout"), std::string::npos);
+    // Only the real line-3 use survives blanking.
+    const std::size_t first = blanked.find("random_device");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(blanked.find("random_device", first + 1), std::string::npos);
+
+    const std::vector<Finding> findings =
+        htd::lint::lint_source("bench/fixture.cpp", src);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "rng-seed");
+    EXPECT_EQ(findings[0].line, 3u);
+}
+
 // --- individual rules -------------------------------------------------------
 
 TEST(LintRules, RngSeedTripsOnRandomDeviceAndDefaultEngines) {
@@ -83,7 +120,7 @@ TEST(LintRules, RngSeedTripsOnRandomDeviceAndDefaultEngines) {
         htd::lint::lint_source("bench/fixture.cpp", src);
     Report diag;
     diag.findings = findings;
-    ASSERT_EQ(findings.size(), 2u) << htd::lint::report_text(diag);
+    ASSERT_EQ(findings.size(), 2u) << dump_report(diag);
     EXPECT_EQ(findings[0].rule, "rng-seed");
     EXPECT_EQ(findings[0].line, 3u);
     EXPECT_EQ(findings[1].rule, "rng-seed");
@@ -116,7 +153,7 @@ TEST(LintRules, RawNanCheckExemptsIngest) {
         htd::lint::lint_source("src/stats/x.cpp", src);
     EXPECT_EQ(rules_of(in_lib),
               (std::vector<std::string>{"raw-nan-check", "raw-nan-check"}));
-    EXPECT_TRUE(htd::lint::lint_source("src/core/ingest.cpp", src).empty());
+    EXPECT_TRUE(htd::lint::lint_source("src/pipeline/ingest.cpp", src).empty());
     EXPECT_TRUE(htd::lint::lint_source("tools/x.cpp", src).empty());
 }
 
@@ -181,28 +218,50 @@ TEST(LintRules, StreamUncheckedWantsAnErrorCheckNearby) {
     EXPECT_TRUE(htd::lint::lint_source("src/io/x.cpp", is_open).empty());
 }
 
-// --- allowlist --------------------------------------------------------------
+// --- missing-nodiscard ------------------------------------------------------
 
-TEST(LintAllowlist, ParsesEntriesAndComments) {
-    const std::vector<AllowEntry> entries = htd::lint::parse_allowlist(
-        "# header comment\n"
-        "\n"
-        "raw-nan-check src/foo.cpp  # trailing comment\n"
-        "* src/vendor/\n");
-    ASSERT_EQ(entries.size(), 2u);
-    EXPECT_EQ(entries[0].rule, "raw-nan-check");
-    EXPECT_EQ(entries[0].path_suffix, "src/foo.cpp");
-    EXPECT_EQ(entries[1].rule, "*");
+TEST(LintNodiscard, PublicValueReturnsInHeadersMustBeMarked) {
+    const std::string src =
+        "#pragma once\n"
+        "namespace htd::stats {\n"
+        "class Health {\n"
+        "public:\n"
+        "    int count() const;\n"                // finding
+        "    [[nodiscard]] int size() const;\n"   // marked: fine
+        "    void reset();\n"                     // void: fine
+        "    int& slot(int i);\n"                 // reference: fine
+        "    Health() = default;\n"               // constructor: fine
+        "    ~Health() = default;\n"              // destructor: fine
+        "private:\n"
+        "    int helper() const;\n"               // private: fine
+        "};\n"
+        "int free_count();\n"                     // finding
+        "}\n";
+    const std::vector<Finding> findings =
+        htd::lint::lint_source("src/stats/health.hpp", src);
+    ASSERT_EQ(rules_of(findings), (std::vector<std::string>{
+                                      "missing-nodiscard", "missing-nodiscard"}))
+        << [&] {
+               Report d;
+               d.findings = findings;
+               return dump_report(d);
+           }();
+    EXPECT_EQ(findings[0].line, 5u);
+    EXPECT_NE(findings[0].message.find("'count'"), std::string::npos);
+    EXPECT_EQ(findings[1].line, 14u);
 }
 
-TEST(LintAllowlist, RejectsMalformedLines) {
-    EXPECT_THROW((void)htd::lint::parse_allowlist("raw-nan-check\n"),
-                 std::runtime_error);
-    EXPECT_THROW((void)htd::lint::parse_allowlist("not-a-rule src/x.cpp\n"),
-                 std::runtime_error);
-    EXPECT_THROW(
-        (void)htd::lint::parse_allowlist("raw-nan-check src/x.cpp stray\n"),
-        std::runtime_error);
+TEST(LintNodiscard, SourcesAndOutOfLineDefinitionsAreExempt) {
+    // .cpp files declare no public surface; out-of-line definitions carry
+    // the attribute on the in-class declaration.
+    const std::string cpp =
+        "#include \"stats/health.hpp\"\n"
+        "namespace htd::stats {\n"
+        "int Health::count() const { return 1; }\n"
+        "static int local_helper() { return 2; }\n"
+        "}\n";
+    EXPECT_FALSE(has_rule(htd::lint::lint_source("src/stats/health.cpp", cpp),
+                          "missing-nodiscard"));
 }
 
 // --- tree walk + report -----------------------------------------------------
@@ -212,7 +271,7 @@ protected:
     void SetUp() override {
         root_ = fs::temp_directory_path() /
                 ("htd_lint_test_" + std::to_string(::getpid()));
-        fs::create_directories(root_ / "src" / "core");
+        fs::remove_all(root_);
         write("src/core/bad.cpp",
               "#include <random>\n"
               "void f() { std::random_device rd; (void)rd; }\n");
@@ -222,9 +281,15 @@ protected:
     void TearDown() override { fs::remove_all(root_); }
 
     void write(const std::string& rel, const std::string& contents) {
-        std::ofstream out(root_ / rel);
+        const fs::path p = root_ / rel;
+        fs::create_directories(p.parent_path());
+        std::ofstream out(p);
         ASSERT_TRUE(out.is_open()) << rel;
         out << contents;
+    }
+
+    [[nodiscard]] Report lint(const Options& options) const {
+        return htd::lint::lint_paths({(root_ / "src").string()}, options);
     }
 
     fs::path root_;
@@ -232,7 +297,7 @@ protected:
 
 TEST_F(LintTreeTest, WalksTreeAndCountsFiles) {
     const Report report =
-        htd::lint::lint_paths({(root_ / "src").string()}, {});
+        htd::lint::lint_paths({(root_ / "src").string()}, kNoAllow);
     EXPECT_EQ(report.files_checked, 2u);
     ASSERT_EQ(report.findings.size(), 1u);
     EXPECT_EQ(report.findings[0].rule, "rng-seed");
@@ -242,8 +307,8 @@ TEST_F(LintTreeTest, WalksTreeAndCountsFiles) {
 
 TEST_F(LintTreeTest, AllowlistSuppressesAndFlagsStaleEntries) {
     const std::vector<AllowEntry> allow = {
-        {"rng-seed", "src/core/bad.cpp"},   // suppresses the finding
-        {"rng-seed", "src/core/other.cpp"}  // stale: matches nothing
+        {"rng-seed", "src/core/bad.cpp", "fixture"},   // suppresses the finding
+        {"rng-seed", "src/core/other.cpp", "stale"}    // stale: matches nothing
     };
     const Report report =
         htd::lint::lint_paths({(root_ / "src").string()}, allow);
@@ -251,69 +316,310 @@ TEST_F(LintTreeTest, AllowlistSuppressesAndFlagsStaleEntries) {
     EXPECT_EQ(report.suppressed, 1u);
     ASSERT_EQ(report.unused_allow.size(), 1u);
     EXPECT_EQ(report.unused_allow[0].path_suffix, "src/core/other.cpp");
+    ASSERT_EQ(report.allow_usage.size(), 1u);
+    EXPECT_EQ(report.allow_usage[0].entry.path_suffix, "src/core/bad.cpp");
+    EXPECT_EQ(report.allow_usage[0].hits, 1u);
 }
 
 TEST_F(LintTreeTest, ThrowsOnMissingPath) {
     EXPECT_THROW(
-        (void)htd::lint::lint_paths({(root_ / "nope").string()}, {}),
+        (void)htd::lint::lint_paths({(root_ / "nope").string()}, kNoAllow),
         std::runtime_error);
 }
 
 TEST_F(LintTreeTest, JsonReportSchema) {
-    const Report report =
-        htd::lint::lint_paths({(root_ / "src").string()}, {});
+    Options options;
+    options.allow = {{"rng-seed", "src/core/bad.cpp", "seeded fixture"}};
+    options.jobs = 1;
+    const Report report = lint(options);
     const Json json = htd::lint::report_json(report);
-    EXPECT_EQ(json.at("schema").str(), "htd_lint.v1");
+    EXPECT_EQ(json.at("schema").str(), "htd_lint.v2");
     EXPECT_EQ(json.at("files_checked").number(), 2.0);
-    EXPECT_EQ(json.at("suppressed").number(), 0.0);
-    ASSERT_EQ(json.at("findings").size(), 1u);
-    const Json& finding = json.at("findings").at(0);
-    EXPECT_EQ(finding.at("rule").str(), "rng-seed");
-    EXPECT_EQ(finding.at("line").number(), 2.0);
-    EXPECT_FALSE(finding.at("file").str().empty());
-    EXPECT_FALSE(finding.at("message").str().empty());
+    EXPECT_EQ(json.at("files_cached").number(), 0.0);
+    EXPECT_EQ(json.at("suppressed").number(), 1.0);
+    EXPECT_EQ(json.at("findings").size(), 0u);
+
+    // Pass wall times: scan, layering, result-discard, total — in order.
+    const Json& passes = json.at("passes");
+    ASSERT_EQ(passes.size(), 4u);
+    EXPECT_EQ(passes.at(0).at("name").str(), "scan");
+    EXPECT_EQ(passes.at(1).at("name").str(), "layering");
+    EXPECT_EQ(passes.at(2).at("name").str(), "result-discard");
+    EXPECT_EQ(passes.at(3).at("name").str(), "total");
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_GE(passes.at(i).at("wall_ms").number(), 0.0);
+    }
+
+    // Surviving allowlist entries carry their justification for audits.
+    const Json& allow = json.at("allowlist");
+    ASSERT_EQ(allow.size(), 1u);
+    EXPECT_EQ(allow.at(0).at("rule").str(), "rng-seed");
+    EXPECT_EQ(allow.at(0).at("justification").str(), "seeded fixture");
+    EXPECT_EQ(allow.at(0).at("findings_suppressed").number(), 1.0);
     EXPECT_EQ(json.at("unused_allowlist_entries").size(), 0u);
+
     // The JSON mode must round-trip through the strict parser.
     const Json reparsed = Json::parse(json.dump(2));
-    EXPECT_EQ(reparsed.at("schema").str(), "htd_lint.v1");
+    EXPECT_EQ(reparsed.at("schema").str(), "htd_lint.v2");
 }
 
-TEST(LintReportText, RendersFileLineRuleAndSummary) {
+TEST_F(LintTreeTest, ColdThenWarmRunsHitTheCache) {
+    Options options;
+    options.cache_dir = (root_ / "cache").string();
+    options.jobs = 2;
+    const Report cold = lint(options);
+    EXPECT_EQ(cold.files_cached, 0u);
+    ASSERT_EQ(cold.findings.size(), 1u);
+
+    const Report warm = lint(options);
+    EXPECT_EQ(warm.files_cached, warm.files_checked);
+    ASSERT_EQ(warm.findings.size(), 1u);
+    EXPECT_EQ(warm.findings[0].rule, cold.findings[0].rule);
+    EXPECT_EQ(warm.findings[0].line, cold.findings[0].line);
+    EXPECT_EQ(warm.findings[0].message, cold.findings[0].message);
+
+    // Editing a file invalidates exactly that entry.
+    write("src/core/bad.cpp", "void f() { }\n");
+    const Report edited = lint(options);
+    EXPECT_EQ(edited.files_cached, edited.files_checked - 1);
+    EXPECT_TRUE(edited.clean()) << dump_report(edited);
+}
+
+TEST(LintReportText, RendersFileLineRuleTimingsAndSummary) {
     Report report;
     report.findings.push_back({"src/x.cpp", 7, "rng-seed", "message"});
     report.files_checked = 3;
+    report.files_cached = 2;
     report.suppressed = 2;
+    report.passes.push_back({"scan", 12.5});
+    report.passes.push_back({"total", 13.0});
     const std::string text = htd::lint::report_text(report);
     EXPECT_NE(text.find("src/x.cpp:7: [rng-seed] message"), std::string::npos);
     EXPECT_NE(text.find("3 files"), std::string::npos);
+    EXPECT_NE(text.find("(2 cached)"), std::string::npos);
     EXPECT_NE(text.find("2 suppressed"), std::string::npos);
+    EXPECT_NE(text.find("scan 12.5 ms"), std::string::npos);
+}
+
+// --- include-graph layering -------------------------------------------------
+
+class LintLayeringTest : public LintTreeTest {
+protected:
+    void SetUp() override {
+        root_ = fs::temp_directory_path() /
+                ("htd_lint_layer_test_" + std::to_string(::getpid()));
+        fs::remove_all(root_);
+    }
+
+    [[nodiscard]] Report lint_with_layers(const std::string& layers) const {
+        Options options;
+        options.layers = htd::lint::parse_layers(layers);
+        options.jobs = 1;
+        return htd::lint::lint_paths({(root_ / "src").string()}, options);
+    }
+};
+
+TEST_F(LintLayeringTest, CleanDagPasses) {
+    write("src/core/err.hpp", "#pragma once\nnamespace htd::core {}\n");
+    write("src/io/csv.hpp",
+          "#pragma once\n"
+          "#include \"core/err.hpp\"\n"
+          "namespace htd::io {}\n");
+    const Report report = lint_with_layers("core\nio\n");
+    EXPECT_TRUE(report.clean()) << dump_report(report);
+}
+
+TEST_F(LintLayeringTest, BackEdgeIsRejectedWithTheOffendingInclude) {
+    write("src/core/err.hpp",
+          "#pragma once\n"
+          "#include \"io/csv.hpp\"\n"  // core (layer 0) reaching up into io
+          "namespace htd::core {}\n");
+    write("src/io/csv.hpp", "#pragma once\nnamespace htd::io {}\n");
+    const Report report = lint_with_layers("core\nio\n");
+    ASSERT_EQ(report.findings.size(), 1u) << dump_report(report);
+    const Finding& f = report.findings[0];
+    EXPECT_EQ(f.rule, "layering");
+    EXPECT_EQ(f.line, 2u);
+    EXPECT_NE(f.file.find("src/core/err.hpp"), std::string::npos);
+    EXPECT_NE(f.message.find("layering back-edge"), std::string::npos);
+    EXPECT_NE(f.message.find("'core' (layer 0)"), std::string::npos);
+    EXPECT_NE(f.message.find("'io' (layer 1)"), std::string::npos);
+    EXPECT_NE(f.message.find("\"io/csv.hpp\""), std::string::npos);
+}
+
+TEST_F(LintLayeringTest, PeerModulesMustStayIndependent) {
+    write("src/crypto/aes.hpp",
+          "#pragma once\n"
+          "#include \"process/variation.hpp\"\n"
+          "namespace htd::crypto {}\n");
+    write("src/process/variation.hpp",
+          "#pragma once\nnamespace htd::process {}\n");
+    const Report report = lint_with_layers("crypto process\n");
+    ASSERT_EQ(report.findings.size(), 1u) << dump_report(report);
+    EXPECT_EQ(report.findings[0].rule, "layering");
+    EXPECT_NE(report.findings[0].message.find("peer coupling"),
+              std::string::npos);
+}
+
+TEST_F(LintLayeringTest, CycleIsReportedWithTheFullChain) {
+    write("src/core/a.hpp",
+          "#pragma once\n"
+          "#include \"core/b.hpp\"\n"
+          "namespace htd::core {}\n");
+    write("src/core/b.hpp",
+          "#pragma once\n"
+          "#include \"core/a.hpp\"\n"
+          "namespace htd::core {}\n");
+    const Report report = lint_with_layers("core\n");
+    ASSERT_EQ(report.findings.size(), 1u) << dump_report(report);
+    const Finding& f = report.findings[0];
+    EXPECT_EQ(f.rule, "include-cycle");
+    EXPECT_NE(f.message.find("include cycle:"), std::string::npos);
+    // The full chain names both files, and the head repeats to close it.
+    EXPECT_NE(f.message.find("src/core/a.hpp"), std::string::npos);
+    EXPECT_NE(f.message.find("src/core/b.hpp"), std::string::npos);
+    EXPECT_NE(f.message.find("break one of these includes"), std::string::npos);
+}
+
+TEST_F(LintLayeringTest, ModuleMissingFromSpecIsFlagged) {
+    write("src/rogue/x.hpp", "#pragma once\nnamespace htd::rogue {}\n");
+    write("src/core/err.hpp", "#pragma once\nnamespace htd::core {}\n");
+    const Report report = lint_with_layers("core\n");
+    ASSERT_EQ(report.findings.size(), 1u) << dump_report(report);
+    EXPECT_EQ(report.findings[0].rule, "layer-unmapped");
+    EXPECT_EQ(report.findings[0].line, 1u);
+    EXPECT_NE(report.findings[0].message.find("'rogue'"), std::string::npos);
+
+    // An include *into* the unmapped module from a mapped one is flagged
+    // at the include site.
+    write("src/core/err.hpp",
+          "#pragma once\n"
+          "#include \"rogue/x.hpp\"\n"
+          "namespace htd::core {}\n");
+    const Report again = lint_with_layers("core\n");
+    EXPECT_TRUE(has_rule(again.findings, "layer-unmapped"));
+    bool include_site = false;
+    for (const Finding& f : again.findings) {
+        if (f.rule == "layer-unmapped" && f.line == 2u &&
+            f.message.find("rogue/x.hpp") != std::string::npos) {
+            include_site = true;
+        }
+    }
+    EXPECT_TRUE(include_site) << dump_report(again);
+}
+
+TEST(LintLayerSpec, ParsesLayersAndRejectsDuplicates) {
+    const LayerSpec spec = htd::lint::parse_layers(
+        "# comment\n"
+        "core\n"
+        "crypto process trojan\n"
+        "pipeline\n");
+    ASSERT_EQ(spec.layers.size(), 3u);
+    EXPECT_EQ(spec.rank.at("core"), 0);
+    EXPECT_EQ(spec.rank.at("process"), 1);
+    EXPECT_EQ(spec.rank.at("pipeline"), 2);
+    EXPECT_THROW((void)htd::lint::parse_layers("core\ncore\n"),
+                 std::runtime_error);
+}
+
+// --- result-discard ---------------------------------------------------------
+
+class LintDiscardTest : public LintLayeringTest {
+protected:
+    void SetUp() override {
+        LintLayeringTest::SetUp();
+        write("src/stats/boundary.hpp",
+              "#pragma once\n"
+              "#include <optional>\n"
+              "namespace htd::stats {\n"
+              "struct BoundaryStatus { bool admitted; };\n"
+              "[[nodiscard]] BoundaryStatus admit(double v);\n"
+              "[[nodiscard]] std::optional<int> find(int key);\n"
+              "}\n");
+    }
+
+    [[nodiscard]] Report lint_tree() const {
+        Options options;
+        options.jobs = 1;
+        return htd::lint::lint_paths({(root_ / "src").string()}, options);
+    }
+};
+
+TEST_F(LintDiscardTest, BareStatementCallsDroppingMustUseValuesAreFlagged) {
+    write("src/stats/caller.cpp",
+          "#include \"stats/boundary.hpp\"\n"
+          "namespace htd::stats {\n"
+          "void caller() {\n"
+          "    admit(3.0);\n"            // discard: flagged
+          "    (void)admit(4.0);\n"      // explicit drop: fine
+          "    if (admit(5.0).admitted) { }\n"  // used: fine
+          "    auto r = find(7);\n"      // bound: fine
+          "    (void)r;\n"
+          "}\n"
+          "}\n");
+    const Report report = lint_tree();
+    ASSERT_EQ(report.findings.size(), 1u) << dump_report(report);
+    const Finding& f = report.findings[0];
+    EXPECT_EQ(f.rule, "result-discard");
+    EXPECT_EQ(f.line, 4u);
+    EXPECT_NE(f.file.find("src/stats/caller.cpp"), std::string::npos);
+    EXPECT_NE(f.message.find("'admit'"), std::string::npos);
+}
+
+TEST_F(LintDiscardTest, MemberChainDiscardsResolveTheLastCall) {
+    write("src/stats/caller.cpp",
+          "#include \"stats/boundary.hpp\"\n"
+          "namespace htd::stats {\n"
+          "struct Monitor { std::optional<int> find(int k); };\n"
+          "void caller(Monitor& m) {\n"
+          "    m.find(1);\n"        // optional dropped: flagged
+          "    unrelated(2);\n"     // not a must-use function: fine
+          "}\n"
+          "void unrelated(int);\n"
+          "}\n");
+    const Report report = lint_tree();
+    ASSERT_EQ(report.findings.size(), 1u) << dump_report(report);
+    EXPECT_EQ(report.findings[0].rule, "result-discard");
+    EXPECT_EQ(report.findings[0].line, 5u);
+    EXPECT_NE(report.findings[0].message.find("'find'"), std::string::npos);
 }
 
 // --- the gate itself --------------------------------------------------------
 
-// The committed tree lints clean under the committed allowlist, with no
-// stale allowlist entries. This is exactly what `scripts/check.sh
-// --analyze` enforces; failing here means a new invariant violation (or a
-// rotted allowlist) is about to land.
+// The committed tree lints clean — line rules, layering, cycles,
+// [[nodiscard]] coverage and result discards — under the committed
+// allowlist and layering spec, with no stale allowlist entries. This is
+// exactly what `scripts/check.sh --analyze` enforces; failing here means
+// a new invariant violation (or a rotted allowlist) is about to land.
 TEST(LintGate, CommittedTreeIsCleanUnderCommittedAllowlist) {
     const fs::path repo(HTD_SOURCE_DIR);
     std::ifstream allow_in(repo / "tools" / "htd_lint" / "allowlist.txt");
     ASSERT_TRUE(allow_in.is_open());
-    std::ostringstream buffer;
-    buffer << allow_in.rdbuf();
-    const std::vector<AllowEntry> allow =
-        htd::lint::parse_allowlist(buffer.str());
-    EXPECT_FALSE(allow.empty());
+    std::ostringstream allow_buf;
+    allow_buf << allow_in.rdbuf();
+
+    std::ifstream layers_in(repo / "tools" / "htd_lint" / "layers.txt");
+    ASSERT_TRUE(layers_in.is_open());
+    std::ostringstream layers_buf;
+    layers_buf << layers_in.rdbuf();
+
+    Options options;
+    options.allow = htd::lint::parse_allowlist(allow_buf.str());
+    options.layers = htd::lint::parse_layers(layers_buf.str());
+    EXPECT_FALSE(options.allow.empty());
+    EXPECT_GT(options.layers.layers.size(), 5u);
 
     std::vector<std::string> paths;
     for (const char* dir : {"src", "tools", "bench", "tests", "examples"}) {
         paths.push_back((repo / dir).string());
     }
-    const Report report = htd::lint::lint_paths(paths, allow);
+    const Report report = htd::lint::lint_paths(paths, options);
     EXPECT_GT(report.files_checked, 100u);
-    EXPECT_TRUE(report.clean()) << htd::lint::report_text(report);
-    EXPECT_TRUE(report.unused_allow.empty()) << htd::lint::report_text(report);
+    EXPECT_TRUE(report.clean()) << dump_report(report);
+    EXPECT_TRUE(report.unused_allow.empty()) << dump_report(report);
     EXPECT_GT(report.suppressed, 0u);  // the allowlist is real, not decorative
+    ASSERT_EQ(report.passes.size(), 4u);
+    EXPECT_EQ(report.passes[3].name, "total");
 }
 
 }  // namespace

@@ -9,8 +9,8 @@
 #include <set>
 #include <string>
 
-#include "core/experiment.hpp"
-#include "core/report.hpp"
+#include "pipeline/experiment.hpp"
+#include "pipeline/report.hpp"
 #include "io/json.hpp"
 #include "obs/obs.hpp"
 #include "obs/run_report.hpp"

@@ -8,8 +8,8 @@
 #include <stdexcept>
 
 #include "core/errors.hpp"
-#include "core/experiment.hpp"
-#include "core/pipeline.hpp"
+#include "pipeline/experiment.hpp"
+#include "pipeline/pipeline.hpp"
 
 namespace {
 

@@ -10,9 +10,9 @@
 #include <map>
 
 #include "core/errors.hpp"
-#include "core/experiment.hpp"
-#include "core/ingest.hpp"
-#include "core/pipeline.hpp"
+#include "pipeline/experiment.hpp"
+#include "pipeline/ingest.hpp"
+#include "pipeline/pipeline.hpp"
 #include "silicon/fault_injector.hpp"
 
 namespace {

@@ -7,7 +7,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "core/experiment.hpp"
+#include "pipeline/experiment.hpp"
 #include "stats/descriptive.hpp"
 #include "silicon/bench_measure.hpp"
 #include "silicon/fab.hpp"

@@ -14,12 +14,17 @@
 ///   drift_sweep  per sweep point: the health verdict must not worsen
 ///                (healthy < warn < degraded < critical) and boundary
 ///                accuracy follows the fault_sweep rule.
+///   lint         htd_lint pass wall times (scan / layering /
+///                result-discard / total) from the htd_lint.v2 JSON
+///                report — lower is better; a regression needs BOTH
+///                > +50% relative AND > +250 ms absolute, so analyzer
+///                slowdowns trip the gate without flapping on noise.
 ///
 /// Usage:
 ///   bench_compare [--baseline-dir DIR] [--candidate-dir DIR]
 ///                 [--json PATH] [--bless] [name...]
 ///
-/// Names default to "micro roc fault_sweep drift_sweep". A name whose
+/// Names default to "micro roc fault_sweep drift_sweep lint". A name whose
 /// baseline file does not exist is reported as unblessed and skipped; a
 /// missing *candidate* file is a hard usage error. Exit codes: 0 = no
 /// regression, 1 = regression detected, 2 = usage / IO error.
@@ -182,6 +187,30 @@ void compare_sweep(const Json& base, const Json& cand, bool with_verdict,
     }
 }
 
+/// htd_lint analyzer perf: the BENCH_lint.json artifact IS the
+/// `htd_lint --json` (htd_lint.v2) report; the gated metrics are the
+/// per-pass wall times. Thresholds are generous — the point is catching
+/// an accidentally quadratic pass, not millisecond noise.
+void compare_lint(const Json& base, const Json& cand, Comparison& out) {
+    std::map<std::string, double> cand_ms;
+    for (const Json& p : cand.at("passes").elements()) {
+        cand_ms[p.at("name").str()] = p.at("wall_ms").number();
+    }
+    for (const Json& p : base.at("passes").elements()) {
+        const std::string& name = p.at("name").str();
+        const auto it = cand_ms.find(name);
+        if (it == cand_ms.end()) {
+            out.checks.push_back({"passes." + name + ".wall_ms",
+                                  p.at("wall_ms").number(), 0.0,
+                                  "pass present in candidate", false});
+            continue;
+        }
+        out.checks.push_back(check_lower("passes." + name + ".wall_ms",
+                                         p.at("wall_ms").number(), it->second,
+                                         0.50, 250.0, "ms"));
+    }
+}
+
 Json comparison_json(const std::vector<Comparison>& comparisons,
                      const std::string& baseline_dir,
                      const std::string& candidate_dir, int regressions) {
@@ -216,7 +245,7 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--baseline-dir DIR] [--candidate-dir DIR] "
                  "[--json PATH] [--bless] [name...]\n"
-                 "names default to: micro roc fault_sweep drift_sweep\n",
+                 "names default to: micro roc fault_sweep drift_sweep lint\n",
                  argv0);
     return 2;
 }
@@ -258,7 +287,9 @@ int main(int argc, char** argv) {
             names.push_back(arg);
         }
     }
-    if (names.empty()) names = {"micro", "roc", "fault_sweep", "drift_sweep"};
+    if (names.empty()) {
+        names = {"micro", "roc", "fault_sweep", "drift_sweep", "lint"};
+    }
 
     if (bless) {
         std::error_code ec;
@@ -317,6 +348,8 @@ int main(int argc, char** argv) {
                 compare_sweep(base, cand, /*with_verdict=*/false, cmp);
             } else if (name == "drift_sweep") {
                 compare_sweep(base, cand, /*with_verdict=*/true, cmp);
+            } else if (name == "lint") {
+                compare_lint(base, cand, cmp);
             } else {
                 std::fprintf(stderr, "bench_compare: unknown artifact '%s'\n",
                              name.c_str());

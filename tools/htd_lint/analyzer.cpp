@@ -1,0 +1,538 @@
+/// \file analyzer.cpp
+/// The htd_lint v2 analyzer core: walks the tree, runs the per-file front
+/// end (lint.cpp) on a thread pool with a content-hash result cache, then
+/// runs the global passes — include-graph layering, include-cycle
+/// detection, and result-discard resolution — over the per-file
+/// extractions. Diagnostic order is deterministic regardless of thread
+/// count or cache state: files are visited in sorted order and findings
+/// are sorted before reporting.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "internal.hpp"
+#include "lint.hpp"
+
+namespace htd::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// --- cache ------------------------------------------------------------------
+
+/// Bump when FileAnalysis or any per-file pass changes behaviour: the key
+/// participates in the content hash, so stale cache entries simply miss.
+constexpr const char* kCacheVersion = "htd_lint.cache.v2";
+
+std::uint64_t fnv1a64(const std::string& data, std::uint64_t h) {
+    for (const char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::string content_key(const std::string& path, const std::string& contents) {
+    std::uint64_t h = 1469598103934665603ULL;
+    h = fnv1a64(kCacheVersion, h);
+    h = fnv1a64(path, h);
+    h = fnv1a64(std::string(1, '\0'), h);
+    h = fnv1a64(contents, h);
+    std::ostringstream hex;
+    hex << std::hex << h;
+    return hex.str();
+}
+
+bool load_cached(const std::string& cache_dir, const std::string& key,
+                 FileAnalysis& fa) {
+    const fs::path entry = fs::path(cache_dir) / (key + ".json");
+    std::error_code ec;
+    if (!fs::exists(entry, ec) || ec) return false;
+    try {
+        fa = FileAnalysis::from_json(io::Json::parse_file(entry.string()));
+        return true;
+    } catch (const std::exception&) {
+        return false;  // corrupt entry: fall through to a fresh scan
+    }
+}
+
+void store_cached(const std::string& cache_dir, const std::string& key,
+                  const FileAnalysis& fa) {
+    try {
+        fa.to_json().dump_to_file(
+            (fs::path(cache_dir) / (key + ".json")).string(), 0);
+    } catch (const std::exception&) {
+        // Best effort: a read-only build tree must not fail the lint run.
+    }
+}
+
+// --- tree walk --------------------------------------------------------------
+
+bool lintable(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp";
+}
+
+std::vector<fs::path> collect_files(const std::vector<std::string>& paths) {
+    std::vector<fs::path> files;
+    for (const std::string& raw : paths) {
+        const fs::path p(raw);
+        if (fs::is_directory(p)) {
+            for (const auto& entry : fs::recursive_directory_iterator(p)) {
+                if (entry.is_regular_file() && lintable(entry.path())) {
+                    files.push_back(entry.path());
+                }
+            }
+        } else if (fs::is_regular_file(p)) {
+            files.push_back(p);
+        } else {
+            throw std::runtime_error("htd_lint: no such path: " + raw);
+        }
+    }
+    std::sort(files.begin(), files.end(),
+              [](const fs::path& a, const fs::path& b) {
+                  return a.generic_string() < b.generic_string();
+              });
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+/// One walked file plus everything the front end extracted from it.
+struct ScanSlot {
+    std::string path;  ///< normalized forward-slash path
+    FileAnalysis fa;
+    bool cached = false;
+    std::string error;  ///< nonempty when the scan failed (reported once)
+};
+
+// --- layering pass ----------------------------------------------------------
+
+std::string module_of_include(const std::string& target) {
+    const std::size_t slash = target.find('/');
+    if (slash == std::string::npos) return {};  // same-directory include
+    return target.substr(0, slash);
+}
+
+void layering_pass(const std::vector<ScanSlot>& slots, const LayerSpec& spec,
+                   std::vector<Finding>& out) {
+    // Modules actually present in the walked tree: includes of unknown
+    // first components ("gtest/gtest.h") name the outside world, not a
+    // layering violation.
+    std::set<std::string> present;
+    for (const ScanSlot& s : slots) {
+        const std::string mod = detail::module_of(s.path);
+        if (!mod.empty()) present.insert(mod);
+    }
+    for (const ScanSlot& s : slots) {
+        const std::string mod = detail::module_of(s.path);
+        if (mod.empty()) continue;
+        const auto from = spec.rank.find(mod);
+        if (from == spec.rank.end()) {
+            out.push_back(
+                {s.path, 1, "layer-unmapped",
+                 "module '" + mod +
+                     "' is not declared in the layering spec "
+                     "(tools/htd_lint/layers.txt); every src/ module must be "
+                     "assigned a layer so the architecture contract applies"});
+            continue;  // unrankable edges; the cycle pass still covers it
+        }
+        for (const FileAnalysis::Include& inc : s.fa.includes) {
+            const std::string to_mod = module_of_include(inc.target);
+            if (to_mod.empty() || to_mod == mod) continue;
+            const auto to = spec.rank.find(to_mod);
+            if (to == spec.rank.end()) {
+                if (present.count(to_mod) != 0) {
+                    out.push_back({s.path, inc.line, "layer-unmapped",
+                                   "include of \"" + inc.target +
+                                       "\" reaches module '" + to_mod +
+                                       "', which is not declared in the "
+                                       "layering spec"});
+                }
+                continue;
+            }
+            if (to->second > from->second) {
+                out.push_back(
+                    {s.path, inc.line, "layering",
+                     "layering back-edge: module '" + mod + "' (layer " +
+                         std::to_string(from->second) +
+                         ") may not include '" + to_mod + "' (layer " +
+                         std::to_string(to->second) + "): " + s.path +
+                         " -> \"" + inc.target + "\""});
+            } else if (to->second == from->second) {
+                out.push_back(
+                    {s.path, inc.line, "layering",
+                     "peer coupling: modules '" + mod + "' and '" + to_mod +
+                         "' share layer " + std::to_string(from->second) +
+                         " and must stay mutually independent: " + s.path +
+                         " -> \"" + inc.target + "\""});
+            }
+        }
+    }
+}
+
+// --- include-cycle pass -----------------------------------------------------
+
+std::string dir_of(const std::string& path) {
+    const std::size_t slash = path.rfind('/');
+    return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+/// Resolve each quoted include to an index in `slots` the way the build
+/// does: relative to the including file's directory first, then relative
+/// to the src/ root (our -I src include path).
+std::vector<std::vector<std::pair<std::size_t, std::size_t>>> resolve_edges(
+    const std::vector<ScanSlot>& slots) {
+    std::map<std::string, std::size_t> index_of;
+    for (std::size_t i = 0; i < slots.size(); ++i) index_of[slots[i].path] = i;
+    // src/ roots seen in the walked tree ("src/", "foo/src/", ...).
+    std::set<std::string> roots;
+    for (const ScanSlot& s : slots) {
+        const std::size_t pos = s.path.rfind("src/");
+        if (pos == 0 || (pos != std::string::npos && s.path[pos - 1] == '/')) {
+            roots.insert(s.path.substr(0, pos + 4));
+        }
+    }
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> edges(
+        slots.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        for (const FileAnalysis::Include& inc : slots[i].fa.includes) {
+            std::vector<std::string> candidates;
+            const std::string dir = dir_of(slots[i].path);
+            candidates.push_back(dir.empty() ? inc.target : dir + "/" + inc.target);
+            for (const std::string& root : roots) {
+                candidates.push_back(root + inc.target);
+            }
+            for (const std::string& cand : candidates) {
+                const auto it = index_of.find(cand);
+                if (it != index_of.end()) {
+                    edges[i].push_back({it->second, inc.line});
+                    break;
+                }
+            }
+        }
+    }
+    return edges;
+}
+
+void cycle_pass(const std::vector<ScanSlot>& slots, std::vector<Finding>& out) {
+    const auto edges = resolve_edges(slots);
+    enum Color : unsigned char { kWhite, kGray, kBlack };
+    std::vector<Color> color(slots.size(), kWhite);
+    // Each cycle is reported once, keyed by its canonical rotation.
+    std::set<std::vector<std::size_t>> seen;
+
+    struct Frame {
+        std::size_t node;
+        std::size_t next_edge = 0;
+    };
+    std::vector<Frame> stack;
+    std::vector<std::size_t> chain;  // gray nodes, root -> current
+
+    for (std::size_t start = 0; start < slots.size(); ++start) {
+        if (color[start] != kWhite) continue;
+        stack.push_back({start});
+        color[start] = kGray;
+        chain.push_back(start);
+        while (!stack.empty()) {
+            Frame& f = stack.back();
+            if (f.next_edge < edges[f.node].size()) {
+                const auto [to, line] = edges[f.node][f.next_edge++];
+                if (color[to] == kWhite) {
+                    color[to] = kGray;
+                    chain.push_back(to);
+                    stack.push_back({to});
+                } else if (color[to] == kGray) {
+                    // Back edge: the cycle is chain[pos..end] closed by
+                    // this include.
+                    const auto pos =
+                        std::find(chain.begin(), chain.end(), to);
+                    std::vector<std::size_t> cyc(pos, chain.end());
+                    // Canonical rotation: start at the smallest index.
+                    const auto min_it = std::min_element(cyc.begin(), cyc.end());
+                    std::rotate(cyc.begin(), min_it, cyc.end());
+                    if (seen.insert(cyc).second) {
+                        std::string msg = "include cycle: ";
+                        for (auto it = pos; it != chain.end(); ++it) {
+                            msg += slots[*it].path + " -> ";
+                        }
+                        msg += slots[to].path +
+                               " (break one of these includes)";
+                        out.push_back({slots[f.node].path, line,
+                                       "include-cycle", std::move(msg)});
+                    }
+                }
+            } else {
+                color[f.node] = kBlack;
+                chain.pop_back();
+                stack.pop_back();
+            }
+        }
+    }
+}
+
+// --- result-discard pass ----------------------------------------------------
+
+void discard_pass(const std::vector<ScanSlot>& slots,
+                  std::vector<Finding>& out) {
+    std::set<std::string> must_use;
+    for (const ScanSlot& s : slots) {
+        must_use.insert(s.fa.must_use.begin(), s.fa.must_use.end());
+    }
+    // `find` alone is too common a name to act on without its declaration
+    // being in the walked set — which it is here, since the declaration
+    // scanner recorded it. Statement-level drops of anything in the set
+    // are boundary decisions skipped silently.
+    for (const ScanSlot& s : slots) {
+        for (const FileAnalysis::CallSite& c : s.fa.discards) {
+            if (must_use.count(c.name) == 0) continue;
+            out.push_back(
+                {s.path, c.line, "result-discard",
+                 "result of '" + c.name + "(...)' is discarded; '" + c.name +
+                     "' returns a must-use type (a boundary/validation "
+                     "decision or std::optional) — act on the value, or cast "
+                     "to void with a comment explaining the drop"});
+        }
+    }
+}
+
+// --- allowlist --------------------------------------------------------------
+
+bool suffix_match(const std::string& path, const std::string& suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+}  // namespace
+
+// --- driver -----------------------------------------------------------------
+
+Report lint_paths(const std::vector<std::string>& paths,
+                  const Options& options) {
+    const auto t_total = std::chrono::steady_clock::now();
+    const std::vector<fs::path> files = collect_files(paths);
+
+    bool cache_enabled = !options.cache_dir.empty();
+    if (cache_enabled) {
+        std::error_code ec;
+        fs::create_directories(options.cache_dir, ec);
+        if (ec) cache_enabled = false;  // unwritable cache: scan everything
+    }
+
+    std::vector<ScanSlot> slots(files.size());
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= slots.size()) return;
+            ScanSlot& slot = slots[i];
+            slot.path = detail::normalize(files[i].generic_string());
+            try {
+                std::ifstream in(files[i], std::ios::binary);
+                if (!in.is_open()) {
+                    throw std::runtime_error("htd_lint: cannot read " +
+                                             slot.path);
+                }
+                std::ostringstream buf;
+                buf << in.rdbuf();
+                const std::string contents = buf.str();
+                std::string key;
+                if (cache_enabled) {
+                    key = content_key(slot.path, contents);
+                    if (load_cached(options.cache_dir, key, slot.fa)) {
+                        slot.cached = true;
+                        continue;
+                    }
+                }
+                slot.fa = analyze_file(slot.path, contents);
+                if (cache_enabled) store_cached(options.cache_dir, key, slot.fa);
+            } catch (const std::exception& e) {
+                slot.error = e.what();
+            }
+        }
+    };
+
+    const auto t_scan = std::chrono::steady_clock::now();
+    std::size_t jobs = options.jobs != 0
+                           ? options.jobs
+                           : std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::min(jobs, std::max<std::size_t>(slots.size(), 1));
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+        for (std::thread& t : pool) t.join();
+    }
+    const double scan_ms = ms_since(t_scan);
+    for (const ScanSlot& slot : slots) {
+        if (!slot.error.empty()) throw std::runtime_error(slot.error);
+    }
+
+    Report report;
+    report.files_checked = slots.size();
+    for (const ScanSlot& slot : slots) {
+        report.files_cached += slot.cached ? 1 : 0;
+    }
+
+    std::vector<Finding> findings;
+    for (const ScanSlot& slot : slots) {
+        findings.insert(findings.end(), slot.fa.findings.begin(),
+                        slot.fa.findings.end());
+    }
+
+    const auto t_layer = std::chrono::steady_clock::now();
+    if (!options.layers.empty()) {
+        layering_pass(slots, options.layers, findings);
+        cycle_pass(slots, findings);
+    }
+    const double layer_ms = ms_since(t_layer);
+
+    const auto t_discard = std::chrono::steady_clock::now();
+    discard_pass(slots, findings);
+    const double discard_ms = ms_since(t_discard);
+
+    // Deterministic order: slots are sorted by path, but global passes
+    // append out of file order.
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
+              });
+
+    std::vector<std::size_t> hits(options.allow.size(), 0);
+    for (Finding& f : findings) {
+        bool suppressed = false;
+        for (std::size_t a = 0; a < options.allow.size(); ++a) {
+            const AllowEntry& entry = options.allow[a];
+            if ((entry.rule == "*" || entry.rule == f.rule) &&
+                suffix_match(f.file, entry.path_suffix)) {
+                ++hits[a];
+                suppressed = true;
+                break;
+            }
+        }
+        if (suppressed) {
+            ++report.suppressed;
+        } else {
+            report.findings.push_back(std::move(f));
+        }
+    }
+    for (std::size_t a = 0; a < options.allow.size(); ++a) {
+        if (hits[a] == 0) {
+            report.unused_allow.push_back(options.allow[a]);
+        } else {
+            report.allow_usage.push_back({options.allow[a], hits[a]});
+        }
+    }
+
+    report.passes.push_back({"scan", scan_ms});
+    report.passes.push_back({"layering", layer_ms});
+    report.passes.push_back({"result-discard", discard_ms});
+    report.passes.push_back({"total", ms_since(t_total)});
+    return report;
+}
+
+Report lint_paths(const std::vector<std::string>& paths,
+                  const std::vector<AllowEntry>& allow) {
+    Options options;
+    options.allow = allow;
+    options.jobs = 1;
+    return lint_paths(paths, options);
+}
+
+// --- reports ----------------------------------------------------------------
+
+io::Json report_json(const Report& report) {
+    io::Json doc = io::Json::object();
+    doc.set("schema", std::string("htd_lint.v2"));
+    io::Json arr = io::Json::array();
+    for (const Finding& f : report.findings) {
+        io::Json rec = io::Json::object();
+        rec.set("file", f.file);
+        rec.set("line", f.line);
+        rec.set("rule", f.rule);
+        rec.set("message", f.message);
+        arr.push_back(std::move(rec));
+    }
+    doc.set("findings", std::move(arr));
+    doc.set("files_checked", report.files_checked);
+    doc.set("files_cached", report.files_cached);
+    doc.set("suppressed", report.suppressed);
+    io::Json passes = io::Json::array();
+    for (const PassTiming& p : report.passes) {
+        io::Json rec = io::Json::object();
+        rec.set("name", p.name);
+        rec.set("wall_ms", p.wall_ms);
+        passes.push_back(std::move(rec));
+    }
+    doc.set("passes", std::move(passes));
+    io::Json allow = io::Json::array();
+    for (const AllowUsage& u : report.allow_usage) {
+        io::Json rec = io::Json::object();
+        rec.set("rule", u.entry.rule);
+        rec.set("path_suffix", u.entry.path_suffix);
+        rec.set("justification", u.entry.justification);
+        rec.set("findings_suppressed", u.hits);
+        allow.push_back(std::move(rec));
+    }
+    doc.set("allowlist", std::move(allow));
+    io::Json unused = io::Json::array();
+    for (const AllowEntry& e : report.unused_allow) {
+        io::Json rec = io::Json::object();
+        rec.set("rule", e.rule);
+        rec.set("path_suffix", e.path_suffix);
+        unused.push_back(std::move(rec));
+    }
+    doc.set("unused_allowlist_entries", std::move(unused));
+    return doc;
+}
+
+std::string report_text(const Report& report) {
+    std::ostringstream out;
+    for (const Finding& f : report.findings) {
+        out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+            << "\n";
+    }
+    for (const AllowEntry& e : report.unused_allow) {
+        out << "htd_lint: stale allowlist entry (no findings matched): "
+            << e.rule << " " << e.path_suffix << "\n";
+    }
+    out << "htd_lint: " << report.files_checked << " files";
+    if (report.files_cached > 0) {
+        out << " (" << report.files_cached << " cached)";
+    }
+    out << ", " << report.findings.size() << " finding(s), "
+        << report.suppressed << " suppressed\n";
+    if (!report.passes.empty()) {
+        out << "htd_lint: passes:";
+        for (const PassTiming& p : report.passes) {
+            std::ostringstream ms;
+            ms.setf(std::ios::fixed);
+            ms.precision(1);
+            ms << p.wall_ms;
+            out << " " << p.name << " " << ms.str() << " ms";
+            if (&p != &report.passes.back()) out << ",";
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace htd::lint

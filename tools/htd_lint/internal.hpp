@@ -1,0 +1,25 @@
+#pragma once
+/// \file internal.hpp
+/// Helpers shared between the per-file front end (lint.cpp) and the
+/// analyzer driver (analyzer.cpp). Not part of the public lint.hpp API.
+
+#include <string>
+
+namespace htd::lint::detail {
+
+/// Forward-slash the path and strip a leading "./" so rule scoping sees
+/// "src/..." either way.
+[[nodiscard]] std::string normalize(std::string path);
+
+/// True when `path` lies under directory `dir` (prefix or any component).
+[[nodiscard]] bool path_in(const std::string& path, const std::string& dir);
+
+/// True for *.hpp.
+[[nodiscard]] bool is_header(const std::string& path);
+
+/// Module of a src/ file: the path component after the last "src/"
+/// ("src/ml/kmm.hpp" -> "ml"); empty when the path is not under src/ or
+/// sits directly in it.
+[[nodiscard]] std::string module_of(const std::string& normalized_path);
+
+}  // namespace htd::lint::detail

@@ -2,23 +2,20 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
-#include <fstream>
+#include <optional>
 #include <regex>
 #include <sstream>
 #include <stdexcept>
 
+#include "internal.hpp"
+#include "lexer.hpp"
+
 namespace htd::lint {
 
-namespace {
-
-namespace fs = std::filesystem;
-
-// --- path helpers -----------------------------------------------------------
+namespace detail {
 
 std::string normalize(std::string path) {
     std::replace(path.begin(), path.end(), '\\', '/');
-    // Strip a leading "./" so rule scoping sees "src/..." either way.
     while (path.rfind("./", 0) == 0) path.erase(0, 2);
     return path;
 }
@@ -31,10 +28,24 @@ bool is_header(const std::string& path) {
     return path.size() > 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
 }
 
-bool is_source_file(const fs::path& p) {
-    const std::string ext = p.extension().string();
-    return ext == ".cpp" || ext == ".hpp";
+std::string module_of(const std::string& normalized_path) {
+    std::size_t pos = normalized_path.rfind("src/");
+    if (pos != 0 && (pos == std::string::npos || normalized_path[pos - 1] != '/')) {
+        return {};
+    }
+    pos += 4;
+    const std::size_t slash = normalized_path.find('/', pos);
+    if (slash == std::string::npos) return {};
+    return normalized_path.substr(pos, slash - pos);
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::is_header;
+using detail::normalize;
+using detail::path_in;
 
 // --- line utilities ---------------------------------------------------------
 
@@ -58,7 +69,7 @@ bool blank_line(const std::string& line) {
                        [](unsigned char c) { return std::isspace(c) != 0; });
 }
 
-// --- rule implementations ---------------------------------------------------
+// --- line rules (v1) --------------------------------------------------------
 
 void check_rng_seed(const std::string& path, const std::vector<std::string>& code,
                     std::vector<Finding>& out) {
@@ -108,7 +119,7 @@ void check_std_random_in_library(const std::string& path,
 
 void check_raw_nan(const std::string& path, const std::vector<std::string>& code,
                    std::vector<Finding>& out) {
-    if (!path_in(path, "src/") || path_in(path, "src/core/ingest")) return;
+    if (!path_in(path, "src/") || path_in(path, "src/pipeline/ingest")) return;
     static const std::regex raw_nan(R"(\bstd\s*::\s*(isnan|isinf|isfinite)\s*\()");
     for (std::size_t i = 0; i < code.size(); ++i) {
         // One finding per call, not per line: a screening helper often
@@ -118,7 +129,7 @@ void check_raw_nan(const std::string& path, const std::vector<std::string>& code
             out.push_back({path, i + 1, "raw-nan-check",
                            "std::" + it->str(1) +
                                " outside core::MeasurementValidator; ingested "
-                               "measurement screening lives in core/ingest — "
+                               "measurement screening lives in pipeline/ingest — "
                                "allowlist this site if the float is not a "
                                "measurement field"});
         }
@@ -208,112 +219,467 @@ void check_stream_unchecked(const std::string& path,
     }
 }
 
-}  // namespace
+// --- token helpers ----------------------------------------------------------
 
-// --- scanner ----------------------------------------------------------------
+bool is_punct(const Token& t, const char* text) {
+    return t.kind == TokKind::kPunct && t.text == text;
+}
 
-std::string blank_noncode(const std::string& contents) {
-    std::string out = contents;
-    enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-    State state = State::kCode;
-    std::string raw_delim;  // for R"delim( ... )delim"
-    for (std::size_t i = 0; i < out.size(); ++i) {
-        const char c = out[i];
-        const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-        switch (state) {
-            case State::kCode:
-                if (c == '/' && next == '/') {
-                    state = State::kLineComment;
-                    out[i] = ' ';
-                } else if (c == '/' && next == '*') {
-                    state = State::kBlockComment;
-                    out[i] = ' ';
-                } else if (c == 'R' && next == '"' &&
-                           (i == 0 || (std::isalnum(static_cast<unsigned char>(
-                                           out[i - 1])) == 0 &&
-                                       out[i - 1] != '_'))) {
-                    // R"delim( — capture the delimiter up to '('.
-                    std::size_t j = i + 2;
-                    raw_delim.clear();
-                    while (j < out.size() && out[j] != '(') raw_delim += out[j++];
-                    state = State::kRawString;
-                    // Keep the prefix readable length but blank it.
-                    for (std::size_t k = i; k <= std::min(j, out.size() - 1); ++k) {
-                        if (out[k] != '\n') out[k] = ' ';
-                    }
-                    i = j;
-                } else if (c == '"') {
-                    state = State::kString;
-                    out[i] = ' ';
-                } else if (c == '\'') {
-                    state = State::kChar;
-                    out[i] = ' ';
-                }
-                break;
-            case State::kLineComment:
-                if (c == '\n') {
-                    state = State::kCode;
-                } else {
-                    out[i] = ' ';
-                }
-                break;
-            case State::kBlockComment:
-                if (c == '*' && next == '/') {
-                    out[i] = ' ';
-                    out[i + 1] = ' ';
-                    ++i;
-                    state = State::kCode;
-                } else if (c != '\n') {
-                    out[i] = ' ';
-                }
-                break;
-            case State::kString:
-                if (c == '\\' && next != '\0') {
-                    out[i] = ' ';
-                    if (next != '\n') out[i + 1] = ' ';
-                    ++i;
-                } else if (c == '"') {
-                    out[i] = ' ';
-                    state = State::kCode;
-                } else if (c != '\n') {
-                    out[i] = ' ';
-                }
-                break;
-            case State::kChar:
-                if (c == '\\' && next != '\0') {
-                    out[i] = ' ';
-                    if (next != '\n') out[i + 1] = ' ';
-                    ++i;
-                } else if (c == '\'') {
-                    out[i] = ' ';
-                    state = State::kCode;
-                } else if (c != '\n') {
-                    out[i] = ' ';
-                }
-                break;
-            case State::kRawString: {
-                // Terminated by )delim"
-                const std::string terminator = ")" + raw_delim + "\"";
-                if (out.compare(i, terminator.size(), terminator) == 0) {
-                    for (std::size_t k = 0; k < terminator.size(); ++k) out[i + k] = ' ';
-                    i += terminator.size() - 1;
-                    state = State::kCode;
-                } else if (c != '\n') {
-                    out[i] = ' ';
-                }
-                break;
-            }
+bool is_ident(const Token& t, const char* text) {
+    return t.kind == TokKind::kIdent && t.text == text;
+}
+
+/// Macro-shaped identifier (GUARDED_BY, HTD_CAPABILITY, ...): upper-case
+/// letters, digits and underscores with at least one letter.
+bool all_caps(const std::string& s) {
+    bool alpha = false;
+    for (const char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        if (std::islower(u) != 0) return false;
+        if (std::isupper(u) != 0) alpha = true;
+        if (std::isalnum(u) == 0 && c != '_') return false;
+    }
+    return alpha;
+}
+
+bool is_decl_specifier(const std::string& s) {
+    return s == "static" || s == "inline" || s == "constexpr" ||
+           s == "consteval" || s == "constinit" || s == "explicit" ||
+           s == "virtual" || s == "extern" || s == "mutable" ||
+           s == "thread_local" || s == "register";
+}
+
+/// Types whose values encode a boundary/ingestion decision and must not
+/// be dropped on the floor (DESIGN.md §12). `optional` covers the probe
+/// accessors such as HealthMonitor::find.
+bool is_must_use_type(const std::string& s) {
+    return s == "BoundaryStatus" || s == "QuarantineSummary" ||
+           s == "ValidationResult" || s == "IngestResult" || s == "optional";
+}
+
+/// Statement-leading keywords that rule a token run out as a bare call.
+bool is_stmt_keyword(const std::string& s) {
+    return s == "return" || s == "throw" || s == "if" || s == "else" ||
+           s == "while" || s == "for" || s == "do" || s == "switch" ||
+           s == "case" || s == "goto" || s == "break" || s == "continue" ||
+           s == "new" || s == "delete" || s == "using" || s == "namespace" ||
+           s == "template" || s == "typedef" || s == "co_return" ||
+           s == "co_await" || s == "co_yield";
+}
+
+std::string blank_noncode_tokens(const std::string& contents,
+                                 const std::vector<Token>& tokens) {
+    std::string out(contents.size(), ' ');
+    for (std::size_t i = 0; i < contents.size(); ++i) {
+        if (contents[i] == '\n') out[i] = '\n';
+    }
+    for (const Token& t : tokens) {
+        if (t.kind == TokKind::kString || t.kind == TokKind::kChar) continue;
+        for (std::size_t k = 0; k < t.length; ++k) {
+            const char c = contents[t.offset + k];
+            if (c != '\n') out[t.offset + k] = c;
         }
     }
     return out;
 }
 
+// --- include extraction -----------------------------------------------------
+
+void collect_includes(const std::vector<Token>& toks, FileAnalysis& fa) {
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!is_punct(toks[i], "#") || !toks[i].at_line_start) continue;
+        if (!is_ident(toks[i + 1], "include")) continue;
+        const Token& arg = toks[i + 2];
+        // Only quoted includes participate in the project graph; <...>
+        // names the outside world.
+        if (arg.kind != TokKind::kString || arg.text.size() < 2) continue;
+        fa.includes.push_back(
+            {arg.text.substr(1, arg.text.size() - 2), toks[i].line});
+    }
+}
+
+// --- declaration scanner (missing-nodiscard + must-use extraction) ----------
+
+/// Examine one declaration head (tokens since the last `;` / `{` / `}` at
+/// namespace or class scope). Emits a missing-nodiscard finding for a
+/// public value-returning function without the attribute, and records the
+/// function name when the return type is must-use.
+void process_declaration(const std::string& path, const std::vector<Token>& toks,
+                         const std::vector<std::size_t>& head, bool is_public,
+                         bool enforce_nodiscard, std::vector<Finding>& findings,
+                         std::vector<std::string>& must_use) {
+    if (head.empty()) return;
+    bool has_nodiscard = false;
+    std::vector<std::size_t> sig;  // head minus attributes / specifiers
+    sig.reserve(head.size());
+    for (std::size_t k = 0; k < head.size(); ++k) {
+        const Token& t = toks[head[k]];
+        if (is_punct(t, "[") && k + 1 < head.size() &&
+            is_punct(toks[head[k + 1]], "[")) {
+            // [[...]] attribute group.
+            int depth = 0;
+            for (; k < head.size(); ++k) {
+                const Token& a = toks[head[k]];
+                if (is_punct(a, "[")) ++depth;
+                if (is_punct(a, "]") && --depth == 0) break;
+                if (a.kind == TokKind::kIdent && a.text == "nodiscard") {
+                    has_nodiscard = true;
+                }
+            }
+            continue;
+        }
+        if (t.kind == TokKind::kIdent) {
+            if (is_decl_specifier(t.text)) continue;
+            if (t.text == "template") {
+                // Skip the parameter list; the declaration that follows is
+                // checked like any other.
+                int angle = 0;
+                for (++k; k < head.size(); ++k) {
+                    const Token& a = toks[head[k]];
+                    if (is_punct(a, "<")) ++angle;
+                    if (is_punct(a, ">") && --angle == 0) break;
+                    if (a.kind == TokKind::kPunct && a.text == ">>") {
+                        angle -= 2;
+                        if (angle <= 0) break;
+                    }
+                }
+                continue;
+            }
+            if (t.text == "friend" || t.text == "typedef" || t.text == "using" ||
+                t.text == "operator" || t.text == "static_assert" ||
+                t.text == "class" || t.text == "struct" || t.text == "union" ||
+                t.text == "enum" || t.text == "concept" || t.text == "requires") {
+                return;
+            }
+        }
+        sig.push_back(head[k]);
+    }
+
+    // First '(' outside template angles starts the parameter list. A
+    // top-level '=' before it means this is an initialized variable.
+    int angle = 0;
+    std::size_t paren = sig.size();
+    for (std::size_t k = 0; k < sig.size(); ++k) {
+        const Token& t = toks[sig[k]];
+        if (is_punct(t, "<") && k > 0 &&
+            toks[sig[k - 1]].kind == TokKind::kIdent) {
+            ++angle;
+        } else if (is_punct(t, ">") && angle > 0) {
+            --angle;
+        } else if (t.kind == TokKind::kPunct && t.text == ">>" && angle > 0) {
+            angle = angle >= 2 ? angle - 2 : 0;
+        } else if (is_punct(t, "=") && angle == 0) {
+            return;
+        } else if (is_punct(t, "(") && angle == 0) {
+            paren = k;
+            break;
+        }
+    }
+    if (paren == sig.size() || paren == 0) return;
+    const Token& name_tok = toks[sig[paren - 1]];
+    if (name_tok.kind != TokKind::kIdent) return;
+    if (all_caps(name_tok.text)) return;  // macro annotation, not a declarator
+
+    // Walk back over a qualified-name chain (Json::at) and reject
+    // destructors. A qualified name is an out-of-line definition whose
+    // in-class declaration carries the attribute.
+    bool qualified = false;
+    std::size_t chain = paren - 1;
+    while (chain >= 2 && toks[sig[chain - 1]].kind == TokKind::kPunct &&
+           toks[sig[chain - 1]].text == "::" &&
+           toks[sig[chain - 2]].kind == TokKind::kIdent) {
+        qualified = true;
+        chain -= 2;
+    }
+    if (chain > 0 && is_punct(toks[sig[chain - 1]], "~")) return;
+    if (chain == 0) return;  // constructor (or a bare macro-style call)
+
+    // `= default` / `= delete` after the parameter list: nothing to mark.
+    int pd = 0;
+    std::size_t close = sig.size();
+    for (std::size_t k = paren; k < sig.size(); ++k) {
+        if (is_punct(toks[sig[k]], "(")) ++pd;
+        if (is_punct(toks[sig[k]], ")") && --pd == 0) {
+            close = k;
+            break;
+        }
+    }
+    for (std::size_t k = close + 1; k + 1 < sig.size() + 1 && k < sig.size(); ++k) {
+        if (is_punct(toks[sig[k]], "=") && k + 1 < sig.size() &&
+            (is_ident(toks[sig[k + 1]], "delete") ||
+             is_ident(toks[sig[k + 1]], "default"))) {
+            return;
+        }
+    }
+
+    // Return type = tokens before the name chain (trailing type after ->
+    // for `auto f() -> T`).
+    std::vector<const Token*> ret;
+    for (std::size_t k = 0; k < chain; ++k) ret.push_back(&toks[sig[k]]);
+    const bool leading_auto =
+        ret.size() == 1 && ret[0]->kind == TokKind::kIdent && ret[0]->text == "auto";
+    if (leading_auto && close != sig.size()) {
+        for (std::size_t k = close + 1; k < sig.size(); ++k) {
+            if (toks[sig[k]].kind == TokKind::kPunct && toks[sig[k]].text == "->") {
+                ret.clear();
+                for (std::size_t m = k + 1; m < sig.size(); ++m) {
+                    ret.push_back(&toks[sig[m]]);
+                }
+                break;
+            }
+        }
+    }
+    if (ret.empty()) return;
+
+    bool returns_must_use = false;
+    for (const Token* t : ret) {
+        if (t->kind == TokKind::kIdent && is_must_use_type(t->text)) {
+            returns_must_use = true;
+        }
+    }
+    if (returns_must_use) must_use.push_back(name_tok.text);
+
+    for (const Token* t : ret) {
+        // References are the chaining idiom (stream inserters, builder
+        // setters): requiring [[nodiscard]] there would force spurious
+        // casts at legitimate fluent call sites.
+        if (t->kind == TokKind::kPunct && (t->text == "&" || t->text == "&&")) {
+            return;
+        }
+    }
+    std::vector<const Token*> type_only;
+    for (const Token* t : ret) {
+        if (t->kind == TokKind::kIdent && (t->text == "const" || t->text == "volatile")) {
+            continue;
+        }
+        type_only.push_back(t);
+    }
+    if (type_only.size() == 1 && type_only[0]->kind == TokKind::kIdent &&
+        type_only[0]->text == "void") {
+        return;
+    }
+    if (has_nodiscard || qualified || !is_public || !enforce_nodiscard) return;
+    findings.push_back(
+        {path, name_tok.line, "missing-nodiscard",
+         "public function '" + name_tok.text +
+             "' returns a value but is not [[nodiscard]]; every "
+             "value-returning function in a src/ header must be marked so "
+             "discarded results are compile errors"});
+}
+
+void scan_declarations(const std::string& path, const std::vector<Token>& toks,
+                       bool enforce_nodiscard, std::vector<Finding>& findings,
+                       std::vector<std::string>& must_use) {
+    struct Scope {
+        enum Kind { kNamespace, kClass, kSkip } kind = kNamespace;
+        bool is_public = true;
+    };
+    std::vector<Scope> scopes{{Scope::kNamespace, true}};
+    std::vector<std::size_t> head;
+    int paren = 0;
+
+    const auto classify_and_push = [&](const std::vector<std::size_t>& h) {
+        // Decide what the '{' opens from the declaration head before it.
+        std::size_t class_kw = toks.size();
+        bool saw_enum = false;
+        bool saw_namespace = false;
+        std::size_t first_paren = toks.size();
+        for (const std::size_t idx : h) {
+            const Token& t = toks[idx];
+            if (is_ident(t, "namespace")) saw_namespace = true;
+            if (is_ident(t, "enum")) saw_enum = true;
+            if ((is_ident(t, "class") || is_ident(t, "struct") ||
+                 is_ident(t, "union")) &&
+                class_kw == toks.size()) {
+                class_kw = idx;
+            }
+            if (is_punct(t, "(") && first_paren == toks.size()) first_paren = idx;
+        }
+        if (saw_namespace) {
+            scopes.push_back({Scope::kNamespace, true});
+            return;
+        }
+        if (saw_enum) {
+            scopes.push_back({Scope::kSkip, false});
+            return;
+        }
+        if (class_kw != toks.size() &&
+            (first_paren == toks.size() || first_paren > class_kw)) {
+            // class/struct head; annotation macros after the keyword are
+            // fine, a '(' before it would make this a function instead.
+            bool is_struct = is_ident(toks[class_kw], "struct") ||
+                             is_ident(toks[class_kw], "union");
+            scopes.push_back({Scope::kClass, is_struct});
+            return;
+        }
+        // Function body / initializer / lambda: treat the head as a
+        // declaration first, then skip the braces.
+        process_declaration(path, toks, h, scopes.back().is_public,
+                            enforce_nodiscard, findings, must_use);
+        scopes.push_back({Scope::kSkip, false});
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        // Preprocessor directives never participate in declarations — and a
+        // macro body may hold unbalanced braces, so skip before tracking.
+        if (t.in_directive) continue;
+        if (scopes.back().kind == Scope::kSkip) {
+            if (is_punct(t, "{")) scopes.push_back({Scope::kSkip, false});
+            if (is_punct(t, "}") && scopes.size() > 1) scopes.pop_back();
+            continue;
+        }
+        if (is_punct(t, "(")) {
+            ++paren;
+            head.push_back(i);
+            continue;
+        }
+        if (is_punct(t, ")")) {
+            if (paren > 0) --paren;
+            head.push_back(i);
+            continue;
+        }
+        if (paren > 0) {
+            head.push_back(i);
+            continue;
+        }
+        if (is_punct(t, ";")) {
+            process_declaration(path, toks, head, scopes.back().is_public,
+                                enforce_nodiscard, findings, must_use);
+            head.clear();
+            continue;
+        }
+        if (is_punct(t, ":") && scopes.back().kind == Scope::kClass &&
+            head.size() == 1) {
+            const std::string& w = toks[head[0]].text;
+            if (w == "public" || w == "private" || w == "protected") {
+                scopes.back().is_public = (w == "public");
+                head.clear();
+                continue;
+            }
+        }
+        if (is_punct(t, "{")) {
+            classify_and_push(head);
+            head.clear();
+            paren = 0;
+            continue;
+        }
+        if (is_punct(t, "}")) {
+            if (scopes.size() > 1) scopes.pop_back();
+            head.clear();
+            continue;
+        }
+        head.push_back(i);
+    }
+}
+
+// --- discard-site scanner ---------------------------------------------------
+
+/// If toks[s..e) spells a bare postfix call chain (`v.find(x);`,
+/// `validate(m);`, `a.f(x).g();`) return the name of the *last* call —
+/// the one whose result the statement drops.
+std::optional<std::string> bare_call_chain(const std::vector<Token>& toks,
+                                           std::size_t s, std::size_t e) {
+    std::size_t k = s;
+    std::string last_call;
+    if (k < e && is_punct(toks[k], "::")) ++k;
+    bool expect_ident = true;
+    while (k < e) {
+        if (!expect_ident) return std::nullopt;
+        if (toks[k].kind != TokKind::kIdent) return std::nullopt;
+        const std::string name = toks[k].text;
+        if (is_stmt_keyword(name)) return std::nullopt;
+        ++k;
+        if (k < e && is_punct(toks[k], "<")) {
+            int angle = 0;
+            const std::size_t start = k;
+            for (; k < e; ++k) {
+                if (is_punct(toks[k], "<")) ++angle;
+                if (is_punct(toks[k], ">") && --angle == 0) {
+                    ++k;
+                    break;
+                }
+                if (toks[k].kind == TokKind::kPunct && toks[k].text == ">>") {
+                    angle -= 2;
+                    if (angle <= 0) {
+                        ++k;
+                        break;
+                    }
+                }
+            }
+            if (angle > 0 || k == start) return std::nullopt;
+        }
+        if (k < e && is_punct(toks[k], "(")) {
+            int pd = 0;
+            bool closed = false;
+            for (; k < e; ++k) {
+                if (is_punct(toks[k], "(")) ++pd;
+                if (is_punct(toks[k], ")") && --pd == 0) {
+                    ++k;
+                    closed = true;
+                    break;
+                }
+            }
+            if (!closed) return std::nullopt;
+            last_call = name;
+            if (k == e) {
+                if (last_call.empty() || all_caps(last_call)) return std::nullopt;
+                return last_call;
+            }
+            if (is_punct(toks[k], ".") || is_punct(toks[k], "->")) {
+                ++k;
+                expect_ident = true;
+                continue;
+            }
+            return std::nullopt;
+        }
+        if (k < e && (is_punct(toks[k], "::") || is_punct(toks[k], ".") ||
+                      is_punct(toks[k], "->"))) {
+            ++k;
+            expect_ident = true;
+            continue;
+        }
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+void collect_discard_sites(const std::vector<Token>& toks, FileAnalysis& fa) {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.in_directive) {
+            // A directive splits any statement run; macro bodies are not
+            // statements.
+            start = i + 1;
+            continue;
+        }
+        if (t.kind != TokKind::kPunct) continue;
+        if (t.text == ";") {
+            if (const auto name = bare_call_chain(toks, start, i)) {
+                fa.discards.push_back({*name, toks[start].line});
+            }
+            start = i + 1;
+        } else if (t.text == "{" || t.text == "}") {
+            start = i + 1;
+        }
+    }
+}
+
+}  // namespace
+
 // --- public API -------------------------------------------------------------
+
+std::string blank_noncode(const std::string& contents) {
+    return blank_noncode_tokens(contents, lex(contents));
+}
 
 const std::vector<std::string>& rule_ids() {
     static const std::vector<std::string> ids = {
-        "rng-seed",        "std-random-in-library", "raw-nan-check",
-        "stdio-in-library", "header-hygiene",       "stream-unchecked"};
+        "rng-seed",         "std-random-in-library", "raw-nan-check",
+        "stdio-in-library", "header-hygiene",        "stream-unchecked",
+        "layering",         "include-cycle",         "layer-unmapped",
+        "result-discard",   "missing-nodiscard"};
     return ids;
 }
 
@@ -324,8 +690,17 @@ std::vector<AllowEntry> parse_allowlist(const std::string& text) {
     std::size_t line_no = 0;
     while (std::getline(in, line)) {
         ++line_no;
+        std::string justification;
         const std::size_t hash = line.find('#');
-        if (hash != std::string::npos) line.erase(hash);
+        if (hash != std::string::npos) {
+            justification = line.substr(hash + 1);
+            // Trim the comment into a usable justification string.
+            const std::size_t b = justification.find_first_not_of(" \t");
+            justification = b == std::string::npos ? "" : justification.substr(b);
+            const std::size_t e = justification.find_last_not_of(" \t");
+            if (e != std::string::npos) justification.erase(e + 1);
+            line.erase(hash);
+        }
         std::istringstream fields(line);
         std::string rule;
         std::string suffix;
@@ -344,131 +719,133 @@ std::vector<AllowEntry> parse_allowlist(const std::string& text) {
             throw std::runtime_error("allowlist line " + std::to_string(line_no) +
                                      ": unknown rule '" + rule + "'");
         }
-        entries.push_back({std::move(rule), normalize(std::move(suffix))});
+        entries.push_back({std::move(rule), detail::normalize(std::move(suffix)),
+                           std::move(justification)});
     }
     return entries;
 }
 
-std::vector<Finding> lint_source(const std::string& path, const std::string& contents) {
-    const std::string norm = normalize(path);
-    const std::vector<std::string> code = split_lines(blank_noncode(contents));
-    std::vector<Finding> findings;
-    check_rng_seed(norm, code, findings);
-    check_std_random_in_library(norm, code, findings);
-    check_raw_nan(norm, code, findings);
-    check_stdio_in_library(norm, code, findings);
-    check_header_hygiene(norm, code, findings);
-    check_stream_unchecked(norm, code, findings);
-    std::sort(findings.begin(), findings.end(),
-              [](const Finding& a, const Finding& b) { return a.line < b.line; });
-    return findings;
-}
-
-namespace {
-
-bool allow_matches(const AllowEntry& entry, const Finding& finding) {
-    if (entry.rule != "*" && entry.rule != finding.rule) return false;
-    const std::string& suffix = entry.path_suffix;
-    const std::string& file = finding.file;
-    if (suffix.size() > file.size()) return false;
-    return file.compare(file.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-}  // namespace
-
-Report lint_paths(const std::vector<std::string>& paths,
-                  const std::vector<AllowEntry>& allow) {
-    // Collect files deterministically so diagnostics are stable across runs.
-    std::vector<fs::path> files;
-    for (const std::string& p : paths) {
-        const fs::path root(p);
-        if (!fs::exists(root)) {
-            throw std::runtime_error("htd_lint: no such path: " + p);
-        }
-        if (fs::is_directory(root)) {
-            for (const auto& entry : fs::recursive_directory_iterator(root)) {
-                if (entry.is_regular_file() && is_source_file(entry.path())) {
-                    files.push_back(entry.path());
-                }
-            }
-        } else if (is_source_file(root)) {
-            files.push_back(root);
-        }
-    }
-    std::sort(files.begin(), files.end());
-    files.erase(std::unique(files.begin(), files.end()), files.end());
-
-    Report report;
-    std::vector<bool> allow_used(allow.size(), false);
-    for (const fs::path& file : files) {
-        std::ifstream in(file);
-        if (!in.is_open()) {
-            throw std::runtime_error("htd_lint: cannot open " + file.string());
-        }
-        std::ostringstream buffer;
-        buffer << in.rdbuf();
-        ++report.files_checked;
-        for (Finding& finding : lint_source(file.generic_string(), buffer.str())) {
-            bool suppressed = false;
-            for (std::size_t i = 0; i < allow.size(); ++i) {
-                if (allow_matches(allow[i], finding)) {
-                    allow_used[i] = true;
-                    suppressed = true;
-                }
-            }
-            if (suppressed) {
-                ++report.suppressed;
-            } else {
-                report.findings.push_back(std::move(finding));
+LayerSpec parse_layers(const std::string& text) {
+    LayerSpec spec;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        std::istringstream fields(line);
+        std::vector<std::string> modules;
+        std::string m;
+        while (fields >> m) modules.push_back(m);
+        if (modules.empty()) continue;
+        const int layer = static_cast<int>(spec.layers.size());
+        for (const std::string& mod : modules) {
+            if (!spec.rank.emplace(mod, layer).second) {
+                throw std::runtime_error("layers line " + std::to_string(line_no) +
+                                         ": module '" + mod +
+                                         "' already assigned to a layer");
             }
         }
+        spec.layers.push_back(std::move(modules));
     }
-    for (std::size_t i = 0; i < allow.size(); ++i) {
-        if (!allow_used[i]) report.unused_allow.push_back(allow[i]);
-    }
-    return report;
+    return spec;
 }
 
-io::Json report_json(const Report& report) {
-    io::Json out = io::Json::object();
-    out.set("schema", std::string("htd_lint.v1"));
-    io::Json findings = io::Json::array();
-    for (const Finding& f : report.findings) {
+FileAnalysis analyze_file(const std::string& path, const std::string& contents) {
+    const std::string norm = detail::normalize(path);
+    FileAnalysis fa;
+    const std::vector<Token> toks = lex(contents);
+    const std::vector<std::string> code =
+        split_lines(blank_noncode_tokens(contents, toks));
+
+    check_rng_seed(norm, code, fa.findings);
+    check_std_random_in_library(norm, code, fa.findings);
+    check_raw_nan(norm, code, fa.findings);
+    check_stdio_in_library(norm, code, fa.findings);
+    check_header_hygiene(norm, code, fa.findings);
+    check_stream_unchecked(norm, code, fa.findings);
+
+    collect_includes(toks, fa);
+    if (path_in(norm, "src/")) {
+        // must-use extraction runs on every src/ file; the [[nodiscard]]
+        // contract is enforced on the public surface, i.e. headers.
+        scan_declarations(norm, toks, /*enforce_nodiscard=*/is_header(norm),
+                          fa.findings, fa.must_use);
+    }
+    if (path_in(norm, "src/") || path_in(norm, "tools/")) {
+        collect_discard_sites(toks, fa);
+    }
+
+    std::sort(fa.findings.begin(), fa.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  return std::tie(a.line, a.rule, a.message) <
+                         std::tie(b.line, b.rule, b.message);
+              });
+    std::sort(fa.must_use.begin(), fa.must_use.end());
+    fa.must_use.erase(std::unique(fa.must_use.begin(), fa.must_use.end()),
+                      fa.must_use.end());
+    return fa;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& contents) {
+    return analyze_file(path, contents).findings;
+}
+
+io::Json FileAnalysis::to_json() const {
+    io::Json doc = io::Json::object();
+    io::Json fs = io::Json::array();
+    for (const Finding& f : findings) {
         io::Json rec = io::Json::object();
         rec.set("file", f.file);
-        rec.set("line", static_cast<double>(f.line));
+        rec.set("line", f.line);
         rec.set("rule", f.rule);
         rec.set("message", f.message);
-        findings.push_back(std::move(rec));
+        fs.push_back(std::move(rec));
     }
-    out.set("findings", std::move(findings));
-    out.set("files_checked", static_cast<double>(report.files_checked));
-    out.set("suppressed", static_cast<double>(report.suppressed));
-    io::Json unused = io::Json::array();
-    for (const AllowEntry& entry : report.unused_allow) {
+    doc.set("findings", std::move(fs));
+    io::Json inc = io::Json::array();
+    for (const Include& e : includes) {
         io::Json rec = io::Json::object();
-        rec.set("rule", entry.rule);
-        rec.set("path_suffix", entry.path_suffix);
-        unused.push_back(std::move(rec));
+        rec.set("target", e.target);
+        rec.set("line", e.line);
+        inc.push_back(std::move(rec));
     }
-    out.set("unused_allowlist_entries", std::move(unused));
-    return out;
+    doc.set("includes", std::move(inc));
+    io::Json mu = io::Json::array();
+    for (const std::string& name : must_use) mu.push_back(name);
+    doc.set("must_use", std::move(mu));
+    io::Json ds = io::Json::array();
+    for (const CallSite& c : discards) {
+        io::Json rec = io::Json::object();
+        rec.set("name", c.name);
+        rec.set("line", c.line);
+        ds.push_back(std::move(rec));
+    }
+    doc.set("discards", std::move(ds));
+    return doc;
 }
 
-std::string report_text(const Report& report) {
-    std::ostringstream out;
-    for (const Finding& f : report.findings) {
-        out << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message
-            << '\n';
+FileAnalysis FileAnalysis::from_json(const io::Json& doc) {
+    FileAnalysis fa;
+    for (const io::Json& rec : doc.at("findings").elements()) {
+        fa.findings.push_back({rec.at("file").str(),
+                               static_cast<std::size_t>(rec.at("line").number()),
+                               rec.at("rule").str(), rec.at("message").str()});
     }
-    for (const AllowEntry& entry : report.unused_allow) {
-        out << "htd_lint: stale allowlist entry (suppressed nothing): "
-            << entry.rule << ' ' << entry.path_suffix << '\n';
+    for (const io::Json& rec : doc.at("includes").elements()) {
+        fa.includes.push_back({rec.at("target").str(),
+                               static_cast<std::size_t>(rec.at("line").number())});
     }
-    out << "htd_lint: " << report.files_checked << " files, "
-        << report.findings.size() << " finding(s), " << report.suppressed
-        << " suppressed\n";
-    return out.str();
+    for (const io::Json& rec : doc.at("must_use").elements()) {
+        fa.must_use.push_back(rec.str());
+    }
+    for (const io::Json& rec : doc.at("discards").elements()) {
+        fa.discards.push_back({rec.at("name").str(),
+                               static_cast<std::size_t>(rec.at("line").number())});
+    }
+    return fa;
 }
 
 }  // namespace htd::lint

@@ -1,8 +1,10 @@
 #pragma once
 /// \file lint.hpp
-/// htd_lint: the project-invariant checker behind `scripts/check.sh
-/// --analyze`. clang-tidy proves general C++ hygiene; these rules encode
-/// *project* contracts that no generic checker can express:
+/// htd_lint v2: the project-invariant analyzer behind `scripts/check.sh
+/// --analyze`. clang-tidy proves general C++ hygiene; these passes encode
+/// *project* contracts that no generic checker can express.
+///
+/// Line rules (v1, matched over comment/string-blanked text):
 ///
 ///   rng-seed            Deterministic reproducibility: no
 ///                       `std::random_device`, no default-constructed
@@ -15,7 +17,7 @@
 ///                       reproduces a whole experiment.
 ///   raw-nan-check       `std::isnan` / `std::isinf` on measurement data
 ///                       belongs in `core::MeasurementValidator`
-///                       (src/core/ingest.*); other sites need a vetted
+///                       (src/pipeline/ingest.*); other sites need a vetted
 ///                       allowlist entry explaining why they screen
 ///                       floats themselves.
 ///   stdio-in-library    Library code never prints (`printf` family,
@@ -29,13 +31,43 @@
 ///                       site (CSV/JSON ingestion silently reading an
 ///                       unopened stream was the PR 2 failure mode).
 ///
-/// The scanner blanks comments and string/char literals before matching,
-/// so a rule pattern quoted in a test fixture or in this very file does
-/// not self-trip. Findings can be suppressed through an allowlist file
-/// (one `<rule> <path-suffix>` pair per line); unused entries are
-/// reported so the allowlist cannot silently rot. See DESIGN.md §11.
+/// Structural passes (v2, over the lexer's token stream — see lexer.hpp):
+///
+///   layering            The module DAG under src/ obeys the layering
+///                       declared in tools/htd_lint/layers.txt: a module
+///                       may include only modules on strictly lower
+///                       layers (or itself). Peers sharing a layer are
+///                       mutually independent. Diagnostics carry the
+///                       offending include edge; see DESIGN.md §12.
+///   include-cycle       No cycle in the file-level include graph; the
+///                       diagnostic prints the full include chain.
+///   layer-unmapped      Every src/ module appears in layers.txt, so the
+///                       layering contract cannot silently not apply.
+///   result-discard      A statement that calls a function returning a
+///                       must-use type (`BoundaryStatus`,
+///                       `QuarantineSummary`, `ValidationResult`,
+///                       `IngestResult`, or a `std::optional` such as
+///                       `HealthMonitor::find`) and drops the value is a
+///                       silently-skipped boundary decision. Cast to void
+///                       with a comment if the drop is intentional.
+///   missing-nodiscard   Every public value-returning function declared in
+///                       a src/ header is `[[nodiscard]]`. Exemptions:
+///                       reference returns (chaining), operators,
+///                       constructors/destructors, `friend`/`using`
+///                       declarations, and out-of-line definitions (the
+///                       in-class declaration carries the attribute).
+///
+/// The analyzer core runs per-file scans on a thread pool, caches per-file
+/// results keyed by content hash (see Options::cache_dir), orders
+/// diagnostics deterministically, and reports wall time per pass into the
+/// `htd_lint.v2` JSON schema. Findings can be suppressed through an
+/// allowlist file (`<rule> <path-suffix>  # justification` per line);
+/// unused entries are reported so the allowlist cannot silently rot, and
+/// the surviving entries are emitted — with their justifications — in the
+/// JSON report for audits.
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -52,53 +84,139 @@ struct Finding {
 };
 
 /// One allowlist entry: suppress `rule` findings in files whose path ends
-/// with `path_suffix`. `rule == "*"` matches every rule.
+/// with `path_suffix`. `rule == "*"` matches every rule. `justification`
+/// is the trailing `#` comment of the entry's line — the audit trail for
+/// why the invariant does not apply at that site.
 struct AllowEntry {
     std::string rule;
     std::string path_suffix;
+    std::string justification;
 };
 
 /// Parse allowlist text: one `<rule> <path-suffix>` per line, `#` starts
-/// a comment, blank lines ignored. Throws std::runtime_error naming the
-/// line on a malformed entry.
+/// a comment (a trailing comment becomes the entry's justification),
+/// blank lines ignored. Throws std::runtime_error naming the line on a
+/// malformed entry.
 [[nodiscard]] std::vector<AllowEntry> parse_allowlist(const std::string& text);
 
 /// The rule ids in reporting order.
 [[nodiscard]] const std::vector<std::string>& rule_ids();
 
-/// Lint one in-memory file. `path` selects which rules apply (library
-/// rules only fire under src/) and is echoed into findings.
+/// The declared module layering: `layers[0]` is the bottom. Modules on
+/// the same line of layers.txt share a layer and are mutually
+/// independent peers.
+struct LayerSpec {
+    std::vector<std::vector<std::string>> layers;
+    std::map<std::string, int> rank;  ///< module -> index into layers
+
+    [[nodiscard]] bool empty() const noexcept { return layers.empty(); }
+};
+
+/// Parse a layering spec: one layer per line, bottom first, modules
+/// separated by whitespace, `#` starts a comment. Throws
+/// std::runtime_error on a duplicated module.
+[[nodiscard]] LayerSpec parse_layers(const std::string& text);
+
+/// Everything the per-file scan extracts from one translation unit. This
+/// is the unit of caching: the global passes (layering, result-discard)
+/// run over these, so a cache hit skips lexing and scanning entirely.
+struct FileAnalysis {
+    struct Include {
+        std::string target;  ///< quoted include text, e.g. "io/json.hpp"
+        std::size_t line = 0;
+    };
+    struct CallSite {
+        std::string name;  ///< callee of a bare statement-level call
+        std::size_t line = 0;
+    };
+
+    std::vector<Finding> findings;       ///< per-file findings (line rules + nodiscard)
+    std::vector<Include> includes;       ///< quoted includes, in order
+    std::vector<std::string> must_use;   ///< functions declared here returning must-use types
+    std::vector<CallSite> discards;      ///< statement-level calls whose value is dropped
+
+    /// Cache round-trip (schema private to the cache directory).
+    [[nodiscard]] io::Json to_json() const;
+    [[nodiscard]] static FileAnalysis from_json(const io::Json& doc);
+};
+
+/// Scan one in-memory file: line rules, include extraction, declaration
+/// scan (src/ headers), discard-site collection. `path` selects which
+/// rules apply and is echoed into findings.
+[[nodiscard]] FileAnalysis analyze_file(const std::string& path,
+                                        const std::string& contents);
+
+/// Per-file findings only (line rules + missing-nodiscard) — the v1
+/// entry point, kept for fixtures. Cross-file passes need lint_paths.
 [[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
                                                const std::string& contents);
+
+/// Wall time of one analyzer pass.
+struct PassTiming {
+    std::string name;
+    double wall_ms = 0.0;
+};
+
+/// One surviving allowlist entry and how many findings it suppressed.
+struct AllowUsage {
+    AllowEntry entry;
+    std::size_t hits = 0;
+};
 
 /// Aggregate result of a tree walk.
 struct Report {
     std::vector<Finding> findings;  ///< after allowlist filtering
     std::size_t files_checked = 0;
-    std::size_t suppressed = 0;  ///< findings removed by the allowlist
+    std::size_t files_cached = 0;  ///< scans served from the result cache
+    std::size_t suppressed = 0;    ///< findings removed by the allowlist
     /// Allowlist entries that suppressed nothing (stale — rot guard).
     std::vector<AllowEntry> unused_allow;
+    /// Allowlist entries that did suppress findings, with hit counts.
+    std::vector<AllowUsage> allow_usage;
+    /// Wall time per pass ("scan", "layering", "result-discard", "total").
+    std::vector<PassTiming> passes;
 
     [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
 };
 
+/// Analyzer configuration for lint_paths.
+struct Options {
+    std::vector<AllowEntry> allow;
+    /// Module layering to enforce; empty disables the layering pass.
+    LayerSpec layers;
+    /// Directory for per-file result caching keyed by content hash
+    /// (e.g. build/htd_lint.cache); empty disables the cache.
+    std::string cache_dir;
+    /// Worker threads for the per-file scan; 0 = hardware concurrency.
+    unsigned jobs = 0;
+};
+
 /// Lint every *.cpp / *.hpp under `paths` (files or directories, walked
-/// recursively in sorted order). Throws std::runtime_error for a path
-/// that does not exist.
+/// recursively in sorted order). Diagnostic order is deterministic
+/// regardless of thread count or cache state. Throws std::runtime_error
+/// for a path that does not exist or a file that cannot be read.
+[[nodiscard]] Report lint_paths(const std::vector<std::string>& paths,
+                                const Options& options);
+
+/// Back-compat convenience: line rules + structural per-file passes with
+/// no layering, cache or threading options.
 [[nodiscard]] Report lint_paths(const std::vector<std::string>& paths,
                                 const std::vector<AllowEntry>& allow);
 
-/// Machine-readable report (schema "htd_lint.v1"):
+/// Machine-readable report (schema "htd_lint.v2"):
 /// {"schema", "findings": [{file,line,rule,message}], "files_checked",
-///  "suppressed", "unused_allowlist_entries": [{rule,path_suffix}]}.
+///  "files_cached", "suppressed", "passes": [{name,wall_ms}],
+///  "allowlist": [{rule,path_suffix,justification,findings_suppressed}],
+///  "unused_allowlist_entries": [{rule,path_suffix}]}.
 [[nodiscard]] io::Json report_json(const Report& report);
 
 /// Human-readable rendering: one `file:line: [rule] message` per finding
-/// plus a summary line.
+/// plus pass timings and a summary line.
 [[nodiscard]] std::string report_text(const Report& report);
 
 /// Strip comments and string/char literals (replaced by spaces) while
-/// preserving line structure. Exposed for tests.
+/// preserving line structure. Lexer-backed since v2, so encoding-prefixed
+/// raw strings (`u8R"(...)"`) blank correctly. Exposed for tests.
 [[nodiscard]] std::string blank_noncode(const std::string& contents);
 
 }  // namespace htd::lint

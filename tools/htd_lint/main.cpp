@@ -1,8 +1,9 @@
 /// \file main.cpp
-/// htd_lint CLI. See lint.hpp for the rule catalog and DESIGN.md §11 for
-/// why these invariants exist.
+/// htd_lint CLI. See lint.hpp for the rule catalog and DESIGN.md §11–12
+/// for why these invariants exist.
 ///
-///   htd_lint [--json] [--allowlist FILE] [--root DIR] [PATH...]
+///   htd_lint [--json] [--allowlist FILE] [--layers FILE] [--root DIR]
+///            [--cache-dir DIR] [--no-cache] [--jobs N] [PATH...]
 ///
 /// PATHs default to `src tools bench tests examples` (relative to
 /// --root, default "."). Exit 0 when clean, 1 on findings or stale
@@ -21,17 +22,27 @@
 namespace {
 
 constexpr const char* kUsage =
-    "usage: htd_lint [--json] [--allowlist FILE] [--root DIR] [PATH...]\n"
+    "usage: htd_lint [--json] [--allowlist FILE] [--layers FILE]\n"
+    "                [--root DIR] [--cache-dir DIR] [--no-cache] [--jobs N]\n"
+    "                [PATH...]\n"
     "\n"
     "Checks htd project invariants (seeded RNG, obs-only output, centralized\n"
-    "NaN screening, header hygiene, checked stream opens) over *.cpp/*.hpp\n"
-    "trees. Default PATHs: src tools bench tests examples.\n"
+    "NaN screening, header hygiene, checked stream opens, module layering,\n"
+    "include cycles, must-use result discards, [[nodiscard]] coverage) over\n"
+    "*.cpp/*.hpp trees. Default PATHs: src tools bench tests examples.\n"
     "\n"
-    "  --json            machine-readable htd_lint.v1 report on stdout\n"
+    "  --json            machine-readable htd_lint.v2 report on stdout\n"
     "  --allowlist FILE  vetted exceptions, '<rule> <path-suffix>' per line\n"
     "                    (default: tools/htd_lint/allowlist.txt under --root\n"
     "                    when present)\n"
-    "  --root DIR        directory PATHs are resolved against (default .)\n";
+    "  --layers FILE     module layering spec (default:\n"
+    "                    tools/htd_lint/layers.txt under --root when present;\n"
+    "                    absent file disables the layering pass)\n"
+    "  --root DIR        directory PATHs are resolved against (default .)\n"
+    "  --cache-dir DIR   per-file result cache keyed by content hash\n"
+    "                    (default: build/htd_lint.cache under --root)\n"
+    "  --no-cache        disable the result cache for this run\n"
+    "  --jobs N          scan worker threads (default: hardware concurrency)\n";
 
 std::string read_file(const std::string& path) {
     std::ifstream in(path);
@@ -45,27 +56,54 @@ std::string read_file(const std::string& path) {
 
 int main(int argc, char** argv) {
     bool json = false;
+    bool no_cache = false;
     std::string allowlist_path;
+    std::string layers_path;
+    std::string cache_dir;
     std::string root = ".";
+    unsigned jobs = 0;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        const auto need_value = [&](const char* what) -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "htd_lint: " << arg << " needs " << what << "\n"
+                          << kUsage;
+                return nullptr;
+            }
+            return argv[++i];
+        };
         if (arg == "--json") {
             json = true;
+        } else if (arg == "--no-cache") {
+            no_cache = true;
         } else if (arg == "--allowlist") {
-            if (i + 1 >= argc) {
-                std::cerr << "htd_lint: --allowlist needs a file argument\n"
-                          << kUsage;
-                return 2;
-            }
-            allowlist_path = argv[++i];
+            const char* v = need_value("a file argument");
+            if (v == nullptr) return 2;
+            allowlist_path = v;
+        } else if (arg == "--layers") {
+            const char* v = need_value("a file argument");
+            if (v == nullptr) return 2;
+            layers_path = v;
+        } else if (arg == "--cache-dir") {
+            const char* v = need_value("a directory argument");
+            if (v == nullptr) return 2;
+            cache_dir = v;
         } else if (arg == "--root") {
-            if (i + 1 >= argc) {
-                std::cerr << "htd_lint: --root needs a directory argument\n"
+            const char* v = need_value("a directory argument");
+            if (v == nullptr) return 2;
+            root = v;
+        } else if (arg == "--jobs") {
+            const char* v = need_value("a thread count");
+            if (v == nullptr) return 2;
+            try {
+                jobs = static_cast<unsigned>(std::stoul(v));
+            } catch (const std::exception&) {
+                std::cerr << "htd_lint: --jobs needs a number, got '" << v
+                          << "'\n"
                           << kUsage;
                 return 2;
             }
-            root = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             std::cout << kUsage;
             return 0;
@@ -90,12 +128,27 @@ int main(int argc, char** argv) {
             const fs::path def = fs::path(root) / "tools" / "htd_lint" / "allowlist.txt";
             if (fs::exists(def)) allowlist_path = def.generic_string();
         }
-        std::vector<htd::lint::AllowEntry> allow;
-        if (!allowlist_path.empty()) {
-            allow = htd::lint::parse_allowlist(read_file(allowlist_path));
+        if (layers_path.empty()) {
+            const fs::path def = fs::path(root) / "tools" / "htd_lint" / "layers.txt";
+            if (fs::exists(def)) layers_path = def.generic_string();
         }
 
-        const htd::lint::Report report = htd::lint::lint_paths(paths, allow);
+        htd::lint::Options options;
+        if (!allowlist_path.empty()) {
+            options.allow = htd::lint::parse_allowlist(read_file(allowlist_path));
+        }
+        if (!layers_path.empty()) {
+            options.layers = htd::lint::parse_layers(read_file(layers_path));
+        }
+        if (!no_cache) {
+            options.cache_dir =
+                cache_dir.empty()
+                    ? (fs::path(root) / "build" / "htd_lint.cache").generic_string()
+                    : cache_dir;
+        }
+        options.jobs = jobs;
+
+        const htd::lint::Report report = htd::lint::lint_paths(paths, options);
         if (json) {
             std::cout << htd::lint::report_json(report).dump(2) << '\n';
         } else {

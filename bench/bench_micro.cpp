@@ -271,6 +271,50 @@ private:
     htd::io::Json results_ = htd::io::Json::array();
 };
 
+// Deterministic per-point work profile: run each parameterized kernel once
+// with the registry recording and snapshot the work counters it reports,
+// keyed "<Bench>/<arg>:<counter>". Timing in "results" says how long a
+// point took; these say how much algorithmic work it did — htd_profile
+// diffs both, so a BENCH_micro regression can be attributed to "more
+// kernel evaluations" rather than just "slower".
+htd::io::Json work_profile() {
+    auto& registry = htd::obs::Registry::global();
+    registry.configure(htd::obs::SinkKind::kJson);
+    registry.reset();
+    htd::io::Json out = htd::io::Json::object();
+    auto snapshot = [&](const std::string& label) {
+        for (const auto& [name, value] : registry.works()) {
+            out.set(label + ":" + name, value);
+        }
+        registry.reset();
+    };
+
+    for (const std::size_t n : {std::size_t{50}, std::size_t{100}, std::size_t{200}}) {
+        const htd::stats::AdaptiveKde kde(gaussian_cloud(n, 6, 1), 0.5);
+        benchmark::DoNotOptimize(kde.pilot_geometric_mean());
+        snapshot("AdaptiveKdeBuild/" + std::to_string(n));
+    }
+    for (const std::size_t n :
+         {std::size_t{100}, std::size_t{500}, std::size_t{2000}}) {
+        htd::ml::OneClassSvm svm;
+        svm.fit(gaussian_cloud(n, 6, 4));
+        snapshot("OneClassSvmFit/" + std::to_string(n));
+    }
+    for (const std::size_t n : {std::size_t{100}, std::size_t{200}}) {
+        const Matrix train = gaussian_cloud(n, 1, 7);
+        Matrix test = gaussian_cloud(n, 1, 8);
+        for (std::size_t r = 0; r < test.rows(); ++r) test(r, 0) += 1.0;
+        const htd::ml::KernelMeanMatching kmm;
+        const Vector beta = kmm.solve(train, test);
+        benchmark::DoNotOptimize(beta.size());
+        snapshot("KmmSolve/" + std::to_string(n));
+    }
+
+    registry.configure(htd::obs::SinkKind::kOff);
+    registry.reset();
+    return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -280,8 +324,14 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
 
-    const std::string path =
-        htd::obs::write_bench_report("micro", std::move(reporter).take());
+    const htd::io::Json work = work_profile();
+
+    htd::obs::RunReport report("bench_micro");
+    report.set("results", std::move(reporter).take());
+    report.set("work_profile", work);
+    report.capture_observability();
+    const std::string path = "BENCH_micro.json";
+    report.write(path);
     std::fprintf(stderr, "wrote %s\n", path.c_str());
     return 0;
 }

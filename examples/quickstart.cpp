@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "obs/trace_export.hpp"
 #include "pipeline/experiment.hpp"
 #include "pipeline/report.hpp"
 
@@ -78,5 +79,11 @@ int main() {
     report.write("quickstart_run_report.json");
     std::printf("wrote quickstart_run_report.json (%zu spans captured)\n",
                 obs::Registry::global().span_count());
+
+    // 6. Optional execution trace: HTD_OBS_TRACE=<file>.json writes the
+    //    span tree as Chrome/Perfetto trace-event JSON (see DESIGN.md §13
+    //    and the README "Profiling a run" walkthrough).
+    const std::string trace = obs::write_trace_if_configured();
+    if (!trace.empty()) std::printf("wrote trace %s\n", trace.c_str());
     return 0;
 }

@@ -27,6 +27,13 @@
 #                                  # benches plus a cold htd_lint pass and
 #                                  # diff the fresh BENCH_*.json against
 #                                  # bench/baselines/ via bench_compare
+#   scripts/check.sh --profile-smoke
+#                                  # profiler smoke: run the quickstart twice
+#                                  # with HTD_OBS_TRACE + normalized ticks,
+#                                  # require byte-identical traces, validate
+#                                  # them with htd_profile, and check the
+#                                  # five pipeline stage spans and nonzero
+#                                  # work counters are present
 #
 # All presets build with HTD_WARNINGS_AS_ERRORS=ON: a new warning anywhere
 # in src/, tools/, bench/ or tests/ fails the build rather than scrolling
@@ -64,6 +71,47 @@ run_bench_gate() {
     ./build-release/tools/htd_lint/htd_lint --root . --json --no-cache --jobs 1 \
         > "$out/BENCH_lint.json"
     ./build-release/tools/bench_compare --candidate-dir "$out"
+}
+
+run_profile_smoke() {
+    echo "== check.sh: profile smoke (trace export + htd_profile) =="
+    cmake --preset release
+    cmake --build --preset release -j "$(nproc)" --target quickstart htd_profile
+    local out
+    out="$(mktemp -d)"
+    # Two same-seed runs with normalized ticks must serialize to identical
+    # bytes — the determinism contract the committed trace tests and
+    # htd_profile's diffing rely on (DESIGN.md §13).
+    (cd "$out" && HTD_OBS=json HTD_OBS_TRACE=trace_a.json \
+        HTD_OBS_TRACE_NORMALIZE=1 "$OLDPWD"/build-release/examples/quickstart \
+        > /dev/null)
+    (cd "$out" && HTD_OBS=json HTD_OBS_TRACE=trace_b.json \
+        HTD_OBS_TRACE_NORMALIZE=1 "$OLDPWD"/build-release/examples/quickstart \
+        > /dev/null)
+    if ! cmp "$out/trace_a.json" "$out/trace_b.json"; then
+        echo "check.sh: profile smoke: same-seed normalized traces differ" >&2
+        return 1
+    fi
+    # --validate exits nonzero on a malformed trace, which fails the
+    # assignment under set -e; the JSON report then feeds the span/work
+    # presence checks.
+    local check
+    check="$(./build-release/tools/htd_profile/htd_profile --validate \
+        "$out/trace_a.json" --json)"
+    local stage
+    for stage in pipeline.monte_carlo mars.bank_fit kmm.calibrate \
+                 kde.adaptive_sample_n svm.fit; do
+        if ! grep -qF "\"$stage\"" <<< "$check"; then
+            echo "check.sh: profile smoke: stage span '$stage' missing" >&2
+            return 1
+        fi
+    done
+    if ! grep -qE '"work\.[a-z0-9_]+\.[a-z0-9_]+": [1-9]' <<< "$check"; then
+        echo "check.sh: profile smoke: no nonzero work counters in trace" >&2
+        return 1
+    fi
+    rm -rf "$out"
+    echo "== check.sh: profile smoke OK =="
 }
 
 run_analyze() {
@@ -112,6 +160,8 @@ if [[ $# -ge 1 && "$1" == "--bench-gate" ]]; then
     run_bench_gate
 elif [[ $# -ge 1 && "$1" == "--analyze" ]]; then
     run_analyze
+elif [[ $# -ge 1 && "$1" == "--profile-smoke" ]]; then
+    run_profile_smoke
 elif [[ $# -ge 1 ]]; then
     run_preset "$1"
 else

@@ -11,6 +11,10 @@
 #   sanitize    the same suite under ASan+UBSan
 #   analyze     scripts/check.sh --analyze (htd_lint invariants + layering,
 #               format check, clang-tidy where installed)
+#   profile     scripts/check.sh --profile-smoke (quickstart under
+#               HTD_OBS_TRACE: byte-identical normalized traces, htd_profile
+#               validation, the five pipeline stage spans, nonzero work
+#               counters)
 #   bench-gate  scripts/check.sh --bench-gate (perf/quality regression
 #               diff against bench/baselines/; skippable — latency
 #               baselines only gate on comparable, quiet hardware)
@@ -84,6 +88,7 @@ run_stage() {
 run_stage release scripts/check.sh release
 run_stage sanitize scripts/check.sh sanitize
 run_stage analyze scripts/check.sh --analyze
+run_stage profile scripts/check.sh --profile-smoke
 if [[ "$skip_bench" == 0 ]]; then
     run_stage bench-gate scripts/check.sh --bench-gate
 else

@@ -119,6 +119,11 @@ linalg::Vector KernelMeanMatching::solve(const linalg::Matrix& train,
     const KernelFn kernel = rbf_kernel(gamma);
 
     const linalg::Matrix k = gram_matrix(kernel, train);
+    // Gram build is ntr² kernel evaluations, kappa another ntr×nte.
+    obs::Registry::global().work_add(
+        "work.kmm.gram_cells",
+        static_cast<double>(ntr) * static_cast<double>(ntr) +
+            static_cast<double>(ntr) * static_cast<double>(nte));
     linalg::Vector kappa(ntr);
     for (std::size_t i = 0; i < ntr; ++i) {
         double acc = 0.0;
@@ -147,7 +152,9 @@ linalg::Vector KernelMeanMatching::solve(const linalg::Matrix& train,
 
     linalg::Vector beta(ntr, 1.0);
     beta = project_box_sum(beta, opts_.weight_bound, lo_sum, hi_sum);
+    std::size_t pgd_iterations = 0;
     for (std::size_t it = 0; it < opts_.max_iterations; ++it) {
+        ++pgd_iterations;
         const linalg::Vector grad = k.matvec(beta) - kappa;
         linalg::Vector next(ntr);
         for (std::size_t i = 0; i < ntr; ++i) next[i] = beta[i] - step * grad[i];
@@ -159,6 +166,12 @@ linalg::Vector KernelMeanMatching::solve(const linalg::Matrix& train,
         beta = std::move(next);
         if (delta < opts_.tolerance) break;
     }
+    span.attr("pgd_iterations", static_cast<double>(pgd_iterations));
+    // Each PGD step is dominated by the ntr² Gram matvec.
+    obs::Registry::global().work_add("work.kmm.pgd_matvec_cells",
+                                     static_cast<double>(pgd_iterations) *
+                                         static_cast<double>(ntr) *
+                                         static_cast<double>(ntr));
     return beta;
 }
 
@@ -259,6 +272,11 @@ KernelMeanShiftCalibrator::Result KernelMeanShiftCalibrator::calibrate(
     span.attr("total_shift_norm", result.total_shift.norm());
     span.attr("effective_sample_size", ess);
     obs::Registry& registry = obs::Registry::global();
+    // The fixed-point loop touches every (train, test) pair once per
+    // iteration — the kmm.calibrate hot loop.
+    registry.work_add("work.kmm.shift_pair_evals",
+                      static_cast<double>(result.iterations) *
+                          static_cast<double>(ntr) * static_cast<double>(nte));
     registry.counter_add("kmm.calibrations");
     registry.gauge_set("kmm.effective_sample_size", ess);
     registry.gauge_set("kmm.shift_iterations", static_cast<double>(result.iterations));

@@ -291,6 +291,10 @@ double Mars::predict(const linalg::Vector& x) const { return predict(x.span()); 
 linalg::Vector Mars::predict_batch(const linalg::Matrix& x) const {
     linalg::Vector out(x.rows());
     for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row_span(r));
+    // One basis-function evaluation per (row, term) pair.
+    obs::Registry::global().work_add(
+        "work.mars.basis_evals",
+        static_cast<double>(x.rows()) * static_cast<double>(terms_.size()));
     return out;
 }
 

@@ -87,6 +87,8 @@ void OneClassSvm::fit(const linalg::Matrix& data) {
 
     // 3. Dense Gram matrix (bounded by the subsample cap).
     const linalg::Matrix q = gram_matrix(kernel, x);
+    obs::Registry::global().work_add("work.svm.gram_cells",
+                                     static_cast<double>(l) * static_cast<double>(l));
 
     // 4. Initialize alpha as in libsvm: the first floor(nu*l) points get the
     //    box maximum, the next point absorbs the remainder so sum == 1.
@@ -182,6 +184,7 @@ void OneClassSvm::fit(const linalg::Matrix& data) {
     obs::Registry& registry = obs::Registry::global();
     registry.counter_add("svm.fits");
     registry.counter_add("svm.smo_iterations", static_cast<double>(iterations_));
+    registry.work_add("work.svm.smo_iterations", static_cast<double>(iterations_));
     registry.counter_add("svm.support_vectors",
                          static_cast<double>(support_vectors_.rows()));
     fitted_ = true;
@@ -217,6 +220,10 @@ bool OneClassSvm::contains(const linalg::Vector& x) const {
 linalg::Vector OneClassSvm::decision_values(const linalg::Matrix& data) const {
     linalg::Vector out(data.rows());
     for (std::size_t r = 0; r < data.rows(); ++r) out[r] = decision_value(data.row(r));
+    // One RBF evaluation per (row, support vector) pair.
+    obs::Registry::global().work_add(
+        "work.svm.kernel_evals", static_cast<double>(data.rows()) *
+                                     static_cast<double>(support_vectors_.rows()));
     return out;
 }
 

@@ -20,6 +20,17 @@ std::string sink_kind_name(SinkKind kind) {
     throw std::invalid_argument("sink_kind_name: unknown sink kind");
 }
 
+SinkKind sink_kind_from_env(std::string_view value, std::string* error) {
+    if (value.empty() || value == "off") return SinkKind::kOff;
+    if (value == "text") return SinkKind::kText;
+    if (value == "json") return SinkKind::kJson;
+    if (error != nullptr) {
+        *error = "[obs] unrecognized HTD_OBS value '" + std::string(value) +
+                 "' — valid values are: off, text, json (observability stays off)";
+    }
+    return SinkKind::kInherit;
+}
+
 const std::vector<double>& histogram_bucket_bounds() {
     // 1-2-5 ladder, 1 µs .. 10 s; values above fall into the overflow bucket.
     static const std::vector<double> bounds = {
@@ -61,18 +72,36 @@ void Registry::apply_environment() {
     const char* path = std::getenv("HTD_OBS_PATH");
     json_path_ = (path != nullptr && *path != '\0') ? path : "htd_obs.json";
 
-    const char* mode = std::getenv("HTD_OBS");
-    if (mode == nullptr) return;
-    const std::string m(mode);
-    if (m == "text") {
-        configure(SinkKind::kText);
-    } else if (m == "json") {
-        configure(SinkKind::kJson);
-    } else if (m == "off" || m.empty()) {
-        configure(SinkKind::kOff);
-    } else {
-        std::fprintf(stderr, "[obs] ignoring unknown HTD_OBS value '%s'\n", m.c_str());
+    const char* trace = std::getenv("HTD_OBS_TRACE");
+    if (trace != nullptr && *trace != '\0') trace_path_ = trace;
+
+    const char* normalize = std::getenv("HTD_OBS_TRACE_NORMALIZE");
+    if (normalize != nullptr && *normalize != '\0' &&
+        std::string_view(normalize) != "0") {
+        trace_normalize_.store(true, std::memory_order_relaxed);
     }
+
+    const char* resources = std::getenv("HTD_OBS_RESOURCES");
+    if (resources != nullptr && *resources != '\0' &&
+        std::string_view(resources) != "0") {
+        resources_.store(true, std::memory_order_relaxed);
+    }
+
+    const char* mode = std::getenv("HTD_OBS");
+    if (mode == nullptr) {
+        // A trace request implies recording even without an explicit sink.
+        if (!trace_path_.empty()) configure(SinkKind::kJson);
+        return;
+    }
+    std::string error;
+    const SinkKind kind = sink_kind_from_env(mode, &error);
+    if (kind == SinkKind::kInherit) {
+        // Registry construction runs once per process, so this warning is
+        // naturally one-time.
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return;
+    }
+    configure(kind);
 }
 
 void Registry::configure(SinkKind sink, std::string json_path) {
@@ -91,6 +120,23 @@ std::string Registry::json_path() const {
     return json_path_;
 }
 
+std::string Registry::trace_path() const {
+    const core::MutexLock lock(mutex_);
+    return trace_path_;
+}
+
+void Registry::set_trace_path(std::string path) {
+    const core::MutexLock lock(mutex_);
+    trace_path_ = std::move(path);
+}
+
+std::uint32_t Registry::current_thread_index() noexcept {
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t index =
+        next.fetch_add(1, std::memory_order_relaxed) + 1;
+    return index;
+}
+
 void Registry::counter_add_locked(std::string_view name, double delta) {
     auto it = counters_.find(name);
     if (it == counters_.end()) {
@@ -104,6 +150,17 @@ void Registry::counter_add(std::string_view name, double delta) {
     if (!enabled()) return;
     const core::MutexLock lock(mutex_);
     counter_add_locked(name, delta);
+}
+
+void Registry::work_add(std::string_view name, double delta) {
+    if (!enabled()) return;
+    const core::MutexLock lock(mutex_);
+    auto it = works_.find(name);
+    if (it == works_.end()) {
+        works_.emplace(std::string(name), delta);
+    } else {
+        it->second += delta;
+    }
 }
 
 void Registry::gauge_set(std::string_view name, double value) {
@@ -168,6 +225,11 @@ std::map<std::string, double> Registry::counters() const {
     return {counters_.begin(), counters_.end()};
 }
 
+std::map<std::string, double> Registry::works() const {
+    const core::MutexLock lock(mutex_);
+    return {works_.begin(), works_.end()};
+}
+
 std::map<std::string, double> Registry::gauges() const {
     const core::MutexLock lock(mutex_);
     return {gauges_.begin(), gauges_.end()};
@@ -182,6 +244,12 @@ double Registry::counter_value(std::string_view name) const {
     const core::MutexLock lock(mutex_);
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0.0 : it->second;
+}
+
+double Registry::work_value(std::string_view name) const {
+    const core::MutexLock lock(mutex_);
+    const auto it = works_.find(name);
+    return it == works_.end() ? 0.0 : it->second;
 }
 
 std::size_t Registry::span_count() const {
@@ -206,8 +274,15 @@ void Registry::reset() {
     const core::MutexLock lock(mutex_);
     spans_.clear();
     counters_.clear();
+    works_.clear();
     gauges_.clear();
     histograms_.clear();
+    // Restart span ids so a reset registry reproduces the exact same
+    // trace (the normalized byte-identity guarantee holds within one
+    // process, not just across runs). Spans still open across a reset
+    // already dangle — their parent links point at cleared records — so
+    // restarting the counter does not lose anything that was coherent.
+    next_id_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace htd::obs

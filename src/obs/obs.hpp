@@ -46,6 +46,13 @@ enum class SinkKind {
 /// "off" / "text" / "json" / "inherit".
 [[nodiscard]] std::string sink_kind_name(SinkKind kind);
 
+/// Parse an HTD_OBS environment value ("off" / "text" / "json"; empty means
+/// "off"). Returns kInherit and fills `*error` with a warning naming the
+/// valid values when the value is unrecognized — a misconfigured sink must
+/// warn once on stderr instead of silently behaving as "off".
+[[nodiscard]] SinkKind sink_kind_from_env(std::string_view value,
+                                          std::string* error = nullptr);
+
 /// Observability options embeddable in a component config (for example
 /// `core::PipelineConfig::obs`). `kInherit` leaves the global registry
 /// untouched, so library code never overrides an explicit caller choice.
@@ -56,6 +63,12 @@ struct Config {
     /// sink; empty keeps the current path ("htd_obs.json" unless
     /// HTD_OBS_PATH is set).
     std::string json_path;
+
+    /// Chrome/Perfetto trace-event JSON destination used by
+    /// `trace_export.hpp::write_trace_if_configured()`; empty keeps the
+    /// current path (unset unless HTD_OBS_TRACE is set, in which case no
+    /// trace is written).
+    std::string trace_path;
 };
 
 /// One completed trace span.
@@ -63,6 +76,7 @@ struct SpanRecord {
     std::uint64_t id = 0;      ///< 1-based, unique per process
     std::uint64_t parent = 0;  ///< 0 = root span of its thread
     std::uint32_t depth = 0;   ///< nesting depth (root = 0)
+    std::uint32_t thread = 0;  ///< 1-based registration-order thread index
     std::string name;
     std::int64_t start_wall_ns = 0;  ///< steady-clock start, ns since registry init
     std::int64_t wall_ns = 0;        ///< wall-clock duration
@@ -106,7 +120,10 @@ public:
     /// Swap the sink; `SinkKind::kInherit` is a no-op. Not reset()-ing:
     /// already-recorded data survives a sink change.
     void configure(SinkKind sink, std::string json_path = {}) HTD_EXCLUDES(mutex_);
-    void configure(const Config& config) { configure(config.sink, config.json_path); }
+    void configure(const Config& config) {
+        configure(config.sink, config.json_path);
+        if (!config.trace_path.empty()) set_trace_path(config.trace_path);
+    }
 
     /// True when any sink other than kOff is active.
     [[nodiscard]] bool enabled() const noexcept {
@@ -120,10 +137,48 @@ public:
     /// Default path for write_default_report().
     [[nodiscard]] std::string json_path() const HTD_EXCLUDES(mutex_);
 
+    /// Trace-event JSON destination (empty = no trace requested). First
+    /// access applies the HTD_OBS_TRACE environment variable.
+    [[nodiscard]] std::string trace_path() const HTD_EXCLUDES(mutex_);
+    void set_trace_path(std::string path) HTD_EXCLUDES(mutex_);
+
+    /// True when HTD_OBS_TRACE_NORMALIZE requested deterministic
+    /// (structure-derived) trace timestamps; see trace_export.hpp.
+    [[nodiscard]] bool trace_normalize() const noexcept {
+        return trace_normalize_.load(std::memory_order_relaxed);
+    }
+    void set_trace_normalize(bool normalize) noexcept {
+        trace_normalize_.store(normalize, std::memory_order_relaxed);
+    }
+
+    /// True when spans should attach per-span resource attribution (peak
+    /// RSS delta, allocation-count delta). Off by default — the capture
+    /// costs two getrusage calls per span — and enabled through
+    /// HTD_OBS_RESOURCES=1 or set_resource_attribution().
+    [[nodiscard]] bool resource_attribution() const noexcept {
+        return resources_.load(std::memory_order_relaxed);
+    }
+    void set_resource_attribution(bool enabled) noexcept {
+        resources_.store(enabled, std::memory_order_relaxed);
+    }
+
+    /// Small, stable, 1-based index of the calling thread, assigned in
+    /// first-use order. SpanRecord::thread carries it so traces group
+    /// spans per thread deterministically (no OS thread-id churn).
+    [[nodiscard]] static std::uint32_t current_thread_index() noexcept;
+
     // --- metrics -----------------------------------------------------------
 
     /// Add `delta` to a monotonic counter (created on first use).
     void counter_add(std::string_view name, double delta = 1.0) HTD_EXCLUDES(mutex_);
+
+    /// Add `delta` to a work counter. Work counters are a first-class
+    /// metric kind counting *algorithmic* work (kernel evaluations, Gram
+    /// cells, SMO iterations, Monte Carlo samples) so a perf diff can
+    /// distinguish "ran faster" from "did less work". Names follow the
+    /// `work.<stage>.<quantity>` convention (enforced by the htd_lint
+    /// `work-counter-name` rule in src/).
+    void work_add(std::string_view name, double delta) HTD_EXCLUDES(mutex_);
 
     /// Set a last-value-wins gauge.
     void gauge_set(std::string_view name, double value) HTD_EXCLUDES(mutex_);
@@ -148,12 +203,16 @@ public:
 
     [[nodiscard]] std::vector<SpanRecord> spans() const HTD_EXCLUDES(mutex_);
     [[nodiscard]] std::map<std::string, double> counters() const HTD_EXCLUDES(mutex_);
+    [[nodiscard]] std::map<std::string, double> works() const HTD_EXCLUDES(mutex_);
     [[nodiscard]] std::map<std::string, double> gauges() const HTD_EXCLUDES(mutex_);
     [[nodiscard]] std::map<std::string, HistogramSnapshot> histograms() const
         HTD_EXCLUDES(mutex_);
 
     /// Current value of one counter (0 when absent).
     [[nodiscard]] double counter_value(std::string_view name) const HTD_EXCLUDES(mutex_);
+
+    /// Current value of one work counter (0 when absent).
+    [[nodiscard]] double work_value(std::string_view name) const HTD_EXCLUDES(mutex_);
 
     /// Number of spans currently stored.
     [[nodiscard]] std::size_t span_count() const HTD_EXCLUDES(mutex_);
@@ -188,12 +247,16 @@ private:
 
     std::atomic<bool> enabled_{false};
     std::atomic<SinkKind> sink_{SinkKind::kOff};
+    std::atomic<bool> trace_normalize_{false};
+    std::atomic<bool> resources_{false};
     std::atomic<std::uint64_t> next_id_{0};
 
     mutable core::Mutex mutex_;
     std::string json_path_ HTD_GUARDED_BY(mutex_);
+    std::string trace_path_ HTD_GUARDED_BY(mutex_);
     std::vector<SpanRecord> spans_ HTD_GUARDED_BY(mutex_);
     std::map<std::string, double, std::less<>> counters_ HTD_GUARDED_BY(mutex_);
+    std::map<std::string, double, std::less<>> works_ HTD_GUARDED_BY(mutex_);
     std::map<std::string, double, std::less<>> gauges_ HTD_GUARDED_BY(mutex_);
     std::map<std::string, HistogramSnapshot, std::less<>> histograms_
         HTD_GUARDED_BY(mutex_);

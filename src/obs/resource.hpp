@@ -1,0 +1,44 @@
+#pragma once
+/// \file resource.hpp
+/// Process resource sampling for per-span attribution. `ScopedSpan` samples
+/// at open and close when `Registry::resource_attribution()` is enabled
+/// (HTD_OBS_RESOURCES=1) and attaches the deltas as span attrs:
+///
+///     mem.peak_rss_delta_bytes   growth of the process peak-RSS high-water
+///                                mark during the span (0 when the span did
+///                                not push a new peak)
+///     mem.allocs                 heap allocations observed during the span
+///                                by the counting hook (0 unless the build
+///                                enables HTD_OBS_COUNT_ALLOCS)
+///
+/// Sampling degrades gracefully: platforms without getrusage report zero
+/// peak RSS, and builds without the allocation hook report zero counts, so
+/// consumers never need platform branches — they just see zero deltas.
+
+#include <cstdint>
+
+namespace htd::obs {
+
+/// One point-in-time resource sample.
+struct ResourceSample {
+    /// Process peak resident-set size in bytes (ru_maxrss; 0 where
+    /// unavailable). Monotone high-water mark, so span deltas are >= 0.
+    std::int64_t peak_rss_bytes = 0;
+
+    /// Heap allocations observed so far by the counting hook; 0 in builds
+    /// without HTD_OBS_COUNT_ALLOCS.
+    std::int64_t alloc_count = 0;
+};
+
+/// Sample current process resource usage. noexcept and cheap (one
+/// getrusage call + one relaxed atomic load), but still gated behind
+/// Registry::resource_attribution() because "cheap" is relative to a
+/// microsecond-scale span.
+[[nodiscard]] ResourceSample sample_resources() noexcept;
+
+/// True when this build counts heap allocations (HTD_OBS_COUNT_ALLOCS);
+/// lets tests and reports distinguish "zero allocations" from "not
+/// counting".
+[[nodiscard]] bool alloc_counting_available() noexcept;
+
+}  // namespace htd::obs

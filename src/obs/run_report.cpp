@@ -1,6 +1,9 @@
 #include "obs/run_report.hpp"
 
+#include <cstdio>
+
 #include "obs/sink.hpp"
+#include "obs/trace_export.hpp"
 
 namespace htd::obs {
 
@@ -33,6 +36,10 @@ std::string write_bench_report(const std::string& bench_name, io::Json payload,
     report.capture_observability(registry);
     const std::string path = "BENCH_" + bench_name + ".json";
     report.write(path);
+    const std::string trace = write_trace_if_configured(registry);
+    if (!trace.empty()) {
+        std::fprintf(stderr, "[obs] trace written to %s\n", trace.c_str());
+    }
     return path;
 }
 

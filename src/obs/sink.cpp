@@ -40,6 +40,7 @@ io::Json spans_json(const Registry& registry) {
         rec.set("id", static_cast<double>(s.id));
         rec.set("parent", static_cast<double>(s.parent));
         rec.set("depth", static_cast<double>(s.depth));
+        rec.set("thread", static_cast<double>(s.thread));
         rec.set("name", s.name);
         rec.set("start_wall_ns", static_cast<double>(s.start_wall_ns));
         rec.set("wall_ns", static_cast<double>(s.wall_ns));
@@ -60,6 +61,10 @@ io::Json metrics_json(const Registry& registry) {
     io::Json counters = io::Json::object();
     for (const auto& [name, value] : registry.counters()) counters.set(name, value);
     out.set("counters", std::move(counters));
+
+    io::Json work = io::Json::object();
+    for (const auto& [name, value] : registry.works()) work.set(name, value);
+    out.set("work", std::move(work));
 
     io::Json gauges = io::Json::object();
     for (const auto& [name, value] : registry.gauges()) gauges.set(name, value);
@@ -129,11 +134,15 @@ std::string metrics_text(const Registry& registry) {
     std::string out;
 
     const auto counters = registry.counters();
+    const auto works = registry.works();
     const auto gauges = registry.gauges();
-    if (!counters.empty() || !gauges.empty()) {
+    if (!counters.empty() || !works.empty() || !gauges.empty()) {
         io::Table table({"metric", "kind", "value"});
         for (const auto& [name, value] : counters) {
             table.add_row({name, "counter", fmt_compact(value)});
+        }
+        for (const auto& [name, value] : works) {
+            table.add_row({name, "work", fmt_compact(value)});
         }
         for (const auto& [name, value] : gauges) {
             table.add_row({name, "gauge", fmt_compact(value)});

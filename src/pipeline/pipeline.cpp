@@ -223,6 +223,8 @@ void GoldenFreePipeline::run_premanufacturing(rng::Rng& rng) {
     }
     obs::Registry::global().counter_add("pipeline.monte_carlo_devices",
                                         static_cast<double>(mc_pcms_.rows()));
+    obs::Registry::global().work_add("work.mc.samples",
+                                     static_cast<double>(mc_pcms_.rows()));
 
     // Regression bank g_j : m_p -> m_j on the simulated devices. A failure
     // here kills the whole stage: nothing downstream can work without g.

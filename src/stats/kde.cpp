@@ -118,6 +118,7 @@ linalg::Matrix Kde::sample_n(rng::Rng& rng, std::size_t n) const {
     linalg::Matrix out(n, dim());
     for (std::size_t i = 0; i < n; ++i) out.set_row(i, sample(rng));
     obs::Registry::global().counter_add("kde.samples_drawn", static_cast<double>(n));
+    obs::Registry::global().work_add("work.kde.samples_drawn", static_cast<double>(n));
     return out;
 }
 
@@ -134,6 +135,14 @@ AdaptiveKde::AdaptiveKde(const linalg::Matrix& data, double alpha, double bandwi
     }
     const std::size_t m = pilot_.observation_count();
     const std::size_t d = pilot_.dim();
+
+    obs::ScopedSpan span("kde.adaptive_build");
+    span.attr("observations", static_cast<double>(m));
+    span.attr("dim", static_cast<double>(d));
+    // The pilot-density pass evaluates the kernel once per (i, j) pair —
+    // the m² term that makes AdaptiveKde construction quadratic.
+    obs::Registry::global().work_add("work.kde.kernel_evals",
+                                     static_cast<double>(m) * static_cast<double>(m));
 
     // Pilot density at each observation (standardized space; the Jacobian is
     // a constant and cancels inside lambda_i).
@@ -207,6 +216,7 @@ linalg::Matrix AdaptiveKde::sample_n(rng::Rng& rng, std::size_t n) const {
     linalg::Matrix out(n, dim());
     for (std::size_t i = 0; i < n; ++i) out.set_row(i, sample(rng));
     obs::Registry::global().counter_add("kde.samples_drawn", static_cast<double>(n));
+    obs::Registry::global().work_add("work.kde.samples_drawn", static_cast<double>(n));
     return out;
 }
 

@@ -220,6 +220,64 @@ TEST(LintRules, StreamUncheckedWantsAnErrorCheckNearby) {
 
 // --- missing-nodiscard ------------------------------------------------------
 
+TEST(LintRules, WorkCounterNameEnforcesShapeInSrc) {
+    // A literal work_add name must be work.<stage>.<quantity>.
+    const std::string good =
+        "void f(htd::obs::Registry& r) {\n"
+        "    r.work_add(\"work.kde.kernel_evals\", 1.0);\n"
+        "}\n";
+    EXPECT_TRUE(htd::lint::lint_source("src/stats/x.cpp", good).empty());
+
+    for (const char* bad_name :
+         {"kde.kernel_evals",        // missing work. prefix
+          "work.KDE.kernel_evals",   // uppercase segment
+          "work.kde",                // too few segments
+          "work.kde.kernel.evals",   // too many segments
+          "work.kde.kernel-evals"})  // dash not in [a-z0-9_]
+    {
+        const std::string src = std::string("void f(htd::obs::Registry& r) {\n") +
+                                "    r.work_add(\"" + bad_name + "\", 1.0);\n}\n";
+        EXPECT_TRUE(has_rule(htd::lint::lint_source("src/stats/x.cpp", src),
+                             "work-counter-name"))
+            << bad_name;
+    }
+
+    // Computed names cannot be checked statically and must not trip.
+    const std::string computed =
+        "void f(htd::obs::Registry& r, const std::string& n) {\n"
+        "    r.work_add(n, 1.0);\n"
+        "}\n";
+    EXPECT_TRUE(htd::lint::lint_source("src/stats/x.cpp", computed).empty());
+
+    // The rule scopes to src/: bench/test/tool code may use ad-hoc names.
+    const std::string bad =
+        "void f(htd::obs::Registry& r) { r.work_add(\"evals\", 1.0); }\n";
+    EXPECT_FALSE(has_rule(htd::lint::lint_source("bench/x.cpp", bad),
+                          "work-counter-name"));
+    EXPECT_FALSE(has_rule(htd::lint::lint_source("tests/x.cpp", bad),
+                          "work-counter-name"));
+}
+
+TEST(LintRules, WorkNamespaceIsReservedForWorkAdd) {
+    const std::string sneaky =
+        "void f(htd::obs::Registry& r) {\n"
+        "    r.counter_add(\"work.kde.sneaky\", 1.0);\n"
+        "    r.gauge_set(\"work.kde.level\", 1.0);\n"
+        "    r.histogram_record(\"work.kde.lat\", 1.0);\n"
+        "}\n";
+    const std::vector<Finding> findings =
+        htd::lint::lint_source("src/stats/x.cpp", sneaky);
+    ASSERT_EQ(findings.size(), 3u);
+    for (const Finding& f : findings) EXPECT_EQ(f.rule, "work-counter-name");
+
+    // Non-work names through the other metric kinds stay clean.
+    const std::string fine =
+        "void f(htd::obs::Registry& r) {\n"
+        "    r.counter_add(\"pipeline.devices\", 1.0);\n"
+        "}\n";
+    EXPECT_TRUE(htd::lint::lint_source("src/stats/x.cpp", fine).empty());
+}
+
 TEST(LintNodiscard, PublicValueReturnsInHeadersMustBeMarked) {
     const std::string src =
         "#pragma once\n"

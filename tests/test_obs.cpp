@@ -224,6 +224,90 @@ TEST_F(ObsTest, RunReportWritesParseableFile) {
     EXPECT_EQ(spans.at(0).at("name").str(), "test.report_span");
 }
 
+TEST_F(ObsTest, WorkCountersAccumulateAndResetAsFirstClassMetrics) {
+    auto& reg = Registry::global();
+    reg.work_add("work.test.kernel_evals", 100.0);
+    reg.work_add("work.test.kernel_evals", 150.0);
+    reg.work_add("work.test.samples", 8.0);
+    EXPECT_DOUBLE_EQ(reg.work_value("work.test.kernel_evals"), 250.0);
+    EXPECT_DOUBLE_EQ(reg.work_value("work.test.missing"), 0.0);
+    const auto works = reg.works();
+    ASSERT_EQ(works.size(), 2u);
+    EXPECT_DOUBLE_EQ(works.at("work.test.samples"), 8.0);
+
+    // Work is its own metric kind: it lands in the "work" section of the
+    // JSON sink, not under counters.
+    const Json metrics = Json::parse(htd::obs::metrics_json(reg).dump(2));
+    EXPECT_DOUBLE_EQ(metrics.at("work").at("work.test.kernel_evals").number(),
+                     250.0);
+    EXPECT_FALSE(metrics.at("counters").contains("work.test.kernel_evals"));
+
+    reg.reset();
+    EXPECT_TRUE(reg.works().empty());
+
+    // A disabled registry drops work like every other metric.
+    reg.configure(SinkKind::kOff);
+    reg.work_add("work.test.kernel_evals", 5.0);
+    EXPECT_DOUBLE_EQ(reg.work_value("work.test.kernel_evals"), 0.0);
+}
+
+TEST_F(ObsTest, SinkKindFromEnvNamesValidValuesOnMisconfiguration) {
+    using htd::obs::sink_kind_from_env;
+    EXPECT_EQ(sink_kind_from_env(""), SinkKind::kOff);
+    EXPECT_EQ(sink_kind_from_env("off"), SinkKind::kOff);
+    EXPECT_EQ(sink_kind_from_env("text"), SinkKind::kText);
+    EXPECT_EQ(sink_kind_from_env("json"), SinkKind::kJson);
+
+    std::string error;
+    EXPECT_EQ(sink_kind_from_env("verbose", &error), SinkKind::kInherit);
+    EXPECT_NE(error.find("'verbose'"), std::string::npos);
+    // The warning must name every valid spelling — it is the only clue the
+    // user gets for a typo'd HTD_OBS.
+    for (const char* valid : {"off", "text", "json"}) {
+        EXPECT_NE(error.find(valid), std::string::npos) << valid;
+    }
+}
+
+TEST_F(ObsTest, JsonSinkEscapesHostileNamesLosslessly) {
+    // Span/metric names and attr keys with control characters, embedded
+    // quotes/backslashes, and non-ASCII UTF-8 must survive the dump ->
+    // RFC 8259 parse round trip byte-for-byte.
+    const std::string hostile_span = "test.\"quoted\"\\back\nslash\tname";
+    const std::string hostile_attr = "attr\x01with\x1f controls";
+    const std::string hostile_counter = "count.müller.λ→µ";
+    const std::string hostile_work = "work.kärnel.evals\x7f";
+    auto& reg = Registry::global();
+    {
+        ScopedSpan span(hostile_span);
+        span.attr(hostile_attr, 1.5);
+    }
+    reg.counter_add(hostile_counter, 3.0);
+    reg.work_add(hostile_work, 7.0);
+
+    const Json parsed = Json::parse(htd::obs::observability_json(reg).dump(2));
+    const Json& span = parsed.at("spans").at(0);
+    EXPECT_EQ(span.at("name").str(), hostile_span);
+    EXPECT_DOUBLE_EQ(span.at("attrs").at(hostile_attr).number(), 1.5);
+    EXPECT_DOUBLE_EQ(
+        parsed.at("metrics").at("counters").at(hostile_counter).number(), 3.0);
+    EXPECT_DOUBLE_EQ(parsed.at("metrics").at("work").at(hostile_work).number(),
+                     7.0);
+    // The per-span histogram key embeds the hostile name too.
+    EXPECT_TRUE(parsed.at("metrics").at("histograms").contains("span." +
+                                                               hostile_span));
+}
+
+TEST_F(ObsTest, SpanRecordsCarryThreadIndex) {
+    { ScopedSpan span("test.thread_stamp"); }
+    const auto spans = Registry::global().spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_GT(spans[0].thread, 0u);
+    EXPECT_EQ(spans[0].thread, Registry::current_thread_index());
+    const Json doc = Json::parse(htd::obs::spans_json(Registry::global()).dump(2));
+    EXPECT_DOUBLE_EQ(doc.at(0).at("thread").number(),
+                     static_cast<double>(spans[0].thread));
+}
+
 TEST_F(ObsTest, PipelineRunReportCoversAllBoundaries) {
     namespace core = htd::core;
     core::ExperimentConfig config;

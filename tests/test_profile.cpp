@@ -1,0 +1,282 @@
+/// Tests for the htd_profile core (tools/htd_profile/profile.hpp): trace
+/// validation against the htd.trace.v1 shape, profile loading from all
+/// three accepted document kinds, contribution-ranked diffing, and the
+/// regression-attribution acceptance case — a kernel-eval work-counter
+/// regression in the 200-sample AdaptiveKdeBuild BENCH_micro point must
+/// surface as the top-ranked work row, with the counter value taken from a
+/// real AdaptiveKde build rather than a synthetic constant.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+#include "obs/obs.hpp"
+#include "profile.hpp"
+#include "rng/rng.hpp"
+#include "stats/kde.hpp"
+
+namespace {
+
+using htd::io::Json;
+using htd::profile::DiffEntry;
+using htd::profile::ProfileData;
+using htd::profile::ProfileDiff;
+using htd::profile::TraceCheck;
+
+Json span_event(const std::string& name, double tid, double ts, double dur,
+                double id, double parent, double depth) {
+    Json event = Json::object();
+    event.set("ph", "X");
+    event.set("cat", "htd");
+    event.set("name", name);
+    event.set("pid", 1.0);
+    event.set("tid", tid);
+    event.set("ts", ts);
+    event.set("dur", dur);
+    Json args = Json::object();
+    args.set("id", id);
+    args.set("parent", parent);
+    args.set("depth", depth);
+    event.set("args", std::move(args));
+    return event;
+}
+
+/// A two-span well-formed trace plus any extra events the test wants to
+/// smuggle in (io::Json exposes no mutable at(), so the document is built
+/// in one shot).
+Json make_trace(std::vector<Json> extra_events = {},
+                const std::string& schema = "htd.trace.v1") {
+    Json events = Json::array();
+    events.push_back(span_event("stage.outer", 1, 0, 5, 1, 0, 0));
+    events.push_back(span_event("stage.inner", 1, 1, 2, 2, 1, 1));
+    for (Json& event : extra_events) events.push_back(std::move(event));
+    Json work = Json::object();
+    work.set("work.stage.units", 128.0);
+    Json other = Json::object();
+    other.set("schema", schema);
+    other.set("work", std::move(work));
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("otherData", std::move(other));
+    return doc;
+}
+
+TEST(ProfileCheckTrace, AcceptsMinimalWellFormedTrace) {
+    const TraceCheck check = htd::profile::check_trace(make_trace());
+    EXPECT_TRUE(check.ok) << (check.errors.empty() ? "" : check.errors.front());
+    EXPECT_EQ(check.span_events, 2u);
+    ASSERT_EQ(check.span_names.size(), 2u);
+    EXPECT_EQ(check.span_names[0], "stage.inner");
+    EXPECT_EQ(check.span_names[1], "stage.outer");
+    EXPECT_EQ(check.work.at("work.stage.units"), 128.0);
+}
+
+TEST(ProfileCheckTrace, RejectsMissingTraceEvents) {
+    const TraceCheck check = htd::profile::check_trace(Json::object());
+    EXPECT_FALSE(check.ok);
+    ASSERT_FALSE(check.errors.empty());
+    EXPECT_NE(check.errors.front().find("traceEvents"), std::string::npos);
+}
+
+TEST(ProfileCheckTrace, RejectsWrongSchemaTag) {
+    EXPECT_FALSE(htd::profile::check_trace(make_trace({}, "htd.trace.v0")).ok);
+}
+
+TEST(ProfileCheckTrace, RejectsSpanEventMissingDuration) {
+    // Hand-build an X event without a dur field.
+    Json broken = Json::object();
+    broken.set("ph", "X");
+    broken.set("name", "stage.broken");
+    broken.set("pid", 1.0);
+    broken.set("tid", 1.0);
+    broken.set("ts", 0.0);
+    Json args = Json::object();
+    args.set("id", 3.0);
+    args.set("parent", 0.0);
+    args.set("depth", 0.0);
+    broken.set("args", std::move(args));
+    std::vector<Json> extra;
+    extra.push_back(std::move(broken));
+    EXPECT_FALSE(htd::profile::check_trace(make_trace(std::move(extra))).ok);
+}
+
+TEST(ProfileCheckTrace, RejectsNegativeTimestamp) {
+    std::vector<Json> extra;
+    extra.push_back(span_event("stage.bad", 1, -1, 1, 3, 0, 0));
+    EXPECT_FALSE(htd::profile::check_trace(make_trace(std::move(extra))).ok);
+}
+
+TEST(ProfileCheckTrace, RejectsCrossThreadParentLink) {
+    // Parent id 1 lives on tid 1; a child claiming it from tid 2 breaks
+    // the nesting guarantee.
+    std::vector<Json> extra;
+    extra.push_back(span_event("stage.stray", 2, 0, 1, 3, 1, 1));
+    const TraceCheck check = htd::profile::check_trace(make_trace(std::move(extra)));
+    EXPECT_FALSE(check.ok);
+    ASSERT_FALSE(check.errors.empty());
+    EXPECT_NE(check.errors.front().find("another thread"), std::string::npos);
+}
+
+TEST(ProfileCheckTrace, RejectsUnknownPhase) {
+    Json begin = span_event("stage.begin_only", 1, 0, 1, 3, 0, 0);
+    begin.set("ph", "B");
+    std::vector<Json> extra;
+    extra.push_back(std::move(begin));
+    EXPECT_FALSE(htd::profile::check_trace(make_trace(std::move(extra))).ok);
+}
+
+TEST(ProfileLoad, AggregatesTraceStagesByName) {
+    std::vector<Json> extra;
+    extra.push_back(span_event("stage.inner", 1, 4, 3, 3, 1, 1));
+    const ProfileData data =
+        htd::profile::load_profile(make_trace(std::move(extra)));
+    EXPECT_EQ(data.kind, "trace");
+    EXPECT_EQ(data.stages.at("stage.inner").wall_us, 5.0);  // 2 + 3
+    EXPECT_EQ(data.stages.at("stage.inner").count, 2.0);
+    EXPECT_EQ(data.stages.at("stage.outer").wall_us, 5.0);
+    EXPECT_EQ(data.work.at("work.stage.units"), 128.0);
+}
+
+TEST(ProfileLoad, ReadsRunReportSpansAndWorkMetrics) {
+    Json span = Json::object();
+    span.set("name", "kde.adaptive_build");
+    span.set("wall_ns", 4000.0);
+    span.set("cpu_ns", 3000.0);
+    Json spans = Json::array();
+    spans.push_back(std::move(span));
+    Json work = Json::object();
+    work.set("work.kde.kernel_evals", 40000.0);
+    Json metrics = Json::object();
+    metrics.set("work", std::move(work));
+    Json observability = Json::object();
+    observability.set("spans", std::move(spans));
+    observability.set("metrics", std::move(metrics));
+    Json doc = Json::object();
+    doc.set("observability", std::move(observability));
+
+    const ProfileData data = htd::profile::load_profile(doc);
+    EXPECT_EQ(data.kind, "run_report");
+    EXPECT_EQ(data.stages.at("kde.adaptive_build").wall_us, 4.0);
+    EXPECT_EQ(data.stages.at("kde.adaptive_build").cpu_us, 3.0);
+    EXPECT_EQ(data.work.at("work.kde.kernel_evals"), 40000.0);
+}
+
+TEST(ProfileLoad, ReadsBenchResultsAndWorkProfile) {
+    Json row = Json::object();
+    row.set("name", "AdaptiveKdeBuild/200");
+    row.set("real_ns_per_iter", 250000.0);
+    row.set("cpu_ns_per_iter", 240000.0);
+    row.set("iterations", 64.0);
+    Json results = Json::array();
+    results.push_back(std::move(row));
+    Json work = Json::object();
+    work.set("AdaptiveKdeBuild/200:work.kde.kernel_evals", 40000.0);
+    Json doc = Json::object();
+    doc.set("results", std::move(results));
+    doc.set("work_profile", std::move(work));
+
+    const ProfileData data = htd::profile::load_profile(doc);
+    EXPECT_EQ(data.kind, "bench");
+    EXPECT_EQ(data.stages.at("AdaptiveKdeBuild/200").wall_us, 250.0);
+    EXPECT_EQ(data.stages.at("AdaptiveKdeBuild/200").count, 64.0);
+    EXPECT_EQ(data.work.at("AdaptiveKdeBuild/200:work.kde.kernel_evals"), 40000.0);
+}
+
+TEST(ProfileLoad, ThrowsOnUnrecognizedDocument) {
+    Json doc = Json::object();
+    doc.set("something_else", 1.0);
+    EXPECT_THROW((void)htd::profile::load_profile(doc), std::invalid_argument);
+    EXPECT_THROW((void)htd::profile::load_profile(Json(1.0)), std::invalid_argument);
+}
+
+ProfileData with_work(std::map<std::string, double> work) {
+    ProfileData data;
+    data.kind = "bench";
+    data.work = std::move(work);
+    return data;
+}
+
+TEST(ProfileDiffing, RanksByAbsoluteDeltaWithNormalizedShares) {
+    const ProfileData a = with_work(
+        {{"work.a.small", 100.0}, {"work.b.big", 1000.0}, {"work.c.same", 50.0}});
+    const ProfileData b = with_work(
+        {{"work.a.small", 150.0}, {"work.b.big", 1950.0}, {"work.c.same", 50.0}});
+    const ProfileDiff diff = htd::profile::diff_profiles(a, b);
+    ASSERT_EQ(diff.work.size(), 3u);
+    EXPECT_EQ(diff.work[0].name, "work.b.big");  // |delta| 950
+    EXPECT_EQ(diff.work[0].delta, 950.0);
+    EXPECT_EQ(diff.work[1].name, "work.a.small");  // |delta| 50
+    EXPECT_EQ(diff.work[2].name, "work.c.same");   // |delta| 0
+    double total_share = 0.0;
+    for (const DiffEntry& e : diff.work) total_share += e.share;
+    EXPECT_NEAR(total_share, 1.0, 1e-12);
+    EXPECT_EQ(diff.work[2].share, 0.0);
+}
+
+TEST(ProfileDiffing, IdenticalRunsFallBackToMagnitudeRanking) {
+    const ProfileData a =
+        with_work({{"work.minor.thing", 10.0}, {"work.major.thing", 9000.0}});
+    const ProfileDiff diff = htd::profile::diff_profiles(a, a);
+    ASSERT_EQ(diff.work.size(), 2u);
+    EXPECT_EQ(diff.work[0].name, "work.major.thing");
+    EXPECT_GT(diff.work[0].share, diff.work[1].share);
+}
+
+TEST(ProfileDiffing, TextRenderingHonorsTopN) {
+    const ProfileData a = with_work(
+        {{"work.a.x", 1.0}, {"work.b.x", 2.0}, {"work.c.x", 3.0}});
+    ProfileData b = a;
+    b.work["work.c.x"] = 30.0;
+    const ProfileDiff diff = htd::profile::diff_profiles(a, b);
+    const std::string all = htd::profile::diff_text(diff);
+    EXPECT_NE(all.find("work.a.x"), std::string::npos);
+    const std::string top = htd::profile::diff_text(diff, 1);
+    EXPECT_NE(top.find("work.c.x"), std::string::npos);
+    EXPECT_EQ(top.find("work.a.x"), std::string::npos);
+}
+
+/// The acceptance case from DESIGN.md §13: when the 200-sample adaptive-KDE
+/// build does more kernel evaluations than the baseline, htd_profile must
+/// rank that counter at the top of the work attribution. The baseline
+/// counter value is measured from a real AdaptiveKde build (the same
+/// instrumentation BENCH_micro's work_profile records), not hard-coded.
+TEST(ProfileDiffing, KdeKernelEvalRegressionIsTopWorkContributor) {
+    using htd::obs::Registry;
+    Registry::global().configure(htd::obs::SinkKind::kJson);
+    Registry::global().reset();
+    htd::rng::Rng rng(1234);
+    htd::linalg::Matrix cloud(200, 6);
+    for (std::size_t r = 0; r < cloud.rows(); ++r) {
+        for (std::size_t c = 0; c < cloud.cols(); ++c) {
+            cloud(r, c) = rng.normal();
+        }
+    }
+    const htd::stats::AdaptiveKde kde(cloud, 0.5);
+    const double kernel_evals =
+        Registry::global().work_value("work.kde.kernel_evals");
+    Registry::global().configure(htd::obs::SinkKind::kOff);
+    Registry::global().reset();
+    EXPECT_EQ(kernel_evals, 200.0 * 200.0);  // pilot density: m x m kernel grid
+
+    const std::string key = "AdaptiveKdeBuild/200:work.kde.kernel_evals";
+    const ProfileData baseline = with_work({
+        {key, kernel_evals},
+        {"OneClassSvmFit/2000:work.svm.gram_cells", 4.0e6},
+        {"KmmSolve/200:work.kmm.gram_cells", 6.0e4},
+    });
+    ProfileData candidate = baseline;
+    candidate.work[key] = 2.0 * kernel_evals;  // an accidental second pass
+
+    const ProfileDiff diff = htd::profile::diff_profiles(baseline, candidate);
+    ASSERT_FALSE(diff.work.empty());
+    EXPECT_EQ(diff.work[0].name, key);
+    EXPECT_EQ(diff.work[0].delta, kernel_evals);
+    EXPECT_NEAR(diff.work[0].share, 1.0, 1e-12);  // the only mover
+}
+
+}  // namespace

@@ -22,18 +22,31 @@
 ///
 /// Usage:
 ///   bench_compare [--baseline-dir DIR] [--candidate-dir DIR]
-///                 [--json PATH] [--bless] [name...]
+///                 [--json PATH] [--waivers FILE] [--bless] [name...]
 ///
 /// Names default to "micro roc fault_sweep drift_sweep lint". A name whose
 /// baseline file does not exist is reported as unblessed and skipped; a
 /// missing *candidate* file is a hard usage error. Exit codes: 0 = no
 /// regression, 1 = regression detected, 2 = usage / IO error.
 ///
+/// Known, accepted failures can be *waived* through a waiver file
+/// (htd.bench_waivers.v1; default <baseline-dir>/WAIVERS.json when
+/// present). Every entry names an artifact + metric and must carry a
+/// written rationale — entries without one are a usage error. A waived
+/// failing check is reported loudly (WAIVED line + JSON flag) but does not
+/// trip the gate; a waiver that matches nothing is reported as unused so
+/// stale entries get cleaned up instead of silently shadowing future
+/// regressions.
+///
+/// On any gated regression the tool points at tools/htd_profile, which
+/// attributes the delta to pipeline stages / work counters.
+///
 /// --bless copies the candidate artifacts over the baselines (exit 0).
 
 #include <cstdio>
 #include <filesystem>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -51,13 +64,52 @@ struct Check {
     double candidate = 0.0;
     std::string rule;  ///< human-readable threshold description
     bool ok = true;
+    bool waived = false;        ///< failing but covered by a waiver entry
+    std::string waive_reason{};  ///< the waiver's written rationale
 };
 
 struct Comparison {
     std::string name;    ///< "micro", "roc", ...
-    std::string status;  ///< "ok" / "regression" / "unblessed"
+    std::string status;  ///< "ok" / "waived" / "regression" / "unblessed"
     std::vector<Check> checks;
 };
+
+/// One htd.bench_waivers.v1 entry: a known failing metric that must not
+/// trip the gate, with the written rationale that justifies it.
+struct Waiver {
+    std::string artifact;  ///< "roc", "micro", ...
+    std::string metric;    ///< exact check metric, e.g. "B5.fn_rate_at_fp0"
+    std::string reason;
+    bool used = false;
+};
+
+/// Parse a waiver file; throws std::runtime_error on schema violations
+/// (including a missing or empty rationale — waivers must be justified).
+std::vector<Waiver> load_waivers(const std::string& path) {
+    const Json doc = Json::parse_file(path);
+    if (!doc.is_object() || !doc.contains("schema") ||
+        doc.at("schema").str() != "htd.bench_waivers.v1") {
+        throw std::runtime_error(path + ": schema is not htd.bench_waivers.v1");
+    }
+    std::vector<Waiver> waivers;
+    for (const Json& entry : doc.at("waivers").elements()) {
+        Waiver w;
+        if (!entry.is_object() || !entry.contains("artifact") ||
+            !entry.contains("metric") || !entry.contains("reason")) {
+            throw std::runtime_error(
+                path + ": every waiver needs artifact, metric and reason");
+        }
+        w.artifact = entry.at("artifact").str();
+        w.metric = entry.at("metric").str();
+        w.reason = entry.at("reason").str();
+        if (w.reason.empty()) {
+            throw std::runtime_error(path + ": waiver for " + w.artifact + " " +
+                                     w.metric + " has an empty reason");
+        }
+        waivers.push_back(std::move(w));
+    }
+    return waivers;
+}
 
 /// Lower-is-better metric: fail when the candidate exceeds the baseline by
 /// more than `rel` relative AND `abs_floor` absolute.
@@ -213,7 +265,8 @@ void compare_lint(const Json& base, const Json& cand, Comparison& out) {
 
 Json comparison_json(const std::vector<Comparison>& comparisons,
                      const std::string& baseline_dir,
-                     const std::string& candidate_dir, int regressions) {
+                     const std::string& candidate_dir, int regressions,
+                     const std::vector<Waiver>& waivers) {
     Json doc = Json::object();
     doc.set("tool", "bench_compare");
     doc.set("baseline_dir", baseline_dir);
@@ -232,20 +285,33 @@ Json comparison_json(const std::vector<Comparison>& comparisons,
             check.set("candidate", c.candidate);
             check.set("rule", c.rule);
             check.set("ok", c.ok);
+            check.set("waived", c.waived);
+            if (c.waived) check.set("waive_reason", c.waive_reason);
             checks.push_back(std::move(check));
         }
         entry.set("checks", std::move(checks));
         list.push_back(std::move(entry));
     }
     doc.set("comparisons", std::move(list));
+    Json unused = Json::array();
+    for (const Waiver& w : waivers) {
+        if (w.used) continue;
+        Json entry = Json::object();
+        entry.set("artifact", w.artifact);
+        entry.set("metric", w.metric);
+        entry.set("reason", w.reason);
+        unused.push_back(std::move(entry));
+    }
+    doc.set("unused_waivers", std::move(unused));
     return doc;
 }
 
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--baseline-dir DIR] [--candidate-dir DIR] "
-                 "[--json PATH] [--bless] [name...]\n"
-                 "names default to: micro roc fault_sweep drift_sweep lint\n",
+                 "[--json PATH] [--waivers FILE] [--bless] [name...]\n"
+                 "names default to: micro roc fault_sweep drift_sweep lint\n"
+                 "waivers default to <baseline-dir>/WAIVERS.json when present\n",
                  argv0);
     return 2;
 }
@@ -256,6 +322,7 @@ int main(int argc, char** argv) {
     std::string baseline_dir = "bench/baselines";
     std::string candidate_dir = ".";
     std::string json_path;
+    std::string waivers_path;
     bool bless = false;
     std::vector<std::string> names;
 
@@ -276,6 +343,10 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (v == nullptr) return usage(argv[0]);
             json_path = v;
+        } else if (arg == "--waivers") {
+            const char* v = next();
+            if (v == nullptr) return usage(argv[0]);
+            waivers_path = v;
         } else if (arg == "--bless") {
             bless = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -312,6 +383,20 @@ int main(int argc, char** argv) {
                         dst.string().c_str());
         }
         return 0;
+    }
+
+    if (waivers_path.empty()) {
+        const fs::path default_waivers = fs::path(baseline_dir) / "WAIVERS.json";
+        if (fs::exists(default_waivers)) waivers_path = default_waivers.string();
+    }
+    std::vector<Waiver> waivers;
+    if (!waivers_path.empty()) {
+        try {
+            waivers = load_waivers(waivers_path);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "bench_compare: %s\n", e.what());
+            return 2;
+        }
     }
 
     std::vector<Comparison> comparisons;
@@ -361,21 +446,62 @@ int main(int argc, char** argv) {
         }
 
         int failed = 0;
-        for (const Check& c : cmp.checks) failed += c.ok ? 0 : 1;
-        cmp.status = failed == 0 ? "ok" : "regression";
+        int waived = 0;
+        for (Check& c : cmp.checks) {
+            if (c.ok) continue;
+            for (Waiver& w : waivers) {
+                if (w.artifact == name && w.metric == c.metric) {
+                    c.waived = true;
+                    c.waive_reason = w.reason;
+                    w.used = true;
+                    break;
+                }
+            }
+            if (c.waived) {
+                ++waived;
+            } else {
+                ++failed;
+            }
+        }
+        cmp.status = failed != 0 ? "regression" : (waived != 0 ? "waived" : "ok");
         regressions += failed;
-        std::printf("%-12s %s (%zu checks, %d failed)\n", name.c_str(),
-                    failed == 0 ? "OK" : "REGRESSION", cmp.checks.size(), failed);
+        std::printf("%-12s %s (%zu checks, %d failed, %d waived)\n", name.c_str(),
+                    failed != 0 ? "REGRESSION" : (waived != 0 ? "OK*" : "OK"),
+                    cmp.checks.size(), failed, waived);
         for (const Check& c : cmp.checks) {
             if (c.ok) continue;
-            std::printf("  FAIL %-40s baseline %.6g candidate %.6g  rule: %s\n",
-                        c.metric.c_str(), c.baseline, c.candidate, c.rule.c_str());
+            if (c.waived) {
+                std::printf("  WAIVED %-38s baseline %.6g candidate %.6g  rule: %s\n"
+                            "         reason: %s\n",
+                            c.metric.c_str(), c.baseline, c.candidate, c.rule.c_str(),
+                            c.waive_reason.c_str());
+            } else {
+                std::printf("  FAIL %-40s baseline %.6g candidate %.6g  rule: %s\n",
+                            c.metric.c_str(), c.baseline, c.candidate, c.rule.c_str());
+            }
+        }
+        if (failed != 0) {
+            std::printf("  hint: attribute this with tools/htd_profile — e.g.\n"
+                        "        htd_profile %s %s\n",
+                        (fs::path(baseline_dir) / ("BENCH_" + name + ".json"))
+                            .string()
+                            .c_str(),
+                        (fs::path(candidate_dir) / ("BENCH_" + name + ".json"))
+                            .string()
+                            .c_str());
         }
         comparisons.push_back(std::move(cmp));
     }
 
+    for (const Waiver& w : waivers) {
+        if (w.used) continue;
+        std::printf("UNUSED WAIVER %s %s — nothing failing matches it; remove it "
+                    "from %s so it cannot shadow a future regression\n",
+                    w.artifact.c_str(), w.metric.c_str(), waivers_path.c_str());
+    }
+
     if (!json_path.empty()) {
-        comparison_json(comparisons, baseline_dir, candidate_dir, regressions)
+        comparison_json(comparisons, baseline_dir, candidate_dir, regressions, waivers)
             .dump_to_file(json_path);
     }
     return regressions == 0 ? 0 : 1;

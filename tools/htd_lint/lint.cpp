@@ -666,6 +666,58 @@ void collect_discard_sites(const std::vector<Token>& toks, FileAnalysis& fa) {
     }
 }
 
+// --- work-counter-name (v3) -------------------------------------------------
+//
+// Work counters are the profiler's attribution currency (DESIGN.md §13):
+// htd_profile ranks stages by `work.<stage>.<quantity>` deltas, so a
+// misnamed counter silently falls out of every report. Enforce the shape
+// at the recording site, and keep the `work.` namespace reserved for
+// Registry::work_add so the metric kind stays trustworthy.
+
+void check_work_counter_names(const std::string& path,
+                              const std::vector<Token>& toks,
+                              std::vector<Finding>& out) {
+    if (!path_in(path, "src/")) return;
+    static const std::regex shape(
+        R"(work\.[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*)");
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        const Token& callee = toks[i];
+        if (callee.kind != TokKind::kIdent || callee.in_directive) continue;
+        const bool is_work = callee.text == "work_add";
+        const bool reserves = callee.text == "counter_add" ||
+                              callee.text == "gauge_set" ||
+                              callee.text == "histogram_record";
+        if (!is_work && !reserves) continue;
+        if (!is_punct(toks[i + 1], "(")) continue;
+        const Token& arg = toks[i + 2];
+        // Only literal names are statically checkable; a computed name is
+        // the caller's responsibility. Encoding-prefixed / raw literals do
+        // not occur for metric names, so plain cooked strings suffice.
+        if (arg.kind != TokKind::kString || arg.text.size() < 2 ||
+            arg.text.front() != '"' || arg.text.back() != '"') {
+            continue;
+        }
+        const std::string name = arg.text.substr(1, arg.text.size() - 2);
+        if (is_work) {
+            if (!std::regex_match(name, shape)) {
+                out.push_back(
+                    {path, arg.line, "work-counter-name",
+                     "work counter '" + name +
+                         "' must be named work.<stage>.<quantity> "
+                         "(lowercase [a-z0-9_] segments, exactly two dots) "
+                         "so htd_profile can attribute it to a stage"});
+            }
+        } else if (name.rfind("work.", 0) == 0) {
+            out.push_back(
+                {path, arg.line, "work-counter-name",
+                 "'" + name + "' claims the work. namespace but is recorded "
+                 "via " + callee.text +
+                     "; record work counters through Registry::work_add so "
+                     "traces and reports agree on the metric kind"});
+        }
+    }
+}
+
 }  // namespace
 
 // --- public API -------------------------------------------------------------
@@ -679,7 +731,7 @@ const std::vector<std::string>& rule_ids() {
         "rng-seed",         "std-random-in-library", "raw-nan-check",
         "stdio-in-library", "header-hygiene",        "stream-unchecked",
         "layering",         "include-cycle",         "layer-unmapped",
-        "result-discard",   "missing-nodiscard"};
+        "result-discard",   "missing-nodiscard",     "work-counter-name"};
     return ids;
 }
 
@@ -765,6 +817,8 @@ FileAnalysis analyze_file(const std::string& path, const std::string& contents) 
     check_stdio_in_library(norm, code, fa.findings);
     check_header_hygiene(norm, code, fa.findings);
     check_stream_unchecked(norm, code, fa.findings);
+
+    check_work_counter_names(norm, toks, fa.findings);
 
     collect_includes(toks, fa);
     if (path_in(norm, "src/")) {

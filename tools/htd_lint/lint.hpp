@@ -56,6 +56,14 @@
 ///                       constructors/destructors, `friend`/`using`
 ///                       declarations, and out-of-line definitions (the
 ///                       in-class declaration carries the attribute).
+///   work-counter-name   (v3) A literal name passed to `work_add` in src/
+///                       must be `work.<stage>.<quantity>` (lowercase
+///                       [a-z0-9_] segments, exactly two dots) so
+///                       htd_profile can attribute it; conversely
+///                       `counter_add` / `gauge_set` /
+///                       `histogram_record` must not claim the `work.`
+///                       namespace — the metric kind is part of the
+///                       profiling contract (DESIGN.md §13).
 ///
 /// The analyzer core runs per-file scans on a thread pool, caches per-file
 /// results keyed by content hash (see Options::cache_dir), orders

@@ -1,0 +1,118 @@
+/// \file main.cpp
+/// htd_profile CLI — regression attribution over htd profiling artifacts.
+///
+///   htd_profile --validate TRACE.json [--json]
+///   htd_profile A.json B.json [--json] [--top N]
+///
+/// Validate mode checks a trace written via HTD_OBS_TRACE against the
+/// htd.trace.v1 shape (scripts/ci.sh profile stage). Diff mode loads two
+/// artifacts — traces, run reports or BENCH_*.json — and prints the
+/// per-stage wall-time and work-counter diff ranked by contribution, which
+/// is how a bench_compare regression gets attributed to a stage/kernel.
+/// Exit 0 on success (valid trace / diff printed), 1 on an invalid trace,
+/// 2 on usage or IO errors.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "profile.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: htd_profile --validate TRACE.json [--json]\n"
+    "       htd_profile A.json B.json [--json] [--top N]\n"
+    "\n"
+    "Validate an htd.trace.v1 trace-event file, or diff two profiling\n"
+    "artifacts (trace-event JSON, htd.run_report.* documents, or\n"
+    "BENCH_*.json) into a per-stage wall/work attribution ranked by\n"
+    "contribution.\n"
+    "\n"
+    "  --validate        check the single input instead of diffing\n"
+    "  --json            machine-readable output on stdout\n"
+    "  --top N           show only the N highest-contributing rows (diff)\n";
+
+int run(int argc, char** argv) {
+    bool validate = false;
+    bool json = false;
+    std::size_t top_n = 0;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--validate") {
+            validate = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--top") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "htd_profile: --top needs a value\n%s", kUsage);
+                return 2;
+            }
+            top_n = static_cast<std::size_t>(std::stoul(argv[++i]));
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("%s", kUsage);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "htd_profile: unknown option %s\n%s", arg.c_str(),
+                         kUsage);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (validate) {
+        if (paths.size() != 1) {
+            std::fprintf(stderr, "htd_profile: --validate takes exactly one file\n%s",
+                         kUsage);
+            return 2;
+        }
+        const htd::profile::TraceCheck check =
+            htd::profile::check_trace(htd::io::Json::parse_file(paths[0]));
+        if (json) {
+            std::printf("%s\n", htd::profile::check_json(check).dump(2).c_str());
+        } else if (check.ok) {
+            std::printf("%s: valid htd.trace.v1 (%zu span events, %zu span names, "
+                        "%zu work counters)\n",
+                        paths[0].c_str(), check.span_events, check.span_names.size(),
+                        check.work.size());
+        } else {
+            for (const std::string& e : check.errors) {
+                std::fprintf(stderr, "%s: %s\n", paths[0].c_str(), e.c_str());
+            }
+        }
+        return check.ok ? 0 : 1;
+    }
+
+    if (paths.size() != 2) {
+        std::fprintf(stderr, "htd_profile: diff mode takes exactly two files\n%s",
+                     kUsage);
+        return 2;
+    }
+    const htd::profile::ProfileData a =
+        htd::profile::load_profile(htd::io::Json::parse_file(paths[0]));
+    const htd::profile::ProfileData b =
+        htd::profile::load_profile(htd::io::Json::parse_file(paths[1]));
+    const htd::profile::ProfileDiff diff = htd::profile::diff_profiles(a, b);
+    if (json) {
+        std::printf("%s\n", htd::profile::diff_json(diff).dump(2).c_str());
+    } else {
+        std::printf("a: %s (%s)\nb: %s (%s)\n\n", paths[0].c_str(), a.kind.c_str(),
+                    paths[1].c_str(), b.kind.c_str());
+        std::printf("%s", htd::profile::diff_text(diff, top_n).c_str());
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        return run(argc, argv);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "htd_profile: %s\n", e.what());
+        return 2;
+    }
+}

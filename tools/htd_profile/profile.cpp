@@ -1,0 +1,359 @@
+#include "profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace htd::profile {
+
+namespace {
+
+constexpr const char* kTraceSchema = "htd.trace.v1";
+
+bool number_at(const io::Json& obj, const std::string& key, double* out) {
+    if (!obj.contains(key) || !obj.at(key).is_number()) return false;
+    *out = obj.at(key).number();
+    return true;
+}
+
+std::string fmt(double v) {
+    char buf[48];
+    if (std::abs(v) >= 1e7 || (v != 0.0 && std::abs(v) < 1e-3)) {
+        std::snprintf(buf, sizeof buf, "%.3g", v);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.2f", v);
+    }
+    return buf;
+}
+
+void load_work_object(const io::Json& obj, std::map<std::string, double>* work) {
+    for (const auto& [name, value] : obj.members()) {
+        if (value.is_number()) (*work)[name] += value.number();
+    }
+}
+
+/// Aggregate a run_report "spans" array (sink.hpp shape) into stage stats.
+void load_span_array(const io::Json& spans, std::map<std::string, StageStat>* stages) {
+    for (const io::Json& rec : spans.elements()) {
+        if (!rec.is_object() || !rec.contains("name")) continue;
+        StageStat& stat = (*stages)[rec.at("name").str()];
+        double v = 0.0;
+        if (number_at(rec, "wall_ns", &v)) stat.wall_us += v / 1e3;
+        if (number_at(rec, "cpu_ns", &v)) stat.cpu_us += v / 1e3;
+        stat.count += 1.0;
+    }
+}
+
+}  // namespace
+
+TraceCheck check_trace(const io::Json& doc) {
+    TraceCheck check;
+    auto fail = [&check](std::string message) {
+        check.errors.push_back(std::move(message));
+    };
+
+    if (!doc.is_object() || !doc.contains("traceEvents")) {
+        fail("not a trace-event document: missing traceEvents");
+        return check;
+    }
+    if (!doc.at("traceEvents").is_array()) {
+        fail("traceEvents is not an array");
+        return check;
+    }
+    if (!doc.contains("otherData") || !doc.at("otherData").is_object() ||
+        !doc.at("otherData").contains("schema") ||
+        !doc.at("otherData").at("schema").is_string() ||
+        doc.at("otherData").at("schema").str() != kTraceSchema) {
+        fail(std::string("otherData.schema is not \"") + kTraceSchema + "\"");
+    } else if (doc.at("otherData").contains("work") &&
+               doc.at("otherData").at("work").is_object()) {
+        load_work_object(doc.at("otherData").at("work"), &check.work);
+    }
+
+    // First pass: collect span ids with their thread so parent links can be
+    // verified to stay on-thread (the nesting guarantee Perfetto relies on).
+    std::map<double, double> thread_of_id;
+    for (const io::Json& event : doc.at("traceEvents").elements()) {
+        if (!event.is_object() || !event.contains("ph")) continue;
+        if (event.at("ph").str() != "X" || !event.contains("args")) continue;
+        double id = 0.0;
+        double tid = 0.0;
+        if (number_at(event.at("args"), "id", &id) && number_at(event, "tid", &tid)) {
+            thread_of_id[id] = tid;
+        }
+    }
+
+    std::set<std::string> names;
+    std::size_t index = 0;
+    for (const io::Json& event : doc.at("traceEvents").elements()) {
+        const std::string where = "traceEvents[" + std::to_string(index++) + "]";
+        if (!event.is_object()) {
+            fail(where + ": not an object");
+            continue;
+        }
+        if (!event.contains("ph") || !event.at("ph").is_string()) {
+            fail(where + ": missing ph");
+            continue;
+        }
+        const std::string& ph = event.at("ph").str();
+        if (ph == "M") continue;  // metadata: name/pid/tid/args, not validated deeply
+        if (ph != "X") {
+            fail(where + ": unexpected phase '" + ph + "' (only X and M are emitted)");
+            continue;
+        }
+        ++check.span_events;
+        if (!event.contains("name") || !event.at("name").is_string()) {
+            fail(where + ": span event without a string name");
+            continue;
+        }
+        names.insert(event.at("name").str());
+        double v = 0.0;
+        for (const char* field : {"pid", "tid", "ts", "dur"}) {
+            if (!number_at(event, field, &v)) {
+                fail(where + ": missing numeric " + field);
+            } else if (v < 0.0) {
+                fail(where + ": negative " + field);
+            }
+        }
+        if (!event.contains("args") || !event.at("args").is_object()) {
+            fail(where + ": span event without args");
+            continue;
+        }
+        const io::Json& args = event.at("args");
+        double id = 0.0;
+        double parent = 0.0;
+        double depth = 0.0;
+        if (!number_at(args, "id", &id) || !number_at(args, "parent", &parent) ||
+            !number_at(args, "depth", &depth)) {
+            fail(where + ": args must carry numeric id/parent/depth");
+            continue;
+        }
+        if (parent != 0.0) {
+            const auto it = thread_of_id.find(parent);
+            double tid = 0.0;
+            (void)number_at(event, "tid", &tid);
+            if (it == thread_of_id.end()) {
+                fail(where + ": parent " + fmt(parent) + " not present in trace");
+            } else if (it->second != tid) {
+                fail(where + ": parent " + fmt(parent) + " lives on another thread");
+            }
+        }
+    }
+
+    check.span_names.assign(names.begin(), names.end());
+    check.ok = check.errors.empty();
+    return check;
+}
+
+io::Json check_json(const TraceCheck& check) {
+    io::Json out = io::Json::object();
+    out.set("schema", "htd.profile.check.v1");
+    out.set("ok", check.ok);
+    out.set("span_events", check.span_events);
+    io::Json errors = io::Json::array();
+    for (const std::string& e : check.errors) errors.push_back(e);
+    out.set("errors", std::move(errors));
+    io::Json names = io::Json::array();
+    for (const std::string& n : check.span_names) names.push_back(n);
+    out.set("span_names", std::move(names));
+    io::Json work = io::Json::object();
+    for (const auto& [name, value] : check.work) work.set(name, value);
+    out.set("work", std::move(work));
+    return out;
+}
+
+ProfileData load_profile(const io::Json& doc) {
+    if (!doc.is_object()) {
+        throw std::invalid_argument("load_profile: document is not a JSON object");
+    }
+    ProfileData data;
+
+    if (doc.contains("traceEvents")) {
+        data.kind = "trace";
+        for (const io::Json& event : doc.at("traceEvents").elements()) {
+            if (!event.is_object() || !event.contains("ph") ||
+                !event.at("ph").is_string() || event.at("ph").str() != "X" ||
+                !event.contains("name") || !event.at("name").is_string()) {
+                continue;
+            }
+            StageStat& stat = data.stages[event.at("name").str()];
+            double v = 0.0;
+            if (number_at(event, "dur", &v)) stat.wall_us += v;
+            if (event.contains("args") && event.at("args").is_object() &&
+                number_at(event.at("args"), "cpu_ns", &v)) {
+                stat.cpu_us += v / 1e3;
+            }
+            stat.count += 1.0;
+        }
+        if (doc.contains("otherData") && doc.at("otherData").is_object() &&
+            doc.at("otherData").contains("work") &&
+            doc.at("otherData").at("work").is_object()) {
+            load_work_object(doc.at("otherData").at("work"), &data.work);
+        }
+        return data;
+    }
+
+    bool recognized = false;
+    if (doc.contains("observability") && doc.at("observability").is_object()) {
+        recognized = true;
+        data.kind = "run_report";
+        const io::Json& observability = doc.at("observability");
+        if (observability.contains("spans") && observability.at("spans").is_array()) {
+            load_span_array(observability.at("spans"), &data.stages);
+        }
+        if (observability.contains("metrics") &&
+            observability.at("metrics").is_object() &&
+            observability.at("metrics").contains("work") &&
+            observability.at("metrics").at("work").is_object()) {
+            load_work_object(observability.at("metrics").at("work"), &data.work);
+        }
+    }
+
+    // google-benchmark rows (BENCH_*.json): one stage per row at its
+    // per-iteration cost, so two bench artifacts diff point by point.
+    if (doc.contains("results") && doc.at("results").is_array()) {
+        recognized = true;
+        data.kind = "bench";
+        for (const io::Json& row : doc.at("results").elements()) {
+            if (!row.is_object() || !row.contains("name") ||
+                !row.at("name").is_string()) {
+                continue;
+            }
+            StageStat& stat = data.stages[row.at("name").str()];
+            double v = 0.0;
+            if (number_at(row, "real_ns_per_iter", &v)) stat.wall_us += v / 1e3;
+            if (number_at(row, "cpu_ns_per_iter", &v)) stat.cpu_us += v / 1e3;
+            if (number_at(row, "iterations", &v)) stat.count += v;
+        }
+    }
+    if (doc.contains("work_profile") && doc.at("work_profile").is_object()) {
+        recognized = true;
+        if (data.kind.empty()) data.kind = "bench";
+        load_work_object(doc.at("work_profile"), &data.work);
+    }
+
+    if (!recognized) {
+        throw std::invalid_argument(
+            "load_profile: unrecognized document (expected traceEvents, "
+            "observability, results or work_profile)");
+    }
+    return data;
+}
+
+namespace {
+
+std::vector<DiffEntry> ranked_diff(const std::map<std::string, double>& a,
+                                   const std::map<std::string, double>& b) {
+    std::map<std::string, DiffEntry> merged;
+    for (const auto& [name, value] : a) {
+        DiffEntry& e = merged[name];
+        e.name = name;
+        e.a = value;
+    }
+    for (const auto& [name, value] : b) {
+        DiffEntry& e = merged[name];
+        e.name = name;
+        e.b = value;
+    }
+
+    std::vector<DiffEntry> rows;
+    rows.reserve(merged.size());
+    double total_delta = 0.0;
+    double total_magnitude = 0.0;
+    for (auto& [name, e] : merged) {
+        e.delta = e.b - e.a;
+        total_delta += std::abs(e.delta);
+        total_magnitude += std::max(std::abs(e.a), std::abs(e.b));
+        rows.push_back(std::move(e));
+    }
+    // Contribution: movement when anything moved, magnitude otherwise
+    // (identical runs still get a meaningful ranking).
+    const bool by_delta = total_delta > 0.0;
+    const double total = by_delta ? total_delta : total_magnitude;
+    for (DiffEntry& e : rows) {
+        const double contribution =
+            by_delta ? std::abs(e.delta) : std::max(std::abs(e.a), std::abs(e.b));
+        e.share = total > 0.0 ? contribution / total : 0.0;
+    }
+    std::sort(rows.begin(), rows.end(), [](const DiffEntry& x, const DiffEntry& y) {
+        if (x.share != y.share) return x.share > y.share;
+        const double mx = std::max(std::abs(x.a), std::abs(x.b));
+        const double my = std::max(std::abs(y.a), std::abs(y.b));
+        if (mx != my) return mx > my;
+        return x.name < y.name;
+    });
+    return rows;
+}
+
+}  // namespace
+
+ProfileDiff diff_profiles(const ProfileData& a, const ProfileData& b) {
+    std::map<std::string, double> wall_a;
+    std::map<std::string, double> wall_b;
+    for (const auto& [name, stat] : a.stages) wall_a[name] = stat.wall_us;
+    for (const auto& [name, stat] : b.stages) wall_b[name] = stat.wall_us;
+
+    ProfileDiff diff;
+    diff.stages = ranked_diff(wall_a, wall_b);
+    diff.work = ranked_diff(a.work, b.work);
+    return diff;
+}
+
+std::string diff_text(const ProfileDiff& diff, std::size_t top_n) {
+    std::string out;
+    auto render = [&out, top_n](const char* title, const char* unit,
+                                const std::vector<DiffEntry>& rows) {
+        if (rows.empty()) return;
+        out += title;
+        out += '\n';
+        char line[256];
+        std::snprintf(line, sizeof line, "  %-44s %14s %14s %14s %7s\n", "name",
+                      (std::string("a (") + unit + ")").c_str(),
+                      (std::string("b (") + unit + ")").c_str(), "delta", "share");
+        out += line;
+        std::size_t shown = 0;
+        for (const DiffEntry& e : rows) {
+            if (top_n != 0 && shown++ >= top_n) {
+                std::snprintf(line, sizeof line, "  ... %zu more\n",
+                              rows.size() - top_n);
+                out += line;
+                break;
+            }
+            std::snprintf(line, sizeof line, "  %-44s %14s %14s %14s %6.1f%%\n",
+                          e.name.c_str(), fmt(e.a).c_str(), fmt(e.b).c_str(),
+                          fmt(e.delta).c_str(), e.share * 100.0);
+            out += line;
+        }
+    };
+    render("per-stage wall time (ranked by contribution)", "us", diff.stages);
+    if (!diff.stages.empty() && !diff.work.empty()) out += '\n';
+    render("work counters (ranked by contribution)", "count", diff.work);
+    if (out.empty()) out = "no stages or work counters in either profile\n";
+    return out;
+}
+
+io::Json diff_json(const ProfileDiff& diff) {
+    auto rows_json = [](const std::vector<DiffEntry>& rows) {
+        io::Json out = io::Json::array();
+        for (const DiffEntry& e : rows) {
+            io::Json row = io::Json::object();
+            row.set("name", e.name);
+            row.set("a", e.a);
+            row.set("b", e.b);
+            row.set("delta", e.delta);
+            row.set("share", e.share);
+            out.push_back(std::move(row));
+        }
+        return out;
+    };
+    io::Json out = io::Json::object();
+    out.set("schema", "htd.profile.diff.v1");
+    out.set("stages", rows_json(diff.stages));
+    out.set("work", rows_json(diff.work));
+    return out;
+}
+
+}  // namespace htd::profile

@@ -34,6 +34,14 @@
 #                                  # them with htd_profile, and check the
 #                                  # five pipeline stage spans and nonzero
 #                                  # work counters are present
+#   scripts/check.sh --artifact-smoke
+#                                  # calibrate/score smoke: htd_score
+#                                  # calibrate -> score against the saved
+#                                  # htd.boundary.v1 artifact, require
+#                                  # byte-identical B-score reports, then
+#                                  # corrupt the artifact with the fault
+#                                  # injector and require the typed
+#                                  # rejection (exit code 2)
 #
 # All presets build with HTD_WARNINGS_AS_ERRORS=ON: a new warning anywhere
 # in src/, tools/, bench/ or tests/ fails the build rather than scrolling
@@ -55,7 +63,7 @@ run_bench_gate() {
     cmake --preset release
     cmake --build --preset release -j "$(nproc)" \
         --target bench_micro bench_roc bench_fault_sweep bench_drift_sweep \
-                 bench_compare htd_lint
+                 bench_score_throughput bench_compare htd_lint
     local out
     out="$(mktemp -d)"
     # Each bench writes BENCH_<name>.json into the CWD. bench_micro runs
@@ -65,12 +73,50 @@ run_bench_gate() {
     (cd "$out" && "$OLDPWD"/build-release/bench/bench_roc)
     (cd "$out" && "$OLDPWD"/build-release/bench/bench_fault_sweep)
     (cd "$out" && "$OLDPWD"/build-release/bench/bench_drift_sweep)
+    (cd "$out" && "$OLDPWD"/build-release/bench/bench_score_throughput)
     # The lint artifact is htd_lint's own v2 JSON report; --no-cache and
     # --jobs 1 so the gated pass wall times measure the analyzer, not the
     # cache state or the box's core count.
     ./build-release/tools/htd_lint/htd_lint --root . --json --no-cache --jobs 1 \
         > "$out/BENCH_lint.json"
-    ./build-release/tools/bench_compare --candidate-dir "$out"
+    # --strict-waivers: a waiver that stops matching anything must be
+    # deleted in the same change that fixed the regression it covered.
+    ./build-release/tools/bench_compare --candidate-dir "$out" --strict-waivers
+}
+
+run_artifact_smoke() {
+    echo "== check.sh: artifact smoke (htd_score calibrate/score/inject) =="
+    cmake --preset release
+    cmake --build --preset release -j "$(nproc)" --target htd_score
+    local out
+    out="$(mktemp -d)"
+    local score=./build-release/tools/htd_score/htd_score
+    # Calibrate once: persist the artifact plus the measured fingerprints
+    # and the in-process pipeline's B-scores as the reference report.
+    "$score" calibrate --artifact "$out/boundary.json" \
+        --fingerprints "$out/fingerprints.csv" --bscores "$out/ref.json" \
+        --chips 8 --mc 40 --synthetic 5000
+    # Score from the artifact alone: the report must be byte-identical to
+    # the calibrate-time one (the bitwise-parity contract, DESIGN.md §14).
+    "$score" score --artifact "$out/boundary.json" \
+        --fingerprints "$out/fingerprints.csv" --bscores "$out/scored.json"
+    if ! cmp "$out/ref.json" "$out/scored.json"; then
+        echo "check.sh: artifact smoke: B-score reports differ" >&2
+        return 1
+    fi
+    # Corrupt the artifact (seeded truncation — a strict prefix, so the
+    # parse must fail) and require the typed rejection exit code.
+    "$score" inject --artifact "$out/boundary.json" --fault truncate --seed 7
+    local rc=0
+    "$score" score --artifact "$out/boundary.json" \
+        --fingerprints "$out/fingerprints.csv" \
+        --bscores "$out/rejected.json" || rc=$?
+    if [[ "$rc" != 2 ]]; then
+        echo "check.sh: artifact smoke: corrupt artifact exited $rc, want 2" >&2
+        return 1
+    fi
+    rm -rf "$out"
+    echo "== check.sh: artifact smoke OK =="
 }
 
 run_profile_smoke() {
@@ -162,6 +208,8 @@ elif [[ $# -ge 1 && "$1" == "--analyze" ]]; then
     run_analyze
 elif [[ $# -ge 1 && "$1" == "--profile-smoke" ]]; then
     run_profile_smoke
+elif [[ $# -ge 1 && "$1" == "--artifact-smoke" ]]; then
+    run_artifact_smoke
 elif [[ $# -ge 1 ]]; then
     run_preset "$1"
 else

@@ -15,9 +15,13 @@
 #               HTD_OBS_TRACE: byte-identical normalized traces, htd_profile
 #               validation, the five pipeline stage spans, nonzero work
 #               counters)
+#   artifact    scripts/check.sh --artifact-smoke (htd_score calibrate ->
+#               score round trip with byte-identical B-score reports, then
+#               a fault-injected artifact must be rejected with exit 2)
 #   bench-gate  scripts/check.sh --bench-gate (perf/quality regression
-#               diff against bench/baselines/; skippable — latency
-#               baselines only gate on comparable, quiet hardware)
+#               diff against bench/baselines/ under --strict-waivers;
+#               skippable — latency baselines only gate on comparable,
+#               quiet hardware)
 #
 # Every stage runs even when an earlier one fails, so one CI round reports
 # every broken gate instead of the first. Exit is nonzero when any stage
@@ -39,7 +43,7 @@ for arg in "$@"; do
             skip_bench=1
             ;;
         --help|-h)
-            sed -n '2,23p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,27p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
             ;;
         *)
@@ -89,6 +93,7 @@ run_stage release scripts/check.sh release
 run_stage sanitize scripts/check.sh sanitize
 run_stage analyze scripts/check.sh --analyze
 run_stage profile scripts/check.sh --profile-smoke
+run_stage artifact scripts/check.sh --artifact-smoke
 if [[ "$skip_bench" == 0 ]]; then
     run_stage bench-gate scripts/check.sh --bench-gate
 else

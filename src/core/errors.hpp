@@ -22,6 +22,7 @@ enum class PipelineErrorCode {
     kDataQuality,          ///< non-finite / out-of-range / rejected measurements
     kBoundaryUnavailable,  ///< requested boundary not trained or failed
     kCalibrationCollapse,  ///< KMM effective sample size below the floor
+    kArtifact,             ///< persisted boundary artifact invalid or corrupt
 };
 
 /// Stable short name of a code ("config", "stage_order", ...).

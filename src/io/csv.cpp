@@ -1,5 +1,6 @@
 #include "io/csv.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -33,12 +34,18 @@ void write_csv(const std::string& path, const linalg::Matrix& data,
     }
     std::ofstream out(path);
     if (!out) throw std::runtime_error("write_csv: cannot open " + path);
-    out.precision(12);
     if (!header.empty()) out << csv_line(header) << '\n';
+    // Shortest round-trip formatting: a written cell reads back to the
+    // identical double, so a fingerprint batch exported here and re-read by
+    // read_csv scores bitwise the same as the in-memory matrix (the
+    // htd_score calibrate/score parity contract).
+    char buf[32];
     for (std::size_t r = 0; r < data.rows(); ++r) {
         for (std::size_t c = 0; c < data.cols(); ++c) {
             if (c > 0) out << ',';
-            out << data(r, c);
+            const std::to_chars_result res =
+                std::to_chars(buf, buf + sizeof buf, data(r, c));
+            out.write(buf, res.ptr - buf);
         }
         out << '\n';
     }

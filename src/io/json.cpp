@@ -1,6 +1,7 @@
 #include "io/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -356,9 +357,15 @@ void Json::dump_impl(std::string& out, int indent, int depth) const {
                 out += "null";  // JSON has no NaN/inf
                 break;
             }
+            // Shortest round-trip form: the emitted digits parse back to
+            // the identical bit pattern (denormals, negative zero, 1e308
+            // magnitudes included), which the htd.boundary.v1 artifact
+            // byte-identity contract relies on. %.17g over-prints digits
+            // and is locale-sensitive.
             char buf[32];
-            std::snprintf(buf, sizeof buf, "%.17g", number_);
-            out += buf;
+            const std::to_chars_result res =
+                std::to_chars(buf, buf + sizeof buf, number_);
+            out.append(buf, res.ptr);
             break;
         }
         case Kind::kString: out += json_escape(string_); break;

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace htd::ml {
@@ -215,6 +216,68 @@ double OneClassSvm::decision_value(const linalg::Vector& x) const {
 
 bool OneClassSvm::contains(const linalg::Vector& x) const {
     return decision_value(x) >= 0.0;
+}
+
+OneClassSvm::State OneClassSvm::export_state() const {
+    State state;
+    state.opts = opts_;
+    state.fitted = fitted_;
+    state.input_mean = input_mean_;
+    state.input_transform = input_transform_;
+    state.support_vectors = support_vectors_;
+    state.alpha = alpha_;
+    state.rho = rho_;
+    state.gamma = gamma_;
+    state.iterations = iterations_;
+    return state;
+}
+
+OneClassSvm OneClassSvm::from_state(State state) {
+    OneClassSvm svm(state.opts);  // re-validates the options
+    if (state.fitted) {
+        if (state.support_vectors.rows() == 0) {
+            throw std::invalid_argument(
+                "OneClassSvm::from_state: fitted model without support vectors");
+        }
+        if (state.alpha.size() != state.support_vectors.rows()) {
+            throw std::invalid_argument(
+                "OneClassSvm::from_state: alpha count " +
+                std::to_string(state.alpha.size()) +
+                " != support vector count " +
+                std::to_string(state.support_vectors.rows()));
+        }
+        if (state.input_transform.rows() != state.support_vectors.cols() ||
+            state.input_transform.cols() != state.input_mean.size()) {
+            throw std::invalid_argument(
+                "OneClassSvm::from_state: input transform shape " +
+                std::to_string(state.input_transform.rows()) + "x" +
+                std::to_string(state.input_transform.cols()) +
+                " disagrees with mean size " +
+                std::to_string(state.input_mean.size()) +
+                " / support vector width " +
+                std::to_string(state.support_vectors.cols()));
+        }
+        if (!std::isfinite(state.rho) || !std::isfinite(state.gamma) ||
+            state.gamma <= 0.0) {
+            throw std::invalid_argument(
+                "OneClassSvm::from_state: non-finite rho or non-positive gamma");
+        }
+        for (const double a : state.alpha) {
+            if (!std::isfinite(a)) {
+                throw std::invalid_argument(
+                    "OneClassSvm::from_state: non-finite alpha coefficient");
+            }
+        }
+    }
+    svm.fitted_ = state.fitted;
+    svm.input_mean_ = std::move(state.input_mean);
+    svm.input_transform_ = std::move(state.input_transform);
+    svm.support_vectors_ = std::move(state.support_vectors);
+    svm.alpha_ = std::move(state.alpha);
+    svm.rho_ = state.rho;
+    svm.gamma_ = state.gamma;
+    svm.iterations_ = state.iterations;
+    return svm;
 }
 
 linalg::Vector OneClassSvm::decision_values(const linalg::Matrix& data) const {

@@ -69,11 +69,37 @@ public:
         double whiten_floor = 1e-4;
     };
 
+    /// The complete trained state: everything decision_value consumes, in
+    /// the exact representation it consumes it. Exporting and re-importing
+    /// a State reproduces decision values *bitwise* — the contract behind
+    /// the htd.boundary.v1 calibrate/score split.
+    struct State {
+        Options opts{};
+        bool fitted = false;
+        linalg::Vector input_mean;
+        linalg::Matrix input_transform;  ///< z = W (x - mean)
+        linalg::Matrix support_vectors;  ///< preprocessed rows
+        std::vector<double> alpha;       ///< one coefficient per support vector
+        double rho = 0.0;
+        double gamma = 0.0;
+        std::size_t iterations = 0;
+    };
+
     OneClassSvm() = default;
 
     /// Construct with explicit options; throws std::invalid_argument for
     /// nu outside (0, 1) or a zero sample cap.
     explicit OneClassSvm(Options opts);
+
+    /// Snapshot of the trained state (valid to export an unfitted model).
+    [[nodiscard]] State export_state() const;
+
+    /// Rebuild a model from exported state. Throws std::invalid_argument
+    /// on internally inconsistent state (mismatched support-vector /
+    /// alpha / transform shapes, non-finite rho or gamma on a fitted
+    /// model) so a corrupted artifact cannot produce a silently wrong
+    /// scorer.
+    [[nodiscard]] static OneClassSvm from_state(State state);
 
     /// Train on the rows of `data`. Throws std::invalid_argument on an empty
     /// dataset or when nu * n < 1 (no feasible alpha).

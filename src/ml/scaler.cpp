@@ -1,6 +1,9 @@
 #include "ml/scaler.hpp"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "stats/descriptive.hpp"
 
@@ -20,6 +23,37 @@ void StandardScaler::fit(const linalg::Matrix& data) {
         if (scale_[c] < 1e-12) scale_[c] = 1.0;  // constant column passthrough
     }
     fitted_ = true;
+}
+
+StandardScaler::State StandardScaler::export_state() const {
+    State state;
+    state.fitted = fitted_;
+    state.mean = mean_;
+    state.scale = scale_;
+    return state;
+}
+
+StandardScaler StandardScaler::from_state(State state) {
+    StandardScaler scaler;
+    if (state.fitted) {
+        if (state.mean.size() == 0 || state.mean.size() != state.scale.size()) {
+            throw std::invalid_argument(
+                "StandardScaler::from_state: mean/scale size mismatch");
+        }
+        for (std::size_t c = 0; c < state.scale.size(); ++c) {
+            if (!(state.scale[c] > 0.0) || !std::isfinite(state.scale[c]) ||
+                !std::isfinite(state.mean[c])) {
+                throw std::invalid_argument(
+                    "StandardScaler::from_state: non-finite mean or "
+                    "non-positive scale at column " +
+                    std::to_string(c));
+            }
+        }
+    }
+    scaler.fitted_ = state.fitted;
+    scaler.mean_ = std::move(state.mean);
+    scaler.scale_ = std::move(state.scale);
+    return scaler;
 }
 
 void StandardScaler::require_fitted() const {

@@ -13,7 +13,22 @@ namespace htd::ml {
 /// so they pass through unchanged.
 class StandardScaler {
 public:
+    /// Persistable fit state (means + scales); re-importing reproduces
+    /// transform/inverse_transform bitwise.
+    struct State {
+        bool fitted = false;
+        linalg::Vector mean;
+        linalg::Vector scale;
+    };
+
     StandardScaler() = default;
+
+    /// Snapshot of the fit state (valid on an unfitted scaler).
+    [[nodiscard]] State export_state() const;
+
+    /// Rebuild from exported state; throws std::invalid_argument on a
+    /// mean/scale size mismatch or a non-positive / non-finite scale.
+    [[nodiscard]] static StandardScaler from_state(State state);
 
     /// Learn means and scales from the rows of `data`; throws
     /// std::invalid_argument on an empty dataset.

@@ -1,0 +1,133 @@
+#include "pipeline/artifact_fault.hpp"
+
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "io/json.hpp"
+#include "pipeline/artifact.hpp"
+
+namespace htd::core {
+
+std::string artifact_fault_name(ArtifactFault fault) {
+    switch (fault) {
+        case ArtifactFault::kTruncate: return "truncate";
+        case ArtifactFault::kBitFlip: return "bit_flip";
+        case ArtifactFault::kSectionSwap: return "section_swap";
+        case ArtifactFault::kStaleVersion: return "stale_version";
+    }
+    throw std::invalid_argument("artifact_fault_name: unknown fault");
+}
+
+std::string ArtifactFaultInjector::corrupt(std::string& text, ArtifactFault fault) {
+    if (text.size() < 2) {
+        throw std::invalid_argument(
+            "ArtifactFaultInjector: input too small to corrupt");
+    }
+    switch (fault) {
+        case ArtifactFault::kTruncate: {
+            // Keep a strict prefix (at most size-2 bytes): a JSON object
+            // document never parses without its closing brace, so every
+            // truncation is guaranteed to be a loud kParse rejection.
+            const std::size_t keep = rng_.uniform_index(text.size() - 1);
+            const std::size_t original = text.size();
+            text.resize(keep);
+            ++stats_.truncations;
+            return "truncate: " + std::to_string(original) + " -> " +
+                   std::to_string(keep) + " bytes";
+        }
+        case ArtifactFault::kBitFlip: {
+            const std::size_t byte = rng_.uniform_index(text.size());
+            const std::size_t bit = rng_.uniform_index(8);
+            text[byte] = static_cast<char>(static_cast<unsigned char>(text[byte]) ^
+                                           (1U << bit));
+            ++stats_.bit_flips;
+            return "bit_flip: byte " + std::to_string(byte) + " bit " +
+                   std::to_string(bit);
+        }
+        case ArtifactFault::kSectionSwap: {
+            io::Json doc = io::Json::parse(text);
+            if (!doc.is_object() || !doc.contains("sections") ||
+                !doc.at("sections").is_object() ||
+                doc.at("sections").size() < 2) {
+                throw std::invalid_argument(
+                    "ArtifactFaultInjector: section swap needs an envelope "
+                    "with >= 2 sections");
+            }
+            std::vector<std::string> names;
+            for (const auto& [name, entry] : doc.at("sections").members()) {
+                names.push_back(name);
+            }
+            const std::size_t a = rng_.uniform_index(names.size());
+            std::size_t b = rng_.uniform_index(names.size() - 1);
+            if (b >= a) ++b;
+            io::Json sections = io::Json::object();
+            for (const auto& [name, entry] : doc.at("sections").members()) {
+                if (name == names[a]) {
+                    sections.set(name, doc.at("sections").at(names[b]));
+                } else if (name == names[b]) {
+                    sections.set(name, doc.at("sections").at(names[a]));
+                } else {
+                    sections.set(name, entry);
+                }
+            }
+            io::Json out = io::Json::object();
+            for (const auto& [key, value] : doc.members()) {
+                out.set(key, key == "sections" ? std::move(sections) : value);
+            }
+            text = out.dump(2) + "\n";
+            ++stats_.section_swaps;
+            return "section_swap: " + names[a] + " <-> " + names[b];
+        }
+        case ArtifactFault::kStaleVersion: {
+            io::Json doc = io::Json::parse(text);
+            if (!doc.is_object() || !doc.contains("version") ||
+                !doc.at("version").is_number()) {
+                throw std::invalid_argument(
+                    "ArtifactFaultInjector: stale version needs an envelope "
+                    "with a version member");
+            }
+            const double old_version = doc.at("version").number();
+            io::Json out = io::Json::object();
+            for (const auto& [key, value] : doc.members()) {
+                out.set(key, key == "version" ? io::Json(old_version + 1.0) : value);
+            }
+            text = out.dump(2) + "\n";
+            ++stats_.stale_versions;
+            return "stale_version: " + std::to_string(old_version) + " -> " +
+                   std::to_string(old_version + 1.0);
+        }
+    }
+    throw std::invalid_argument("ArtifactFaultInjector: unknown fault mode");
+}
+
+std::string ArtifactFaultInjector::corrupt_file(const std::string& path,
+                                                ArtifactFault fault) {
+    std::string text;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in.is_open()) {
+            throw std::runtime_error("ArtifactFaultInjector: cannot open " + path);
+        }
+        text.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+        if (in.bad()) {
+            throw std::runtime_error("ArtifactFaultInjector: cannot read " + path);
+        }
+    }
+    std::string description = corrupt(text, fault);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+        throw std::runtime_error("ArtifactFaultInjector: cannot rewrite " + path);
+    }
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.close();
+    if (!out) {
+        throw std::runtime_error("ArtifactFaultInjector: short write to " + path);
+    }
+    return description;
+}
+
+}  // namespace htd::core

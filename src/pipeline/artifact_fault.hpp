@@ -1,0 +1,67 @@
+#pragma once
+/// \file artifact_fault.hpp
+/// Seeded corruption of persisted boundary artifacts — the storage-layer
+/// sibling of `silicon::FaultyBench`. Where FaultyBench proves the pipeline
+/// survives a flaky measurement bench, this injector proves the scorer
+/// survives a flaky disk: every fault it can produce must end in a typed
+/// rejection or a per-boundary degradation, never a silently wrong score
+/// (tests/test_artifact.cpp sweeps the full matrix).
+
+#include <cstdint>
+#include <string>
+
+#include "rng/rng.hpp"
+
+namespace htd::core {
+
+/// The corruption modes the storage layer must survive.
+enum class ArtifactFault {
+    kTruncate,      ///< crash mid-write: keep only a prefix of the file
+    kBitFlip,       ///< media decay: flip one random bit
+    kSectionSwap,   ///< confused tooling: exchange two section entries
+    kStaleVersion,  ///< version skew: bump the envelope schema version
+};
+
+/// "truncate" / "bit_flip" / "section_swap" / "stale_version".
+[[nodiscard]] std::string artifact_fault_name(ArtifactFault fault);
+
+/// How many faults of each mode an injector has produced.
+struct ArtifactFaultStats {
+    std::size_t truncations = 0;
+    std::size_t bit_flips = 0;
+    std::size_t section_swaps = 0;
+    std::size_t stale_versions = 0;
+
+    [[nodiscard]] std::size_t total() const noexcept {
+        return truncations + bit_flips + section_swaps + stale_versions;
+    }
+};
+
+/// Deterministic artifact corruptor. All randomness (truncation point, bit
+/// position, section choice) comes from the seeded stream, so a failing
+/// fault-sweep case replays exactly from its seed.
+class ArtifactFaultInjector {
+public:
+    explicit ArtifactFaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+    /// Corrupt `text` in place. Throws std::invalid_argument when the input
+    /// is too small to corrupt (< 2 bytes) or, for the structured modes
+    /// (section swap / stale version), when it is not a parseable artifact
+    /// envelope. Returns a human-readable description of what was done.
+    [[nodiscard]] std::string corrupt(std::string& text, ArtifactFault fault);
+
+    /// Read a file, corrupt its contents, write it back in place (a plain,
+    /// deliberately non-atomic write — this *simulates* the torn files the
+    /// atomic save path prevents). Returns the corruption description;
+    /// throws std::runtime_error on IO failure.
+    [[nodiscard]] std::string corrupt_file(const std::string& path,
+                                           ArtifactFault fault);
+
+    [[nodiscard]] const ArtifactFaultStats& stats() const noexcept { return stats_; }
+
+private:
+    rng::Rng rng_;
+    ArtifactFaultStats stats_;
+};
+
+}  // namespace htd::core

@@ -97,17 +97,19 @@ ml::OneClassSvm GoldenFreePipeline::train_boundary(const linalg::Matrix& dataset
     return svm;
 }
 
-linalg::Matrix GoldenFreePipeline::kde_enhance(const linalg::Matrix& source,
+linalg::Matrix GoldenFreePipeline::kde_enhance(Boundary b,
+                                               const linalg::Matrix& source,
                                                rng::Rng& rng,
-                                               std::string_view probe_name) const {
+                                               std::string_view probe_name) {
     switch (config_.tail_model) {
         case TailModel::kAdaptiveKde: {
-            const stats::AdaptiveKde kde(source, config_.kde_alpha,
-                                         config_.kde_bandwidth, config_.kde_kernel,
-                                         config_.kde_max_lambda);
+            stats::AdaptiveKde kde(source, config_.kde_alpha,
+                                   config_.kde_bandwidth, config_.kde_kernel,
+                                   config_.kde_max_lambda);
             linalg::Matrix synthetic = kde.sample_n(rng, config_.synthetic_samples);
             health_.record(
                 health_.probe_kde(probe_name, source, synthetic, kde.bandwidth()));
+            kdes_[index_of(b)] = std::move(kde);
             return synthetic;
         }
         case TailModel::kEvtPot: {
@@ -193,6 +195,7 @@ void GoldenFreePipeline::build_boundary(Boundary b, BuildDataset&& build) {
     } catch (const std::exception& e) {
         datasets_[i] = linalg::Matrix{};
         boundaries_[i] = ml::OneClassSvm(config_.svm);
+        kdes_[i].reset();
         status_[i] = {BoundaryHealth::kFailed, e.what()};
         obs::Registry::global().counter_add("pipeline.boundary_failures");
     }
@@ -206,6 +209,7 @@ void GoldenFreePipeline::run_premanufacturing(rng::Rng& rng) {
     premanufacturing_done_ = false;
     silicon_done_ = false;
     status_ = {};
+    for (auto& kde : kdes_) kde.reset();
     kmm_fallback_applied_ = false;
     kmm_ess_ = std::numeric_limits<double>::quiet_NaN();
     calibration_.reset();
@@ -254,8 +258,9 @@ void GoldenFreePipeline::run_premanufacturing(rng::Rng& rng) {
     build_boundary(Boundary::kB1, [&] { return golden_fingerprints; });
 
     // S2 / B2: tail-enhanced synthetic population.
-    build_boundary(Boundary::kB2,
-                   [&] { return kde_enhance(golden_fingerprints, rng, "kde.s2"); });
+    build_boundary(Boundary::kB2, [&] {
+        return kde_enhance(Boundary::kB2, golden_fingerprints, rng, "kde.s2");
+    });
 
     premanufacturing_done_ = true;
 }
@@ -284,6 +289,7 @@ void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
     silicon_done_ = false;
     for (const Boundary b : {Boundary::kB3, Boundary::kB4, Boundary::kB5}) {
         status_[index_of(b)] = {};
+        kdes_[index_of(b)].reset();
     }
     kmm_fallback_applied_ = false;
     kmm_ess_ = std::numeric_limits<double>::quiet_NaN();
@@ -447,7 +453,8 @@ void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
     if (status_[index_of(Boundary::kB4)].usable()) {
         status_[index_of(Boundary::kB5)] = status_[index_of(Boundary::kB4)];
         build_boundary(Boundary::kB5, [&] {
-            return kde_enhance(datasets_[index_of(Boundary::kB4)], rng, "kde.s5");
+            return kde_enhance(Boundary::kB5, datasets_[index_of(Boundary::kB4)],
+                               rng, "kde.s5");
         });
     } else {
         status_[index_of(Boundary::kB5)] = {

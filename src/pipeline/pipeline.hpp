@@ -255,6 +255,16 @@ public:
         return svm_for(b);
     }
 
+    /// The adaptive-KDE estimator that generated a boundary's synthetic
+    /// population. Engaged only for B2/B5 under the kAdaptiveKde tail model;
+    /// empty otherwise (EVT tail model, stage not run, boundary failed).
+    /// Persisted in the boundary artifact so a calibration can be audited
+    /// and its synthetic populations regenerated without re-simulation.
+    [[nodiscard]] const std::optional<stats::AdaptiveKde>& kde_estimator(
+        Boundary b) const noexcept {
+        return kdes_[static_cast<std::size_t>(b)];
+    }
+
 private:
     /// Build one boundary's dataset + SVM; a thrown std::exception marks
     /// the boundary kFailed (detail = what()) instead of propagating.
@@ -263,11 +273,14 @@ private:
     [[nodiscard]] const ml::OneClassSvm& svm_for(Boundary b) const;
     [[nodiscard]] linalg::Matrix transform_pcms(const linalg::Matrix& pcms) const;
     [[nodiscard]] ml::OneClassSvm train_boundary(const linalg::Matrix& dataset) const;
-    /// Build the synthetic tail-enhanced population for `source` and record
-    /// a `kde.<probe_name>` health probe over it.
-    [[nodiscard]] linalg::Matrix kde_enhance(const linalg::Matrix& source,
+    /// Build the synthetic tail-enhanced population for boundary `b` from
+    /// `source`, record a `<probe_name>` health probe over it, and (under
+    /// the adaptive-KDE tail model) retain the fitted estimator in `kdes_`
+    /// for artifact export.
+    [[nodiscard]] linalg::Matrix kde_enhance(Boundary b,
+                                             const linalg::Matrix& source,
                                              rng::Rng& rng,
-                                             std::string_view probe_name) const;
+                                             std::string_view probe_name);
     /// Record the `svm.<boundary>` margin probe for a freshly trained
     /// boundary (decision values over a strided sample of its dataset).
     void record_svm_probe(Boundary b) const;
@@ -284,6 +297,8 @@ private:
     linalg::Matrix mc_pcms_;
     std::array<linalg::Matrix, 5> datasets_;
     std::array<ml::OneClassSvm, 5> boundaries_;
+    /// Fitted tail estimators (B2/B5 only under kAdaptiveKde).
+    std::array<std::optional<stats::AdaptiveKde>, 5> kdes_;
     std::array<BoundaryStatus, 5> status_{};
     ml::MarsBank regressions_;
     std::optional<ml::KernelMeanShiftCalibrator::Result> calibration_;

@@ -1,0 +1,95 @@
+#include "pipeline/scorer.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "obs/span.hpp"
+
+namespace htd::core {
+
+namespace {
+
+std::size_t index_of(Boundary b) { return static_cast<std::size_t>(b); }
+
+void require_finite(const linalg::Matrix& m, const char* context) {
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            if (!std::isfinite(m(r, c))) {
+                throw DataQualityError(std::string(context) +
+                                       ": non-finite value at row " +
+                                       std::to_string(r) + ", column " +
+                                       std::to_string(c));
+            }
+        }
+    }
+}
+
+}  // namespace
+
+BoundaryScorer::BoundaryScorer(BoundaryArtifact artifact)
+    : artifact_(std::move(artifact)) {}
+
+const ml::OneClassSvm& BoundaryScorer::svm_for(Boundary b) const {
+    const BoundaryStatus& st = artifact_.boundary_status(b);
+    if (!st.usable() || !artifact_.svm(b).has_value()) {
+        std::string msg = "BoundaryScorer: boundary " + boundary_name(b);
+        if (st.health == BoundaryHealth::kFailed) {
+            msg += " failed: " + st.detail;
+        } else {
+            msg += " is not present in the artifact";
+        }
+        throw BoundaryUnavailableError(msg);
+    }
+    return *artifact_.svm(b);
+}
+
+std::vector<bool> BoundaryScorer::classify(Boundary b,
+                                           const linalg::Matrix& fingerprints) const {
+    const ml::OneClassSvm& svm = svm_for(b);
+    if (fingerprints.cols() != artifact_.fingerprint_dim(b)) {
+        throw DimensionError("classify: fingerprint dimension mismatch (got " +
+                             std::to_string(fingerprints.cols()) +
+                             " columns, boundary " + boundary_name(b) +
+                             " was calibrated on " +
+                             std::to_string(artifact_.fingerprint_dim(b)) + ")");
+    }
+    require_finite(fingerprints, "classify: fingerprints");
+    obs::ScopedSpan span("score.classify");
+    span.attr("boundary", static_cast<double>(index_of(b)) + 1.0);  // 1 = B1
+    span.attr("devices", static_cast<double>(fingerprints.rows()));
+    std::vector<bool> inside(fingerprints.rows());
+    std::size_t accepted = 0;
+    for (std::size_t r = 0; r < fingerprints.rows(); ++r) {
+        inside[r] = svm.contains(fingerprints.row(r));
+        accepted += inside[r] ? 1 : 0;
+    }
+    span.attr("accepted", static_cast<double>(accepted));
+    obs::Registry::global().work_add("work.score.devices",
+                                     static_cast<double>(fingerprints.rows()));
+    return inside;
+}
+
+linalg::Vector BoundaryScorer::decision_values(
+    Boundary b, const linalg::Matrix& fingerprints) const {
+    const ml::OneClassSvm& svm = svm_for(b);
+    if (fingerprints.cols() != artifact_.fingerprint_dim(b)) {
+        throw DimensionError(
+            "decision_values: fingerprint dimension mismatch (got " +
+            std::to_string(fingerprints.cols()) + " columns, boundary " +
+            boundary_name(b) + " was calibrated on " +
+            std::to_string(artifact_.fingerprint_dim(b)) + ")");
+    }
+    require_finite(fingerprints, "decision_values: fingerprints");
+    return svm.decision_values(fingerprints);
+}
+
+ml::DetectionMetrics BoundaryScorer::evaluate(
+    Boundary b, const silicon::DuttDataset& dutts) const {
+    const std::vector<bool> inside = classify(b, dutts.fingerprints);
+    const std::vector<ml::DeviceLabel> labels = dutts.labels();
+    return ml::evaluate_detection(inside, labels);
+}
+
+}  // namespace htd::core

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "obs/span.hpp"
 #include "stats/descriptive.hpp"
@@ -74,7 +76,52 @@ Kde::Kde(const linalg::Matrix& data, double bandwidth, KernelType kernel) {
     }
 
     h_ = bandwidth > 0.0 ? bandwidth : silverman_bandwidth(data.rows(), d, kernel);
+    kernel_type_ = kernel;
     kernel_ = make_kernel(kernel, d);
+}
+
+Kde::State Kde::export_state() const {
+    State state;
+    state.std_data = std_data_;
+    state.col_mean = col_mean_;
+    state.col_scale = col_scale_;
+    state.h = h_;
+    state.jacobian = jacobian_;
+    state.kernel = kernel_type_;
+    return state;
+}
+
+Kde Kde::from_state(State state) {
+    const std::size_t d = state.std_data.cols();
+    if (state.std_data.rows() == 0 || d == 0) {
+        throw std::invalid_argument("Kde::from_state: empty observations");
+    }
+    if (state.col_mean.size() != d || state.col_scale.size() != d) {
+        throw std::invalid_argument(
+            "Kde::from_state: column mean/scale size disagrees with the "
+            "observation width");
+    }
+    if (!(state.h > 0.0) || !std::isfinite(state.h) || !(state.jacobian > 0.0) ||
+        !std::isfinite(state.jacobian)) {
+        throw std::invalid_argument(
+            "Kde::from_state: non-positive or non-finite bandwidth/jacobian");
+    }
+    for (std::size_t c = 0; c < d; ++c) {
+        if (!std::isfinite(state.col_mean[c]) || !(state.col_scale[c] > 0.0) ||
+            !std::isfinite(state.col_scale[c])) {
+            throw std::invalid_argument(
+                "Kde::from_state: non-finite column statistics");
+        }
+    }
+    Kde kde;
+    kde.kernel_ = make_kernel(state.kernel, d);  // throws on an unknown kernel
+    kde.kernel_type_ = state.kernel;
+    kde.std_data_ = std::move(state.std_data);
+    kde.col_mean_ = std::move(state.col_mean);
+    kde.col_scale_ = std::move(state.col_scale);
+    kde.h_ = state.h;
+    kde.jacobian_ = state.jacobian;
+    return kde;
 }
 
 double Kde::standardized_density(std::span<const double> z) const {
@@ -166,6 +213,44 @@ AdaptiveKde::AdaptiveKde(const linalg::Matrix& data, double alpha, double bandwi
                               max_lambda);  // Eq. (8), clamped
     }
     (void)d;
+}
+
+AdaptiveKde::State AdaptiveKde::export_state() const {
+    State state;
+    state.pilot = pilot_.export_state();
+    state.alpha = alpha_;
+    state.g = g_;
+    state.lambda = lambda_;
+    return state;
+}
+
+AdaptiveKde AdaptiveKde::from_state(State state) {
+    if (state.alpha < 0.0 || state.alpha > 1.0) {
+        throw std::invalid_argument("AdaptiveKde::from_state: alpha outside [0, 1]");
+    }
+    if (!(state.g > 0.0) || !std::isfinite(state.g)) {
+        throw std::invalid_argument(
+            "AdaptiveKde::from_state: non-positive pilot geometric mean");
+    }
+    if (state.lambda.size() != state.pilot.std_data.rows()) {
+        throw std::invalid_argument(
+            "AdaptiveKde::from_state: " + std::to_string(state.lambda.size()) +
+            " bandwidth factors for " +
+            std::to_string(state.pilot.std_data.rows()) + " observations");
+    }
+    for (const double l : state.lambda) {
+        if (!std::isfinite(l) || l < 1e-12) {
+            throw std::invalid_argument(
+                "AdaptiveKde::from_state: non-finite or degenerate local "
+                "bandwidth factor");
+        }
+    }
+    AdaptiveKde kde;
+    kde.pilot_ = Kde::from_state(std::move(state.pilot));
+    kde.alpha_ = state.alpha;
+    kde.g_ = state.g;
+    kde.lambda_ = std::move(state.lambda);
+    return kde;
 }
 
 double AdaptiveKde::local_bandwidth_factor(std::size_t i) const {

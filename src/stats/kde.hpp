@@ -43,11 +43,33 @@ enum class KernelType {
 /// Fixed-bandwidth kernel density estimate, Eq. (5).
 class Kde {
 public:
+    /// The complete estimator state in the internal (standardized)
+    /// representation. Persisting this exact representation — rather than
+    /// the original observations — makes a re-imported estimator evaluate
+    /// densities and draw samples bitwise-identically (re-standardizing
+    /// would re-round the division).
+    struct State {
+        linalg::Matrix std_data;    ///< standardized observations
+        linalg::Vector col_mean;
+        linalg::Vector col_scale;   ///< per-column std (>= tiny floor)
+        double h = 0.0;             ///< bandwidth in the standardized space
+        double jacobian = 1.0;
+        KernelType kernel = KernelType::kEpanechnikov;
+    };
+
     /// Build from observations (rows of `data`). `bandwidth <= 0` selects the
     /// Silverman rule-of-thumb. Throws std::invalid_argument on an empty
     /// dataset or unknown kernel.
     explicit Kde(const linalg::Matrix& data, double bandwidth = 0.0,
                  KernelType kernel = KernelType::kEpanechnikov);
+
+    /// Snapshot of the estimator state.
+    [[nodiscard]] State export_state() const;
+
+    /// Rebuild an estimator from exported state; throws
+    /// std::invalid_argument on empty observations, shape mismatches, a
+    /// non-positive bandwidth/jacobian, or non-finite stored values.
+    [[nodiscard]] static Kde from_state(State state);
 
     Kde(const Kde&) = delete;
     Kde& operator=(const Kde&) = delete;
@@ -77,6 +99,9 @@ public:
 private:
     friend class AdaptiveKde;
 
+    /// Uninitialized shell for from_state / AdaptiveKde::from_state.
+    Kde() = default;
+
     /// Density in the standardized space (no Jacobian factor).
     [[nodiscard]] double standardized_density(std::span<const double> z) const;
 
@@ -85,6 +110,7 @@ private:
     linalg::Vector col_scale_;        // per-column std (>= tiny floor)
     double h_ = 0.0;
     double jacobian_ = 1.0;           // prod(col_scale_) for original-space density
+    KernelType kernel_type_ = KernelType::kEpanechnikov;
     std::unique_ptr<SmoothingKernel> kernel_;
 };
 
@@ -104,6 +130,25 @@ public:
                          double bandwidth = 0.0,
                          KernelType kernel = KernelType::kEpanechnikov,
                          double max_lambda = 2.5);
+
+    /// Complete adaptive-estimator state: the pilot KDE plus the resolved
+    /// local bandwidth factors of Eq. (8). Re-importing skips the quadratic
+    /// pilot-density pass entirely and reproduces densities and samples
+    /// bitwise.
+    struct State {
+        Kde::State pilot;
+        double alpha = 0.5;
+        double g = 1.0;               ///< Eq. (9) pilot geometric mean
+        std::vector<double> lambda;   ///< Eq. (8) factors, one per observation
+    };
+
+    /// Snapshot of the estimator state.
+    [[nodiscard]] State export_state() const;
+
+    /// Rebuild from exported state; throws std::invalid_argument when the
+    /// lambda count disagrees with the pilot observations, alpha is outside
+    /// [0, 1], g is non-positive, or any factor is non-finite or < 1e-12.
+    [[nodiscard]] static AdaptiveKde from_state(State state);
 
     AdaptiveKde(const AdaptiveKde&) = delete;
     AdaptiveKde& operator=(const AdaptiveKde&) = delete;
@@ -134,6 +179,9 @@ public:
     [[nodiscard]] std::size_t dim() const noexcept { return pilot_.dim(); }
 
 private:
+    /// Uninitialized shell for from_state.
+    AdaptiveKde() : alpha_(0.5) {}
+
     Kde pilot_;
     double alpha_;
     double g_ = 1.0;

@@ -1,0 +1,314 @@
+/// \file test_artifact.cpp
+/// The htd.boundary.v1 calibrate/score contract (DESIGN.md §14): a clean
+/// artifact reproduces the in-process pipeline's decision values bitwise;
+/// every injected corruption mode is either rejected with a typed
+/// ArtifactError or survived with the damage recorded loudly (failed
+/// sections + degraded BoundaryStatus) while the surviving boundaries keep
+/// scoring; strict mode turns every recorded degradation into a rejection.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "io/json.hpp"
+#include "pipeline/artifact.hpp"
+#include "pipeline/artifact_fault.hpp"
+#include "pipeline/experiment.hpp"
+#include "pipeline/scorer.hpp"
+
+namespace {
+
+using namespace htd;
+
+/// Calibrates one reduced-budget pipeline for the whole suite and keeps the
+/// pristine artifact around as text — the unit every corruption test
+/// perturbs.
+class ArtifactSuite : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        core::ExperimentConfig config;
+        config.n_chips = 10;
+        config.pipeline.monte_carlo_samples = 40;
+        config.pipeline.synthetic_samples = 3000;
+
+        rng::Rng rng(config.seed);
+        rng::Rng fab_rng = rng.split();
+        const silicon::DuttDataset devices =
+            core::fabricate_and_measure(config, fab_rng);
+        fingerprints_ = devices.fingerprints;
+
+        const core::ProcessPair processes =
+            core::make_process_pair(config.process_shift_sigma);
+        pipeline_ = std::make_unique<core::GoldenFreePipeline>(
+            config.pipeline,
+            silicon::SpiceSimulator(config.platform, processes.spice));
+        rng::Rng sim_rng = rng.split();
+        rng::Rng pipe_rng = rng.split();
+        pipeline_->run_premanufacturing(sim_rng);
+        pipeline_->run_silicon_stage(devices.pcms, pipe_rng);
+
+        seed_ = config.seed;
+        artifact_doc_ = core::BoundaryArtifact::from_pipeline(*pipeline_, seed_,
+                                                              "test_artifact")
+                            .to_json();
+        artifact_text_ = artifact_doc_.dump(2) + "\n";
+    }
+
+    static void TearDownTestSuite() { pipeline_.reset(); }
+
+    /// Temp path unique to this process; removed by the caller.
+    static std::string temp_path(const std::string& tag) {
+        return (std::filesystem::temp_directory_path() /
+                ("htd_artifact_test_" + tag + "_" + std::to_string(::getpid()) +
+                 ".json"))
+            .string();
+    }
+
+    /// Scorer decision values must equal the pipeline's exactly — the
+    /// bitwise-parity acceptance criterion, checked with EXPECT_EQ on
+    /// doubles (no tolerance).
+    static void expect_bitwise_parity(const core::BoundaryScorer& scorer,
+                                      core::Boundary b) {
+        const linalg::Vector expected =
+            pipeline_->decision_values(b, fingerprints_);
+        const linalg::Vector got = scorer.decision_values(b, fingerprints_);
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i], expected[i])
+                << core::boundary_name(b) << " device " << i;
+        }
+    }
+
+    static std::unique_ptr<core::GoldenFreePipeline> pipeline_;
+    static linalg::Matrix fingerprints_;
+    static io::Json artifact_doc_;
+    static std::string artifact_text_;
+    static std::uint64_t seed_;
+};
+
+std::unique_ptr<core::GoldenFreePipeline> ArtifactSuite::pipeline_;
+linalg::Matrix ArtifactSuite::fingerprints_;
+io::Json ArtifactSuite::artifact_doc_;
+std::string ArtifactSuite::artifact_text_;
+std::uint64_t ArtifactSuite::seed_;
+
+/// Recompute a section's name-bound CRC after tampering with its payload.
+double recomputed_crc(const std::string& name, const io::Json& payload) {
+    std::string bytes = name;
+    bytes.push_back('\0');
+    bytes += payload.dump(0);
+    return static_cast<double>(core::crc32(bytes));
+}
+
+TEST_F(ArtifactSuite, CleanRoundTripScoresBitIdentical) {
+    core::ArtifactLoadReport rep;
+    core::BoundaryScorer scorer(
+        core::BoundaryArtifact::from_json(artifact_doc_, {}, &rep));
+    EXPECT_TRUE(rep.notes.empty());
+    EXPECT_TRUE(rep.failed_sections.empty());
+
+    EXPECT_EQ(scorer.artifact().provenance().seed, seed_);
+    EXPECT_EQ(scorer.artifact().provenance().tool, "test_artifact");
+    for (const core::Boundary b : core::kAllBoundaries) {
+        EXPECT_EQ(scorer.boundary_status(b).health,
+                  pipeline_->boundary_status(b).health)
+            << core::boundary_name(b);
+        ASSERT_EQ(scorer.boundary_ready(b), pipeline_->boundary_ready(b));
+        if (scorer.boundary_ready(b)) expect_bitwise_parity(scorer, b);
+    }
+}
+
+TEST_F(ArtifactSuite, AtomicSaveThenLoadIsByteStable) {
+    const std::string path = temp_path("save");
+    core::BoundaryArtifact::from_json(artifact_doc_).save(path);
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+    const core::BoundaryArtifact loaded = core::BoundaryArtifact::load(path);
+    EXPECT_EQ(loaded.to_json().dump(2), artifact_doc_.dump(2));
+    std::filesystem::remove(path);
+}
+
+TEST_F(ArtifactSuite, VersionSkewIsRejected) {
+    io::Json doc = artifact_doc_;
+    doc.set("version", core::kBoundaryArtifactVersion + 1);
+    try {
+        (void)core::BoundaryArtifact::from_json(doc);
+        FAIL() << "version skew accepted";
+    } catch (const core::ArtifactError& e) {
+        EXPECT_EQ(e.artifact_code(), core::ArtifactErrorCode::kVersionSkew);
+    }
+
+    doc.set("schema", "htd.bscores.v1");
+    try {
+        (void)core::BoundaryArtifact::from_json(doc);
+        FAIL() << "wrong schema accepted";
+    } catch (const core::ArtifactError& e) {
+        EXPECT_EQ(e.artifact_code(), core::ArtifactErrorCode::kSchema);
+    }
+}
+
+TEST_F(ArtifactSuite, ConfigHashMismatchIsRejected) {
+    // Tamper with the config payload and recompute the CRC so the hash
+    // check — not the CRC — is what trips: a config swapped wholesale (CRC
+    // intact relative to its own bytes) must still be refused.
+    io::Json doc = artifact_doc_;
+    io::Json sections = doc.at("sections");
+    io::Json entry = sections.at("config");
+    io::Json payload = entry.at("payload");
+    payload.set("tampered", true);
+    entry.set("crc32", recomputed_crc("config", payload));
+    entry.set("payload", std::move(payload));
+    sections.set("config", std::move(entry));
+    doc.set("sections", std::move(sections));
+
+    try {
+        (void)core::BoundaryArtifact::from_json(doc);
+        FAIL() << "config-hash mismatch accepted";
+    } catch (const core::ArtifactError& e) {
+        EXPECT_EQ(e.artifact_code(), core::ArtifactErrorCode::kConfigHash);
+        EXPECT_EQ(e.section(), "provenance");
+    }
+}
+
+TEST_F(ArtifactSuite, CorruptBoundarySectionDegradesJustThatBoundary) {
+    // Flip the stored CRC of boundary.B5: tolerant load must mark exactly
+    // B5 failed (with the rejection recorded in its status detail) and keep
+    // every other boundary scoring bitwise-identically; strict load refuses.
+    io::Json doc = artifact_doc_;
+    io::Json sections = doc.at("sections");
+    io::Json entry = sections.at("boundary.B5");
+    entry.set("crc32", entry.at("crc32").number() + 1.0);
+    sections.set("boundary.B5", std::move(entry));
+    doc.set("sections", std::move(sections));
+
+    core::ArtifactLoadReport rep;
+    core::BoundaryScorer scorer(
+        core::BoundaryArtifact::from_json(doc, {}, &rep));
+    ASSERT_EQ(rep.failed_sections.size(), 1u);
+    EXPECT_EQ(rep.failed_sections[0], "boundary.B5");
+
+    const core::BoundaryStatus& st = scorer.boundary_status(core::Boundary::kB5);
+    EXPECT_EQ(st.health, core::BoundaryHealth::kFailed);
+    EXPECT_NE(st.detail.find("artifact section rejected"), std::string::npos)
+        << st.detail;
+    EXPECT_FALSE(scorer.boundary_ready(core::Boundary::kB5));
+    EXPECT_THROW((void)scorer.classify(core::Boundary::kB5, fingerprints_),
+                 core::BoundaryUnavailableError);
+
+    for (const core::Boundary b :
+         {core::Boundary::kB1, core::Boundary::kB2, core::Boundary::kB3,
+          core::Boundary::kB4}) {
+        if (!pipeline_->boundary_ready(b)) continue;
+        ASSERT_TRUE(scorer.boundary_ready(b)) << core::boundary_name(b);
+        expect_bitwise_parity(scorer, b);
+    }
+
+    EXPECT_THROW((void)core::BoundaryArtifact::from_json(doc, {.strict = true}),
+                 core::ArtifactError);
+}
+
+TEST_F(ArtifactSuite, SectionSwapFailsBothNameBoundCrcs) {
+    // Swapping two intact payloads must fail both sections: the CRC binds
+    // the section *name*, so byte-identical payloads cannot migrate.
+    io::Json doc = artifact_doc_;
+    io::Json sections = doc.at("sections");
+    io::Json b1 = sections.at("boundary.B1");
+    io::Json b3 = sections.at("boundary.B3");
+    sections.set("boundary.B1", std::move(b3));
+    sections.set("boundary.B3", std::move(b1));
+    doc.set("sections", std::move(sections));
+
+    core::ArtifactLoadReport rep;
+    core::BoundaryScorer scorer(
+        core::BoundaryArtifact::from_json(doc, {}, &rep));
+    ASSERT_EQ(rep.failed_sections.size(), 2u);
+    EXPECT_EQ(scorer.boundary_status(core::Boundary::kB1).health,
+              core::BoundaryHealth::kFailed);
+    EXPECT_EQ(scorer.boundary_status(core::Boundary::kB3).health,
+              core::BoundaryHealth::kFailed);
+    if (pipeline_->boundary_ready(core::Boundary::kB4)) {
+        expect_bitwise_parity(scorer, core::Boundary::kB4);
+    }
+}
+
+/// Every injector mode, several seeds each: the artifact is either rejected
+/// with a typed ArtifactError or loads with the damage recorded and the
+/// surviving boundaries still scoring bitwise-identically. Strict mode
+/// rejects whatever the tolerant path merely degraded.
+class ArtifactFaultSweep
+    : public ArtifactSuite,
+      public ::testing::WithParamInterface<core::ArtifactFault> {};
+
+TEST_P(ArtifactFaultSweep, EveryCorruptionIsRejectedOrSurvivedLoudly) {
+    const core::ArtifactFault fault = GetParam();
+    const std::string path =
+        temp_path(std::string("fault_") + core::artifact_fault_name(fault));
+
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        std::string text = artifact_text_;
+        core::ArtifactFaultInjector injector(seed);
+        const std::string what = injector.corrupt(text, fault);
+        SCOPED_TRACE(what + " (seed " + std::to_string(seed) + ")");
+
+        std::filesystem::remove(path);
+        {
+            std::ofstream out(path, std::ios::binary);
+            ASSERT_TRUE(out.is_open());
+            out << text;
+        }
+
+        bool rejected = false;
+        try {
+            core::ArtifactLoadReport rep;
+            const core::BoundaryScorer scorer(
+                core::BoundaryArtifact::load(path, {}, &rep));
+            // Survived: the damage must be visible, never silent, and the
+            // boundaries that made it through still score exactly.
+            EXPECT_FALSE(rep.failed_sections.empty());
+            for (const core::Boundary b : core::kAllBoundaries) {
+                if (!scorer.boundary_ready(b)) continue;
+                expect_bitwise_parity(scorer, b);
+            }
+            // ... and strict mode refuses what tolerant mode degraded.
+            EXPECT_THROW(
+                (void)core::BoundaryArtifact::load(path, {.strict = true}),
+                core::ArtifactError);
+        } catch (const core::ArtifactError& e) {
+            rejected = true;
+            EXPECT_NE(std::string(e.what()).find("artifact"), std::string::npos);
+        }
+
+        // Truncation and version skew can never be scored around.
+        if (fault == core::ArtifactFault::kTruncate ||
+            fault == core::ArtifactFault::kStaleVersion) {
+            EXPECT_TRUE(rejected);
+        }
+    }
+    std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaults, ArtifactFaultSweep,
+    ::testing::Values(core::ArtifactFault::kTruncate,
+                      core::ArtifactFault::kBitFlip,
+                      core::ArtifactFault::kSectionSwap,
+                      core::ArtifactFault::kStaleVersion),
+    [](const ::testing::TestParamInfo<core::ArtifactFault>& fault_info) {
+        switch (fault_info.param) {
+            case core::ArtifactFault::kTruncate: return std::string("Truncate");
+            case core::ArtifactFault::kBitFlip: return std::string("BitFlip");
+            case core::ArtifactFault::kSectionSwap:
+                return std::string("SectionSwap");
+            case core::ArtifactFault::kStaleVersion:
+                return std::string("StaleVersion");
+        }
+        return std::string("Unknown");
+    });
+
+}  // namespace

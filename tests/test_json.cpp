@@ -27,10 +27,41 @@ TEST(JsonValue, ScalarsSerialize) {
 }
 
 TEST(JsonValue, DoubleRoundTripPrecision) {
-    // %.17g guarantees the emitted literal parses back to the same double.
+    // std::to_chars emits the shortest literal that parses back to the
+    // same double.
     const double value = 0.1234567890123456;
     const std::string s = Json(value).dump();
     EXPECT_EQ(std::stod(s), value);
+}
+
+TEST(JsonValue, DoubleRoundTripIsValueExactForHardCases) {
+    // write -> parse -> write must be value-exact (and therefore
+    // byte-stable on the second write) for the doubles that defeat
+    // fixed-precision printf formatting: denormals, the largest finite
+    // magnitudes, negative zero, and shortest-representation cases. The
+    // htd.boundary.v1 artifact's bitwise score parity relies on this.
+    const double cases[] = {
+        5e-324,                       // smallest positive denormal
+        4.9406564584124654e-318,     // denormal with many digits
+        2.2250738585072014e-308,     // smallest positive normal
+        1.7976931348623157e308,      // largest finite
+        -1.7976931348623157e308,     // most negative finite
+        -0.0,                        // negative zero
+        0.1,                         // classic shortest-form case
+        1.0 / 3.0,
+        123456789012345680.0,        // > 2^53, not exactly representable
+        -6.02214076e23,
+    };
+    for (const double value : cases) {
+        const std::string first = Json(value).dump();
+        const Json parsed = Json::parse(first);
+        ASSERT_TRUE(parsed.is_number()) << first;
+        const double reparsed = parsed.number();
+        // Bit-level comparison: catches -0.0 vs 0.0, which == cannot.
+        EXPECT_EQ(std::signbit(reparsed), std::signbit(value)) << first;
+        EXPECT_EQ(reparsed, value) << first;
+        EXPECT_EQ(Json(reparsed).dump(), first);
+    }
 }
 
 TEST(JsonValue, NonFiniteBecomesNull) {

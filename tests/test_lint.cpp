@@ -278,6 +278,42 @@ TEST(LintRules, WorkNamespaceIsReservedForWorkAdd) {
     EXPECT_TRUE(htd::lint::lint_source("src/stats/x.cpp", fine).empty());
 }
 
+TEST(LintRules, ArtifactSchemaStringOnlyInDefiningHeader) {
+    // A literal htd.boundary.* spelling forks the schema contract.
+    const std::string fork =
+        "bool ok(const std::string& s) {\n"
+        "    return s == \"htd.boundary.v1\";\n"
+        "}\n";
+    EXPECT_TRUE(has_rule(htd::lint::lint_source("src/pipeline/report.cpp", fork),
+                         "artifact-schema-version"));
+    EXPECT_TRUE(has_rule(
+        htd::lint::lint_source("tools/htd_score/main.cpp", fork),
+        "artifact-schema-version"));
+
+    // The defining header owns the literal; the linter spells it to find it.
+    EXPECT_FALSE(has_rule(
+        htd::lint::lint_source("src/pipeline/artifact.hpp", fork),
+        "artifact-schema-version"));
+    EXPECT_FALSE(has_rule(htd::lint::lint_source("tools/htd_lint/lint.cpp", fork),
+                          "artifact-schema-version"));
+
+    // Comments may mention the schema; only string literals are gated. Other
+    // schema families (htd.bscores.*) are not this rule's business, and
+    // bench/test code is out of scope entirely.
+    const std::string comment =
+        "// serialized as an htd.boundary.v1 envelope\n"
+        "int x = 0;\n";
+    EXPECT_TRUE(
+        htd::lint::lint_source("src/pipeline/report.cpp", comment).empty());
+    const std::string other_schema =
+        "const char* s = \"htd.bscores.v1\";\n";
+    EXPECT_FALSE(has_rule(
+        htd::lint::lint_source("tools/htd_score/main.cpp", other_schema),
+        "artifact-schema-version"));
+    EXPECT_FALSE(has_rule(htd::lint::lint_source("tests/test_artifact.cpp", fork),
+                          "artifact-schema-version"));
+}
+
 TEST(LintNodiscard, PublicValueReturnsInHeadersMustBeMarked) {
     const std::string src =
         "#pragma once\n"

@@ -19,12 +19,18 @@
 ///                report — lower is better; a regression needs BOTH
 ///                > +50% relative AND > +250 ms absolute, so analyzer
 ///                slowdowns trip the gate without flapping on noise.
+///   score        artifact scoring throughput (bench_score_throughput):
+///                per-boundary chips/sec must stay >= 50% of the
+///                baseline, and the artifact load+validate time follows
+///                the lint-style lower-is-better rule. Machine-to-machine
+///                variance is real, hence the wide ratio floor.
 ///
 /// Usage:
 ///   bench_compare [--baseline-dir DIR] [--candidate-dir DIR]
-///                 [--json PATH] [--waivers FILE] [--bless] [name...]
+///                 [--json PATH] [--waivers FILE] [--strict-waivers]
+///                 [--bless] [name...]
 ///
-/// Names default to "micro roc fault_sweep drift_sweep lint". A name whose
+/// Names default to "micro roc fault_sweep drift_sweep lint score". A name whose
 /// baseline file does not exist is reported as unblessed and skipped; a
 /// missing *candidate* file is a hard usage error. Exit codes: 0 = no
 /// regression, 1 = regression detected, 2 = usage / IO error.
@@ -36,7 +42,8 @@
 /// failing check is reported loudly (WAIVED line + JSON flag) but does not
 /// trip the gate; a waiver that matches nothing is reported as unused so
 /// stale entries get cleaned up instead of silently shadowing future
-/// regressions.
+/// regressions. Under --strict-waivers (the CI default) an unused waiver
+/// is itself a gate failure — stale entries must be deleted, not tolerated.
 ///
 /// On any gated regression the tool points at tools/htd_profile, which
 /// attributes the delta to pipeline stages / work counters.
@@ -121,6 +128,19 @@ Check check_lower(std::string metric, double base, double cand, double rel,
                   abs_floor, unit);
     c.rule = buf;
     c.ok = !(cand > base * (1.0 + rel) && cand - base > abs_floor);
+    return c;
+}
+
+/// Higher-is-better throughput metric: fail when the candidate drops below
+/// `ratio` times the baseline. Ratio thresholds (not absolute bands) because
+/// throughput scales with the host machine.
+Check check_ratio_min(std::string metric, double base, double cand,
+                      double ratio) {
+    Check c{std::move(metric), base, cand, {}, true};
+    char buf[96];
+    std::snprintf(buf, sizeof buf, ">= %g%% of baseline", ratio * 100.0);
+    c.rule = buf;
+    c.ok = cand >= base * ratio;
     return c;
 }
 
@@ -263,6 +283,36 @@ void compare_lint(const Json& base, const Json& cand, Comparison& out) {
     }
 }
 
+/// bench_score_throughput: per-boundary artifact-scoring chips/sec plus the
+/// load+validate wall time. An unusable boundary serializes its throughput
+/// as null — only boundaries that score in BOTH reports are compared, but a
+/// boundary that was scoreable in the baseline and is not in the candidate
+/// is a hard failure (the artifact lost a model).
+void compare_score(const Json& base, const Json& cand, Comparison& out) {
+    std::map<std::string, double> cand_tp;
+    for (const Json& r : cand.at("results").at("boundaries").elements()) {
+        if (r.at("chips_per_sec").is_null()) continue;
+        cand_tp[r.at("boundary").str()] = r.at("chips_per_sec").number();
+    }
+    for (const Json& r : base.at("results").at("boundaries").elements()) {
+        if (r.at("chips_per_sec").is_null()) continue;
+        const std::string& b = r.at("boundary").str();
+        const auto it = cand_tp.find(b);
+        if (it == cand_tp.end()) {
+            out.checks.push_back({b + ".chips_per_sec",
+                                  r.at("chips_per_sec").number(), 0.0,
+                                  "boundary scoreable in candidate", false});
+            continue;
+        }
+        out.checks.push_back(check_ratio_min(b + ".chips_per_sec",
+                                             r.at("chips_per_sec").number(),
+                                             it->second, 0.50));
+    }
+    out.checks.push_back(check_lower(
+        "load_ms", base.at("results").at("load_ms").number(),
+        cand.at("results").at("load_ms").number(), 1.00, 250.0, "ms"));
+}
+
 Json comparison_json(const std::vector<Comparison>& comparisons,
                      const std::string& baseline_dir,
                      const std::string& candidate_dir, int regressions,
@@ -309,9 +359,11 @@ Json comparison_json(const std::vector<Comparison>& comparisons,
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--baseline-dir DIR] [--candidate-dir DIR] "
-                 "[--json PATH] [--waivers FILE] [--bless] [name...]\n"
-                 "names default to: micro roc fault_sweep drift_sweep lint\n"
-                 "waivers default to <baseline-dir>/WAIVERS.json when present\n",
+                 "[--json PATH] [--waivers FILE] [--strict-waivers] [--bless] "
+                 "[name...]\n"
+                 "names default to: micro roc fault_sweep drift_sweep lint score\n"
+                 "waivers default to <baseline-dir>/WAIVERS.json when present;\n"
+                 "--strict-waivers makes an unused waiver a nonzero exit\n",
                  argv0);
     return 2;
 }
@@ -323,6 +375,7 @@ int main(int argc, char** argv) {
     std::string candidate_dir = ".";
     std::string json_path;
     std::string waivers_path;
+    bool strict_waivers = false;
     bool bless = false;
     std::vector<std::string> names;
 
@@ -347,6 +400,8 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (v == nullptr) return usage(argv[0]);
             waivers_path = v;
+        } else if (arg == "--strict-waivers") {
+            strict_waivers = true;
         } else if (arg == "--bless") {
             bless = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -359,7 +414,7 @@ int main(int argc, char** argv) {
         }
     }
     if (names.empty()) {
-        names = {"micro", "roc", "fault_sweep", "drift_sweep", "lint"};
+        names = {"micro", "roc", "fault_sweep", "drift_sweep", "lint", "score"};
     }
 
     if (bless) {
@@ -435,6 +490,8 @@ int main(int argc, char** argv) {
                 compare_sweep(base, cand, /*with_verdict=*/true, cmp);
             } else if (name == "lint") {
                 compare_lint(base, cand, cmp);
+            } else if (name == "score") {
+                compare_score(base, cand, cmp);
             } else {
                 std::fprintf(stderr, "bench_compare: unknown artifact '%s'\n",
                              name.c_str());
@@ -493,12 +550,16 @@ int main(int argc, char** argv) {
         comparisons.push_back(std::move(cmp));
     }
 
+    int unused_waivers = 0;
     for (const Waiver& w : waivers) {
         if (w.used) continue;
+        ++unused_waivers;
         std::printf("UNUSED WAIVER %s %s — nothing failing matches it; remove it "
-                    "from %s so it cannot shadow a future regression\n",
-                    w.artifact.c_str(), w.metric.c_str(), waivers_path.c_str());
+                    "from %s so it cannot shadow a future regression%s\n",
+                    w.artifact.c_str(), w.metric.c_str(), waivers_path.c_str(),
+                    strict_waivers ? " (gated by --strict-waivers)" : "");
     }
+    if (strict_waivers) regressions += unused_waivers;
 
     if (!json_path.empty()) {
         comparison_json(comparisons, baseline_dir, candidate_dir, regressions, waivers)

@@ -33,7 +33,8 @@ namespace {
 /// Bump when FileAnalysis or any per-file pass changes behaviour: the key
 /// participates in the content hash, so stale cache entries simply miss.
 // v3: work-counter-name rule added to the per-file scan.
-constexpr const char* kCacheVersion = "htd_lint.cache.v3";
+// v4: artifact-schema-version rule added to the per-file scan.
+constexpr const char* kCacheVersion = "htd_lint.cache.v4";
 
 std::uint64_t fnv1a64(const std::string& data, std::uint64_t h) {
     for (const char c : data) {

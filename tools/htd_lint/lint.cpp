@@ -718,6 +718,41 @@ void check_work_counter_names(const std::string& path,
     }
 }
 
+// --- artifact-schema-version (v4) -------------------------------------------
+//
+// The `htd.boundary.*` schema string is the artifact compatibility contract
+// (DESIGN.md §14): load-time version negotiation compares against the single
+// constant pair in src/pipeline/artifact.hpp. A second literal spelling
+// anywhere in src/ or tools/ is a fork of that contract — it keeps compiling
+// after a version bump and silently writes (or accepts) skewed envelopes.
+// Comments and docs are free to mention the schema; only string literals in
+// code are gated. tools/htd_lint/ is exempt: the rule and its fixtures must
+// spell the prefix to detect it.
+
+void check_artifact_schema_version(const std::string& path,
+                                   const std::vector<Token>& toks,
+                                   std::vector<Finding>& out) {
+    if (!path_in(path, "src/") && !path_in(path, "tools/")) return;
+    if (path_in(path, "tools/htd_lint/")) return;
+    static const std::string owner = "src/pipeline/artifact.hpp";
+    if (path == owner ||
+        (path.size() > owner.size() &&
+         path.compare(path.size() - owner.size() - 1, owner.size() + 1,
+                      "/" + owner) == 0)) {
+        return;
+    }
+    for (const Token& t : toks) {
+        if (t.kind != TokKind::kString || t.in_directive) continue;
+        if (t.text.find("htd.boundary.") == std::string::npos) continue;
+        out.push_back(
+            {path, t.line, "artifact-schema-version",
+             "literal htd.boundary.* schema string; reference "
+             "core::kBoundaryArtifactSchema / kBoundaryArtifactVersion from "
+             "src/pipeline/artifact.hpp instead — a second spelling skews "
+             "silently on the next version bump"});
+    }
+}
+
 }  // namespace
 
 // --- public API -------------------------------------------------------------
@@ -731,7 +766,8 @@ const std::vector<std::string>& rule_ids() {
         "rng-seed",         "std-random-in-library", "raw-nan-check",
         "stdio-in-library", "header-hygiene",        "stream-unchecked",
         "layering",         "include-cycle",         "layer-unmapped",
-        "result-discard",   "missing-nodiscard",     "work-counter-name"};
+        "result-discard",   "missing-nodiscard",     "work-counter-name",
+        "artifact-schema-version"};
     return ids;
 }
 
@@ -819,6 +855,7 @@ FileAnalysis analyze_file(const std::string& path, const std::string& contents) 
     check_stream_unchecked(norm, code, fa.findings);
 
     check_work_counter_names(norm, toks, fa.findings);
+    check_artifact_schema_version(norm, toks, fa.findings);
 
     collect_includes(toks, fa);
     if (path_in(norm, "src/")) {

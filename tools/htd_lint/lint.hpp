@@ -64,6 +64,14 @@
 ///                       `histogram_record` must not claim the `work.`
 ///                       namespace — the metric kind is part of the
 ///                       profiling contract (DESIGN.md §13).
+///   artifact-schema-version
+///                       (v4) The `htd.boundary.*` artifact schema string
+///                       may be spelled as a literal only in its defining
+///                       header, src/pipeline/artifact.hpp; any other
+///                       string literal containing the prefix in src/ or
+///                       tools/ forks the compatibility contract and skews
+///                       silently on the next version bump (DESIGN.md §14).
+///                       tools/htd_lint/ itself is exempt.
 ///
 /// The analyzer core runs per-file scans on a thread pool, caches per-file
 /// results keyed by content hash (see Options::cache_dir), orders

@@ -42,6 +42,14 @@
 #                                  # corrupt the artifact with the fault
 #                                  # injector and require the typed
 #                                  # rejection (exit code 2)
+#   scripts/check.sh --journal-smoke
+#                                  # decision-forensics smoke: run the
+#                                  # calibrate -> score sequence twice with
+#                                  # --journal and normalized events,
+#                                  # require byte-identical htd.events.v1
+#                                  # journals (cmp), validate them with
+#                                  # htd_explain, and query one chip's
+#                                  # chip_scored trail
 #
 # All presets build with HTD_WARNINGS_AS_ERRORS=ON: a new warning anywhere
 # in src/, tools/, bench/ or tests/ fails the build rather than scrolling
@@ -63,7 +71,7 @@ run_bench_gate() {
     cmake --preset release
     cmake --build --preset release -j "$(nproc)" \
         --target bench_micro bench_roc bench_fault_sweep bench_drift_sweep \
-                 bench_score_throughput bench_compare htd_lint
+                 bench_score_throughput bench_journal bench_compare htd_lint
     local out
     out="$(mktemp -d)"
     # Each bench writes BENCH_<name>.json into the CWD. bench_micro runs
@@ -74,6 +82,7 @@ run_bench_gate() {
     (cd "$out" && "$OLDPWD"/build-release/bench/bench_fault_sweep)
     (cd "$out" && "$OLDPWD"/build-release/bench/bench_drift_sweep)
     (cd "$out" && "$OLDPWD"/build-release/bench/bench_score_throughput)
+    (cd "$out" && "$OLDPWD"/build-release/bench/bench_journal)
     # The lint artifact is htd_lint's own v2 JSON report; --no-cache and
     # --jobs 1 so the gated pass wall times measure the analyzer, not the
     # cache state or the box's core count.
@@ -98,8 +107,17 @@ run_artifact_smoke() {
         --chips 8 --mc 40 --synthetic 5000
     # Score from the artifact alone: the report must be byte-identical to
     # the calibrate-time one (the bitwise-parity contract, DESIGN.md §14).
+    # Exit 0 (all clean) and 1 (devices flagged by the verdict boundary)
+    # are both healthy outcomes at this tiny calibration budget; anything
+    # else is a real failure.
+    local score_rc=0
     "$score" score --artifact "$out/boundary.json" \
-        --fingerprints "$out/fingerprints.csv" --bscores "$out/scored.json"
+        --fingerprints "$out/fingerprints.csv" \
+        --bscores "$out/scored.json" || score_rc=$?
+    if [[ "$score_rc" != 0 && "$score_rc" != 1 ]]; then
+        echo "check.sh: artifact smoke: score exited $score_rc, want 0 or 1" >&2
+        return 1
+    fi
     if ! cmp "$out/ref.json" "$out/scored.json"; then
         echo "check.sh: artifact smoke: B-score reports differ" >&2
         return 1
@@ -117,6 +135,56 @@ run_artifact_smoke() {
     fi
     rm -rf "$out"
     echo "== check.sh: artifact smoke OK =="
+}
+
+run_journal_smoke() {
+    echo "== check.sh: journal smoke (htd_score --journal + htd_explain) =="
+    cmake --preset release
+    cmake --build --preset release -j "$(nproc)" --target htd_score htd_explain
+    local out
+    out="$(mktemp -d)"
+    local score=./build-release/tools/htd_score/htd_score
+    local explain=./build-release/tools/htd_explain/htd_explain
+    # Two same-seed calibrate -> score sequences with normalized events
+    # (ts_ns = seq) must produce byte-identical htd.events.v1 journals —
+    # the determinism contract DESIGN.md §15 documents. Score may exit 1
+    # (devices flagged) at this tiny calibration budget; that is a verdict,
+    # not an error.
+    local run rc
+    for run in a b; do
+        HTD_OBS_JOURNAL_NORMALIZE=1 "$score" calibrate \
+            --artifact "$out/boundary_$run.json" \
+            --fingerprints "$out/fingerprints_$run.csv" \
+            --bscores "$out/ref_$run.json" \
+            --chips 8 --mc 40 --synthetic 5000 \
+            --journal "$out/journal_$run.jsonl"
+        rc=0
+        HTD_OBS_JOURNAL_NORMALIZE=1 "$score" score \
+            --artifact "$out/boundary_$run.json" \
+            --fingerprints "$out/fingerprints_$run.csv" \
+            --bscores "$out/scored_$run.json" \
+            --journal "$out/journal_$run.jsonl" || rc=$?
+        if [[ "$rc" != 0 && "$rc" != 1 ]]; then
+            echo "check.sh: journal smoke: score exited $rc, want 0 or 1" >&2
+            return 1
+        fi
+    done
+    if ! cmp "$out/journal_a.jsonl" "$out/journal_b.jsonl"; then
+        echo "check.sh: journal smoke: same-seed normalized journals differ" >&2
+        return 1
+    fi
+    # Structural validation: every record parses, carries the schema tag,
+    # a registered kind and a strictly increasing sequence — across the
+    # calibrate and score appends to the same file.
+    "$explain" validate "$out/journal_a.jsonl"
+    # One chip's forensic trail must surface its chip_scored event.
+    if ! "$explain" query "$out/journal_a.jsonl" --chip 0 \
+            --kind chip_scored | grep -q chip_scored; then
+        echo "check.sh: journal smoke: no chip_scored event for chip 0" >&2
+        return 1
+    fi
+    rm -rf "$out"
+    echo "== check.sh: journal smoke OK =="
 }
 
 run_profile_smoke() {
@@ -210,6 +278,8 @@ elif [[ $# -ge 1 && "$1" == "--profile-smoke" ]]; then
     run_profile_smoke
 elif [[ $# -ge 1 && "$1" == "--artifact-smoke" ]]; then
     run_artifact_smoke
+elif [[ $# -ge 1 && "$1" == "--journal-smoke" ]]; then
+    run_journal_smoke
 elif [[ $# -ge 1 ]]; then
     run_preset "$1"
 else

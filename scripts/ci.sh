@@ -18,6 +18,10 @@
 #   artifact    scripts/check.sh --artifact-smoke (htd_score calibrate ->
 #               score round trip with byte-identical B-score reports, then
 #               a fault-injected artifact must be rejected with exit 2)
+#   journal     scripts/check.sh --journal-smoke (calibrate -> score with
+#               --journal twice: byte-identical normalized htd.events.v1
+#               journals, htd_explain validation, one chip's chip_scored
+#               trail queryable)
 #   bench-gate  scripts/check.sh --bench-gate (perf/quality regression
 #               diff against bench/baselines/ under --strict-waivers;
 #               skippable — latency baselines only gate on comparable,
@@ -43,7 +47,7 @@ for arg in "$@"; do
             skip_bench=1
             ;;
         --help|-h)
-            sed -n '2,27p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,31p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
             ;;
         *)
@@ -94,7 +98,17 @@ run_stage sanitize scripts/check.sh sanitize
 run_stage analyze scripts/check.sh --analyze
 run_stage profile scripts/check.sh --profile-smoke
 run_stage artifact scripts/check.sh --artifact-smoke
+run_stage journal scripts/check.sh --journal-smoke
 if [[ "$skip_bench" == 0 ]]; then
+    # The latency baselines only hold on a quiet machine, and this stage
+    # starts seconds after the build+test stages saturated every core —
+    # let the CPU (frequency/thermal state) and page cache settle first.
+    # HTD_CI_BENCH_SETTLE overrides the settle window (seconds, 0 = none).
+    settle="${HTD_CI_BENCH_SETTLE:-60}"
+    if [[ "$settle" -gt 0 ]]; then
+        echo "=== ci.sh: settling ${settle}s before 'bench-gate' ==="
+        sleep "$settle"
+    fi
     run_stage bench-gate scripts/check.sh --bench-gate
 else
     echo "=== ci.sh: stage 'bench-gate' skipped (--skip-bench-gate) ==="

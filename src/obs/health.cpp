@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/journal.hpp"
 #include "obs/obs.hpp"
 
 namespace htd::obs {
@@ -235,6 +236,16 @@ ProbeResult HealthMonitor::record(ProbeResult probe) {
     // Gauge publication happens outside the probe lock: the Registry has
     // its own mutex and the Health -> Registry lock order must never be
     // entangled (a sink flushing while a stage records must not deadlock).
+    // The journal append follows the same discipline (its own mutex, never
+    // nested inside probe state).
+    EventJournal& journal = EventJournal::global();
+    if (journal.enabled() && stored.name.rfind("drift.", 0) == 0 &&
+        stored.level >= HealthLevel::kDegraded) {
+        Event ev("drift_trip");
+        ev.detail = stored.name + ": " + stored.detail;
+        for (const auto& [key, v] : stored.values) ev.value(key, v);
+        journal.append(std::move(ev));
+    }
     Registry& registry = Registry::global();
     registry.counter_add("health.probes_recorded");
     for (const auto& [key, v] : stored.values) {

@@ -1,0 +1,209 @@
+#include "obs/journal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/span.hpp"
+
+namespace htd::obs {
+
+const std::vector<std::string>& event_kinds() {
+    static const std::vector<std::string> kinds = {
+        "calibration",       "recalibration", "boundary_fallback",
+        "artifact_degraded", "drift_trip",    "quarantine",
+        "chip_scored"};
+    return kinds;
+}
+
+bool event_kind_registered(std::string_view kind) {
+    const std::vector<std::string>& kinds = event_kinds();
+    return std::find(kinds.begin(), kinds.end(), kind) != kinds.end();
+}
+
+io::Json Event::to_json() const {
+    io::Json doc = io::Json::object();
+    doc.set("schema", std::string(kEventsSchema));
+    doc.set("seq", static_cast<double>(seq));
+    doc.set("ts_ns", static_cast<double>(ts_ns));
+    doc.set("kind", kind);
+    doc.set("span", static_cast<double>(span));
+    doc.set("lot", lot);
+    doc.set("chip", chip);
+    doc.set("boundary", boundary);
+    doc.set("detail", detail);
+    io::Json vals = io::Json::object();
+    for (const auto& [key, v] : values) vals.set(key, v);
+    doc.set("values", std::move(vals));
+    return doc;
+}
+
+namespace {
+
+/// Recover the last sequence number of an existing journal so a resumed
+/// stream stays strictly monotone. Tolerant: a torn final line (the one
+/// crash-safe append can lose) is skipped, falling back to the line before.
+std::uint64_t last_sequence_in(const std::string& path) {
+    std::ifstream in(path);
+    if (!in.is_open()) return 0;
+    std::uint64_t last = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        try {
+            const io::Json record = io::Json::parse(line);
+            if (record.contains("seq")) {
+                last = static_cast<std::uint64_t>(record.at("seq").number());
+            }
+        } catch (const std::invalid_argument&) {
+            // Torn tail from an interrupted append; keep the previous seq.
+        }
+    }
+    return last;
+}
+
+}  // namespace
+
+EventJournal& EventJournal::global() {
+    static EventJournal* instance = [] {
+        static EventJournal journal;
+        journal.apply_environment();
+        return &journal;
+    }();
+    return *instance;
+}
+
+EventJournal::~EventJournal() = default;
+
+void EventJournal::apply_environment() {
+    const char* normalize = std::getenv("HTD_OBS_JOURNAL_NORMALIZE");
+    if (normalize != nullptr) {
+        std::string error;
+        set_normalized(
+            bool_env_value("HTD_OBS_JOURNAL_NORMALIZE", normalize, &error));
+        // Like the Registry, the global journal is constructed once per
+        // process, so a typo warns exactly once.
+        if (!error.empty()) std::fprintf(stderr, "%s\n", error.c_str());
+    }
+    const char* path = std::getenv("HTD_OBS_JOURNAL");
+    if (path != nullptr && *path != '\0') open(path);
+}
+
+void EventJournal::reset_locked() {
+    if (out_.is_open()) out_.close();
+    path_.clear();
+    seq_ = 0;
+    rotate_bytes_ = 0;
+    bytes_written_ = 0;
+    ring_.clear();
+    ring_head_ = 0;
+}
+
+void EventJournal::open(const std::string& path) {
+    const core::MutexLock lock(mutex_);
+    reset_locked();
+    seq_ = last_sequence_in(path);
+    out_.open(path, std::ios::binary | std::ios::app);
+    if (!out_.is_open()) {
+        enabled_.store(false, std::memory_order_relaxed);
+        throw std::runtime_error("EventJournal: cannot open journal file " +
+                                 path);
+    }
+    path_ = path;
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void EventJournal::enable_memory() {
+    const core::MutexLock lock(mutex_);
+    reset_locked();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void EventJournal::close() {
+    const core::MutexLock lock(mutex_);
+    enabled_.store(false, std::memory_order_relaxed);
+    reset_locked();
+}
+
+void EventJournal::set_rotate_bytes(std::uint64_t max_bytes) {
+    const core::MutexLock lock(mutex_);
+    rotate_bytes_ = max_bytes;
+}
+
+void EventJournal::append(Event event) {
+    if (!enabled()) return;
+    if (!event_kind_registered(event.kind)) {
+        throw std::invalid_argument(
+            "EventJournal: unregistered event kind '" + event.kind +
+            "' — register it in obs::event_kinds() (src/obs/journal.hpp)");
+    }
+    event.span = current_span_id();
+    const core::MutexLock lock(mutex_);
+    if (!enabled()) return;  // closed between the fast check and the lock
+    event.seq = ++seq_;
+    event.ts_ns = normalized() ? static_cast<std::int64_t>(event.seq)
+                               : wall_clock_ns();
+    if (out_.is_open()) {
+        const std::string line = event.to_json().dump() + "\n";
+        if (rotate_bytes_ > 0 && bytes_written_ > 0 &&
+            bytes_written_ + line.size() > rotate_bytes_) {
+            // Atomic rotation: the closed stream is renamed aside in one
+            // step, then a fresh stream continues the sequence. A crash
+            // between the two loses no records — either the rename did not
+            // happen (journal intact) or `<path>.1` holds everything.
+            out_.close();
+            const std::string aside = path_ + ".1";
+            std::remove(aside.c_str());
+            if (std::rename(path_.c_str(), aside.c_str()) != 0) {
+                enabled_.store(false, std::memory_order_relaxed);
+                throw std::runtime_error("EventJournal: cannot rotate " +
+                                         path_ + " -> " + aside);
+            }
+            out_.open(path_, std::ios::binary | std::ios::app);
+            if (!out_.is_open()) {
+                enabled_.store(false, std::memory_order_relaxed);
+                throw std::runtime_error(
+                    "EventJournal: cannot reopen journal file " + path_ +
+                    " after rotation");
+            }
+            bytes_written_ = 0;
+        }
+        out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+        out_.flush();
+        if (!out_.good()) {
+            enabled_.store(false, std::memory_order_relaxed);
+            throw std::runtime_error("EventJournal: write to " + path_ +
+                                     " failed");
+        }
+        bytes_written_ += line.size();
+    }
+    if (ring_.size() < kMaxRecentEvents) {
+        ring_.push_back(std::move(event));
+    } else {
+        ring_[ring_head_] = std::move(event);
+        ring_head_ = (ring_head_ + 1) % kMaxRecentEvents;
+    }
+}
+
+std::vector<Event> EventJournal::recent() const {
+    const core::MutexLock lock(mutex_);
+    std::vector<Event> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+    }
+    return out;
+}
+
+std::uint64_t EventJournal::sequence() const {
+    const core::MutexLock lock(mutex_);
+    return seq_;
+}
+
+std::string EventJournal::path() const {
+    const core::MutexLock lock(mutex_);
+    return path_;
+}
+
+}  // namespace htd::obs

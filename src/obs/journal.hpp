@@ -1,0 +1,179 @@
+#pragma once
+/// \file journal.hpp
+/// Decision forensics: an append-only JSONL event journal (schema
+/// `htd.events.v1`). Where spans answer "where did the time go" and health
+/// probes answer "is the statistics sound", the journal answers "*why* was
+/// this chip flagged, and what happened to the calibration along the way" —
+/// one typed, monotonically-sequenced record per decision-relevant event:
+///
+///     calibration        a pipeline calibration stage completed
+///     recalibration      a stage re-ran after a previous completion
+///     boundary_fallback  B4/B5 fell back to S3 on a KMM collapse
+///     artifact_degraded  a tolerant artifact load rejected a section
+///     drift_trip         a drift.* health probe reached >= degraded
+///     quarantine         the measurement validator dropped a device
+///     chip_scored        a device received a boundary verdict
+///
+/// Every record carries the enclosing trace-span id so journal lines
+/// cross-reference `htd.trace.v1` traces, and lot/chip/boundary ids where
+/// they apply. The kind list above is the registry: `EventJournal::append`
+/// rejects unregistered kinds, and htd_lint's `event-kind-name` rule holds
+/// literal kinds in src// tools/ to `event_kinds()`.
+///
+/// Crash-safety contract: each record is serialized as one compact JSON
+/// line, written and flushed before append() returns, so a crash loses at
+/// most the record being written — never a previously appended one. Rotation
+/// is atomic: when the stream exceeds the configured byte budget the file is
+/// closed and renamed to `<path>.1` (POSIX rename, all-or-nothing) before a
+/// fresh stream opens; sequence numbers keep counting across the boundary.
+/// Re-opening an existing journal resumes after its last sequence number, so
+/// a journal appended to by several processes in turn stays monotone.
+///
+/// Normalized mode (`set_normalized(true)` or HTD_OBS_JOURNAL_NORMALIZE=1)
+/// replaces wall-clock timestamps with the sequence number, making same-seed
+/// journals byte-identical — the analogue of HTD_OBS_TRACE_NORMALIZE for
+/// traces (DESIGN.md §13). HTD_OBS_JOURNAL=<file> enables the journal from
+/// the environment without touching caller code.
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/annotations.hpp"
+#include "io/json.hpp"
+
+namespace htd::obs {
+
+/// Schema tag stamped on every journal record.
+inline constexpr std::string_view kEventsSchema = "htd.events.v1";
+
+/// The registered event kinds — the single spelling point the lint rule
+/// enforces against. Order is the documentation order above.
+[[nodiscard]] const std::vector<std::string>& event_kinds();
+
+/// True when `kind` is one of the registered `htd.events.v1` kinds.
+[[nodiscard]] bool event_kind_registered(std::string_view kind);
+
+/// One journal event. Construct with the kind, fill in the ids that apply,
+/// and hand it to `EventJournal::append`, which assigns seq/ts_ns/span:
+///
+///     obs::Event ev("boundary_fallback");
+///     ev.boundary = "B4";
+///     ev.detail = status.detail;
+///     ev.value("ess", ess).value("floor", floor);
+///     obs::EventJournal::global().append(std::move(ev));
+struct Event {
+    Event() = default;
+    explicit Event(std::string kind_name) : kind(std::move(kind_name)) {}
+
+    std::string kind;      ///< one of event_kinds()
+    std::string lot;       ///< lot id, empty when not applicable
+    std::string chip;      ///< chip / device id, empty when not applicable
+    std::string boundary;  ///< "B1".."B5", empty when not applicable
+    std::string detail;    ///< free-form human-readable context
+
+    /// Named scalar payload (decision values, sample sizes, ...).
+    std::vector<std::pair<std::string, double>> values;
+
+    // Assigned by EventJournal::append:
+    std::uint64_t seq = 0;   ///< 1-based, strictly increasing per journal
+    std::uint64_t span = 0;  ///< enclosing htd.trace.v1 span id (0 = none)
+    std::int64_t ts_ns = 0;  ///< wall clock, or seq in normalized mode
+
+    /// Chainable payload helper.
+    Event& value(std::string key, double v) {
+        values.emplace_back(std::move(key), v);
+        return *this;
+    }
+
+    /// The htd.events.v1 record (sorted keys, compact-dumpable).
+    [[nodiscard]] io::Json to_json() const;
+};
+
+/// Append-only JSONL event stream. Disabled by default: `append` on a
+/// disabled journal is a single relaxed atomic load, cheap enough for the
+/// per-device scoring loop. All mutation is mutex-guarded; see the file
+/// comment for the crash-safety and normalization contracts.
+class EventJournal {
+public:
+    /// Process-global journal. First use applies HTD_OBS_JOURNAL (opens the
+    /// named file) and HTD_OBS_JOURNAL_NORMALIZE (0/1).
+    [[nodiscard]] static EventJournal& global();
+
+    EventJournal() = default;
+    ~EventJournal();
+    EventJournal(const EventJournal&) = delete;
+    EventJournal& operator=(const EventJournal&) = delete;
+
+    /// Open (or resume) a journal file and enable appends. An existing
+    /// file is appended to, resuming after its last sequence number; a
+    /// fresh file starts at seq 1. Also records events in the in-memory
+    /// ring. Throws std::runtime_error when the file cannot be opened.
+    void open(const std::string& path) HTD_EXCLUDES(mutex_);
+
+    /// Enable the in-memory ring only (tests): events get sequenced and
+    /// retained in `recent()` without touching the filesystem.
+    void enable_memory() HTD_EXCLUDES(mutex_);
+
+    /// Flush, close, disable, and forget the in-memory ring + sequence.
+    void close() HTD_EXCLUDES(mutex_);
+
+    /// True when append() records (file or memory mode).
+    [[nodiscard]] bool enabled() const noexcept {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /// Normalized mode: deterministic timestamps (ts_ns = seq).
+    void set_normalized(bool normalized) noexcept {
+        normalized_.store(normalized, std::memory_order_relaxed);
+    }
+    [[nodiscard]] bool normalized() const noexcept {
+        return normalized_.load(std::memory_order_relaxed);
+    }
+
+    /// Rotate to `<path>.1` once the stream exceeds `max_bytes` (0 = never,
+    /// the default). The record that crosses the budget opens the new file.
+    void set_rotate_bytes(std::uint64_t max_bytes) HTD_EXCLUDES(mutex_);
+
+    /// Sequence, stamp, serialize, write + flush. No-op when disabled.
+    /// Throws std::invalid_argument on an unregistered kind and
+    /// std::runtime_error when the stream write fails (a silent audit gap
+    /// is worse than a loud crash).
+    void append(Event event) HTD_EXCLUDES(mutex_);
+
+    /// Snapshot of the most recent events (bounded by kMaxRecentEvents).
+    [[nodiscard]] std::vector<Event> recent() const HTD_EXCLUDES(mutex_);
+
+    /// Last assigned sequence number (0 before the first append).
+    [[nodiscard]] std::uint64_t sequence() const HTD_EXCLUDES(mutex_);
+
+    /// Current journal path (empty in memory-only mode).
+    [[nodiscard]] std::string path() const HTD_EXCLUDES(mutex_);
+
+    /// In-memory ring capacity.
+    static constexpr std::size_t kMaxRecentEvents = 1024;
+
+private:
+    void apply_environment();
+    void reset_locked() HTD_REQUIRES(mutex_);
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<bool> normalized_{false};
+
+    mutable core::Mutex mutex_;
+    std::uint64_t seq_ HTD_GUARDED_BY(mutex_) = 0;
+    std::uint64_t rotate_bytes_ HTD_GUARDED_BY(mutex_) = 0;
+    std::uint64_t bytes_written_ HTD_GUARDED_BY(mutex_) = 0;
+    std::string path_ HTD_GUARDED_BY(mutex_);
+    std::ofstream out_ HTD_GUARDED_BY(mutex_);
+    // Bounded ring of recent events: ring_[head_] is the oldest slot once
+    // the ring has wrapped.
+    std::vector<Event> ring_ HTD_GUARDED_BY(mutex_);
+    std::size_t ring_head_ HTD_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace htd::obs

@@ -31,6 +31,17 @@ SinkKind sink_kind_from_env(std::string_view value, std::string* error) {
     return SinkKind::kInherit;
 }
 
+bool bool_env_value(std::string_view variable, std::string_view value,
+                    std::string* error) {
+    if (value.empty() || value == "0") return false;
+    if (value == "1") return true;
+    if (error != nullptr) {
+        *error = "[obs] unrecognized " + std::string(variable) + " value '" +
+                 std::string(value) + "' — valid values are: 0, 1 (treated as 0)";
+    }
+    return false;
+}
+
 const std::vector<double>& histogram_bucket_bounds() {
     // 1-2-5 ladder, 1 µs .. 10 s; values above fall into the overflow bucket.
     static const std::vector<double> bounds = {
@@ -75,16 +86,25 @@ void Registry::apply_environment() {
     const char* trace = std::getenv("HTD_OBS_TRACE");
     if (trace != nullptr && *trace != '\0') trace_path_ = trace;
 
+    // Boolean toggles share the HTD_OBS typo contract: an invalid value
+    // warns once on stderr (registry construction runs once per process)
+    // naming the valid values instead of silently acting as "on" or "off".
     const char* normalize = std::getenv("HTD_OBS_TRACE_NORMALIZE");
-    if (normalize != nullptr && *normalize != '\0' &&
-        std::string_view(normalize) != "0") {
-        trace_normalize_.store(true, std::memory_order_relaxed);
+    if (normalize != nullptr) {
+        std::string error;
+        if (bool_env_value("HTD_OBS_TRACE_NORMALIZE", normalize, &error)) {
+            trace_normalize_.store(true, std::memory_order_relaxed);
+        }
+        if (!error.empty()) std::fprintf(stderr, "%s\n", error.c_str());
     }
 
     const char* resources = std::getenv("HTD_OBS_RESOURCES");
-    if (resources != nullptr && *resources != '\0' &&
-        std::string_view(resources) != "0") {
-        resources_.store(true, std::memory_order_relaxed);
+    if (resources != nullptr) {
+        std::string error;
+        if (bool_env_value("HTD_OBS_RESOURCES", resources, &error)) {
+            resources_.store(true, std::memory_order_relaxed);
+        }
+        if (!error.empty()) std::fprintf(stderr, "%s\n", error.c_str());
     }
 
     const char* mode = std::getenv("HTD_OBS");

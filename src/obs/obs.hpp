@@ -53,6 +53,15 @@ enum class SinkKind {
 [[nodiscard]] SinkKind sink_kind_from_env(std::string_view value,
                                           std::string* error = nullptr);
 
+/// Parse a boolean observability environment value ("1" = on, "0" or empty
+/// = off). Any other value is off, and `*error` is filled with a warning
+/// naming the valid values — the same loud-typo contract HTD_OBS gets from
+/// sink_kind_from_env. Used for HTD_OBS_TRACE_NORMALIZE, HTD_OBS_RESOURCES
+/// and HTD_OBS_JOURNAL_NORMALIZE.
+[[nodiscard]] bool bool_env_value(std::string_view variable,
+                                  std::string_view value,
+                                  std::string* error = nullptr);
+
 /// Observability options embeddable in a component config (for example
 /// `core::PipelineConfig::obs`). `kInherit` leaves the global registry
 /// untouched, so library code never overrides an explicit caller choice.

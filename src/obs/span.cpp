@@ -15,6 +15,10 @@ thread_local std::vector<std::uint64_t> open_spans;
 
 }  // namespace
 
+std::uint64_t current_span_id() noexcept {
+    return open_spans.empty() ? 0 : open_spans.back();
+}
+
 std::int64_t wall_clock_ns() noexcept {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
                std::chrono::steady_clock::now().time_since_epoch())

@@ -60,6 +60,12 @@ private:
     std::vector<std::pair<std::string, double>> attrs_;
 };
 
+/// Id of the innermost open ScopedSpan on the calling thread — 0 when no
+/// span is open (or the registry is disabled, which leaves spans inactive).
+/// Journal records (journal.hpp) carry this id so `htd.events.v1` lines
+/// cross-reference the `htd.trace.v1` span they happened inside.
+[[nodiscard]] std::uint64_t current_span_id() noexcept;
+
 /// Monotonic wall clock, ns since an arbitrary process-local epoch.
 [[nodiscard]] std::int64_t wall_clock_ns() noexcept;
 

@@ -15,6 +15,7 @@
 #include <unistd.h>
 #endif
 
+#include "obs/journal.hpp"
 #include "obs/obs.hpp"
 
 namespace htd::core {
@@ -680,6 +681,9 @@ BoundaryArtifact BoundaryArtifact::from_json(const io::Json& doc,
                                              ArtifactLoadReport* report) {
     ArtifactLoadReport local_report;
     ArtifactLoadReport& rep = report != nullptr ? *report : local_report;
+    // A caller may reuse a report object; only this load's degradations are
+    // journaled below.
+    const std::size_t first_new_note = rep.failed_sections.size();
 
     if (!doc.is_object()) {
         throw ArtifactError(ArtifactErrorCode::kMalformed,
@@ -898,6 +902,24 @@ BoundaryArtifact BoundaryArtifact::from_json(const io::Json& doc,
                                 " failed artifact validation: " + e.what());
         } catch (const std::invalid_argument& e) {
             fail_boundary(e.what());
+        }
+    }
+
+    // Every tolerant repair above is an auditable decision: a degraded
+    // section changes (or at least narrows) what the scorer can do, so it
+    // lands in the event journal alongside the load-report note.
+    obs::EventJournal& journal = obs::EventJournal::global();
+    if (journal.enabled()) {
+        for (std::size_t i = first_new_note; i < rep.failed_sections.size();
+             ++i) {
+            obs::Event ev("artifact_degraded");
+            const std::string& section = rep.failed_sections[i];
+            constexpr std::string_view prefix = "boundary.";
+            if (section.rfind(prefix, 0) == 0) {
+                ev.boundary = section.substr(prefix.size());
+            }
+            ev.detail = i < rep.notes.size() ? rep.notes[i] : section;
+            journal.append(std::move(ev));
         }
     }
 

@@ -1,0 +1,228 @@
+#include "pipeline/explain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "pipeline/scorer.hpp"
+#include "stats/kde.hpp"
+
+namespace htd::core {
+
+namespace {
+
+void require_finite(const linalg::Vector& x, const char* context) {
+    for (std::size_t c = 0; c < x.size(); ++c) {
+        if (!std::isfinite(x[c])) {
+            throw DataQualityError(std::string(context) +
+                                   ": non-finite value at channel " +
+                                   std::to_string(c));
+        }
+    }
+}
+
+/// Tail mass of `x` under a persisted adaptive estimator: the density at x
+/// and the fraction of calibration observations whose own density is at
+/// most x's. Observations are reconstructed from the standardized pilot
+/// representation (obs = std * scale + mean) — the exact state the artifact
+/// round-trips, so the numbers match in-process and loaded scorers bitwise.
+KdeTailMass tail_mass(const std::optional<stats::AdaptiveKde::State>& state,
+                      const linalg::Vector& x) {
+    KdeTailMass out;
+    if (!state.has_value() || state->pilot.std_data.cols() != x.size()) {
+        return out;
+    }
+    const stats::AdaptiveKde kde = stats::AdaptiveKde::from_state(*state);
+    out.present = true;
+    out.density = kde.density(x);
+    const linalg::Matrix& std_data = state->pilot.std_data;
+    std::size_t at_most = 0;
+    linalg::Vector obs(std_data.cols());
+    for (std::size_t i = 0; i < std_data.rows(); ++i) {
+        for (std::size_t c = 0; c < std_data.cols(); ++c) {
+            obs[c] = std_data(i, c) * state->pilot.col_scale[c] +
+                     state->pilot.col_mean[c];
+        }
+        if (kde.density(obs) <= out.density) ++at_most;
+    }
+    out.tail_percentile =
+        static_cast<double>(at_most) / static_cast<double>(std_data.rows());
+    return out;
+}
+
+io::Json tail_mass_json(const KdeTailMass& t) {
+    io::Json doc = io::Json::object();
+    doc.set("present", t.present);
+    if (t.present) {
+        doc.set("density", t.density);
+        doc.set("tail_percentile", t.tail_percentile);
+    }
+    return doc;
+}
+
+}  // namespace
+
+io::Json ExplainRecord::to_json() const {
+    io::Json bs = io::Json::array();
+    for (const BoundaryExplanation& be : boundaries) {
+        io::Json entry = io::Json::object();
+        entry.set("boundary", boundary_name(be.boundary));
+        entry.set("health", be.health);
+        entry.set("detail", be.detail);
+        entry.set("usable", be.usable);
+        if (be.usable) {
+            entry.set("decision", be.decision);
+            entry.set("margin", be.margin);
+            entry.set("inside", be.inside);
+            io::Json channels = io::Json::array();
+            for (const ChannelAttribution& ca : be.channels) {
+                io::Json c = io::Json::object();
+                c.set("channel", ca.channel);
+                c.set("z", ca.z);
+                c.set("loco_delta", ca.loco_delta);
+                channels.push_back(std::move(c));
+            }
+            entry.set("channels", std::move(channels));
+            io::Json neighbors = io::Json::array();
+            for (const NeighborRef& nb : be.neighbors) {
+                io::Json n = io::Json::object();
+                n.set("index", nb.index);
+                n.set("distance", nb.distance);
+                n.set("alpha", nb.alpha);
+                neighbors.push_back(std::move(n));
+            }
+            entry.set("neighbors", std::move(neighbors));
+        }
+        bs.push_back(std::move(entry));
+    }
+    io::Json kde = io::Json::object();
+    kde.set("s2", tail_mass_json(kde_s2));
+    kde.set("s5", tail_mass_json(kde_s5));
+
+    io::Json doc = io::Json::object();
+    doc.set("schema", std::string(kExplainSchema));
+    doc.set("chip", chip);
+    doc.set("flagged", flagged);
+    doc.set("verdict_boundary", verdict_boundary);
+    doc.set("boundaries", std::move(bs));
+    doc.set("kde", std::move(kde));
+    return doc;
+}
+
+std::optional<Boundary> BoundaryScorer::verdict_boundary() const noexcept {
+    // The paper's boundary ladder improves monotonically B1 -> B5, so the
+    // verdict comes from the highest boundary that survived calibration
+    // and loading.
+    for (auto it = kAllBoundaries.rbegin(); it != kAllBoundaries.rend(); ++it) {
+        if (artifact_.boundary_ready(*it)) return *it;
+    }
+    return std::nullopt;
+}
+
+ExplainRecord BoundaryScorer::explain(const linalg::Vector& fingerprint,
+                                      std::string chip,
+                                      const ExplainOptions& opts) const {
+    require_finite(fingerprint, "explain: fingerprint");
+    ExplainRecord rec;
+    rec.chip = std::move(chip);
+
+    for (const Boundary b : kAllBoundaries) {
+        BoundaryExplanation be;
+        be.boundary = b;
+        const BoundaryStatus& st = artifact_.boundary_status(b);
+        be.health = boundary_health_name(st.health);
+        be.detail = st.detail;
+        if (!artifact_.boundary_ready(b)) {
+            rec.boundaries.push_back(std::move(be));
+            continue;
+        }
+        if (fingerprint.size() != artifact_.fingerprint_dim(b)) {
+            throw DimensionError(
+                "explain: fingerprint dimension mismatch (got " +
+                std::to_string(fingerprint.size()) + " channels, boundary " +
+                boundary_name(b) + " was calibrated on " +
+                std::to_string(artifact_.fingerprint_dim(b)) + ")");
+        }
+        const ml::OneClassSvm& svm = *artifact_.svm(b);
+        be.usable = true;
+        be.decision = svm.decision_value(fingerprint);
+        be.margin = be.decision;
+        be.inside = be.decision >= 0.0;
+
+        const ml::OneClassSvm::State state = svm.export_state();
+        const std::size_t dim = fingerprint.size();
+
+        // Standardized coordinates against the calibration cloud the SVM
+        // preprocessing was fit on: z = W (x - mean).
+        linalg::Vector z(dim);
+        for (std::size_t r = 0; r < dim; ++r) {
+            double acc = 0.0;
+            for (std::size_t c = 0; c < dim; ++c) {
+                acc += state.input_transform(r, c) *
+                       (fingerprint[c] - state.input_mean[c]);
+            }
+            z[r] = acc;
+        }
+
+        // Leave-one-channel-out: replace one channel with the training
+        // mean and re-evaluate. The delta is that channel's contribution.
+        be.channels.reserve(dim);
+        linalg::Vector probe = fingerprint;
+        for (std::size_t c = 0; c < dim; ++c) {
+            const double kept = probe[c];
+            probe[c] = state.input_mean[c];
+            const double without = svm.decision_value(probe);
+            probe[c] = kept;
+            be.channels.push_back({c, z[c], be.decision - without});
+        }
+        std::sort(be.channels.begin(), be.channels.end(),
+                  [](const ChannelAttribution& a, const ChannelAttribution& bch) {
+                      const double ma = std::abs(a.loco_delta);
+                      const double mb = std::abs(bch.loco_delta);
+                      if (ma != mb) return ma > mb;
+                      return a.channel < bch.channel;
+                  });
+        if (opts.top_channels > 0 && be.channels.size() > opts.top_channels) {
+            be.channels.resize(opts.top_channels);
+        }
+
+        // k nearest calibration neighbours in the preprocessed space the
+        // kernel actually measures distance in.
+        const linalg::Matrix& sv = state.support_vectors;
+        be.neighbors.reserve(sv.rows());
+        for (std::size_t i = 0; i < sv.rows(); ++i) {
+            double d2 = 0.0;
+            for (std::size_t c = 0; c < sv.cols(); ++c) {
+                const double d = z[c] - sv(i, c);
+                d2 += d * d;
+            }
+            be.neighbors.push_back({i, std::sqrt(d2), state.alpha[i]});
+        }
+        std::sort(be.neighbors.begin(), be.neighbors.end(),
+                  [](const NeighborRef& a, const NeighborRef& bn) {
+                      if (a.distance != bn.distance) {
+                          return a.distance < bn.distance;
+                      }
+                      return a.index < bn.index;
+                  });
+        if (be.neighbors.size() > opts.neighbors) {
+            be.neighbors.resize(opts.neighbors);
+        }
+        rec.boundaries.push_back(std::move(be));
+    }
+
+    if (const std::optional<Boundary> vb = verdict_boundary(); vb.has_value()) {
+        rec.verdict_boundary = boundary_name(*vb);
+        const BoundaryExplanation& vbe =
+            rec.boundaries[static_cast<std::size_t>(*vb)];
+        rec.flagged = vbe.usable && !vbe.inside;
+    }
+
+    rec.kde_s2 = tail_mass(artifact_.kde_s2(), fingerprint);
+    rec.kde_s5 = tail_mass(artifact_.kde_s5(), fingerprint);
+    return rec;
+}
+
+}  // namespace htd::core

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "obs/journal.hpp"
 #include "obs/obs.hpp"
 #include "obs/span.hpp"
 #include "stats/descriptive.hpp"
@@ -229,6 +230,25 @@ IngestResult MeasurementValidator::finalize(silicon::DuttDataset ds,
     result.kept_indices = std::move(kept);
     result.dropped_indices = std::move(dropped);
     result.summary = summary;
+
+    // Every quarantined device is a per-chip decision the journal records:
+    // a dropped chip never reaches a boundary, so without this event its
+    // forensic trail would simply end.
+    obs::EventJournal& journal = obs::EventJournal::global();
+    if (journal.enabled()) {
+        for (const std::size_t dropped_index : result.dropped_indices) {
+            obs::Event ev("quarantine");
+            ev.chip = std::to_string(dropped_index);
+            ev.detail =
+                "device dropped by measurement quarantine (unscreenable or "
+                "non-imputable channels)";
+            ev.value("devices_total",
+                     static_cast<double>(result.summary.devices_total))
+                .value("devices_dropped",
+                       static_cast<double>(result.summary.devices_dropped));
+            journal.append(std::move(ev));
+        }
+    }
     return result;
 }
 

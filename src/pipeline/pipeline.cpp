@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/journal.hpp"
 #include "obs/span.hpp"
 
 namespace htd::core {
@@ -263,6 +264,16 @@ void GoldenFreePipeline::run_premanufacturing(rng::Rng& rng) {
     });
 
     premanufacturing_done_ = true;
+    obs::EventJournal& journal = obs::EventJournal::global();
+    if (journal.enabled()) {
+        obs::Event ev(premanufacturing_runs_ == 0
+                          ? std::string("calibration")
+                          : std::string("recalibration"));
+        ev.detail = "stage1 premanufacturing: B1/B2 trained";
+        ev.value("monte_carlo_samples", static_cast<double>(mc_pcms_.rows()));
+        journal.append(std::move(ev));
+    }
+    ++premanufacturing_runs_;
 }
 
 void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
@@ -287,6 +298,24 @@ void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
                                         static_cast<double>(dutt_pcms.rows()));
 
     silicon_done_ = false;
+    // Journal the stage completion at every exit that leaves the pipeline
+    // scoreable (healthy, fallback, or degraded-partial alike): the second
+    // completed run onward is a `recalibration`.
+    const auto journal_stage_done = [&](const std::string& outcome) {
+        obs::EventJournal& journal = obs::EventJournal::global();
+        if (journal.enabled()) {
+            obs::Event ev(silicon_runs_ == 0 ? std::string("calibration")
+                                             : std::string("recalibration"));
+            ev.detail = "stage2 silicon: " + outcome;
+            ev.value("dutt_devices", static_cast<double>(dutt_pcms.rows()));
+            if (std::isfinite(kmm_ess_)) {
+                ev.value("kmm_effective_sample_size", kmm_ess_);
+            }
+            ev.value("kmm_fallback", kmm_fallback_applied_ ? 1.0 : 0.0);
+            journal.append(std::move(ev));
+        }
+        ++silicon_runs_;
+    };
     for (const Boundary b : {Boundary::kB3, Boundary::kB4, Boundary::kB5}) {
         status_[index_of(b)] = {};
         kdes_[index_of(b)].reset();
@@ -351,6 +380,7 @@ void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
         health_.record(health_.probe_drift("drift.pcm", mc_pcms_, silicon_pcms));
         record_boundary_probe();
         silicon_done_ = true;
+        journal_stage_done("KMM calibration failed, B4/B5 unavailable");
         return;
     }
 
@@ -427,6 +457,17 @@ void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
             "KMM collapse (effective sample size " + std::to_string(kmm_ess_) +
             " < floor " + std::to_string(config_.kmm_min_effective_sample_size) +
             "): trained on S3";
+        {
+            obs::EventJournal& journal = obs::EventJournal::global();
+            if (journal.enabled()) {
+                obs::Event ev("boundary_fallback");
+                ev.boundary = boundary_name(Boundary::kB4);
+                ev.detail = detail;
+                ev.value("effective_sample_size", kmm_ess_)
+                    .value("floor", config_.kmm_min_effective_sample_size);
+                journal.append(std::move(ev));
+            }
+        }
         if (!status_[index_of(Boundary::kB3)].usable()) {
             const std::string no_fb =
                 detail + ", but B3 is unavailable: " +
@@ -435,6 +476,7 @@ void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
             status_[index_of(Boundary::kB5)] = {BoundaryHealth::kFailed, no_fb};
             record_boundary_probe();
             silicon_done_ = true;
+            journal_stage_done("KMM collapse with B3 unavailable");
             return;
         }
         status_[index_of(Boundary::kB4)] = {BoundaryHealth::kDegraded, detail};
@@ -464,6 +506,8 @@ void GoldenFreePipeline::run_silicon_stage(const linalg::Matrix& dutt_pcms,
 
     record_boundary_probe();
     silicon_done_ = true;
+    journal_stage_done(kmm_fallback_applied_ ? "B4/B5 fell back to S3"
+                                             : "B3/B4/B5 trained");
 }
 
 void GoldenFreePipeline::probe_incoming(const silicon::DuttDataset& dutts) const {
@@ -545,8 +589,24 @@ std::vector<bool> GoldenFreePipeline::classify(Boundary b,
     span.attr("devices", static_cast<double>(fingerprints.rows()));
     std::vector<bool> inside(fingerprints.rows());
     std::size_t accepted = 0;
+    obs::EventJournal& journal = obs::EventJournal::global();
+    const bool forensics = journal.enabled();
     for (std::size_t r = 0; r < fingerprints.rows(); ++r) {
-        inside[r] = svm.contains(fingerprints.row(r));
+        if (forensics) {
+            // contains() is decision_value >= 0, so journaling the decision
+            // costs one evaluation, not two, and verdicts stay bitwise
+            // identical to the silent path.
+            const double decision = svm.decision_value(fingerprints.row(r));
+            inside[r] = decision >= 0.0;
+            obs::Event ev("chip_scored");
+            ev.chip = std::to_string(r);
+            ev.boundary = boundary_name(b);
+            ev.value("decision", decision)
+                .value("inside", inside[r] ? 1.0 : 0.0);
+            journal.append(std::move(ev));
+        } else {
+            inside[r] = svm.contains(fingerprints.row(r));
+        }
         accepted += inside[r] ? 1 : 0;
     }
     span.attr("accepted", static_cast<double>(accepted));

@@ -293,6 +293,10 @@ private:
 
     bool premanufacturing_done_ = false;
     bool silicon_done_ = false;
+    /// Completed stage runs, so the journal can distinguish a first
+    /// `calibration` from a `recalibration` (a stage re-run on new data).
+    std::size_t premanufacturing_runs_ = 0;
+    std::size_t silicon_runs_ = 0;
 
     linalg::Matrix mc_pcms_;
     std::array<linalg::Matrix, 5> datasets_;

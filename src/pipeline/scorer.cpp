@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/journal.hpp"
 #include "obs/obs.hpp"
 #include "obs/span.hpp"
 
@@ -61,8 +62,24 @@ std::vector<bool> BoundaryScorer::classify(Boundary b,
     span.attr("devices", static_cast<double>(fingerprints.rows()));
     std::vector<bool> inside(fingerprints.rows());
     std::size_t accepted = 0;
+    obs::EventJournal& journal = obs::EventJournal::global();
+    const bool forensics = journal.enabled();
     for (std::size_t r = 0; r < fingerprints.rows(); ++r) {
-        inside[r] = svm.contains(fingerprints.row(r));
+        if (forensics) {
+            // contains() is decision_value >= 0, so journaling the decision
+            // costs one evaluation, not two, and verdicts stay bitwise
+            // identical to the silent path.
+            const double decision = svm.decision_value(fingerprints.row(r));
+            inside[r] = decision >= 0.0;
+            obs::Event ev("chip_scored");
+            ev.chip = std::to_string(r);
+            ev.boundary = boundary_name(b);
+            ev.value("decision", decision)
+                .value("inside", inside[r] ? 1.0 : 0.0);
+            journal.append(std::move(ev));
+        } else {
+            inside[r] = svm.contains(fingerprints.row(r));
+        }
         accepted += inside[r] ? 1 : 0;
     }
     span.attr("accepted", static_cast<double>(accepted));

@@ -11,11 +11,14 @@
 /// persisted in the exact representation the decision function consumes,
 /// and doubles round-trip exactly through the JSON layer.
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "linalg/matrix.hpp"
 #include "ml/metrics.hpp"
 #include "pipeline/artifact.hpp"
+#include "pipeline/explain.hpp"
 #include "pipeline/pipeline.hpp"
 #include "silicon/bench_measure.hpp"
 
@@ -46,6 +49,21 @@ public:
     /// Convenience: classify + score a measured DUTT population.
     [[nodiscard]] ml::DetectionMetrics evaluate(Boundary b,
                                                 const silicon::DuttDataset& dutts) const;
+
+    /// The boundary a production verdict comes from: the highest boundary
+    /// (B5 down to B1) that survived calibration and loading; nullopt when
+    /// none did.
+    [[nodiscard]] std::optional<Boundary> verdict_boundary() const noexcept;
+
+    /// Full htd.explain.v1 attribution for one chip (explain.hpp): per-
+    /// boundary decision + margin, leave-one-channel-out contribution
+    /// ranking with z-scores, k nearest calibration neighbours, and the S2/
+    /// S5 KDE tail mass. Deterministic at fixed seed and bitwise-identical
+    /// between an in-process artifact and its save/load round trip. Throws
+    /// DimensionError / DataQualityError like classify.
+    [[nodiscard]] ExplainRecord explain(const linalg::Vector& fingerprint,
+                                        std::string chip,
+                                        const ExplainOptions& opts = {}) const;
 
     /// True when the boundary survived calibration and loading.
     [[nodiscard]] bool boundary_ready(Boundary b) const noexcept {

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/journal.hpp"
 #include "pipeline/experiment.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/report.hpp"
@@ -336,6 +337,73 @@ TEST(PipelineHealth, ForcedDriftAndCollapseDegradeVerdictWithPerChannelKs) {
     const HealthLevel reported =
         obs::health_level_from_name(doc.at("health").at("verdict").str());
     EXPECT_GE(static_cast<int>(reported), static_cast<int>(HealthLevel::kDegraded));
+}
+
+TEST(PipelineHealth, KmmCollapseFallbackVisibleInReportHealthAndJournal) {
+    // The B4 -> B3 KMM-collapse fallback must be observable through BOTH
+    // forensic surfaces at once: the htd.run_report.v2 "health" section
+    // (the boundaries probe) and an htd.events.v1 boundary_fallback event
+    // in the decision journal (DESIGN.md §15).
+    core::ExperimentConfig config = small_config();
+    config.pipeline.kmm_min_effective_sample_size = 1e9;  // force collapse
+
+    obs::EventJournal& journal = obs::EventJournal::global();
+    journal.enable_memory();
+
+    rng::Rng master(config.seed);
+    rng::Rng fab_rng = master.split();
+    rng::Rng sim_rng = master.split();
+    rng::Rng pipe_rng = master.split();
+    const silicon::DuttDataset measured =
+        core::fabricate_and_measure(config, fab_rng);
+    const core::ProcessPair processes =
+        core::make_process_pair(config.process_shift_sigma);
+    core::GoldenFreePipeline pipeline(
+        config.pipeline,
+        silicon::SpiceSimulator(config.platform, processes.spice));
+    pipeline.run_premanufacturing(sim_rng);
+    pipeline.run_silicon_stage(measured.pcms, pipe_rng);
+    ASSERT_TRUE(pipeline.kmm_fallback_applied());
+
+    // Surface 1: the run report's health section names the degraded B4.
+    const obs::RunReport report =
+        core::pipeline_run_report(pipeline, "kmm_collapse");
+    const io::Json& doc = report.json();
+    ASSERT_TRUE(doc.contains("health"));
+    bool degraded_boundary_reported = false;
+    for (const io::Json& probe : doc.at("health").at("probes").elements()) {
+        if (probe.at("name").str() != "boundaries") continue;
+        EXPECT_GE(static_cast<int>(
+                      obs::health_level_from_name(probe.at("level").str())),
+                  static_cast<int>(HealthLevel::kDegraded));
+        EXPECT_NE(probe.at("detail").str().find("B4 degraded"),
+                  std::string::npos)
+            << probe.at("detail").str();
+        degraded_boundary_reported = true;
+    }
+    EXPECT_TRUE(degraded_boundary_reported);
+
+    // Surface 2: the journal carries the typed boundary_fallback event
+    // with the collapsed effective sample size and the floor it violated.
+    bool fallback_journaled = false;
+    for (const obs::Event& event : journal.recent()) {
+        if (event.kind != "boundary_fallback") continue;
+        EXPECT_EQ(event.boundary, "B4");
+        bool has_ess = false;
+        bool has_floor = false;
+        for (const auto& [key, value] : event.values) {
+            if (key == "effective_sample_size") has_ess = true;
+            if (key == "floor") {
+                has_floor = true;
+                EXPECT_EQ(value, 1e9);
+            }
+        }
+        EXPECT_TRUE(has_ess);
+        EXPECT_TRUE(has_floor);
+        fallback_journaled = true;
+    }
+    EXPECT_TRUE(fallback_journaled);
+    journal.close();
 }
 
 // --- committed quickstart artifact -------------------------------------------

@@ -314,6 +314,50 @@ TEST(LintRules, ArtifactSchemaStringOnlyInDefiningHeader) {
                           "artifact-schema-version"));
 }
 
+TEST(LintRules, EventKindNamesMustBeRegistered) {
+    // A literal journal event kind outside obs::event_kinds() would throw
+    // at append time — but only on the (possibly rare) emitting path.
+    const std::string bad =
+        "void f() {\n"
+        "    htd::obs::Event ev(\"chip_zapped\");\n"
+        "}\n";
+    EXPECT_TRUE(has_rule(htd::lint::lint_source("src/pipeline/x.cpp", bad),
+                         "event-kind-name"));
+    EXPECT_TRUE(has_rule(
+        htd::lint::lint_source("tools/htd_score/score_cli.cpp", bad),
+        "event-kind-name"));
+
+    // Registered kinds are clean, with or without a variable name, and the
+    // finding names the typo'd kind.
+    const std::string good =
+        "void f() {\n"
+        "    htd::obs::Event ev(\"chip_scored\");\n"
+        "    journal.append(htd::obs::Event(\"boundary_fallback\"));\n"
+        "}\n";
+    EXPECT_TRUE(htd::lint::lint_source("src/pipeline/x.cpp", good).empty());
+    const std::vector<Finding> findings =
+        htd::lint::lint_source("src/pipeline/x.cpp", bad);
+    ASSERT_FALSE(findings.empty());
+    EXPECT_NE(findings[0].message.find("chip_zapped"), std::string::npos);
+
+    // Computed kinds cannot be checked statically and must not trip.
+    const std::string computed =
+        "void f(const std::string& k) {\n"
+        "    htd::obs::Event ev(k);\n"
+        "}\n";
+    EXPECT_TRUE(
+        htd::lint::lint_source("src/pipeline/x.cpp", computed).empty());
+
+    // Scope: src/ and tools/ are gated; the linter's own fixtures and
+    // bench/test code are not.
+    EXPECT_FALSE(has_rule(htd::lint::lint_source("tools/htd_lint/x.cpp", bad),
+                          "event-kind-name"));
+    EXPECT_FALSE(has_rule(htd::lint::lint_source("bench/x.cpp", bad),
+                          "event-kind-name"));
+    EXPECT_FALSE(has_rule(htd::lint::lint_source("tests/x.cpp", bad),
+                          "event-kind-name"));
+}
+
 TEST(LintNodiscard, PublicValueReturnsInHeadersMustBeMarked) {
     const std::string src =
         "#pragma once\n"

@@ -313,6 +313,27 @@ void compare_score(const Json& base, const Json& cand, Comparison& out) {
         cand.at("results").at("load_ms").number(), 1.00, 250.0, "ms"));
 }
 
+/// bench_journal: decision-journal append throughput and the scoring
+/// throughput with the journal disabled/enabled, plus the full per-chip
+/// explain rate. All higher-is-better rates gated with the same ratio
+/// floor as artifact scoring — throughput scales with the host, so the
+/// gate is relative to the blessed baseline, not absolute.
+void compare_journal(const Json& base, const Json& cand, Comparison& out) {
+    for (const char* metric :
+         {"append_events_per_sec", "plain_chips_per_sec",
+          "journal_chips_per_sec", "explain_chips_per_sec"}) {
+        out.checks.push_back(
+            check_ratio_min(metric, base.at("results").at(metric).number(),
+                            cand.at("results").at(metric).number(), 0.50));
+    }
+    // The relative cost of journaling must not quietly explode even if the
+    // host got faster across the board.
+    out.checks.push_back(check_ratio_min(
+        "journal_overhead_ratio",
+        base.at("results").at("journal_overhead_ratio").number(),
+        cand.at("results").at("journal_overhead_ratio").number(), 0.50));
+}
+
 Json comparison_json(const std::vector<Comparison>& comparisons,
                      const std::string& baseline_dir,
                      const std::string& candidate_dir, int regressions,
@@ -361,7 +382,8 @@ int usage(const char* argv0) {
                  "usage: %s [--baseline-dir DIR] [--candidate-dir DIR] "
                  "[--json PATH] [--waivers FILE] [--strict-waivers] [--bless] "
                  "[name...]\n"
-                 "names default to: micro roc fault_sweep drift_sweep lint score\n"
+                 "names default to: micro roc fault_sweep drift_sweep lint score "
+                 "journal\n"
                  "waivers default to <baseline-dir>/WAIVERS.json when present;\n"
                  "--strict-waivers makes an unused waiver a nonzero exit\n",
                  argv0);
@@ -414,7 +436,8 @@ int main(int argc, char** argv) {
         }
     }
     if (names.empty()) {
-        names = {"micro", "roc", "fault_sweep", "drift_sweep", "lint", "score"};
+        names = {"micro", "roc",         "fault_sweep", "drift_sweep",
+                 "lint",  "score",       "journal"};
     }
 
     if (bless) {
@@ -492,6 +515,8 @@ int main(int argc, char** argv) {
                 compare_lint(base, cand, cmp);
             } else if (name == "score") {
                 compare_score(base, cand, cmp);
+            } else if (name == "journal") {
+                compare_journal(base, cand, cmp);
             } else {
                 std::fprintf(stderr, "bench_compare: unknown artifact '%s'\n",
                              name.c_str());

@@ -1,0 +1,8 @@
+/// \file main.cpp
+/// htd_explain — decision forensics CLI. All logic lives in
+/// explain_cli.{hpp,cpp} (htd_explain_lib) so tests can drive the
+/// subcommands in-process; see that header for the command set.
+
+#include "explain_cli.hpp"
+
+int main(int argc, char** argv) { return htd::explain_cli::run(argc, argv); }

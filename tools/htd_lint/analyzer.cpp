@@ -34,7 +34,8 @@ namespace {
 /// participates in the content hash, so stale cache entries simply miss.
 // v3: work-counter-name rule added to the per-file scan.
 // v4: artifact-schema-version rule added to the per-file scan.
-constexpr const char* kCacheVersion = "htd_lint.cache.v4";
+// v5: event-kind-name rule added to the per-file scan.
+constexpr const char* kCacheVersion = "htd_lint.cache.v5";
 
 std::uint64_t fnv1a64(const std::string& data, std::uint64_t h) {
     for (const char c : data) {

@@ -9,6 +9,7 @@
 
 #include "internal.hpp"
 #include "lexer.hpp"
+#include "obs/journal.hpp"
 
 namespace htd::lint {
 
@@ -753,6 +754,55 @@ void check_artifact_schema_version(const std::string& path,
     }
 }
 
+// --- event-kind-name (v5) ---------------------------------------------------
+//
+// htd.events.v1 journal records are filtered and validated by kind
+// (tools/htd_explain, DESIGN.md §15): an event constructed with a kind
+// outside obs::event_kinds() throws at append time, but only on the code
+// path that emits it — which for rare kinds like drift_trip may never run
+// under test. Catch the typo statically at the construction site. Only
+// literal kinds are checkable; a computed kind is the caller's
+// responsibility (append() still validates at runtime). tools/htd_lint/ is
+// exempt: the rule and its fixtures must spell bad kinds to detect them.
+
+void check_event_kind_names(const std::string& path,
+                            const std::vector<Token>& toks,
+                            std::vector<Finding>& out) {
+    if (!path_in(path, "src/") && !path_in(path, "tools/")) return;
+    if (path_in(path, "tools/htd_lint/")) return;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        const Token& type = toks[i];
+        if (type.kind != TokKind::kIdent || type.in_directive ||
+            type.text != "Event") {
+            continue;
+        }
+        // Event("kind") or Event <var> ("kind").
+        std::size_t j = i + 1;
+        if (toks[j].kind == TokKind::kIdent) ++j;
+        if (j + 1 >= toks.size() || !is_punct(toks[j], "(")) continue;
+        const Token& arg = toks[j + 1];
+        if (arg.kind != TokKind::kString || arg.text.size() < 2 ||
+            arg.text.front() != '"' || arg.text.back() != '"') {
+            continue;
+        }
+        const std::string kind = arg.text.substr(1, arg.text.size() - 2);
+        if (!obs::event_kind_registered(kind)) {
+            std::string registered;
+            for (const std::string& k : obs::event_kinds()) {
+                if (!registered.empty()) registered += ", ";
+                registered += k;
+            }
+            out.push_back(
+                {path, arg.line, "event-kind-name",
+                 "journal event kind '" + kind +
+                     "' is not registered in obs::event_kinds() — "
+                     "htd_explain validation would reject it and append() "
+                     "would throw at runtime; registered kinds: " +
+                     registered});
+        }
+    }
+}
+
 }  // namespace
 
 // --- public API -------------------------------------------------------------
@@ -767,7 +817,7 @@ const std::vector<std::string>& rule_ids() {
         "stdio-in-library", "header-hygiene",        "stream-unchecked",
         "layering",         "include-cycle",         "layer-unmapped",
         "result-discard",   "missing-nodiscard",     "work-counter-name",
-        "artifact-schema-version"};
+        "artifact-schema-version", "event-kind-name"};
     return ids;
 }
 
@@ -856,6 +906,7 @@ FileAnalysis analyze_file(const std::string& path, const std::string& contents) 
 
     check_work_counter_names(norm, toks, fa.findings);
     check_artifact_schema_version(norm, toks, fa.findings);
+    check_event_kind_names(norm, toks, fa.findings);
 
     collect_includes(toks, fa);
     if (path_in(norm, "src/")) {

@@ -1,266 +1,8 @@
 /// \file main.cpp
-/// htd_score — calibrate once, score forever.
-///
-/// The production face of the calibrate/score split (DESIGN.md §14):
-///
-///   htd_score calibrate  runs the golden-free pipeline end to end on the
-///                        virtual platform and persists the trained boundary
-///                        set as an htd.boundary.v1 artifact (plus the
-///                        measured fingerprints as CSV and their B-scores
-///                        as a reference report).
-///   htd_score score      loads an artifact and classifies a fingerprint
-///                        CSV with zero retraining. For a pristine artifact
-///                        the emitted B-score report is byte-identical to
-///                        the calibrate-time one — the CI artifact stage
-///                        diffs the two.
-///   htd_score inject     corrupts an artifact with a seeded fault
-///                        (truncate / bit_flip / section_swap /
-///                        stale_version) to demonstrate the rejection path.
-///
-/// Exit codes: 0 success, 1 usage or runtime error, 2 artifact rejected
-/// (typed ArtifactError — the "never score against a corrupt artifact"
-/// contract).
+/// htd_score — calibrate once, score forever. All logic lives in
+/// score_cli.{hpp,cpp} (htd_score_lib) so tests can drive the CLI
+/// in-process; see that header for the command set and exit-code contract.
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <stdexcept>
-#include <string>
-#include <vector>
+#include "score_cli.hpp"
 
-#include "io/csv.hpp"
-#include "io/json.hpp"
-#include "pipeline/artifact.hpp"
-#include "pipeline/artifact_fault.hpp"
-#include "pipeline/experiment.hpp"
-#include "pipeline/scorer.hpp"
-
-namespace {
-
-using namespace htd;
-
-constexpr int kExitOk = 0;
-constexpr int kExitError = 1;
-constexpr int kExitArtifactRejected = 2;
-
-void usage() {
-    std::fprintf(
-        stderr,
-        "usage:\n"
-        "  htd_score calibrate --artifact <out.json> [--fingerprints <out.csv>]\n"
-        "                      [--bscores <out.json>] [--chips N] [--mc N]\n"
-        "                      [--synthetic N] [--seed N]\n"
-        "  htd_score score     --artifact <in.json> --fingerprints <in.csv>\n"
-        "                      --bscores <out.json> [--strict]\n"
-        "  htd_score inject    --artifact <file.json>\n"
-        "                      --fault truncate|bit_flip|section_swap|stale_version\n"
-        "                      [--seed N]\n"
-        "\n"
-        "exit codes: 0 ok, 1 error, 2 artifact rejected\n");
-}
-
-std::string hex_seed(std::uint64_t v) {
-    char buf[17];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(v));
-    return buf;
-}
-
-/// The htd.bscores.v1 report: per-boundary health + decision values for a
-/// device batch. Emitted identically by the calibrate (in-process pipeline)
-/// and score (artifact) paths so the two can be compared byte for byte.
-template <typename Source>
-io::Json bscores_json(const Source& source, std::uint64_t seed,
-                      const linalg::Matrix& fingerprints) {
-    io::Json boundaries = io::Json::object();
-    for (const core::Boundary b : core::kAllBoundaries) {
-        const core::BoundaryStatus& st = source.boundary_status(b);
-        io::Json entry = io::Json::object();
-        entry.set("health", core::boundary_health_name(st.health));
-        entry.set("detail", st.detail);
-        if (st.usable()) {
-            entry.set("scores",
-                      io::Json::from(source.decision_values(b, fingerprints)));
-        } else {
-            entry.set("scores", io::Json());
-        }
-        boundaries.set(core::boundary_name(b), std::move(entry));
-    }
-    io::Json doc = io::Json::object();
-    doc.set("schema", "htd.bscores.v1");
-    doc.set("seed", hex_seed(seed));
-    doc.set("devices", fingerprints.rows());
-    doc.set("boundaries", std::move(boundaries));
-    return doc;
-}
-
-struct Args {
-    std::string artifact;
-    std::string fingerprints;
-    std::string bscores;
-    std::string fault;
-    std::size_t chips = 12;
-    std::size_t mc = 0;         // 0 = pipeline default
-    std::size_t synthetic = 20000;
-    std::uint64_t seed = 0;
-    bool seed_set = false;
-    bool strict = false;
-};
-
-Args parse_args(int argc, char** argv, int first) {
-    Args args;
-    for (int i = first; i < argc; ++i) {
-        const std::string flag = argv[i];
-        const auto next = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                throw std::invalid_argument("missing value for " + flag);
-            }
-            return argv[++i];
-        };
-        if (flag == "--artifact") {
-            args.artifact = next();
-        } else if (flag == "--fingerprints") {
-            args.fingerprints = next();
-        } else if (flag == "--bscores") {
-            args.bscores = next();
-        } else if (flag == "--fault") {
-            args.fault = next();
-        } else if (flag == "--chips") {
-            args.chips = std::stoul(next());
-        } else if (flag == "--mc") {
-            args.mc = std::stoul(next());
-        } else if (flag == "--synthetic") {
-            args.synthetic = std::stoul(next());
-        } else if (flag == "--seed") {
-            args.seed = std::stoull(next());
-            args.seed_set = true;
-        } else if (flag == "--strict") {
-            args.strict = true;
-        } else {
-            throw std::invalid_argument("unknown flag " + flag);
-        }
-    }
-    return args;
-}
-
-int run_calibrate(const Args& args) {
-    if (args.artifact.empty()) {
-        throw std::invalid_argument("calibrate requires --artifact");
-    }
-    core::ExperimentConfig config;
-    config.n_chips = args.chips;
-    if (args.mc > 0) config.pipeline.monte_carlo_samples = args.mc;
-    config.pipeline.synthetic_samples = args.synthetic;
-    if (args.seed_set) config.seed = args.seed;
-
-    // The canonical experiment driver (same stream discipline as
-    // examples/quickstart.cpp): one master seed, one split per stochastic
-    // stage. Reproducing this exact split order is what makes the
-    // calibrate-time B-scores bit-for-bit reproducible.
-    rng::Rng rng(config.seed);
-    rng::Rng fab_rng = rng.split();
-    const silicon::DuttDataset devices =
-        core::fabricate_and_measure(config, fab_rng);
-
-    const core::ProcessPair processes =
-        core::make_process_pair(config.process_shift_sigma);
-    core::GoldenFreePipeline pipeline(
-        config.pipeline,
-        silicon::SpiceSimulator(config.platform, processes.spice));
-    rng::Rng sim_rng = rng.split();
-    rng::Rng pipe_rng = rng.split();
-    pipeline.run_premanufacturing(sim_rng);
-    pipeline.run_silicon_stage(devices.pcms, pipe_rng);
-
-    const core::BoundaryArtifact artifact =
-        core::BoundaryArtifact::from_pipeline(pipeline, config.seed, "htd_score");
-    artifact.save(args.artifact);
-    std::printf("calibrated %zu devices -> %s (config %s)\n", devices.size(),
-                args.artifact.c_str(),
-                artifact.provenance().config_hash.c_str());
-
-    if (!args.fingerprints.empty()) {
-        io::write_csv(args.fingerprints, devices.fingerprints);
-        std::printf("wrote fingerprints %s (%zu x %zu)\n",
-                    args.fingerprints.c_str(), devices.fingerprints.rows(),
-                    devices.fingerprints.cols());
-    }
-    if (!args.bscores.empty()) {
-        bscores_json(pipeline, config.seed, devices.fingerprints)
-            .dump_to_file(args.bscores);
-        std::printf("wrote reference B-scores %s\n", args.bscores.c_str());
-    }
-    return kExitOk;
-}
-
-int run_score(const Args& args) {
-    if (args.artifact.empty() || args.fingerprints.empty() ||
-        args.bscores.empty()) {
-        throw std::invalid_argument(
-            "score requires --artifact, --fingerprints and --bscores");
-    }
-    core::ArtifactLoadReport report;
-    const core::BoundaryScorer scorer(core::BoundaryArtifact::load(
-        args.artifact, {.strict = args.strict}, &report));
-    for (const std::string& note : report.notes) {
-        std::fprintf(stderr, "warning: %s\n", note.c_str());
-    }
-
-    const linalg::Matrix fingerprints = io::read_csv(args.fingerprints);
-    bscores_json(scorer, scorer.artifact().provenance().seed, fingerprints)
-        .dump_to_file(args.bscores);
-
-    std::size_t usable = 0;
-    for (const core::Boundary b : core::kAllBoundaries) {
-        usable += scorer.boundary_ready(b) ? 1 : 0;
-    }
-    std::printf("scored %zu devices against %zu/5 boundaries -> %s\n",
-                fingerprints.rows(), usable, args.bscores.c_str());
-    return kExitOk;
-}
-
-int run_inject(const Args& args) {
-    if (args.artifact.empty() || args.fault.empty()) {
-        throw std::invalid_argument("inject requires --artifact and --fault");
-    }
-    core::ArtifactFault fault{};
-    if (args.fault == "truncate") {
-        fault = core::ArtifactFault::kTruncate;
-    } else if (args.fault == "bit_flip") {
-        fault = core::ArtifactFault::kBitFlip;
-    } else if (args.fault == "section_swap") {
-        fault = core::ArtifactFault::kSectionSwap;
-    } else if (args.fault == "stale_version") {
-        fault = core::ArtifactFault::kStaleVersion;
-    } else {
-        throw std::invalid_argument("unknown fault '" + args.fault + "'");
-    }
-    core::ArtifactFaultInjector injector(args.seed_set ? args.seed : 1);
-    const std::string what = injector.corrupt_file(args.artifact, fault);
-    std::printf("injected %s into %s\n", what.c_str(), args.artifact.c_str());
-    return kExitOk;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-    if (argc < 2) {
-        usage();
-        return kExitError;
-    }
-    const std::string command = argv[1];
-    try {
-        const Args args = parse_args(argc, argv, 2);
-        if (command == "calibrate") return run_calibrate(args);
-        if (command == "score") return run_score(args);
-        if (command == "inject") return run_inject(args);
-        usage();
-        return kExitError;
-    } catch (const core::ArtifactError& e) {
-        std::fprintf(stderr, "htd_score: artifact rejected: %s\n", e.what());
-        return kExitArtifactRejected;
-    } catch (const std::exception& e) {
-        std::fprintf(stderr, "htd_score: %s\n", e.what());
-        return kExitError;
-    }
-}
+int main(int argc, char** argv) { return htd::score_cli::run(argc, argv); }

@@ -1,0 +1,33 @@
+#pragma once
+/// \file score_cli.hpp
+/// htd_score's command-line driver as a library, so tests can exercise the
+/// help text, flag parsing and exit-code contract in-process instead of
+/// shelling out to the binary (same split as tools/htd_profile).
+///
+/// Exit-code contract (documented in `help_text()`, asserted in
+/// tests/test_score_cli.cpp):
+///
+///   0  kExitClean             command succeeded; for `score`, every device
+///                             fell inside the verdict boundary
+///   1  kExitFlaggedOrError    at least one device was flagged by the
+///                             verdict boundary, or a usage/runtime error
+///   2  kExitArtifactRejected  the artifact failed validation (typed
+///                             core::ArtifactError — never score against a
+///                             corrupt artifact)
+
+#include <string>
+
+namespace htd::score_cli {
+
+inline constexpr int kExitClean = 0;
+inline constexpr int kExitFlaggedOrError = 1;
+inline constexpr int kExitArtifactRejected = 2;
+
+/// The full --help text (usage, flags, exit codes).
+[[nodiscard]] const std::string& help_text();
+
+/// Run the htd_score CLI: argv[0] is the program name, the rest are the
+/// command and flags. Never throws; errors map onto the exit codes above.
+[[nodiscard]] int run(int argc, const char* const* argv);
+
+}  // namespace htd::score_cli

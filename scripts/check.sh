@@ -28,12 +28,13 @@
 #                                  # diff the fresh BENCH_*.json against
 #                                  # bench/baselines/ via bench_compare
 #   scripts/check.sh --profile-smoke
-#                                  # profiler smoke: run the quickstart twice
-#                                  # with HTD_OBS_TRACE + normalized ticks,
-#                                  # require byte-identical traces, validate
-#                                  # them with htd_profile, and check the
-#                                  # five pipeline stage spans and nonzero
-#                                  # work counters are present
+#                                  # profiler smoke: run the quickstart with
+#                                  # HTD_OBS_TRACE, validate the trace with
+#                                  # htd_profile, and check the five
+#                                  # pipeline stage spans and nonzero work
+#                                  # counters are present (byte-identity of
+#                                  # same-seed traces lives in the
+#                                  # --determinism gate)
 #   scripts/check.sh --artifact-smoke
 #                                  # calibrate/score smoke: htd_score
 #                                  # calibrate -> score against the saved
@@ -44,12 +45,22 @@
 #                                  # rejection (exit code 2)
 #   scripts/check.sh --journal-smoke
 #                                  # decision-forensics smoke: run the
-#                                  # calibrate -> score sequence twice with
-#                                  # --journal and normalized events,
-#                                  # require byte-identical htd.events.v1
-#                                  # journals (cmp), validate them with
-#                                  # htd_explain, and query one chip's
-#                                  # chip_scored trail
+#                                  # calibrate -> score sequence with
+#                                  # --journal, validate the htd.events.v1
+#                                  # journal with htd_explain, and query one
+#                                  # chip's chip_scored trail (cross-run
+#                                  # byte-identity lives in --determinism)
+#   scripts/check.sh --determinism # determinism gate (DESIGN.md §16): every
+#                                  # same-seed byte-identity contract in one
+#                                  # prong. Runs the quickstart twice with a
+#                                  # JSON sink + normalized trace/run-report
+#                                  # observability and cmp's the run report,
+#                                  # trace and stdout; then runs the
+#                                  # htd_score calibrate -> score sequence
+#                                  # twice with --journal + normalized
+#                                  # events and cmp's the boundary artifact,
+#                                  # fingerprints CSV, both B-score reports
+#                                  # and the journal
 #
 # All presets build with HTD_WARNINGS_AS_ERRORS=ON: a new warning anywhere
 # in src/, tools/, bench/ or tests/ fails the build rather than scrolling
@@ -145,12 +156,75 @@ run_journal_smoke() {
     out="$(mktemp -d)"
     local score=./build-release/tools/htd_score/htd_score
     local explain=./build-release/tools/htd_explain/htd_explain
-    # Two same-seed calibrate -> score sequences with normalized events
-    # (ts_ns = seq) must produce byte-identical htd.events.v1 journals —
-    # the determinism contract DESIGN.md §15 documents. Score may exit 1
-    # (devices flagged) at this tiny calibration budget; that is a verdict,
-    # not an error.
-    local run rc
+    # One calibrate -> score sequence with --journal; the cross-run
+    # byte-identity of normalized journals is the --determinism gate's job.
+    # Score may exit 1 (devices flagged) at this tiny calibration budget;
+    # that is a verdict, not an error.
+    "$score" calibrate \
+        --artifact "$out/boundary.json" \
+        --fingerprints "$out/fingerprints.csv" \
+        --bscores "$out/ref.json" \
+        --chips 8 --mc 40 --synthetic 5000 \
+        --journal "$out/journal.jsonl"
+    local rc=0
+    "$score" score \
+        --artifact "$out/boundary.json" \
+        --fingerprints "$out/fingerprints.csv" \
+        --bscores "$out/scored.json" \
+        --journal "$out/journal.jsonl" || rc=$?
+    if [[ "$rc" != 0 && "$rc" != 1 ]]; then
+        echo "check.sh: journal smoke: score exited $rc, want 0 or 1" >&2
+        return 1
+    fi
+    # Structural validation: every record parses, carries the schema tag,
+    # a registered kind and a strictly increasing sequence — across the
+    # calibrate and score appends to the same file.
+    "$explain" validate "$out/journal.jsonl"
+    # One chip's forensic trail must surface its chip_scored event.
+    if ! "$explain" query "$out/journal.jsonl" --chip 0 \
+            --kind chip_scored | grep -q chip_scored; then
+        echo "check.sh: journal smoke: no chip_scored event for chip 0" >&2
+        return 1
+    fi
+    rm -rf "$out"
+    echo "== check.sh: journal smoke OK =="
+}
+
+run_determinism() {
+    echo "== check.sh: determinism gate (same-seed byte-identity) =="
+    cmake --preset release
+    cmake --build --preset release -j "$(nproc)" \
+        --target quickstart htd_score
+    local out
+    out="$(mktemp -d)"
+    local run f
+    # Prong 1: the quickstart, twice, with everything it can serialize made
+    # deterministic — JSON sink, normalized trace and (the same flag)
+    # normalized run-report observability. The whole run report, the trace
+    # and stdout must be byte-identical: any clock, iteration-order or RNG
+    # leak anywhere in the pipeline or the obs layer shows up as a cmp
+    # diff here. This is the gate DESIGN.md §16 pairs with htd_lint's
+    # determinism passes: the lint rules catch the patterns statically,
+    # this catches whatever slips through at runtime.
+    for run in a b; do
+        mkdir "$out/$run"
+        (cd "$out/$run" && HTD_OBS=json HTD_OBS_TRACE=trace.json \
+            HTD_OBS_TRACE_NORMALIZE=1 \
+            "$OLDPWD"/build-release/examples/quickstart > stdout.txt)
+    done
+    for f in quickstart_run_report.json trace.json stdout.txt; do
+        if ! cmp "$out/a/$f" "$out/b/$f"; then
+            echo "check.sh: determinism: same-seed quickstart $f differs" >&2
+            return 1
+        fi
+    done
+    # Prong 2: two same-seed calibrate -> score sequences with --journal
+    # and normalized events (ts_ns = seq). The boundary artifact, the
+    # measured fingerprints, both B-score reports and the htd.events.v1
+    # journal carry no wall-clock state, so all of them must match
+    # byte-for-byte across runs (DESIGN.md §15 for the journal contract).
+    local score=./build-release/tools/htd_score/htd_score
+    local rc
     for run in a b; do
         HTD_OBS_JOURNAL_NORMALIZE=1 "$score" calibrate \
             --artifact "$out/boundary_$run.json" \
@@ -165,26 +239,19 @@ run_journal_smoke() {
             --bscores "$out/scored_$run.json" \
             --journal "$out/journal_$run.jsonl" || rc=$?
         if [[ "$rc" != 0 && "$rc" != 1 ]]; then
-            echo "check.sh: journal smoke: score exited $rc, want 0 or 1" >&2
+            echo "check.sh: determinism: score exited $rc, want 0 or 1" >&2
             return 1
         fi
     done
-    if ! cmp "$out/journal_a.jsonl" "$out/journal_b.jsonl"; then
-        echo "check.sh: journal smoke: same-seed normalized journals differ" >&2
-        return 1
-    fi
-    # Structural validation: every record parses, carries the schema tag,
-    # a registered kind and a strictly increasing sequence — across the
-    # calibrate and score appends to the same file.
-    "$explain" validate "$out/journal_a.jsonl"
-    # One chip's forensic trail must surface its chip_scored event.
-    if ! "$explain" query "$out/journal_a.jsonl" --chip 0 \
-            --kind chip_scored | grep -q chip_scored; then
-        echo "check.sh: journal smoke: no chip_scored event for chip 0" >&2
-        return 1
-    fi
+    for f in boundary.json fingerprints.csv ref.json scored.json \
+             journal.jsonl; do
+        if ! cmp "$out/${f%.*}_a.${f##*.}" "$out/${f%.*}_b.${f##*.}"; then
+            echo "check.sh: determinism: same-seed $f artifacts differ" >&2
+            return 1
+        fi
+    done
     rm -rf "$out"
-    echo "== check.sh: journal smoke OK =="
+    echo "== check.sh: determinism gate OK =="
 }
 
 run_profile_smoke() {
@@ -193,19 +260,11 @@ run_profile_smoke() {
     cmake --build --preset release -j "$(nproc)" --target quickstart htd_profile
     local out
     out="$(mktemp -d)"
-    # Two same-seed runs with normalized ticks must serialize to identical
-    # bytes — the determinism contract the committed trace tests and
-    # htd_profile's diffing rely on (DESIGN.md §13).
+    # One normalized run feeds the structural checks; cross-run trace
+    # byte-identity is the --determinism gate's job.
     (cd "$out" && HTD_OBS=json HTD_OBS_TRACE=trace_a.json \
         HTD_OBS_TRACE_NORMALIZE=1 "$OLDPWD"/build-release/examples/quickstart \
         > /dev/null)
-    (cd "$out" && HTD_OBS=json HTD_OBS_TRACE=trace_b.json \
-        HTD_OBS_TRACE_NORMALIZE=1 "$OLDPWD"/build-release/examples/quickstart \
-        > /dev/null)
-    if ! cmp "$out/trace_a.json" "$out/trace_b.json"; then
-        echo "check.sh: profile smoke: same-seed normalized traces differ" >&2
-        return 1
-    fi
     # --validate exits nonzero on a malformed trace, which fails the
     # assignment under set -e; the JSON report then feeds the span/work
     # presence checks.
@@ -280,6 +339,8 @@ elif [[ $# -ge 1 && "$1" == "--artifact-smoke" ]]; then
     run_artifact_smoke
 elif [[ $# -ge 1 && "$1" == "--journal-smoke" ]]; then
     run_journal_smoke
+elif [[ $# -ge 1 && "$1" == "--determinism" ]]; then
+    run_determinism
 elif [[ $# -ge 1 ]]; then
     run_preset "$1"
 else

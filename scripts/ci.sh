@@ -12,16 +12,19 @@
 #   analyze     scripts/check.sh --analyze (htd_lint invariants + layering,
 #               format check, clang-tidy where installed)
 #   profile     scripts/check.sh --profile-smoke (quickstart under
-#               HTD_OBS_TRACE: byte-identical normalized traces, htd_profile
-#               validation, the five pipeline stage spans, nonzero work
-#               counters)
+#               HTD_OBS_TRACE: htd_profile validation, the five pipeline
+#               stage spans, nonzero work counters)
 #   artifact    scripts/check.sh --artifact-smoke (htd_score calibrate ->
 #               score round trip with byte-identical B-score reports, then
 #               a fault-injected artifact must be rejected with exit 2)
 #   journal     scripts/check.sh --journal-smoke (calibrate -> score with
-#               --journal twice: byte-identical normalized htd.events.v1
-#               journals, htd_explain validation, one chip's chip_scored
+#               --journal: htd_explain validation, one chip's chip_scored
 #               trail queryable)
+#   determinism scripts/check.sh --determinism (every same-seed
+#               byte-identity contract in one gate, DESIGN.md §16:
+#               quickstart run report + normalized trace + stdout, and the
+#               calibrate -> score artifact/fingerprints/B-score/journal
+#               set, each cmp'd across two runs)
 #   bench-gate  scripts/check.sh --bench-gate (perf/quality regression
 #               diff against bench/baselines/ under --strict-waivers;
 #               skippable — latency baselines only gate on comparable,
@@ -47,7 +50,7 @@ for arg in "$@"; do
             skip_bench=1
             ;;
         --help|-h)
-            sed -n '2,31p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,34p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
             ;;
         *)
@@ -99,6 +102,7 @@ run_stage analyze scripts/check.sh --analyze
 run_stage profile scripts/check.sh --profile-smoke
 run_stage artifact scripts/check.sh --artifact-smoke
 run_stage journal scripts/check.sh --journal-smoke
+run_stage determinism scripts/check.sh --determinism
 if [[ "$skip_bench" == 0 ]]; then
     # The latency baselines only hold on a quiet machine, and this stage
     # starts seconds after the build+test stages saturated every core —

@@ -1,0 +1,92 @@
+#pragma once
+/// \file stable_sum.hpp
+/// Order-stable floating-point reduction helpers.
+///
+/// Naive left-to-right `+=` reductions are the main obstacle to running
+/// the statistical hot loops (KMM Gram sums, KDE kernel evaluations, the
+/// Monte Carlo power accumulation) across threads: FP addition is not
+/// associative, so any change in accumulation order — a different thread
+/// count, a reordered chunk merge — shifts the last ulps and breaks the
+/// bitwise artifact/score parity the golden-free pipeline promises
+/// (DESIGN.md §16). These helpers pin the summation semantics instead:
+///
+///  - `StableAccumulator` — Neumaier-compensated (improved Kahan)
+///    running sum. Sequential like a naive `+=` but tracks the rounding
+///    error of every addition in a compensation term, so the result is
+///    accurate to ~1 ulp of the true sum even under catastrophic
+///    cancellation, and — crucially — is a *defined* function of the
+///    input sequence that a future parallel merge can reproduce by
+///    combining per-chunk (sum, compensation) pairs in fixed order.
+///  - `stable_sum(span)` — pairwise (cascade) summation over a
+///    materialized range. Error grows O(log n) instead of O(n), and the
+///    reduction tree depends only on `n`, never on thread schedule.
+///
+/// htd_lint's `float-reduction-order` pass rejects naive `+=` /
+/// `std::accumulate` FP reductions inside `HTD_PARALLEL_READY` regions;
+/// these helpers are the sanctioned replacement.
+
+#include <cstddef>
+#include <span>
+
+namespace htd::core {
+
+/// Neumaier-compensated running sum (Kahan variant that also handles the
+/// case where the incoming term is larger than the running sum). Usage
+/// mirrors a naive accumulator:
+///
+///     StableAccumulator acc;
+///     for (double x : xs) acc.add(x);
+///     double total = acc.value();
+class StableAccumulator {
+public:
+    constexpr StableAccumulator() = default;
+
+    /// Adds one term, folding its rounding error into the compensation.
+    constexpr void add(double x) noexcept {
+        const double t = sum_ + x;
+        // The larger-magnitude operand donates the exactly-representable
+        // residue of the addition (Neumaier's refinement over Kahan).
+        const double abs_sum = sum_ < 0.0 ? -sum_ : sum_;
+        const double abs_x = x < 0.0 ? -x : x;
+        if (abs_sum >= abs_x) {
+            comp_ += (sum_ - t) + x;
+        } else {
+            comp_ += (x - t) + sum_;
+        }
+        sum_ = t;
+    }
+
+    /// The compensated sum of everything added so far.
+    [[nodiscard]] constexpr double value() const noexcept { return sum_ + comp_; }
+
+private:
+    double sum_ = 0.0;
+    double comp_ = 0.0;
+};
+
+namespace detail {
+
+/// Recursive pairwise reduction; the split point depends only on the
+/// length, so the tree shape (and therefore the rounding) is a pure
+/// function of `n`.
+[[nodiscard]] constexpr double pairwise_sum(std::span<const double> xs) noexcept {
+    constexpr std::size_t kLeaf = 8;  // naive below this; error still O(log n)
+    if (xs.size() <= kLeaf) {
+        double acc = 0.0;
+        for (const double x : xs) acc += x;
+        return acc;
+    }
+    const std::size_t half = xs.size() / 2;
+    return pairwise_sum(xs.first(half)) + pairwise_sum(xs.subspan(half));
+}
+
+}  // namespace detail
+
+/// Pairwise (cascade) sum of a materialized range. Deterministic for a
+/// given input sequence regardless of how callers are scheduled; error
+/// bound O(eps·log n) vs O(eps·n) for a naive loop.
+[[nodiscard]] constexpr double stable_sum(std::span<const double> xs) noexcept {
+    return detail::pairwise_sum(xs);
+}
+
+}  // namespace htd::core

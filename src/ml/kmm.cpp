@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/annotations.hpp"
+#include "core/stable_sum.hpp"
 #include "obs/span.hpp"
 #include "stats/descriptive.hpp"
 
@@ -125,12 +127,16 @@ linalg::Vector KernelMeanMatching::solve(const linalg::Matrix& train,
         static_cast<double>(ntr) * static_cast<double>(ntr) +
             static_cast<double>(ntr) * static_cast<double>(nte));
     linalg::Vector kappa(ntr);
+    // Each kappa[i] is an independent nte-term kernel sum — the natural
+    // per-thread work unit once the pool lands; the compensated
+    // accumulator pins the reduction order per row.
+    HTD_PARALLEL_READY;
     for (std::size_t i = 0; i < ntr; ++i) {
-        double acc = 0.0;
+        core::StableAccumulator acc;
         for (std::size_t j = 0; j < nte; ++j) {
-            acc += kernel(train.row_span(i), test.row_span(j));
+            acc.add(kernel(train.row_span(i), test.row_span(j)));
         }
-        kappa[i] = acc * static_cast<double>(ntr) / static_cast<double>(nte);
+        kappa[i] = acc.value() * static_cast<double>(ntr) / static_cast<double>(nte);
     }
 
     double eps = opts_.epsilon;

@@ -66,8 +66,12 @@ std::uint64_t last_sequence_in(const std::string& path) {
 }  // namespace
 
 EventJournal& EventJournal::global() {
-    static EventJournal* instance = [] {
-        static EventJournal journal;
+    static EventJournal* instance HTD_SHARED_STATE_OK(
+        "process-wide journal handle; written once by the thread-safe "
+        "magic-static initializer, read-only afterwards") = [] {
+        static EventJournal journal HTD_SHARED_STATE_OK(
+            "singleton journal storage; every mutation after construction "
+            "goes through the journal mutex");
         journal.apply_environment();
         return &journal;
     }();
@@ -77,7 +81,9 @@ EventJournal& EventJournal::global() {
 EventJournal::~EventJournal() = default;
 
 void EventJournal::apply_environment() {
-    const char* normalize = std::getenv("HTD_OBS_JOURNAL_NORMALIZE");
+    // getenv reads below: journal construction runs once, before any worker
+    // threads exist, and nothing in this process calls setenv.
+    const char* normalize = std::getenv("HTD_OBS_JOURNAL_NORMALIZE");  // NOLINT(concurrency-mt-unsafe)
     if (normalize != nullptr) {
         std::string error;
         set_normalized(
@@ -86,7 +92,7 @@ void EventJournal::apply_environment() {
         // process, so a typo warns exactly once.
         if (!error.empty()) std::fprintf(stderr, "%s\n", error.c_str());
     }
-    const char* path = std::getenv("HTD_OBS_JOURNAL");
+    const char* path = std::getenv("HTD_OBS_JOURNAL");  // NOLINT(concurrency-mt-unsafe)
     if (path != nullptr && *path != '\0') open(path);
 }
 

@@ -75,21 +75,25 @@ double HistogramSnapshot::quantile(double q) const noexcept {
 Registry::Registry() { apply_environment(); }
 
 Registry& Registry::global() {
-    static Registry instance;
+    static Registry instance HTD_SHARED_STATE_OK(
+        "process-wide metrics registry: every mutation goes through mutex_ "
+        "or an atomic, and magic-static construction is thread-safe");
     return instance;
 }
 
 void Registry::apply_environment() {
-    const char* path = std::getenv("HTD_OBS_PATH");
+    // getenv reads below: registry construction runs once, before any
+    // worker threads exist, and nothing in this process calls setenv.
+    const char* path = std::getenv("HTD_OBS_PATH");  // NOLINT(concurrency-mt-unsafe)
     json_path_ = (path != nullptr && *path != '\0') ? path : "htd_obs.json";
 
-    const char* trace = std::getenv("HTD_OBS_TRACE");
+    const char* trace = std::getenv("HTD_OBS_TRACE");  // NOLINT(concurrency-mt-unsafe)
     if (trace != nullptr && *trace != '\0') trace_path_ = trace;
 
     // Boolean toggles share the HTD_OBS typo contract: an invalid value
     // warns once on stderr (registry construction runs once per process)
     // naming the valid values instead of silently acting as "on" or "off".
-    const char* normalize = std::getenv("HTD_OBS_TRACE_NORMALIZE");
+    const char* normalize = std::getenv("HTD_OBS_TRACE_NORMALIZE");  // NOLINT(concurrency-mt-unsafe)
     if (normalize != nullptr) {
         std::string error;
         if (bool_env_value("HTD_OBS_TRACE_NORMALIZE", normalize, &error)) {
@@ -98,7 +102,7 @@ void Registry::apply_environment() {
         if (!error.empty()) std::fprintf(stderr, "%s\n", error.c_str());
     }
 
-    const char* resources = std::getenv("HTD_OBS_RESOURCES");
+    const char* resources = std::getenv("HTD_OBS_RESOURCES");  // NOLINT(concurrency-mt-unsafe)
     if (resources != nullptr) {
         std::string error;
         if (bool_env_value("HTD_OBS_RESOURCES", resources, &error)) {
@@ -107,7 +111,7 @@ void Registry::apply_environment() {
         if (!error.empty()) std::fprintf(stderr, "%s\n", error.c_str());
     }
 
-    const char* mode = std::getenv("HTD_OBS");
+    const char* mode = std::getenv("HTD_OBS");  // NOLINT(concurrency-mt-unsafe)
     if (mode == nullptr) {
         // A trace request implies recording even without an explicit sink.
         if (!trace_path_.empty()) configure(SinkKind::kJson);
@@ -151,7 +155,9 @@ void Registry::set_trace_path(std::string path) {
 }
 
 std::uint32_t Registry::current_thread_index() noexcept {
-    static std::atomic<std::uint32_t> next{0};
+    static std::atomic<std::uint32_t> next HTD_SHARED_STATE_OK(
+        "monotonic thread-index source; the relaxed fetch_add is the only "
+        "mutation and collisions are impossible"){0};
     thread_local const std::uint32_t index =
         next.fetch_add(1, std::memory_order_relaxed) + 1;
     return index;

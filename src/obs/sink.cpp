@@ -1,9 +1,14 @@
 #include "obs/sink.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
 
 #include "io/table.hpp"
+#include "obs/trace_export.hpp"
 
 namespace htd::obs {
 
@@ -34,22 +39,48 @@ std::string fmt_compact(double v) {
 }  // namespace
 
 io::Json spans_json(const Registry& registry) {
+    // Normalized mode (HTD_OBS_TRACE_NORMALIZE=1) replaces every
+    // clock-derived field with structural Euler-tour ticks, exactly like
+    // the trace export: two same-seed runs then serialize byte-identical
+    // spans, which is what lets scripts/check.sh --determinism cmp whole
+    // run reports. The shape is unchanged so every reader keeps parsing.
+    const bool normalize = registry.trace_normalize();
+    std::vector<SpanRecord> spans = registry.spans();
+    std::map<std::uint64_t, std::pair<std::int64_t, std::int64_t>> ticks;
+    if (normalize) {
+        std::sort(spans.begin(), spans.end(),
+                  [](const SpanRecord& a, const SpanRecord& b) {
+                      return a.id < b.id;
+                  });
+        ticks = span_euler_ticks(spans);
+    }
     io::Json out = io::Json::array();
-    for (const SpanRecord& s : registry.spans()) {
+    for (const SpanRecord& s : spans) {
         io::Json rec = io::Json::object();
         rec.set("id", static_cast<double>(s.id));
         rec.set("parent", static_cast<double>(s.parent));
         rec.set("depth", static_cast<double>(s.depth));
         rec.set("thread", static_cast<double>(s.thread));
         rec.set("name", s.name);
-        rec.set("start_wall_ns", static_cast<double>(s.start_wall_ns));
-        rec.set("wall_ns", static_cast<double>(s.wall_ns));
-        rec.set("cpu_ns", static_cast<double>(s.cpu_ns));
-        if (!s.attrs.empty()) {
-            io::Json attrs = io::Json::object();
-            for (const auto& [key, value] : s.attrs) attrs.set(key, value);
-            rec.set("attrs", std::move(attrs));
+        if (normalize) {
+            const auto& [enter, exit] = ticks.at(s.id);
+            rec.set("start_wall_ns", static_cast<double>(enter));
+            rec.set("wall_ns", static_cast<double>(exit - enter));
+            rec.set("cpu_ns", 0.0);
+        } else {
+            rec.set("start_wall_ns", static_cast<double>(s.start_wall_ns));
+            rec.set("wall_ns", static_cast<double>(s.wall_ns));
+            rec.set("cpu_ns", static_cast<double>(s.cpu_ns));
         }
+        bool any_attr = false;
+        io::Json attrs = io::Json::object();
+        for (const auto& [key, value] : s.attrs) {
+            // mem.* resource samples are measurements, not structure.
+            if (normalize && key.rfind("mem.", 0) == 0) continue;
+            attrs.set(key, value);
+            any_attr = true;
+        }
+        if (any_attr) rec.set("attrs", std::move(attrs));
         out.push_back(std::move(rec));
     }
     return out;
@@ -72,24 +103,32 @@ io::Json metrics_json(const Registry& registry) {
 
     io::Json histograms = io::Json::object();
     const std::vector<double>& bounds = histogram_bucket_bounds();
+    // Latency histograms are clock-derived; under normalized mode the
+    // record *counts* stay (they are structural) but every timing-derived
+    // statistic and bucket is zeroed, keeping the shape parseable while
+    // making same-seed runs byte-identical.
+    const bool normalize = registry.trace_normalize();
     for (const auto& [name, h] : registry.histograms()) {
         io::Json hist = io::Json::object();
         hist.set("unit", "us");
         hist.set("total", h.total);
-        hist.set("sum", h.sum);
-        hist.set("mean", h.mean());
-        hist.set("min", h.min);
-        hist.set("max", h.max);
-        hist.set("p50", h.quantile(0.50));
-        hist.set("p90", h.quantile(0.90));
-        hist.set("p99", h.quantile(0.99));
+        hist.set("sum", normalize ? 0.0 : h.sum);
+        hist.set("mean", normalize ? 0.0 : h.mean());
+        hist.set("min", normalize ? 0.0 : h.min);
+        hist.set("max", normalize ? 0.0 : h.max);
+        hist.set("p50", normalize ? 0.0 : h.quantile(0.50));
+        hist.set("p90", normalize ? 0.0 : h.quantile(0.90));
+        hist.set("p99", normalize ? 0.0 : h.quantile(0.99));
         io::Json buckets = io::Json::array();
-        for (std::size_t i = 0; i < h.counts.size(); ++i) {
-            if (h.counts[i] == 0) continue;  // sparse: only occupied buckets
-            io::Json bucket = io::Json::object();
-            bucket.set("le_us", i < bounds.size() ? io::Json(bounds[i]) : io::Json());
-            bucket.set("count", h.counts[i]);
-            buckets.push_back(std::move(bucket));
+        if (!normalize) {
+            for (std::size_t i = 0; i < h.counts.size(); ++i) {
+                if (h.counts[i] == 0) continue;  // sparse: only occupied buckets
+                io::Json bucket = io::Json::object();
+                bucket.set("le_us",
+                           i < bounds.size() ? io::Json(bounds[i]) : io::Json());
+                bucket.set("count", h.counts[i]);
+                buckets.push_back(std::move(bucket));
+            }
         }
         hist.set("buckets", std::move(buckets));
         histograms.set(name, std::move(hist));

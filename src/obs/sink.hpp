@@ -13,15 +13,25 @@ namespace htd::obs {
 
 /// Flat array of the recorded spans in completion order. Each element
 /// carries id / parent / depth / name / start_wall_ns / wall_ns / cpu_ns
-/// and an "attrs" object.
+/// and an "attrs" object. When the registry runs normalized
+/// (HTD_OBS_TRACE_NORMALIZE=1) the spans are ordered by id and the
+/// clock-derived fields switch to trace_export.hpp's structural Euler-tour
+/// ticks (start_wall_ns = enter tick, wall_ns = exit - enter, cpu_ns = 0,
+/// mem.* attrs dropped) — same key shape, byte-identical across same-seed
+/// runs, which is what lets scripts/check.sh --determinism cmp whole run
+/// reports.
 [[nodiscard]] io::Json spans_json(const Registry& registry);
 
 /// Object with "counters", "gauges" and "histograms" members. Histograms
 /// serialize their bucket counts against the shared
 /// `histogram_bucket_bounds()` ladder plus total/sum/mean/min/max.
+/// Normalized mode keeps the structural fields (unit, total) and zeroes
+/// every timing-derived statistic and bucket so the shape survives while
+/// the bytes become deterministic.
 [[nodiscard]] io::Json metrics_json(const Registry& registry);
 
-/// Combined snapshot: {"spans": ..., "metrics": ...}.
+/// Combined snapshot: {"spans": ..., "metrics": ...}. Inherits the
+/// normalized behaviour of both pieces above.
 [[nodiscard]] io::Json observability_json(const Registry& registry);
 
 /// One-line text rendering of a completed span, e.g.

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <ctime>
 
+#include "core/annotations.hpp"
 #include "obs/resource.hpp"
 
 namespace htd::obs {
@@ -11,7 +12,9 @@ namespace {
 
 /// Per-thread stack of open span ids; the top is the parent of the next
 /// span opened on this thread.
-thread_local std::vector<std::uint64_t> open_spans;
+thread_local std::vector<std::uint64_t> open_spans HTD_SHARED_STATE_OK(
+    "per-thread span stack: thread_local by design, never visible to "
+    "another thread");
 
 }  // namespace
 

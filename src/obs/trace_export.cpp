@@ -25,12 +25,14 @@ io::Json metadata_event(const char* name, std::uint32_t tid, std::string value) 
     return event;
 }
 
+}  // namespace
+
 /// Euler-tour tick assignment for normalized mode: per thread, walk the
 /// span tree depth-first (siblings in id order — ids are assigned at span
 /// open, so this is execution order for single-threaded sections) and give
 /// every span ts = its enter tick and dur = exit - enter. Purely
 /// structural, hence byte-identical across same-seed runs.
-std::map<std::uint64_t, std::pair<std::int64_t, std::int64_t>> euler_ticks(
+std::map<std::uint64_t, std::pair<std::int64_t, std::int64_t>> span_euler_ticks(
     const std::vector<SpanRecord>& spans) {
     std::map<std::uint64_t, std::vector<std::uint64_t>> children;  // parent -> ids
     std::map<std::uint64_t, const SpanRecord*> by_id;
@@ -73,8 +75,6 @@ std::map<std::uint64_t, std::pair<std::int64_t, std::int64_t>> euler_ticks(
     return ticks;
 }
 
-}  // namespace
-
 io::Json trace_events_json(const Registry& registry, bool normalize) {
     std::vector<SpanRecord> spans = registry.spans();
     std::sort(spans.begin(), spans.end(),
@@ -87,7 +87,7 @@ io::Json trace_events_json(const Registry& registry, bool normalize) {
     }
 
     std::map<std::uint64_t, std::pair<std::int64_t, std::int64_t>> ticks;
-    if (normalize) ticks = euler_ticks(spans);
+    if (normalize) ticks = span_euler_ticks(spans);
 
     std::vector<std::uint32_t> threads;
     for (const SpanRecord& s : spans) threads.push_back(s.thread);

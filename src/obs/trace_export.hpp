@@ -33,7 +33,11 @@
 ///    Two same-seed runs then produce byte-identical traces, which is what
 ///    lets CI diff trace artifacts and tests assert on exact bytes.
 
+#include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "io/json.hpp"
 #include "obs/obs.hpp"
@@ -42,6 +46,14 @@ namespace htd::obs {
 
 /// Schema tag stamped into otherData.schema.
 inline constexpr const char* kTraceSchema = "htd.trace.v1";
+
+/// Euler-tour tick assignment shared by every normalized export (traces
+/// here, run-report spans in sink.cpp): span id -> {enter tick, exit
+/// tick}. Per thread, the span tree is walked depth-first with siblings in
+/// id order, so the ticks are a pure function of the recorded structure —
+/// byte-identical across same-seed runs regardless of wall time.
+[[nodiscard]] std::map<std::uint64_t, std::pair<std::int64_t, std::int64_t>>
+span_euler_ticks(const std::vector<SpanRecord>& spans);
 
 /// Build the trace-event document from the registry's recorded spans.
 [[nodiscard]] io::Json trace_events_json(const Registry& registry,

@@ -935,16 +935,20 @@ void BoundaryArtifact::save(const std::string& path) const {
     // fsync the directory so the rename itself is durable. A crash at any
     // point leaves either the previous artifact or a stray .tmp — never a
     // torn htd.boundary.v1 file.
+    // strerror below: mt-unsafe (static buffer) but copied into the
+    // exception string before any other call can clobber it, and artifact
+    // saves happen on one thread — scoring workers never write artifacts.
     const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0) {
         throw ArtifactError(ArtifactErrorCode::kIo,
-                            "cannot open " + tmp + ": " + std::strerror(errno));
+                            "cannot open " + tmp + ": " +
+                                std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
     }
     std::size_t written = 0;
     while (written < text.size()) {
         const ssize_t n = ::write(fd, text.data() + written, text.size() - written);
         if (n < 0) {
-            const std::string why = std::strerror(errno);
+            const std::string why = std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
             ::close(fd);
             ::unlink(tmp.c_str());
             throw ArtifactError(ArtifactErrorCode::kIo,
@@ -955,13 +959,14 @@ void BoundaryArtifact::save(const std::string& path) const {
     if (::fsync(fd) != 0 || ::close(fd) != 0) {
         ::unlink(tmp.c_str());
         throw ArtifactError(ArtifactErrorCode::kIo,
-                            "cannot fsync " + tmp + ": " + std::strerror(errno));
+                            "cannot fsync " + tmp + ": " +
+                                std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         ::unlink(tmp.c_str());
         throw ArtifactError(ArtifactErrorCode::kIo,
                             "cannot rename " + tmp + " -> " + path + ": " +
-                                std::strerror(errno));
+                                std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
     }
     const std::string::size_type slash = path.find_last_of('/');
     const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);

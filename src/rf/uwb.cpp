@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/annotations.hpp"
+#include "core/stable_sum.hpp"
+
 namespace htd::rf {
 
 double mw_to_dbm(double mw) {
@@ -108,7 +111,11 @@ double PowerMeter::average_power_mw(
     // reports the band-weighted pulse energy averaged over the bit slot.
     constexpr double kLoadOhm = 50.0;
     constexpr double kSqrtPi = 1.7724538509055160273;
-    double total_mw = 0.0;
+    // This is the Monte Carlo hot loop (one call per simulated block); the
+    // compensated accumulator pins the summation order so a future
+    // per-thread split reproduces today's fingerprints bit-for-bit.
+    core::StableAccumulator total_mw;
+    HTD_PARALLEL_READY;
     for (const trojan::PulseObservation& obs : block) {
         if (!obs.transmitted) continue;
         const double a = obs.amplitude_v;
@@ -117,9 +124,9 @@ double PowerMeter::average_power_mw(
         const double avg_mw = a * a * kSqrtPi / 2.0 / kLoadOhm * obs.tau_ns /
                               opts_.bit_period_ns * 1e3 *
                               band_response(obs.frequency_ghz);
-        total_mw += avg_mw;
+        total_mw.add(avg_mw);
     }
-    return total_mw / static_cast<double>(block.size());
+    return total_mw.value() / static_cast<double>(block.size());
 }
 
 double PowerMeter::average_power_dbm(std::span<const trojan::PulseObservation> block,

@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "core/annotations.hpp"
+#include "core/stable_sum.hpp"
 #include "obs/span.hpp"
 #include "stats/descriptive.hpp"
 
@@ -129,13 +131,15 @@ double Kde::standardized_density(std::span<const double> z) const {
     const std::size_t d = std_data_.cols();
     const double inv_h = 1.0 / h_;
     std::vector<double> t(d);
-    double acc = 0.0;
+    core::StableAccumulator acc;
+    HTD_PARALLEL_READY;
     for (std::size_t i = 0; i < m; ++i) {
         const auto row = std_data_.row_span(i);
         for (std::size_t c = 0; c < d; ++c) t[c] = (z[c] - row[c]) * inv_h;
-        acc += kernel_->density(t);
+        acc.add(kernel_->density(t));
     }
-    return acc / (static_cast<double>(m) * std::pow(h_, static_cast<double>(d)));
+    return acc.value() /
+           (static_cast<double>(m) * std::pow(h_, static_cast<double>(d)));
 }
 
 double Kde::density(const linalg::Vector& x) const {
@@ -194,7 +198,8 @@ AdaptiveKde::AdaptiveKde(const linalg::Matrix& data, double alpha, double bandwi
     // Pilot density at each observation (standardized space; the Jacobian is
     // a constant and cancels inside lambda_i).
     std::vector<double> pilot_density(m);
-    double log_sum = 0.0;
+    core::StableAccumulator log_sum;
+    HTD_PARALLEL_READY;
     for (std::size_t i = 0; i < m; ++i) {
         const auto row = pilot_.std_data_.row_span(i);
         std::vector<double> z(row.begin(), row.end());
@@ -203,9 +208,9 @@ AdaptiveKde::AdaptiveKde(const linalg::Matrix& data, double alpha, double bandwi
         // keep the log finite under extreme bandwidths.
         f = std::max(f, 1e-300);
         pilot_density[i] = f;
-        log_sum += std::log(f);
+        log_sum.add(std::log(f));
     }
-    g_ = std::exp(log_sum / static_cast<double>(m));  // Eq. (9)
+    g_ = std::exp(log_sum.value() / static_cast<double>(m));  // Eq. (9)
 
     lambda_.resize(m);
     for (std::size_t i = 0; i < m; ++i) {
@@ -269,14 +274,15 @@ double AdaptiveKde::density(const linalg::Vector& x) const {
     const std::size_t m = observation_count();
     const double h = pilot_.bandwidth();
     std::vector<double> t(d);
-    double acc = 0.0;
+    core::StableAccumulator acc;
+    HTD_PARALLEL_READY;
     for (std::size_t i = 0; i < m; ++i) {
         const auto row = pilot_.std_data_.row_span(i);
         const double hi = h * lambda_[i];
         for (std::size_t c = 0; c < d; ++c) t[c] = (z[c] - row[c]) / hi;
-        acc += pilot_.kernel_->density(t) / std::pow(hi, static_cast<double>(d));
+        acc.add(pilot_.kernel_->density(t) / std::pow(hi, static_cast<double>(d)));
     }
-    return acc / static_cast<double>(m) / pilot_.jacobian_;  // Eq. (7)
+    return acc.value() / static_cast<double>(m) / pilot_.jacobian_;  // Eq. (7)
 }
 
 linalg::Vector AdaptiveKde::sample(rng::Rng& rng) const {

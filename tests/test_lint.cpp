@@ -1,14 +1,18 @@
 /// Tests for tools/htd_lint: each rule trips on a seeded fixture, the
 /// lexer-backed scanner ignores rule patterns inside comments / string
 /// literals (including encoding-prefixed raw strings — the v1
-/// regression), the include-graph layering pass rejects back-edges,
-/// cycles and unmapped modules with exact diagnostics, the
-/// result-discard and missing-nodiscard passes enforce the must-use
-/// contract, the analyzer cache serves warm runs, the allowlist
-/// suppresses and reports stale entries with justifications, the --json
-/// schema is stable, and — the self-test with teeth — the committed tree
-/// itself lints clean under the committed allowlist and layering spec,
-/// which is what keeps `scripts/check.sh --analyze` green.
+/// regression), the four v4 determinism passes (global-mutable-state,
+/// unordered-iteration-escape, rng-discipline, float-reduction-order)
+/// fire on seeded positives and stay quiet on annotated/fixed negatives,
+/// the include-graph layering pass rejects back-edges, cycles and
+/// unmapped modules with exact diagnostics, the result-discard and
+/// missing-nodiscard passes enforce the must-use contract, the analyzer
+/// cache serves warm runs and misses on config edits, the report is
+/// byte-identical across --jobs counts, the allowlist suppresses and
+/// reports stale entries with justifications, the --json schema is
+/// stable, and — the self-test with teeth — the committed tree itself
+/// lints clean under the committed allowlist and layering spec, which is
+/// what keeps `scripts/check.sh --analyze` green.
 
 #include <gtest/gtest.h>
 
@@ -402,6 +406,241 @@ TEST(LintNodiscard, SourcesAndOutOfLineDefinitionsAreExempt) {
                           "missing-nodiscard"));
 }
 
+// --- determinism passes (v4) ------------------------------------------------
+
+TEST(LintDeterminism, GlobalMutableStateFlagsStaticsAndThreadLocals) {
+    const std::string src =
+        "void f() {\n"
+        "    static int counter = 0;\n"
+        "    thread_local double scratch = 0.0;\n"
+        "    static const int limit = 4;\n"         // immutable: fine
+        "    static constexpr double pi = 3.14;\n"  // immutable: fine
+        "    (void)counter; (void)scratch; (void)limit; (void)pi;\n"
+        "}\n"
+        "static_assert(true, \"not a variable\");\n";
+    const std::vector<Finding> findings =
+        htd::lint::lint_source("src/core/x.cpp", src);
+    ASSERT_EQ(rules_of(findings),
+              (std::vector<std::string>{"global-mutable-state",
+                                        "global-mutable-state"}));
+    EXPECT_EQ(findings[0].line, 2u);
+    EXPECT_NE(findings[0].message.find("'counter'"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("HTD_SHARED_STATE_OK"),
+              std::string::npos);
+    EXPECT_EQ(findings[1].line, 3u);
+    EXPECT_NE(findings[1].message.find("'scratch'"), std::string::npos);
+    // The rule gates src/ and tools/; fixtures and tests are exempt.
+    EXPECT_TRUE(htd::lint::lint_source("tests/x.cpp", src).empty());
+}
+
+TEST(LintDeterminism, SharedStateAnnotationSuppressesAndIsRecorded) {
+    const std::string annotated =
+        "static int hits HTD_SHARED_STATE_OK(\n"
+        "    \"metrics only; guarded by the registry mutex\") = 0;\n";
+    const htd::lint::FileAnalysis fa =
+        htd::lint::analyze_file("src/obs/x.cpp", annotated);
+    EXPECT_TRUE(fa.findings.empty()) << [&] {
+        Report d;
+        d.findings = fa.findings;
+        return dump_report(d);
+    }();
+    ASSERT_EQ(fa.annotations.size(), 1u);
+    EXPECT_EQ(fa.annotations[0].symbol, "hits");
+    EXPECT_EQ(fa.annotations[0].line, 1u);
+    EXPECT_NE(fa.annotations[0].justification.find("registry mutex"),
+              std::string::npos);
+
+    // A blank justification is itself a finding: the annotation is the
+    // audit record, not a mute button.
+    const std::string blank = "static int hits HTD_SHARED_STATE_OK(\"\") = 0;\n";
+    const std::vector<Finding> findings =
+        htd::lint::lint_source("src/obs/x.cpp", blank);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "global-mutable-state");
+    EXPECT_NE(findings[0].message.find("non-empty justification"),
+              std::string::npos);
+}
+
+TEST(LintDeterminism, UnorderedIterationEscapeFlagsSerializedOrder) {
+    const std::string streamed =
+        "#include <unordered_map>\n"
+        "#include <string>\n"
+        "void dump(std::ostream& os) {\n"
+        "    std::unordered_map<std::string, double> stats;\n"
+        "    for (const auto& [k, v] : stats) {\n"
+        "        os << k;\n"
+        "    }\n"
+        "}\n";
+    const std::vector<Finding> findings =
+        htd::lint::lint_source("src/obs/x.cpp", streamed);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "unordered-iteration-escape");
+    EXPECT_EQ(findings[0].line, 5u);
+    EXPECT_NE(findings[0].message.find("'stats'"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("declared line 4"), std::string::npos);
+
+    // An escape through an order-preserving sink (Json::set, push_back...)
+    // is the same bug as streaming.
+    const std::string appended =
+        "#include <unordered_set>\n"
+        "#include <vector>\n"
+        "void collect(std::vector<int>& out) {\n"
+        "    std::unordered_set<int> seen;\n"
+        "    for (const int v : seen) {\n"
+        "        out.push_back(v);\n"
+        "    }\n"
+        "}\n";
+    EXPECT_TRUE(has_rule(htd::lint::lint_source("src/stats/x.cpp", appended),
+                         "unordered-iteration-escape"));
+
+    // Copying into a sorted container first is exactly the prescribed fix.
+    const std::string sorted_copy =
+        "#include <map>\n"
+        "#include <unordered_map>\n"
+        "void dump(htd::io::Json& out) {\n"
+        "    std::unordered_map<std::string, double> stats;\n"
+        "    std::map<std::string, double> ordered(stats.begin(), stats.end());\n"
+        "    for (const auto& [k, v] : ordered) {\n"
+        "        out.set(k, v);\n"
+        "    }\n"
+        "}\n";
+    EXPECT_TRUE(htd::lint::lint_source("src/obs/x.cpp", sorted_copy).empty());
+
+    // Order-insensitive consumption (a commutative reduction) never
+    // serializes the order and stays clean — single-statement body path.
+    const std::string reduction =
+        "#include <unordered_map>\n"
+        "double total(const std::unordered_map<int, double>& m) {\n"
+        "    double t = 0.0;\n"
+        "    for (const auto& [k, v] : m) t = t + v;\n"
+        "    return t;\n"
+        "}\n";
+    EXPECT_TRUE(htd::lint::lint_source("src/stats/x.cpp", reduction).empty());
+}
+
+TEST(LintDeterminism, RngDisciplineFlagsWallClockSeeds) {
+    // tools/ scope avoids overlapping std-random-in-library findings.
+    const std::string time_seeded =
+        "#include <ctime>\n"
+        "#include <random>\n"
+        "void f() {\n"
+        "    std::mt19937 gen(static_cast<unsigned>(std::time(nullptr)));\n"
+        "    (void)gen;\n"
+        "}\n";
+    const std::vector<Finding> findings =
+        htd::lint::lint_source("tools/htd_score/x.cpp", time_seeded);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "rng-discipline");
+    EXPECT_EQ(findings[0].line, 4u);
+    EXPECT_NE(findings[0].message.find("'gen'"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("wall clock"), std::string::npos);
+
+    // Seeding from the experiment seed is the discipline.
+    const std::string good =
+        "#include <random>\n"
+        "void f(unsigned seed) {\n"
+        "    std::mt19937 gen(seed);\n"
+        "    (void)gen;\n"
+        "}\n";
+    EXPECT_TRUE(htd::lint::lint_source("tools/htd_score/x.cpp", good).empty());
+}
+
+TEST(LintDeterminism, RngDisciplineFlagsSharedEngineInParallelRegion) {
+    const std::string shared =
+        "void f(htd::rng::Rng& rng, double* out, int n) {\n"
+        "    HTD_PARALLEL_READY;\n"
+        "    for (int i = 0; i < n; ++i) {\n"
+        "        out[i] = draw(rng) + jitter(rng);\n"
+        "    }\n"
+        "}\n";
+    const std::vector<Finding> findings =
+        htd::lint::lint_source("src/stats/x.cpp", shared);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "rng-discipline");
+    EXPECT_EQ(findings[0].line, 2u);  // anchored at the marker
+    EXPECT_NE(findings[0].message.find("'rng'"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("2 call sites"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("Rng::split"), std::string::npos);
+
+    // One substream per iteration is the prescribed fix.
+    const std::string split =
+        "void f(htd::rng::Rng& rng, double* out, int n) {\n"
+        "    HTD_PARALLEL_READY;\n"
+        "    for (int i = 0; i < n; ++i) {\n"
+        "        htd::rng::Rng local = rng.split();\n"
+        "        out[i] = draw(local);\n"
+        "    }\n"
+        "}\n";
+    EXPECT_TRUE(htd::lint::lint_source("src/stats/x.cpp", split).empty());
+
+    // The same reuse outside any HTD_PARALLEL_READY region is sequential
+    // code and none of this rule's business.
+    const std::string unmarked =
+        "void f(htd::rng::Rng& rng, double* out, int n) {\n"
+        "    for (int i = 0; i < n; ++i) {\n"
+        "        out[i] = draw(rng) + jitter(rng);\n"
+        "    }\n"
+        "}\n";
+    EXPECT_TRUE(htd::lint::lint_source("src/stats/x.cpp", unmarked).empty());
+}
+
+TEST(LintDeterminism, FloatReductionOrderFlagsNaiveAccumulation) {
+    const std::string naive =
+        "double f(const double* xs, int n) {\n"
+        "    double total = 0.0;\n"
+        "    HTD_PARALLEL_READY;\n"
+        "    for (int i = 0; i < n; ++i) {\n"
+        "        total += xs[i];\n"
+        "    }\n"
+        "    return total;\n"
+        "}\n";
+    const std::vector<Finding> findings =
+        htd::lint::lint_source("src/stats/x.cpp", naive);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "float-reduction-order");
+    EXPECT_EQ(findings[0].line, 5u);
+    EXPECT_NE(findings[0].message.find("'total += ...'"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("stable_sum"), std::string::npos);
+
+    // std::accumulate / std::reduce in a marked region carry the same
+    // order dependence.
+    const std::string accumulate =
+        "#include <numeric>\n"
+        "#include <vector>\n"
+        "double g(const std::vector<double>& xs) {\n"
+        "    HTD_PARALLEL_READY;\n"
+        "    while (pending()) {\n"
+        "        sink(std::accumulate(xs.begin(), xs.end(), 0.0));\n"
+        "    }\n"
+        "    return 0.0;\n"
+        "}\n";
+    EXPECT_TRUE(has_rule(htd::lint::lint_source("src/stats/x.cpp", accumulate),
+                         "float-reduction-order"));
+
+    // The compensated accumulator is the prescribed migration target.
+    const std::string migrated =
+        "#include \"core/stable_sum.hpp\"\n"
+        "double h(const double* xs, int n) {\n"
+        "    htd::core::StableAccumulator acc;\n"
+        "    HTD_PARALLEL_READY;\n"
+        "    for (int i = 0; i < n; ++i) {\n"
+        "        acc.add(xs[i]);\n"
+        "    }\n"
+        "    return acc.value();\n"
+        "}\n";
+    EXPECT_TRUE(htd::lint::lint_source("src/stats/x.cpp", migrated).empty());
+
+    // Unmarked sequential reductions are out of scope by design: the rule
+    // gates regions declared ready for threading, not all of src/.
+    const std::string outside =
+        "double k(const double* xs, int n) {\n"
+        "    double total = 0.0;\n"
+        "    for (int i = 0; i < n; ++i) total += xs[i];\n"
+        "    return total;\n"
+        "}\n";
+    EXPECT_TRUE(htd::lint::lint_source("src/stats/x.cpp", outside).empty());
+}
+
 // --- tree walk + report -----------------------------------------------------
 
 class LintTreeTest : public ::testing::Test {
@@ -471,22 +710,30 @@ TEST_F(LintTreeTest, JsonReportSchema) {
     options.jobs = 1;
     const Report report = lint(options);
     const Json json = htd::lint::report_json(report);
-    EXPECT_EQ(json.at("schema").str(), "htd_lint.v2");
+    EXPECT_EQ(json.at("schema").str(), "htd_lint.v3");
     EXPECT_EQ(json.at("files_checked").number(), 2.0);
     EXPECT_EQ(json.at("files_cached").number(), 0.0);
     EXPECT_EQ(json.at("suppressed").number(), 1.0);
     EXPECT_EQ(json.at("findings").size(), 0u);
 
-    // Pass wall times: scan, layering, result-discard, total — in order.
+    // Pass wall times, in execution order: the file scan, the four v4
+    // determinism passes, the global passes, then the total.
     const Json& passes = json.at("passes");
-    ASSERT_EQ(passes.size(), 4u);
+    ASSERT_EQ(passes.size(), 8u);
     EXPECT_EQ(passes.at(0).at("name").str(), "scan");
-    EXPECT_EQ(passes.at(1).at("name").str(), "layering");
-    EXPECT_EQ(passes.at(2).at("name").str(), "result-discard");
-    EXPECT_EQ(passes.at(3).at("name").str(), "total");
-    for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(passes.at(1).at("name").str(), "global-mutable-state");
+    EXPECT_EQ(passes.at(2).at("name").str(), "unordered-iteration-escape");
+    EXPECT_EQ(passes.at(3).at("name").str(), "rng-discipline");
+    EXPECT_EQ(passes.at(4).at("name").str(), "float-reduction-order");
+    EXPECT_EQ(passes.at(5).at("name").str(), "layering");
+    EXPECT_EQ(passes.at(6).at("name").str(), "result-discard");
+    EXPECT_EQ(passes.at(7).at("name").str(), "total");
+    for (std::size_t i = 0; i < 8; ++i) {
         EXPECT_GE(passes.at(i).at("wall_ms").number(), 0.0);
     }
+
+    // v3 carries the audited shared-state sites; this fixture has none.
+    EXPECT_EQ(json.at("annotations").size(), 0u);
 
     // Surviving allowlist entries carry their justification for audits.
     const Json& allow = json.at("allowlist");
@@ -498,7 +745,32 @@ TEST_F(LintTreeTest, JsonReportSchema) {
 
     // The JSON mode must round-trip through the strict parser.
     const Json reparsed = Json::parse(json.dump(2));
-    EXPECT_EQ(reparsed.at("schema").str(), "htd_lint.v2");
+    EXPECT_EQ(reparsed.at("schema").str(), "htd_lint.v3");
+}
+
+TEST_F(LintTreeTest, JsonReportIsByteIdenticalAcrossJobCounts) {
+    // A handful of extra files so the thread pool actually interleaves.
+    write("src/io/a.cpp", "void a() { }\n");
+    write("src/io/b.cpp", "#include <random>\n"
+                          "void b() { std::mt19937 g; (void)g; }\n");
+    write("src/stats/c.hpp", "#pragma once\nnamespace htd::stats {}\n");
+    write("src/stats/d.cpp",
+          "void d() { static int n = 0; (void)n; }\n");
+    std::vector<std::string> dumps;
+    for (const unsigned jobs : {1u, 2u, 8u}) {
+        Options options;
+        options.jobs = jobs;
+        Report report = lint(options);
+        // Wall times are the one legitimately nondeterministic field;
+        // everything else must not depend on scheduling.
+        for (auto& pass : report.passes) pass.wall_ms = 0.0;
+        dumps.push_back(htd::lint::report_json(report).dump(2));
+    }
+    EXPECT_EQ(dumps[0], dumps[1]);
+    EXPECT_EQ(dumps[0], dumps[2]);
+    // The scrubbed report still carries real content.
+    EXPECT_NE(dumps[0].find("rng-seed"), std::string::npos);
+    EXPECT_NE(dumps[0].find("global-mutable-state"), std::string::npos);
 }
 
 TEST_F(LintTreeTest, ColdThenWarmRunsHitTheCache) {
@@ -646,6 +918,41 @@ TEST_F(LintLayeringTest, ModuleMissingFromSpecIsFlagged) {
     EXPECT_TRUE(include_site) << dump_report(again);
 }
 
+TEST_F(LintLayeringTest, EditingLayersInvalidatesTheWarmCache) {
+    write("src/core/err.hpp", "#pragma once\nnamespace htd::core {}\n");
+    write("src/io/csv.hpp",
+          "#pragma once\n"
+          "#include \"core/err.hpp\"\n"
+          "namespace htd::io {}\n");
+    Options options;
+    options.layers = htd::lint::parse_layers("core\nio\n");
+    options.cache_dir = (root_ / "cache").string();
+    options.jobs = 1;
+    const Report cold =
+        htd::lint::lint_paths({(root_ / "src").string()}, options);
+    EXPECT_TRUE(cold.clean()) << dump_report(cold);
+    EXPECT_EQ(cold.files_cached, 0u);
+    const Report warm =
+        htd::lint::lint_paths({(root_ / "src").string()}, options);
+    EXPECT_EQ(warm.files_cached, warm.files_checked);
+
+    // Same tree, same cache dir, different layer spec: the configuration
+    // is part of every cache key (the v6 regression this guards — a warm
+    // cache must never smuggle results across a config edit), so every
+    // entry misses, and the inverted spec surfaces the back-edge.
+    options.layers = htd::lint::parse_layers("io\ncore\n");
+    const Report edited =
+        htd::lint::lint_paths({(root_ / "src").string()}, options);
+    EXPECT_EQ(edited.files_cached, 0u);
+    EXPECT_TRUE(has_rule(edited.findings, "layering")) << dump_report(edited);
+
+    // And an allowlist edit invalidates the same way.
+    options.allow = {{"layering", "src/io/csv.hpp", "fixture"}};
+    const Report allowed =
+        htd::lint::lint_paths({(root_ / "src").string()}, options);
+    EXPECT_EQ(allowed.files_cached, 0u);
+}
+
 TEST(LintLayerSpec, ParsesLayersAndRejectsDuplicates) {
     const LayerSpec spec = htd::lint::parse_layers(
         "# comment\n"
@@ -756,8 +1063,16 @@ TEST(LintGate, CommittedTreeIsCleanUnderCommittedAllowlist) {
     EXPECT_TRUE(report.clean()) << dump_report(report);
     EXPECT_TRUE(report.unused_allow.empty()) << dump_report(report);
     EXPECT_GT(report.suppressed, 0u);  // the allowlist is real, not decorative
-    ASSERT_EQ(report.passes.size(), 4u);
-    EXPECT_EQ(report.passes[3].name, "total");
+    ASSERT_EQ(report.passes.size(), 8u);
+    EXPECT_EQ(report.passes[7].name, "total");
+
+    // The determinism gate is live on the committed tree: the obs layer's
+    // audited singletons surface as annotations, every one justified.
+    EXPECT_FALSE(report.annotations.empty());
+    for (const auto& a : report.annotations) {
+        EXPECT_FALSE(a.justification.empty()) << a.file << ":" << a.line;
+        EXPECT_FALSE(a.symbol.empty()) << a.file << ":" << a.line;
+    }
 }
 
 }  // namespace

@@ -1,11 +1,12 @@
 /// \file analyzer.cpp
-/// The htd_lint v2 analyzer core: walks the tree, runs the per-file front
-/// end (lint.cpp) on a thread pool with a content-hash result cache, then
-/// runs the global passes — include-graph layering, include-cycle
-/// detection, and result-discard resolution — over the per-file
-/// extractions. Diagnostic order is deterministic regardless of thread
-/// count or cache state: files are visited in sorted order and findings
-/// are sorted before reporting.
+/// The htd_lint v4 analyzer core: walks the tree, runs the per-file front
+/// end (lint.cpp) on a thread pool with a content-hash result cache (keyed
+/// by file content *and* the rule configuration — layers, allowlist, rule
+/// set), then runs the global passes — include-graph layering,
+/// include-cycle detection, and result-discard resolution — over the
+/// per-file extractions. Diagnostic order is deterministic regardless of
+/// thread count or cache state: files are visited in sorted order and
+/// findings are sorted before reporting.
 
 #include <algorithm>
 #include <atomic>
@@ -35,7 +36,11 @@ namespace {
 // v3: work-counter-name rule added to the per-file scan.
 // v4: artifact-schema-version rule added to the per-file scan.
 // v5: event-kind-name rule added to the per-file scan.
-constexpr const char* kCacheVersion = "htd_lint.cache.v5";
+// v6: determinism passes (global-mutable-state, unordered-iteration-escape,
+//     rng-discipline, float-reduction-order) + annotations added; the
+//     layering spec, allowlist and rule configuration are folded into the
+//     key so editing rule inputs invalidates cached per-file results.
+constexpr const char* kCacheVersion = "htd_lint.cache.v6";
 
 std::uint64_t fnv1a64(const std::string& data, std::uint64_t h) {
     for (const char c : data) {
@@ -45,12 +50,45 @@ std::uint64_t fnv1a64(const std::string& data, std::uint64_t h) {
     return h;
 }
 
-std::string content_key(const std::string& path, const std::string& contents) {
+/// Everything besides the file's own bytes that can change a cached
+/// FileAnalysis (or how the driver interprets it): the rule set, the
+/// layering spec, and the allowlist. Editing any of these must miss the
+/// cache — before v6 only the source content was hashed, so a warm cache
+/// could keep enforcing a stale layers.txt.
+std::uint64_t config_fingerprint(const Options& options) {
+    std::uint64_t h = 1469598103934665603ULL;
+    const std::string sep(1, '\0');
+    for (const std::string& rule : rule_ids()) {
+        h = fnv1a64(rule, h);
+        h = fnv1a64(sep, h);
+    }
+    for (const std::vector<std::string>& layer : options.layers.layers) {
+        for (const std::string& mod : layer) {
+            h = fnv1a64(mod, h);
+            h = fnv1a64(sep, h);
+        }
+        h = fnv1a64(sep, h);
+    }
+    for (const AllowEntry& e : options.allow) {
+        h = fnv1a64(e.rule, h);
+        h = fnv1a64(sep, h);
+        h = fnv1a64(e.path_suffix, h);
+        h = fnv1a64(sep, h);
+        h = fnv1a64(e.justification, h);
+        h = fnv1a64(sep, h);
+    }
+    return h;
+}
+
+std::string content_key(const std::string& path, const std::string& contents,
+                        std::uint64_t config_hash) {
     std::uint64_t h = 1469598103934665603ULL;
     h = fnv1a64(kCacheVersion, h);
     h = fnv1a64(path, h);
     h = fnv1a64(std::string(1, '\0'), h);
     h = fnv1a64(contents, h);
+    h ^= config_hash;
+    h *= 1099511628211ULL;
     std::ostringstream hex;
     hex << std::hex << h;
     return hex.str();
@@ -337,6 +375,7 @@ Report lint_paths(const std::vector<std::string>& paths,
         if (ec) cache_enabled = false;  // unwritable cache: scan everything
     }
 
+    const std::uint64_t config_hash = config_fingerprint(options);
     std::vector<ScanSlot> slots(files.size());
     std::atomic<std::size_t> next{0};
     const auto worker = [&] {
@@ -356,7 +395,7 @@ Report lint_paths(const std::vector<std::string>& paths,
                 const std::string contents = buf.str();
                 std::string key;
                 if (cache_enabled) {
-                    key = content_key(slot.path, contents);
+                    key = content_key(slot.path, contents, config_hash);
                     if (load_cached(options.cache_dir, key, slot.fa)) {
                         slot.cached = true;
                         continue;
@@ -395,10 +434,21 @@ Report lint_paths(const std::vector<std::string>& paths,
     }
 
     std::vector<Finding> findings;
+    FileAnalysis::DeterminismMs det_ms;
     for (const ScanSlot& slot : slots) {
         findings.insert(findings.end(), slot.fa.findings.begin(),
                         slot.fa.findings.end());
+        for (const FileAnalysis::Annotation& a : slot.fa.annotations) {
+            report.annotations.push_back(
+                {slot.path, a.line, a.symbol, a.justification});
+        }
+        det_ms.global_mutable_state += slot.fa.determinism_ms.global_mutable_state;
+        det_ms.unordered_iteration += slot.fa.determinism_ms.unordered_iteration;
+        det_ms.rng_discipline += slot.fa.determinism_ms.rng_discipline;
+        det_ms.float_reduction += slot.fa.determinism_ms.float_reduction;
     }
+    // Slots are path-sorted, so annotations already sort by (file, line) —
+    // the per-file scan ordered them by line.
 
     const auto t_layer = std::chrono::steady_clock::now();
     if (!options.layers.empty()) {
@@ -445,7 +495,16 @@ Report lint_paths(const std::vector<std::string>& paths,
         }
     }
 
+    // The four determinism passes run inside the scan workers; their wall
+    // times are summed across files (zero for cache hits) and reported as
+    // first-class passes so the v4 analysis cost stays attributable.
     report.passes.push_back({"scan", scan_ms});
+    report.passes.push_back(
+        {"global-mutable-state", det_ms.global_mutable_state});
+    report.passes.push_back(
+        {"unordered-iteration-escape", det_ms.unordered_iteration});
+    report.passes.push_back({"rng-discipline", det_ms.rng_discipline});
+    report.passes.push_back({"float-reduction-order", det_ms.float_reduction});
     report.passes.push_back({"layering", layer_ms});
     report.passes.push_back({"result-discard", discard_ms});
     report.passes.push_back({"total", ms_since(t_total)});
@@ -464,7 +523,7 @@ Report lint_paths(const std::vector<std::string>& paths,
 
 io::Json report_json(const Report& report) {
     io::Json doc = io::Json::object();
-    doc.set("schema", std::string("htd_lint.v2"));
+    doc.set("schema", std::string("htd_lint.v3"));
     io::Json arr = io::Json::array();
     for (const Finding& f : report.findings) {
         io::Json rec = io::Json::object();
@@ -486,6 +545,16 @@ io::Json report_json(const Report& report) {
         passes.push_back(std::move(rec));
     }
     doc.set("passes", std::move(passes));
+    io::Json annotations = io::Json::array();
+    for (const ReportAnnotation& a : report.annotations) {
+        io::Json rec = io::Json::object();
+        rec.set("file", a.file);
+        rec.set("line", a.line);
+        rec.set("symbol", a.symbol);
+        rec.set("justification", a.justification);
+        annotations.push_back(std::move(rec));
+    }
+    doc.set("annotations", std::move(annotations));
     io::Json allow = io::Json::array();
     for (const AllowUsage& u : report.allow_usage) {
         io::Json rec = io::Json::object();
@@ -522,7 +591,12 @@ std::string report_text(const Report& report) {
         out << " (" << report.files_cached << " cached)";
     }
     out << ", " << report.findings.size() << " finding(s), "
-        << report.suppressed << " suppressed\n";
+        << report.suppressed << " suppressed";
+    if (!report.annotations.empty()) {
+        out << ", " << report.annotations.size()
+            << " audited shared-state site(s)";
+    }
+    out << "\n";
     if (!report.passes.empty()) {
         out << "htd_lint: passes:";
         for (const PassTiming& p : report.passes) {

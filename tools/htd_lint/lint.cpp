@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <map>
 #include <optional>
 #include <regex>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -803,6 +806,512 @@ void check_event_kind_names(const std::string& path,
     }
 }
 
+// --- determinism passes (v6) ------------------------------------------------
+//
+// The four passes below gate the path to the parallel statistical core
+// (DESIGN.md §16): they run over src/ and tools/ and encode the properties
+// bitwise same-seed reproducibility depends on once the thread pool lands —
+// no unaudited shared mutable state, no hash-order leakage into serialized
+// output, per-thread RNG substream discipline, and pinned floating-point
+// reduction order inside regions marked HTD_PARALLEL_READY.
+
+/// Skip toks[k] == "(" through its matching ")". Returns the index of the
+/// closing paren (or toks.size() when unbalanced).
+std::size_t skip_parens(const std::vector<Token>& toks, std::size_t k) {
+    int depth = 0;
+    for (; k < toks.size(); ++k) {
+        if (is_punct(toks[k], "(")) ++depth;
+        if (is_punct(toks[k], ")") && --depth == 0) return k;
+    }
+    return toks.size();
+}
+
+/// One HTD_PARALLEL_READY region: the `for`/`while` statement (including
+/// its body) that follows the marker. `begin`/`end` are token indices.
+struct ParallelRegion {
+    std::size_t marker_line = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+};
+
+std::vector<ParallelRegion> parallel_regions(const std::vector<Token>& toks) {
+    std::vector<ParallelRegion> regions;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.in_directive || !is_ident(t, "HTD_PARALLEL_READY")) continue;
+        // Find the loop the marker governs; a `}` first means the marker
+        // dangles at the end of a scope and governs nothing.
+        std::size_t loop = toks.size();
+        for (std::size_t k = i + 1; k < toks.size(); ++k) {
+            if (toks[k].in_directive) continue;
+            if (is_ident(toks[k], "for") || is_ident(toks[k], "while")) {
+                loop = k;
+                break;
+            }
+            if (is_punct(toks[k], "}")) break;
+        }
+        if (loop == toks.size()) continue;
+        std::size_t k = loop + 1;
+        if (k < toks.size() && is_punct(toks[k], "(")) {
+            k = skip_parens(toks, k);
+            if (k < toks.size()) ++k;
+        }
+        std::size_t end = toks.size();
+        if (k < toks.size() && is_punct(toks[k], "{")) {
+            int depth = 0;
+            for (; k < toks.size(); ++k) {
+                if (is_punct(toks[k], "{")) ++depth;
+                if (is_punct(toks[k], "}") && --depth == 0) {
+                    end = k + 1;
+                    break;
+                }
+            }
+        } else {
+            // Single-statement body.
+            for (; k < toks.size(); ++k) {
+                if (is_punct(toks[k], ";")) {
+                    end = k + 1;
+                    break;
+                }
+            }
+        }
+        regions.push_back({t.line, loop, end});
+    }
+    return regions;
+}
+
+// --- global-mutable-state ---------------------------------------------------
+
+void check_global_mutable_state(const std::string& path,
+                                const std::vector<Token>& toks,
+                                std::vector<Finding>& findings,
+                                std::vector<FileAnalysis::Annotation>& annotations) {
+    if (!path_in(path, "src/") && !path_in(path, "tools/")) return;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.in_directive || t.kind != TokKind::kIdent) continue;
+        if (t.text != "static" && t.text != "thread_local") continue;
+        // `static thread_local X` fires once, on the first keyword.
+        if (i > 0 && toks[i - 1].kind == TokKind::kIdent &&
+            !toks[i - 1].in_directive &&
+            (toks[i - 1].text == "static" || toks[i - 1].text == "thread_local")) {
+            continue;
+        }
+
+        bool immutable = false;
+        bool not_a_variable = false;
+        bool annotated = false;
+        std::string symbol;
+        std::size_t symbol_line = t.line;
+        std::string justification;
+        int angle = 0;
+        std::size_t k = i + 1;
+        for (; k < toks.size(); ++k) {
+            const Token& u = toks[k];
+            if (u.in_directive) {
+                not_a_variable = true;  // declaration ran into a directive
+                break;
+            }
+            if (u.kind == TokKind::kPunct) {
+                if (u.text == "<" && k > 0 &&
+                    toks[k - 1].kind == TokKind::kIdent) {
+                    ++angle;
+                } else if (u.text == ">" && angle > 0) {
+                    --angle;
+                } else if (u.text == ">>" && angle > 0) {
+                    angle = angle >= 2 ? angle - 2 : 0;
+                } else if (angle > 0) {
+                    continue;  // template-argument innards
+                } else if (u.text == ";" || u.text == "=" || u.text == "{") {
+                    break;  // end of declarator
+                } else if (u.text == "}") {
+                    not_a_variable = true;  // ill-formed run, bail
+                    break;
+                } else if (u.text == "(") {
+                    const Token& prev = toks[k - 1];
+                    if (prev.kind == TokKind::kIdent &&
+                        prev.text == "HTD_SHARED_STATE_OK") {
+                        annotated = true;
+                        if (k + 1 < toks.size() &&
+                            toks[k + 1].kind == TokKind::kString &&
+                            toks[k + 1].text.size() >= 2) {
+                            justification = toks[k + 1].text.substr(
+                                1, toks[k + 1].text.size() - 2);
+                        }
+                        k = skip_parens(toks, k);
+                    } else if (prev.kind == TokKind::kIdent &&
+                               all_caps(prev.text)) {
+                        k = skip_parens(toks, k);  // other annotation macro
+                    } else {
+                        not_a_variable = true;  // function declaration
+                        break;
+                    }
+                }
+                continue;
+            }
+            if (u.kind != TokKind::kIdent || angle != 0) continue;
+            if (u.text == "const" || u.text == "constexpr" ||
+                u.text == "constinit" || u.text == "consteval") {
+                immutable = true;
+            } else if (u.text == "using" || u.text == "typedef" ||
+                       u.text == "class" || u.text == "struct" ||
+                       u.text == "union" || u.text == "enum" ||
+                       u.text == "friend" || u.text == "operator" ||
+                       u.text == "extern" || u.text == "static_assert") {
+                not_a_variable = true;
+                break;
+            } else if (!is_decl_specifier(u.text) && !all_caps(u.text)) {
+                symbol = u.text;
+                symbol_line = u.line;
+            }
+        }
+
+        if (not_a_variable || immutable || symbol.empty()) continue;
+        if (annotated) {
+            const bool blank = std::all_of(
+                justification.begin(), justification.end(),
+                [](unsigned char c) { return std::isspace(c) != 0; });
+            if (justification.empty() || blank) {
+                findings.push_back(
+                    {path, symbol_line, "global-mutable-state",
+                     "HTD_SHARED_STATE_OK on '" + symbol +
+                         "' needs a non-empty justification string — the "
+                         "annotation is the audit record for why this shared "
+                         "mutable state is safe"});
+            } else {
+                annotations.push_back({symbol, symbol_line, justification});
+            }
+        } else {
+            findings.push_back(
+                {path, symbol_line, "global-mutable-state",
+                 "mutable " + t.text + " state '" + symbol +
+                     "' is shared once the statistical core runs on a thread "
+                     "pool; make it const/constexpr, pass it explicitly, or "
+                     "annotate the declarator with "
+                     "HTD_SHARED_STATE_OK(\"reason\") after an audit"});
+        }
+    }
+}
+
+// --- unordered-iteration-escape ---------------------------------------------
+
+bool is_unordered_container(const std::string& s) {
+    return s == "unordered_map" || s == "unordered_set" ||
+           s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+/// Member/free calls that move a value toward serialized output: io::Json
+/// setters, container appends, and raw stream writes.
+bool is_escape_call(const std::string& s) {
+    return s == "set" || s == "push_back" || s == "emplace_back" ||
+           s == "append" || s == "write";
+}
+
+void check_unordered_iteration_escape(const std::string& path,
+                                      const std::vector<Token>& toks,
+                                      std::vector<Finding>& out) {
+    if (!path_in(path, "src/") && !path_in(path, "tools/")) return;
+    // Pass 1: names declared with an unordered container type, with their
+    // declaration lines. Member declarations in the same file count.
+    std::map<std::string, std::size_t> unordered_vars;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.in_directive || t.kind != TokKind::kIdent ||
+            !is_unordered_container(t.text)) {
+            continue;
+        }
+        std::size_t k = i + 1;
+        if (k >= toks.size() || !is_punct(toks[k], "<")) continue;
+        int angle = 0;
+        for (; k < toks.size(); ++k) {
+            if (is_punct(toks[k], "<")) ++angle;
+            if (is_punct(toks[k], ">") && --angle == 0) {
+                ++k;
+                break;
+            }
+            if (toks[k].kind == TokKind::kPunct && toks[k].text == ">>") {
+                angle -= 2;
+                if (angle <= 0) {
+                    ++k;
+                    break;
+                }
+            }
+        }
+        while (k < toks.size() && toks[k].kind == TokKind::kPunct &&
+               (toks[k].text == "&" || toks[k].text == "*")) {
+            ++k;
+        }
+        if (k < toks.size() && toks[k].kind == TokKind::kIdent &&
+            !all_caps(toks[k].text)) {
+            unordered_vars.emplace(toks[k].text, toks[k].line);
+        }
+    }
+    if (unordered_vars.empty()) return;
+
+    // Pass 2: range-for loops whose range expression names one of them.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].in_directive || !is_ident(toks[i], "for") ||
+            !is_punct(toks[i + 1], "(")) {
+            continue;
+        }
+        const std::size_t open = i + 1;
+        const std::size_t close = skip_parens(toks, open);
+        if (close == toks.size()) continue;
+        // The range-for ':' sits at paren depth 1 (a `::` is one fused
+        // token, so a plain ':' cannot be confused with it).
+        std::size_t colon = toks.size();
+        int depth = 0;
+        for (std::size_t k = open; k <= close; ++k) {
+            if (is_punct(toks[k], "(")) ++depth;
+            if (is_punct(toks[k], ")")) --depth;
+            if (depth == 1 && is_punct(toks[k], ":")) {
+                colon = k;
+                break;
+            }
+        }
+        if (colon == toks.size()) continue;
+        std::string container;
+        std::size_t decl_line = 0;
+        for (std::size_t k = colon + 1; k < close; ++k) {
+            if (toks[k].kind != TokKind::kIdent) continue;
+            const auto it = unordered_vars.find(toks[k].text);
+            if (it != unordered_vars.end()) {
+                container = it->first;
+                decl_line = it->second;
+                break;
+            }
+        }
+        if (container.empty()) continue;
+
+        // Body extent: brace-matched block or single statement.
+        std::size_t body_begin = close + 1;
+        std::size_t body_end = toks.size();
+        if (body_begin < toks.size() && is_punct(toks[body_begin], "{")) {
+            int bd = 0;
+            for (std::size_t k = body_begin; k < toks.size(); ++k) {
+                if (is_punct(toks[k], "{")) ++bd;
+                if (is_punct(toks[k], "}") && --bd == 0) {
+                    body_end = k + 1;
+                    break;
+                }
+            }
+        } else {
+            for (std::size_t k = body_begin; k < toks.size(); ++k) {
+                if (is_punct(toks[k], ";")) {
+                    body_end = k + 1;
+                    break;
+                }
+            }
+        }
+        for (std::size_t k = body_begin; k < body_end; ++k) {
+            const Token& u = toks[k];
+            if (u.in_directive) continue;
+            if (u.kind == TokKind::kPunct && u.text == "<<") {
+                out.push_back(
+                    {path, toks[i].line, "unordered-iteration-escape",
+                     "iteration over unordered container '" + container +
+                         "' (declared line " + std::to_string(decl_line) +
+                         ") streams its elements via operator<< at line " +
+                         std::to_string(u.line) +
+                         "; hash iteration order is nondeterministic — copy "
+                         "into a sorted container before serializing"});
+            } else if (u.kind == TokKind::kIdent && is_escape_call(u.text) &&
+                       k > 0 && k + 1 < body_end &&
+                       (is_punct(toks[k - 1], ".") ||
+                        is_punct(toks[k - 1], "->")) &&
+                       is_punct(toks[k + 1], "(")) {
+                out.push_back(
+                    {path, toks[i].line, "unordered-iteration-escape",
+                     "iteration over unordered container '" + container +
+                         "' (declared line " + std::to_string(decl_line) +
+                         ") feeds '" + u.text + "(...)' at line " +
+                         std::to_string(u.line) +
+                         ", an order-preserving sink; hash iteration order "
+                         "is nondeterministic — copy into a sorted container "
+                         "before appending or serializing"});
+            }
+        }
+    }
+}
+
+// --- rng-discipline ---------------------------------------------------------
+
+bool is_engine_type(const std::string& s) {
+    return s == "mt19937" || s == "mt19937_64" || s == "minstd_rand" ||
+           s == "minstd_rand0" || s == "default_random_engine" ||
+           s == "ranlux24" || s == "ranlux48" || s == "ranlux24_base" ||
+           s == "ranlux48_base" || s == "knuth_b" || s == "Rng";
+}
+
+/// Identifier that reads a wall clock: `time(...)`, `...::now(...)`, or
+/// any `*clock` type's member chain.
+bool is_clock_ident(const std::string& s) {
+    return s == "time" || s == "now" || s == "clock" ||
+           (s.size() > 6 && s.compare(s.size() - 6, 6, "_clock") == 0);
+}
+
+void check_rng_discipline(const std::string& path,
+                          const std::vector<Token>& toks,
+                          std::vector<Finding>& out) {
+    if (!path_in(path, "src/") && !path_in(path, "tools/")) return;
+
+    // (a) Time-seeded constructions: an engine variable whose constructor
+    // arguments read a clock. Same-seed reruns then never reproduce.
+    std::vector<std::string> engine_vars;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.in_directive || t.kind != TokKind::kIdent ||
+            !is_engine_type(t.text)) {
+            continue;
+        }
+        std::size_t k = i + 1;
+        while (k < toks.size() && toks[k].kind == TokKind::kPunct &&
+               (toks[k].text == "&" || toks[k].text == "*")) {
+            ++k;
+        }
+        std::string var;
+        if (k < toks.size() && toks[k].kind == TokKind::kIdent &&
+            !all_caps(toks[k].text)) {
+            var = toks[k].text;
+            engine_vars.push_back(var);
+            ++k;
+        }
+        if (k >= toks.size()) break;
+        if (!is_punct(toks[k], "(") && !is_punct(toks[k], "{")) continue;
+        const char* const open = toks[k].text == "(" ? "(" : "{";
+        const char* const shut = toks[k].text == "(" ? ")" : "}";
+        int depth = 0;
+        for (std::size_t a = k; a < toks.size(); ++a) {
+            if (is_punct(toks[a], open)) ++depth;
+            if (is_punct(toks[a], shut) && --depth == 0) break;
+            if (toks[a].kind == TokKind::kIdent && is_clock_ident(toks[a].text) &&
+                a + 1 < toks.size() &&
+                (is_punct(toks[a + 1], "(") || is_punct(toks[a + 1], "::"))) {
+                out.push_back(
+                    {path, t.line, "rng-discipline",
+                     "engine '" + (var.empty() ? t.text : var) +
+                         "' is seeded from a wall clock ('" + toks[a].text +
+                         "'); same-seed runs can never reproduce — derive "
+                         "the seed from the experiment seed instead"});
+                break;
+            }
+        }
+    }
+
+    // (b) Engine reuse across call sites inside HTD_PARALLEL_READY
+    // regions: each loop iteration advancing one shared engine serializes
+    // the loop and makes the stream order thread-schedule-dependent.
+    const std::vector<ParallelRegion> regions = parallel_regions(toks);
+    if (regions.empty() || engine_vars.empty()) return;
+    std::sort(engine_vars.begin(), engine_vars.end());
+    engine_vars.erase(std::unique(engine_vars.begin(), engine_vars.end()),
+                      engine_vars.end());
+    for (const ParallelRegion& region : regions) {
+        // engine -> list of "callee:line" call sites it is passed into.
+        std::map<std::string, std::vector<std::string>> uses;
+        for (std::size_t k = region.begin; k < region.end; ++k) {
+            const Token& t = toks[k];
+            if (t.in_directive || t.kind != TokKind::kIdent) continue;
+            if (k + 1 >= region.end || !is_punct(toks[k + 1], "(")) continue;
+            if (all_caps(t.text) || is_stmt_keyword(t.text)) continue;
+            const std::size_t close = skip_parens(toks, k + 1);
+            for (std::size_t a = k + 2; a < close && a < region.end; ++a) {
+                if (toks[a].kind != TokKind::kIdent) continue;
+                if (!std::binary_search(engine_vars.begin(), engine_vars.end(),
+                                        toks[a].text)) {
+                    continue;
+                }
+                // A bare engine argument (next token closes or separates
+                // the argument) is a by-reference handoff of engine state.
+                if (a + 1 < toks.size() && (is_punct(toks[a + 1], ",") ||
+                                            is_punct(toks[a + 1], ")"))) {
+                    uses[toks[a].text].push_back(
+                        t.text + "(...) at line " + std::to_string(t.line));
+                }
+            }
+        }
+        for (const auto& [engine, sites] : uses) {
+            if (sites.size() < 2) continue;
+            std::string chain;
+            for (const std::string& s : sites) {
+                if (!chain.empty()) chain += ", ";
+                chain += s;
+            }
+            out.push_back(
+                {path, region.marker_line, "rng-discipline",
+                 "engine '" + engine + "' is passed into " +
+                     std::to_string(sites.size()) +
+                     " call sites inside an HTD_PARALLEL_READY region (" +
+                     chain +
+                     "); one shared engine serializes the loop — give each "
+                     "worker its own substream via Rng::split before "
+                     "parallelizing"});
+        }
+    }
+}
+
+// --- float-reduction-order --------------------------------------------------
+
+void check_float_reduction_order(const std::string& path,
+                                 const std::vector<Token>& toks,
+                                 std::vector<Finding>& out) {
+    if (!path_in(path, "src/") && !path_in(path, "tools/")) return;
+    const std::vector<ParallelRegion> regions = parallel_regions(toks);
+    if (regions.empty()) return;
+
+    // Names declared (anywhere in the file) with a floating-point type —
+    // the candidates a naive in-region `+=` reduction accumulates into.
+    std::set<std::string> fp_vars;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.in_directive || t.kind != TokKind::kIdent) continue;
+        if (t.text != "double" && t.text != "float") continue;
+        std::size_t k = i + 1;
+        while (k < toks.size() && toks[k].kind == TokKind::kPunct &&
+               (toks[k].text == "&" || toks[k].text == "*")) {
+            ++k;
+        }
+        if (k < toks.size() && toks[k].kind == TokKind::kIdent &&
+            !all_caps(toks[k].text) && !is_decl_specifier(toks[k].text)) {
+            fp_vars.insert(toks[k].text);
+        }
+    }
+
+    for (const ParallelRegion& region : regions) {
+        for (std::size_t k = region.begin; k < region.end; ++k) {
+            const Token& t = toks[k];
+            if (t.in_directive) continue;
+            if (t.kind == TokKind::kIdent && fp_vars.count(t.text) != 0 &&
+                k + 1 < region.end &&
+                toks[k + 1].kind == TokKind::kPunct &&
+                toks[k + 1].text == "+=") {
+                out.push_back(
+                    {path, t.line, "float-reduction-order",
+                     "naive floating-point reduction '" + t.text +
+                         " += ...' inside an HTD_PARALLEL_READY region "
+                         "(marker at line " +
+                         std::to_string(region.marker_line) +
+                         "); accumulation order changes under threading — "
+                         "reduce through core::StableAccumulator or "
+                         "core::stable_sum (src/core/stable_sum.hpp)"});
+            }
+            if (t.kind == TokKind::kIdent &&
+                (t.text == "accumulate" || t.text == "reduce") &&
+                k + 1 < region.end && is_punct(toks[k + 1], "(")) {
+                out.push_back(
+                    {path, t.line, "float-reduction-order",
+                     "std::" + t.text +
+                         " inside an HTD_PARALLEL_READY region (marker at "
+                         "line " +
+                         std::to_string(region.marker_line) +
+                         ") reduces in unspecified-for-threading order; use "
+                         "core::stable_sum (src/core/stable_sum.hpp), whose "
+                         "reduction tree is pinned"});
+            }
+        }
+    }
+}
+
 }  // namespace
 
 // --- public API -------------------------------------------------------------
@@ -817,7 +1326,9 @@ const std::vector<std::string>& rule_ids() {
         "stdio-in-library", "header-hygiene",        "stream-unchecked",
         "layering",         "include-cycle",         "layer-unmapped",
         "result-discard",   "missing-nodiscard",     "work-counter-name",
-        "artifact-schema-version", "event-kind-name"};
+        "artifact-schema-version", "event-kind-name",
+        "global-mutable-state",    "unordered-iteration-escape",
+        "rng-discipline",          "float-reduction-order"};
     return ids;
 }
 
@@ -908,6 +1419,26 @@ FileAnalysis analyze_file(const std::string& path, const std::string& contents) 
     check_artifact_schema_version(norm, toks, fa.findings);
     check_event_kind_names(norm, toks, fa.findings);
 
+    // Determinism passes, individually timed so the report can attribute
+    // the v4 analysis cost (the timings stay out of the cache: a hit
+    // genuinely does no work).
+    using clock = std::chrono::steady_clock;
+    const auto timed_ms = [](auto&& fn) {
+        const auto t0 = clock::now();
+        fn();
+        return std::chrono::duration<double, std::milli>(clock::now() - t0)
+            .count();
+    };
+    fa.determinism_ms.global_mutable_state = timed_ms([&] {
+        check_global_mutable_state(norm, toks, fa.findings, fa.annotations);
+    });
+    fa.determinism_ms.unordered_iteration = timed_ms(
+        [&] { check_unordered_iteration_escape(norm, toks, fa.findings); });
+    fa.determinism_ms.rng_discipline =
+        timed_ms([&] { check_rng_discipline(norm, toks, fa.findings); });
+    fa.determinism_ms.float_reduction =
+        timed_ms([&] { check_float_reduction_order(norm, toks, fa.findings); });
+
     collect_includes(toks, fa);
     if (path_in(norm, "src/")) {
         // must-use extraction runs on every src/ file; the [[nodiscard]]
@@ -927,6 +1458,11 @@ FileAnalysis analyze_file(const std::string& path, const std::string& contents) 
     std::sort(fa.must_use.begin(), fa.must_use.end());
     fa.must_use.erase(std::unique(fa.must_use.begin(), fa.must_use.end()),
                       fa.must_use.end());
+    std::sort(fa.annotations.begin(), fa.annotations.end(),
+              [](const FileAnalysis::Annotation& a,
+                 const FileAnalysis::Annotation& b) {
+                  return std::tie(a.line, a.symbol) < std::tie(b.line, b.symbol);
+              });
     return fa;
 }
 
@@ -966,6 +1502,15 @@ io::Json FileAnalysis::to_json() const {
         ds.push_back(std::move(rec));
     }
     doc.set("discards", std::move(ds));
+    io::Json ann = io::Json::array();
+    for (const Annotation& a : annotations) {
+        io::Json rec = io::Json::object();
+        rec.set("symbol", a.symbol);
+        rec.set("line", a.line);
+        rec.set("justification", a.justification);
+        ann.push_back(std::move(rec));
+    }
+    doc.set("annotations", std::move(ann));
     return doc;
 }
 
@@ -986,6 +1531,12 @@ FileAnalysis FileAnalysis::from_json(const io::Json& doc) {
     for (const io::Json& rec : doc.at("discards").elements()) {
         fa.discards.push_back({rec.at("name").str(),
                                static_cast<std::size_t>(rec.at("line").number())});
+    }
+    for (const io::Json& rec : doc.at("annotations").elements()) {
+        fa.annotations.push_back(
+            {rec.at("symbol").str(),
+             static_cast<std::size_t>(rec.at("line").number()),
+             rec.at("justification").str()});
     }
     return fa;
 }

@@ -1,6 +1,6 @@
 #pragma once
 /// \file lint.hpp
-/// htd_lint v2: the project-invariant analyzer behind `scripts/check.sh
+/// htd_lint v4: the project-invariant analyzer behind `scripts/check.sh
 /// --analyze`. clang-tidy proves general C++ hygiene; these passes encode
 /// *project* contracts that no generic checker can express.
 ///
@@ -73,14 +73,53 @@
 ///                       silently on the next version bump (DESIGN.md §14).
 ///                       tools/htd_lint/ itself is exempt.
 ///
+/// Determinism & concurrency-readiness passes (v4 of the tool, DESIGN.md
+/// §16 — they gate the path to the parallel statistical core; scoped to
+/// src/ and tools/):
+///
+///   global-mutable-state
+///                       Namespace-scope and function-local `static` /
+///                       `thread_local` mutable variables are data races
+///                       waiting for the thread pool. Each site is flagged
+///                       unless the declarator carries
+///                       `HTD_SHARED_STATE_OK("reason")`
+///                       (src/core/annotations.hpp); surviving annotations
+///                       are surfaced — with their justifications — in the
+///                       JSON report so the audit cannot rot.
+///   unordered-iteration-escape
+///                       A range-for over a `std::unordered_map` /
+///                       `unordered_set` whose body writes to a stream,
+///                       `io::Json`, or an append-only container leaks the
+///                       hash table's nondeterministic iteration order into
+///                       serialized output. The diagnostic carries the
+///                       chain: container declaration line, loop line, and
+///                       the escaping write.
+///   rng-discipline      Time-seeded engine constructions
+///                       (`time(...)`/`...::now()` in ctor args) break
+///                       same-seed reproducibility anywhere; inside an
+///                       `HTD_PARALLEL_READY` region, one engine fed into
+///                       two or more call sites serializes the whole loop
+///                       on the engine state — per-thread substreams via
+///                       `Rng::split` are required first. The diagnostic
+///                       lists every call site sharing the engine.
+///   float-reduction-order
+///                       Inside an `HTD_PARALLEL_READY` region, a naive
+///                       `+=` / `std::accumulate` reduction over
+///                       floating-point values makes the result depend on
+///                       accumulation order, which threading will change.
+///                       Reductions there go through `core::stable_sum` /
+///                       `core::StableAccumulator`
+///                       (src/core/stable_sum.hpp), whose order is pinned.
+///
 /// The analyzer core runs per-file scans on a thread pool, caches per-file
-/// results keyed by content hash (see Options::cache_dir), orders
-/// diagnostics deterministically, and reports wall time per pass into the
-/// `htd_lint.v2` JSON schema. Findings can be suppressed through an
-/// allowlist file (`<rule> <path-suffix>  # justification` per line);
-/// unused entries are reported so the allowlist cannot silently rot, and
-/// the surviving entries are emitted — with their justifications — in the
-/// JSON report for audits.
+/// results keyed by content hash — salted with the layering spec, the
+/// allowlist, and the rule configuration, so editing any rule input
+/// invalidates cached results — orders diagnostics deterministically, and
+/// reports wall time per pass into the `htd_lint.v3` JSON schema. Findings
+/// can be suppressed through an allowlist file (`<rule> <path-suffix>  #
+/// justification` per line); unused entries are reported so the allowlist
+/// cannot silently rot, and the surviving entries are emitted — with their
+/// justifications — in the JSON report for audits.
 
 #include <cstddef>
 #include <map>
@@ -145,11 +184,29 @@ struct FileAnalysis {
         std::string name;  ///< callee of a bare statement-level call
         std::size_t line = 0;
     };
+    /// One surviving `HTD_SHARED_STATE_OK("reason")` site: the audit trail
+    /// for deliberately shared mutable state (global-mutable-state pass).
+    struct Annotation {
+        std::string symbol;  ///< annotated variable name
+        std::size_t line = 0;
+        std::string justification;
+    };
+    /// Wall time the determinism passes spent on this file. Deliberately
+    /// not cached: a cache hit reports zero because the work was not
+    /// redone.
+    struct DeterminismMs {
+        double global_mutable_state = 0.0;
+        double unordered_iteration = 0.0;
+        double rng_discipline = 0.0;
+        double float_reduction = 0.0;
+    };
 
     std::vector<Finding> findings;       ///< per-file findings (line rules + nodiscard)
     std::vector<Include> includes;       ///< quoted includes, in order
     std::vector<std::string> must_use;   ///< functions declared here returning must-use types
     std::vector<CallSite> discards;      ///< statement-level calls whose value is dropped
+    std::vector<Annotation> annotations; ///< audited shared-state sites
+    DeterminismMs determinism_ms;        ///< per-pass wall time (not cached)
 
     /// Cache round-trip (schema private to the cache directory).
     [[nodiscard]] io::Json to_json() const;
@@ -179,6 +236,14 @@ struct AllowUsage {
     std::size_t hits = 0;
 };
 
+/// One surviving shared-state annotation, with the file it lives in.
+struct ReportAnnotation {
+    std::string file;
+    std::size_t line = 0;
+    std::string symbol;
+    std::string justification;
+};
+
 /// Aggregate result of a tree walk.
 struct Report {
     std::vector<Finding> findings;  ///< after allowlist filtering
@@ -189,7 +254,11 @@ struct Report {
     std::vector<AllowEntry> unused_allow;
     /// Allowlist entries that did suppress findings, with hit counts.
     std::vector<AllowUsage> allow_usage;
-    /// Wall time per pass ("scan", "layering", "result-discard", "total").
+    /// Surviving HTD_SHARED_STATE_OK sites with their justifications,
+    /// sorted by (file, line) — the shared-state audit trail.
+    std::vector<ReportAnnotation> annotations;
+    /// Wall time per pass ("scan", the four determinism passes,
+    /// "layering", "result-discard", "total").
     std::vector<PassTiming> passes;
 
     [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
@@ -219,9 +288,10 @@ struct Options {
 [[nodiscard]] Report lint_paths(const std::vector<std::string>& paths,
                                 const std::vector<AllowEntry>& allow);
 
-/// Machine-readable report (schema "htd_lint.v2"):
+/// Machine-readable report (schema "htd_lint.v3"):
 /// {"schema", "findings": [{file,line,rule,message}], "files_checked",
 ///  "files_cached", "suppressed", "passes": [{name,wall_ms}],
+///  "annotations": [{file,line,symbol,justification}],
 ///  "allowlist": [{rule,path_suffix,justification,findings_suppressed}],
 ///  "unused_allowlist_entries": [{rule,path_suffix}]}.
 [[nodiscard]] io::Json report_json(const Report& report);

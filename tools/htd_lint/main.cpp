@@ -28,10 +28,14 @@ constexpr const char* kUsage =
     "\n"
     "Checks htd project invariants (seeded RNG, obs-only output, centralized\n"
     "NaN screening, header hygiene, checked stream opens, module layering,\n"
-    "include cycles, must-use result discards, [[nodiscard]] coverage) over\n"
-    "*.cpp/*.hpp trees. Default PATHs: src tools bench tests examples.\n"
+    "include cycles, must-use result discards, [[nodiscard]] coverage) and\n"
+    "determinism/concurrency-readiness contracts (audited shared mutable\n"
+    "state, unordered-iteration escapes into serialized output, RNG engine\n"
+    "discipline, stable float reduction order inside HTD_PARALLEL_READY\n"
+    "regions) over *.cpp/*.hpp trees. Default PATHs: src tools bench tests\n"
+    "examples.\n"
     "\n"
-    "  --json            machine-readable htd_lint.v2 report on stdout\n"
+    "  --json            machine-readable htd_lint.v3 report on stdout\n"
     "  --allowlist FILE  vetted exceptions, '<rule> <path-suffix>' per line\n"
     "                    (default: tools/htd_lint/allowlist.txt under --root\n"
     "                    when present)\n"
